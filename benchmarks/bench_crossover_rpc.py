@@ -1,0 +1,94 @@
+"""E7 — §2 example #2 and §4: the RPC-accelerator crossover study.
+
+Paper claims reproduced here:
+
+* "Optimus Prime is best suited for small data objects (<= 300B), while
+  Protoacc is best suited for larger data objects (>= 4KB)."
+* "For workloads comprising small data objects, Protoacc can perform
+  worse than a regular Xeon due to the cost of transferring the data."
+* "Optimus Prime can sustain a maximum throughput of 33 Gbps, but this
+  drops to 14 Gbps for realistic workloads." (§4)
+
+The size sweep prints the winner per object size (the figure a designer
+would draw from the interfaces), and the mix comparison shows the
+per-workload decision flipping between mixes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.cpu import CpuSerializerModel, offloaded_latency
+from repro.accel.optimusprime import CLOCK_GHZ, OptimusPrimeModel
+from repro.accel.protoacc import ProtoaccSerializerModel
+from repro.workloads import ALL_MIXES, ENTERPRISE_MIX, sized_message
+
+SIZES = (32, 64, 128, 300, 512, 1024, 2048, 4096, 8192, 16384)
+
+
+def sweep():
+    pa, op, cpu = ProtoaccSerializerModel(), OptimusPrimeModel(), CpuSerializerModel()
+    rng = np.random.default_rng(5)
+    rows = []
+    for size in SIZES:
+        m = sized_message(size, rng)
+        lat = {
+            "protoacc": offloaded_latency(pa, m),
+            "optimus-prime": offloaded_latency(op, m),
+            "cpu": cpu.measure_latency(m),
+        }
+        rows.append((size, lat, min(lat, key=lat.get)))
+    return rows
+
+
+def realistic_gbps():
+    op = OptimusPrimeModel()
+    msgs = ENTERPRISE_MIX.sample(seed=9, count=200)
+    total_bytes = sum(m.encoded_size() for m in msgs)
+    total_cycles = sum(op.measure_latency(m) for m in msgs)
+    return total_bytes / total_cycles * CLOCK_GHZ * 8
+
+
+def test_rpc_crossover(benchmark, report):
+    rows = benchmark(sweep)
+    pa, op = ProtoaccSerializerModel(), OptimusPrimeModel()
+    cpu = CpuSerializerModel()
+
+    lines = [
+        "§2 example #2 — RPC serialization: who wins at each object size",
+        f"{'size':>7} {'protoacc':>10} {'optimus':>10} {'cpu':>10}  winner",
+    ]
+    for size, lat, winner in rows:
+        lines.append(
+            f"{size:7d} {lat['protoacc']:10.0f} {lat['optimus-prime']:10.0f} "
+            f"{lat['cpu']:10.0f}  {winner}"
+        )
+    gbps = realistic_gbps()
+    lines += [
+        "",
+        f"Optimus Prime peak rate: {OptimusPrimeModel.peak_gbps():.0f} Gbps "
+        "(paper headline: 33 Gbps)",
+        f"Optimus Prime on enterprise mix: {gbps:.1f} Gbps (paper: drops to 14 Gbps)",
+        "",
+        "per-mix offload decision (total cycles, lower wins):",
+    ]
+    for mix in ALL_MIXES:
+        msgs = mix.sample(seed=3, count=60)
+        t_pa = sum(offloaded_latency(pa, m) for m in msgs)
+        t_op = sum(offloaded_latency(op, m) for m in msgs)
+        t_cpu = sum(cpu.measure_latency(m) for m in msgs)
+        winner = min(
+            [("protoacc", t_pa), ("optimus-prime", t_op), ("cpu", t_cpu)],
+            key=lambda e: e[1],
+        )[0]
+        lines.append(
+            f"  {mix.name:<11} pa={t_pa:11.0f} op={t_op:11.0f} cpu={t_cpu:11.0f} -> {winner}"
+        )
+    report("E7_rpc_crossover", "\n".join(lines))
+
+    winners = {size: winner for size, _, winner in rows}
+    assert winners[32] == "cpu"                 # Protoacc loses on tiny objects
+    assert winners[300] == "optimus-prime"      # OP best <= ~300 B
+    assert winners[4096] == "protoacc"          # Protoacc best >= 4 KB
+    assert winners[16384] == "protoacc"
+    assert gbps < 0.72 * OptimusPrimeModel.peak_gbps()

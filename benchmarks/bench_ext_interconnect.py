@@ -1,0 +1,64 @@
+"""E13 (§5 extension) — composing with a SmartNIC interconnect.
+
+"A Petri net for a SmartNIC will likely need to include a model of the
+interconnect, since it can have a significant impact on performance."
+
+Ground truth: Protoacc's DMA arbitrates on a shared bus against
+background traffic from the other SmartNIC engines
+(``ProtoaccSerializerModel(bus_config=...)``).  We sweep the background
+utilization and compare the plain Fig. 3 interface against the same
+interface composed with the interconnect's component interface (an
+M/D/1 expected-delay formula).
+"""
+
+from __future__ import annotations
+
+from repro.accel.protoacc import (
+    ProtoaccSerializerModel,
+    instances,
+    tput_protoacc_ser,
+)
+from repro.accel.protoacc.interfaces import tput_protoacc_ser_bus
+from repro.hw.noc import BusConfig
+from repro.hw.stats import ErrorReport
+
+UTILIZATIONS = (0.0, 0.3, 0.6, 0.8)
+
+
+def test_interconnect_composition(benchmark, report):
+    msgs = list(instances(seed=3).values())
+    rows = []
+    for util in UTILIZATIONS:
+        cfg = BusConfig(background_utilization=util)
+        model = ProtoaccSerializerModel(bus_config=cfg)
+        actual = [model.measure_throughput(m, repeat=8) for m in msgs]
+        naive = ErrorReport.of([tput_protoacc_ser(m) for m in msgs], actual)
+        composed = ErrorReport.of(
+            [tput_protoacc_ser_bus(m, cfg) for m in msgs], actual
+        )
+        rows.append((util, naive, composed))
+
+    cfg = BusConfig(background_utilization=0.6)
+    benchmark(lambda: [tput_protoacc_ser_bus(m, cfg) for m in msgs])
+
+    lines = [
+        "§5 extension — Protoacc behind a shared SmartNIC bus (32 formats)",
+        f"{'bus util':>9} {'naive iface':>24} {'composed iface':>24}",
+    ]
+    for util, naive, composed in rows:
+        lines.append(
+            f"{util:9.1f} {naive.as_percent():>24} {composed.as_percent():>24}"
+        )
+    lines += [
+        "",
+        "The composed interface stays accurate until the bus saturates;",
+        "at 0.8 utilization the M/D/1 mean underestimates queueing tails",
+        "— the known limit of mean-value component interfaces.",
+    ]
+    report("E13_interconnect_composition", "\n".join(lines))
+
+    for util, naive, composed in rows:
+        if util > 0:
+            assert naive.avg > composed.avg  # composition always helps
+        if util <= 0.6:
+            assert composed.avg < 0.05

@@ -1,0 +1,85 @@
+"""E1 — Figure 1: natural-language interfaces, rendered and validated.
+
+Regenerates the paper's three English interfaces verbatim-in-structure
+and machine-checks each statement against the ground-truth model (the
+part the paper does by construction: the sentences must be *true*).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import bitcoin, jpeg, protoacc
+from repro.accel.bitcoin import VALID_LOOPS, BitcoinMinerModel, area_miner
+from repro.accel.jpeg import JpegDecoderModel, JpegImage
+from repro.accel.protoacc import (
+    Field,
+    FieldKind,
+    Message,
+    ProtoaccSerializerModel,
+)
+
+
+def make_image(width, height, bytes_per_block):
+    n = (width // 8) * (height // 8)
+    return JpegImage(
+        width=width,
+        height=height,
+        coded_bytes=np.full(n, bytes_per_block, dtype=np.int64),
+        nnz=np.full(n, 10, dtype=np.int64),
+    )
+
+
+def nested(depth):
+    rng = np.random.default_rng(0)
+    msg = Message(
+        tuple(
+            Field(i + 1, FieldKind.VARINT, int(v))
+            for i, v in enumerate(rng.integers(0, 1 << 40, size=4))
+        )
+    )
+    for _ in range(depth):
+        msg = Message((Field(1, FieldKind.MESSAGE, msg),))
+    return msg
+
+
+def checked_statements() -> list[tuple[str, str, bool]]:
+    rows: list[tuple[str, str, bool]] = []
+
+    # JPEG: latency inversely proportional to compression rate.
+    model = JpegDecoderModel()
+    pairs = [
+        (img.compress_rate, model.measure_latency(img))
+        for bpb in (60, 80, 100, 120)
+        for img in [make_image(64, 64, bytes_per_block=bpb)]
+    ]
+    stmt = jpeg.ENGLISH.statements[0]
+    rows.append(("jpeg-decoder", stmt.render(), stmt.check(pairs, tolerance=0.2)))
+
+    # Miner: latency == Loop; area inversely proportional to Loop.
+    lat_pairs = [
+        (loop, float(BitcoinMinerModel(loop).pass_latency())) for loop in VALID_LOOPS
+    ]
+    area_pairs = [(loop, area_miner(loop)) for loop in VALID_LOOPS]
+    s0, s1 = bitcoin.ENGLISH.statements
+    rows.append(("bitcoin-miner", s0.render(), s0.check(lat_pairs)))
+    rows.append(("bitcoin-miner", s1.render(), s1.check(area_pairs, tolerance=0.15)))
+
+    # Protoacc: throughput decreases with nesting depth.
+    pa = ProtoaccSerializerModel()
+    tp_pairs = [
+        (float(d), pa.measure_throughput(nested(d), repeat=6)) for d in (0, 1, 2, 4, 6, 8)
+    ]
+    stmt = protoacc.ENGLISH.statements[0]
+    rows.append(("protoacc-ser", stmt.render(), stmt.check(tp_pairs)))
+    return rows
+
+
+def test_fig1_english_interfaces(benchmark, report):
+    rows = benchmark(checked_statements)
+    lines = ["Figure 1 — English interfaces (statement | validated against model)"]
+    for accel, text, ok in rows:
+        lines.append(f"[{'OK' if ok else 'FAIL'}] {accel}: {text}")
+    report("E1_fig1_english", "\n".join(lines))
+    assert all(ok for _, _, ok in rows)

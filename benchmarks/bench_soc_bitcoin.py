@@ -1,0 +1,87 @@
+"""E8 — Figure 1 (miner) + §2 example #1: the SoC designer's workflow.
+
+The miner's English interface states a design-space law: latency equals
+the synthesis parameter ``Loop`` while area grows inversely with it.
+This benchmark regenerates the area/latency frontier from the interface
+alone, verifies each point against the model, and walks the example #1
+workflow: pick the fastest configuration under an area budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.bitcoin import (
+    BitcoinMinerModel,
+    VALID_LOOPS,
+    area_latency_frontier,
+    mining_cycles,
+    random_job,
+)
+from repro.core import DesignPoint, pareto_frontier, pick_under_area_budget
+
+
+def frontier_points():
+    return [
+        DesignPoint(
+            config=f"Loop={int(row['loop'])}",
+            area=row["area"],
+            latency=row["latency"],
+            throughput=row["hashrate"],
+        )
+        for row in area_latency_frontier()
+    ]
+
+
+def test_soc_designer_frontier(benchmark, report):
+    points = benchmark(frontier_points)
+    frontier = pareto_frontier(points)
+
+    lines = [
+        "§2 example #1 — Bitcoin miner IP block: area/latency frontier",
+        f"{'config':>9} {'area':>9} {'latency':>8} {'hashes/cyc':>11}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.config:>9} {p.area:9.0f} {p.latency:8.0f} {p.throughput:11.4f}"
+        )
+
+    budget = 40_000.0
+    pick = pick_under_area_budget(points, budget)
+    lines += [
+        "",
+        f"every configuration is Pareto-optimal: {len(frontier)}/{len(points)}",
+        f"under an area budget of {budget:.0f} gate-eq, pick {pick.config} "
+        f"(area {pick.area:.0f}, pass latency {pick.latency:.0f} cycles)",
+    ]
+
+    # Validate the interface-derived frontier against real mining runs.
+    job = random_job(np.random.default_rng(1), zero_bits=6)
+    model = BitcoinMinerModel(int(pick.latency))
+    result = model.mine(job, max_attempts=50_000)
+    lines.append(
+        f"validated by mining: found nonce {result.nonce} after "
+        f"{result.attempts} attempts in {result.cycles:.0f} cycles "
+        f"(interface predicts {mining_cycles(model.loop, result.attempts):.0f})"
+    )
+    report("E8_soc_bitcoin", "\n".join(lines))
+
+    assert len(frontier) == len(points)  # the whole sweep is a real tradeoff
+    assert result.found
+    assert mining_cycles(model.loop, result.attempts) == result.cycles
+
+
+def test_loop_equals_latency_all_configs(benchmark, report):
+    def sweep_loops():
+        return [
+            (loop, BitcoinMinerModel(loop).pass_latency(), BitcoinMinerModel(loop).area())
+            for loop in VALID_LOOPS
+        ]
+
+    rows = benchmark(sweep_loops)
+    text = "\n".join(
+        f"Loop={loop:2d}: pass latency {lat:2d} cycles, area {area:7.0f}"
+        for loop, lat, area in rows
+    )
+    report("E8_miner_loop_law", "Fig. 1 (miner) — latency == Loop:\n" + text)
+    assert all(lat == loop for loop, lat, _ in rows)

@@ -1,0 +1,39 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures
+(DESIGN.md §4 maps experiment ids to files).  Each writes its table to
+``benchmarks/results/<exp>.txt`` and prints it, so a full
+``pytest benchmarks/ --benchmark-only`` run leaves a complete record
+that EXPERIMENTS.md summarizes.
+
+Workload sizes default to the paper's (1500 images, 32 formats, ...);
+set ``REPRO_BENCH_SCALE`` to a float < 1 to shrink them for quick runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def scale(n: int, minimum: int = 5) -> int:
+    """Apply REPRO_BENCH_SCALE to a workload size."""
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return max(minimum, int(n * factor))
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer fixture: report(exp_id, text) persists and echoes a table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(exp_id: str, text: str) -> None:
+        path = RESULTS_DIR / f"{exp_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {exp_id} =====\n{text}\n")
+
+    return write

@@ -1,0 +1,84 @@
+"""Example #2 — the infrastructure-stack developer (paper §2).
+
+Your RPC stack runs on Xeons; candidate offloads are Protoacc and
+Optimus Prime.  Instead of buying both and spending person-months
+porting, evaluate their *interfaces* on your actual message mixes:
+
+* Which accelerator offers the best performance per dollar?
+* What is the performance impact of offloading each mix?
+* Where does blind offloading actively hurt?
+
+    python examples/rpc_offload.py
+"""
+
+from repro.accel.cpu import CpuSerializerModel, offload_overhead
+from repro.accel.optimusprime import OptimusPrimeModel
+from repro.accel.protoacc import PROGRAM as PROTOACC_PROGRAM
+from repro.core import (
+    Candidate,
+    PerformanceInterface,
+    offload_speedup,
+    rank_by_latency,
+    rank_by_speedup_per_dollar,
+)
+from repro.workloads import ALL_MIXES
+
+
+class OptimusPrimeInterface(PerformanceInterface):
+    """The vendor-shipped program interface for Optimus Prime (the
+    analytic law its datasheet would encode)."""
+
+    accelerator = "optimus-prime"
+    representation = "program"
+
+    def latency(self, msg) -> float:
+        return 20.0 + 0.5 * msg.total_fields + msg.encoded_size() / 2.0
+
+
+def main() -> None:
+    cpu = CpuSerializerModel()
+    candidates = [
+        Candidate(
+            "protoacc",
+            PROTOACC_PROGRAM,
+            price_dollars=90.0,
+            invocation_overhead=offload_overhead,
+        ),
+        Candidate(
+            "optimus-prime",
+            OptimusPrimeInterface(),
+            price_dollars=60.0,
+            invocation_overhead=offload_overhead,
+        ),
+    ]
+
+    for mix in ALL_MIXES:
+        workload = mix.sample(seed=11, count=120)
+        print("=" * 70)
+        print(f"mix: {mix.name}  (n={len(workload)}, "
+              f"mean {sum(m.encoded_size() for m in workload) / len(workload):.0f} B)")
+        print("=" * 70)
+
+        print("fastest for this mix:")
+        print(rank_by_latency(candidates, workload).table())
+
+        print("speedup per dollar vs staying on the Xeon:")
+        print(
+            rank_by_speedup_per_dollar(
+                candidates, workload, cpu.measure_latency
+            ).table()
+        )
+
+        for cand in candidates:
+            speedup = offload_speedup(cand, workload, cpu.measure_latency)
+            verdict = "WIN" if speedup > 1.1 else ("WASH" if speedup > 0.95 else "LOSS")
+            print(f"offloading to {cand.name:<14}: {speedup:5.2f}x  [{verdict}]")
+        print()
+
+    print("Moral (paper §2): the answer depends on *your* workload —")
+    print("which is exactly what an interface, unlike a benchmark score,")
+    print("can tell you before you buy anything.")
+
+
+if __name__ == "__main__":
+    main()

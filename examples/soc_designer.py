@@ -1,0 +1,83 @@
+"""Example #1 — the SoC designer (paper §2).
+
+You are configuring a SmartNIC SoC.  Two IP blocks are on the table: a
+Bitcoin-miner-style SHA-256 engine (synthesis parameter ``Loop``) and a
+JPEG decoder.  No RTL, no vendor hardware — only their performance
+interfaces — yet you can answer: *which configurations should the SoC
+include and how big must each be?*
+
+    python examples/soc_designer.py
+"""
+
+import numpy as np
+
+from repro.accel.bitcoin import (
+    BitcoinMinerModel,
+    area_latency_frontier,
+    mining_cycles,
+    random_job,
+)
+from repro.accel.jpeg import latency_jpeg_decode, random_images
+from repro.core import DesignPoint, pareto_frontier, pick_under_area_budget
+
+TOTAL_AREA_BUDGET = 60_000.0  # gate-equivalents for both blocks
+JPEG_AREA = 28_000.0          # fixed-function decoder, one configuration
+
+
+def main() -> None:
+    print("SoC design: SHA-256 engine + JPEG decoder under "
+          f"{TOTAL_AREA_BUDGET:.0f} gate-eq total")
+    print()
+
+    # --- Step 1: read the miner's design space off its interface.
+    points = [
+        DesignPoint(
+            config=f"Loop={int(r['loop'])}",
+            area=r["area"],
+            latency=r["latency"],
+            throughput=r["hashrate"],
+        )
+        for r in area_latency_frontier()
+    ]
+    print("miner frontier (from the interface, no synthesis runs):")
+    for p in pareto_frontier(points):
+        print(
+            f"  {p.config:>8}: area {p.area:7.0f}, latency {p.latency:3.0f} cy, "
+            f"{p.throughput:.4f} hashes/cy"
+        )
+
+    # --- Step 2: the decoder is fixed; allocate what remains to SHA.
+    sha_budget = TOTAL_AREA_BUDGET - JPEG_AREA
+    pick = pick_under_area_budget(points, sha_budget)
+    print()
+    print(f"JPEG decoder takes {JPEG_AREA:.0f}; {sha_budget:.0f} left for SHA-256")
+    print(f"-> choose {pick.config} (area {pick.area:.0f}, {pick.throughput:.4f} hashes/cy)")
+
+    # --- Step 3: sanity-check expected workload performance, again
+    # purely from interfaces.
+    loop = int(pick.latency)
+    job = random_job(np.random.default_rng(7), zero_bits=6)
+    expected_attempts = 2 ** job.difficulty_bits
+    print()
+    print("expected performance on the target workloads:")
+    print(
+        f"  SHA engine: ~{mining_cycles(loop, expected_attempts):.0f} cycles "
+        f"per {job.difficulty_bits}-bit share (E[attempts]={expected_attempts})"
+    )
+    images = random_images(seed=3, count=200)
+    mean_lat = float(np.mean([latency_jpeg_decode(i) for i in images]))
+    print(f"  JPEG block: {mean_lat:.0f} cycles/image on the camera mix")
+
+    # --- Step 4: after tape-out, verify the interface told the truth.
+    model = BitcoinMinerModel(loop)
+    result = model.mine(job, max_attempts=200_000)
+    print()
+    print(
+        f"post-silicon check: mined a share in {result.cycles:.0f} cycles "
+        f"({result.attempts} attempts); interface predicted "
+        f"{mining_cycles(loop, result.attempts):.0f} for that many attempts"
+    )
+
+
+if __name__ == "__main__":
+    main()

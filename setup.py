@@ -1,0 +1,5 @@
+"""Setuptools shim: metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

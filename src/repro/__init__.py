@@ -1,0 +1,28 @@
+"""repro: performance interfaces for hardware accelerators.
+
+A full reproduction of "The Case for Performance Interfaces for
+Hardware Accelerators" (HotOS 2023): the three interface
+representations (English, executable Python, Petri-net IR), a timed
+Petri-net engine to run the third, cycle-level ground-truth models of
+the paper's four accelerators (JPEG decoder, Bitcoin miner, Protoacc,
+VTA) plus the §2 baselines, and the design-stage / auto-tuning tooling
+the interfaces enable.
+
+Quick start::
+
+    from repro.accel import jpeg
+
+    model = jpeg.JpegDecoderModel()
+    iface = jpeg.petri_interface()
+    img = jpeg.random_images(seed=1, count=1)[0]
+    print(iface.latency(img), model.measure_latency(img))
+
+See README.md for the architecture tour and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from . import core, hw, petri
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "hw", "petri", "__version__"]

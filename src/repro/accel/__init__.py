@@ -1,0 +1,11 @@
+"""Ground-truth accelerator models (the paper's four running examples,
+plus the §2 comparison baselines).
+
+Each subpackage provides a workload generator, a cycle-level model
+(:class:`~repro.accel.base.AcceleratorModel`), and the vendor-shipped
+performance interfaces for that accelerator.
+"""
+
+from .base import AcceleratorModel, HasAreaModel, implementation_loc
+
+__all__ = ["AcceleratorModel", "HasAreaModel", "implementation_loc"]

@@ -1,0 +1,79 @@
+"""Common ground-truth model protocol for all accelerators.
+
+Every accelerator package provides a *model* — the stand-in for the
+paper's RTL + Verilator ground truth (see DESIGN.md §2).  Models expose
+two measurements with fixed semantics so that the validation harness in
+:mod:`repro.core.validation` can compare any interface against any
+model:
+
+* :meth:`AcceleratorModel.measure_latency` — cycles to process one item
+  in isolation, on an otherwise idle accelerator (cold queues, but warm
+  configuration).
+* :meth:`AcceleratorModel.measure_throughput` — sustained items/cycle
+  when streaming ``repeat`` identical items back to back, measured over
+  the steady-state portion of the run.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generic, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+
+
+class AcceleratorModel(abc.ABC, Generic[ItemT]):
+    """Ground truth: a cycle-level model of one accelerator."""
+
+    #: Human name, e.g. "jpeg-decoder".
+    name: str = "accelerator"
+
+    @abc.abstractmethod
+    def measure_latency(self, item: ItemT) -> float:
+        """Cycles to process ``item`` alone on an idle accelerator."""
+
+    def measure_throughput(self, item: ItemT, repeat: int = 8) -> float:
+        """Sustained items/cycle streaming ``repeat`` copies of ``item``.
+
+        Default implementation assumes no cross-item overlap (the
+        accelerator drains fully between items); pipelined accelerators
+        override this.
+        """
+        if repeat < 1:
+            raise ValueError("repeat must be >= 1")
+        lat = self.measure_latency(item)
+        if lat <= 0:
+            raise ValueError("model reported non-positive latency")
+        return 1.0 / lat
+
+    def measure_batch(self, items: Sequence[ItemT]) -> list[float]:
+        """Per-item isolated latencies for a workload (convenience)."""
+        return [self.measure_latency(it) for it in items]
+
+
+class HasAreaModel(abc.ABC):
+    """Mixin for accelerators with a configurable area/latency tradeoff
+    (the paper's Bitcoin miner, example #1)."""
+
+    @abc.abstractmethod
+    def area(self) -> float:
+        """Occupied area in arbitrary gate-equivalent units."""
+
+
+def implementation_loc(obj: Any) -> int:
+    """Lines of code of the module defining ``obj``.
+
+    Used by the Table 1 complexity metric: interface size is compared
+    against the size of the implementation it summarizes.
+    """
+    import inspect
+
+    module = inspect.getmodule(obj)
+    if module is None:
+        raise ValueError(f"cannot locate module for {obj!r}")
+    source = inspect.getsource(module)
+    return sum(
+        1
+        for line in source.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    )

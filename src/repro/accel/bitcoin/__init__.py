@@ -1,0 +1,40 @@
+"""SHA-256 Bitcoin miner: functional hashing plus an unroll-parameterized
+timing/area model (stand-in for the paper's open-source FPGA miner)."""
+
+from .interfaces import (
+    ENGLISH,
+    all_interfaces,
+    area_latency_frontier,
+    area_miner,
+    latency_attempt,
+    latency_miner,
+    mining_cycles,
+    petri_interface,
+    program_interface,
+    tput_miner,
+)
+from .model import VALID_LOOPS, BitcoinMinerModel, MiningResult
+from .sha256 import sha256, sha256d
+from .workload import MiningJob, random_job, random_jobs, target_for_zero_bits
+
+__all__ = [
+    "ENGLISH",
+    "VALID_LOOPS",
+    "BitcoinMinerModel",
+    "MiningJob",
+    "MiningResult",
+    "all_interfaces",
+    "area_latency_frontier",
+    "area_miner",
+    "latency_attempt",
+    "latency_miner",
+    "mining_cycles",
+    "petri_interface",
+    "program_interface",
+    "random_job",
+    "random_jobs",
+    "sha256",
+    "sha256d",
+    "target_for_zero_bits",
+    "tput_miner",
+]

@@ -1,0 +1,113 @@
+"""Functional SHA-256, implemented from scratch (FIPS 180-4).
+
+The miner model needs real hash semantics so that mining runs find real
+nonces; implementing the compression function round-by-round also lets
+the timing model count *exactly* the rounds the hardware schedule
+executes per cycle for a given unroll factor.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+_K = [
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+]
+
+_H0 = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotr(x: int, n: int) -> int:
+    return ((x >> n) | (x << (32 - n))) & _MASK
+
+
+def _schedule(block: bytes) -> list[int]:
+    """Expand a 64-byte block into the 64-entry message schedule."""
+    w = list(struct.unpack(">16I", block))
+    for t in range(16, 64):
+        s0 = _rotr(w[t - 15], 7) ^ _rotr(w[t - 15], 18) ^ (w[t - 15] >> 3)
+        s1 = _rotr(w[t - 2], 17) ^ _rotr(w[t - 2], 19) ^ (w[t - 2] >> 10)
+        w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK)
+    return w
+
+
+def compress(state: tuple[int, ...], block: bytes) -> tuple[int, ...]:
+    """One compression-function application (64 rounds)."""
+    if len(block) != 64:
+        raise ValueError("block must be exactly 64 bytes")
+    w = _schedule(block)
+    a, b, c, d, e, f, g, h = state
+    for t in range(64):
+        s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+        ch = (e & f) ^ (~e & g)
+        t1 = (h + s1 + ch + _K[t] + w[t]) & _MASK
+        s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        t2 = (s0 + maj) & _MASK
+        a, b, c, d, e, f, g, h = (t1 + t2) & _MASK, a, b, c, (d + t1) & _MASK, e, f, g
+    return tuple((x + y) & _MASK for x, y in zip(state, (a, b, c, d, e, f, g, h)))
+
+
+def padding(length: int) -> bytes:
+    """SHA-256 padding for a message of ``length`` bytes."""
+    pad_len = (55 - length) % 64
+    return b"\x80" + b"\x00" * pad_len + struct.pack(">Q", length * 8)
+
+
+def sha256(data: bytes) -> bytes:
+    """Digest of ``data`` (reference implementation, big-endian out)."""
+    padded = data + padding(len(data))
+    state = _H0
+    for off in range(0, len(padded), 64):
+        state = compress(state, padded[off : off + 64])
+    return struct.pack(">8I", *state)
+
+
+def sha256d(data: bytes) -> bytes:
+    """Bitcoin's double SHA-256."""
+    return sha256(sha256(data))
+
+
+def midstate(data: bytes) -> tuple[int, ...]:
+    """State after compressing the first 64-byte block of ``data``.
+
+    Mining hardware precomputes this once per work unit: the 80-byte
+    block header spans two blocks, and only the second (which holds the
+    nonce) changes per attempt.
+    """
+    if len(data) < 64:
+        raise ValueError("need at least one full block for a midstate")
+    return compress(_H0, data[:64])
+
+
+def hash_meets_target(digest: bytes, target: int) -> bool:
+    """Bitcoin success test: interpret the digest as a little-endian
+    256-bit integer and compare against the target."""
+    return int.from_bytes(digest, "little") <= target
+
+
+def count_leading_zero_bits(digest: bytes) -> int:
+    """Leading zero bits of the little-endian digest (difficulty proxy)."""
+    value = int.from_bytes(digest, "little")
+    return 256 - value.bit_length()
+
+
+def rounds(blocks: Iterable[bytes]) -> int:
+    """Total compression rounds to hash the given blocks (64 each)."""
+    return sum(64 for _ in blocks)

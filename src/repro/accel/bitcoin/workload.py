@@ -1,0 +1,84 @@
+"""Mining jobs: the Bitcoin miner's workload items.
+
+A job is a candidate block header (80 bytes) plus a difficulty target.
+Targets here are deliberately easy (tens of leading zero bits, not the
+network's ~70+) so that functional mining runs finish in test time.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MiningJob:
+    """One unit of mining work.
+
+    Attributes:
+        version: Block version word.
+        prev_hash: 32-byte previous block hash.
+        merkle_root: 32-byte merkle root.
+        timestamp: Block time.
+        bits: Compact difficulty encoding (carried, not interpreted).
+        target: Success threshold — a digest, read little-endian, must
+            be <= target.
+        start_nonce: First nonce to try.
+    """
+
+    version: int
+    prev_hash: bytes
+    merkle_root: bytes
+    timestamp: int
+    bits: int
+    target: int
+    start_nonce: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.prev_hash) != 32 or len(self.merkle_root) != 32:
+            raise ValueError("prev_hash and merkle_root must be 32 bytes")
+        if not 0 < self.target < 2**256:
+            raise ValueError("target must be in (0, 2^256)")
+
+    def header(self, nonce: int) -> bytes:
+        """Serialize the 80-byte header for a nonce attempt."""
+        return (
+            struct.pack("<I", self.version)
+            + self.prev_hash
+            + self.merkle_root
+            + struct.pack("<III", self.timestamp, self.bits, nonce & 0xFFFFFFFF)
+        )
+
+    @property
+    def difficulty_bits(self) -> int:
+        """Approximate leading-zero-bit requirement of the target."""
+        return 256 - self.target.bit_length()
+
+
+def target_for_zero_bits(zero_bits: int) -> int:
+    """Target requiring roughly ``zero_bits`` leading zero bits."""
+    if not 0 <= zero_bits < 256:
+        raise ValueError("zero_bits must be in [0, 256)")
+    return (1 << (256 - zero_bits)) - 1
+
+
+def random_job(
+    rng: np.random.Generator, *, zero_bits: int = 10, start_nonce: int = 0
+) -> MiningJob:
+    """Draw a random job at the given (easy) difficulty."""
+    return MiningJob(
+        version=0x20000000,
+        prev_hash=rng.bytes(32),
+        merkle_root=rng.bytes(32),
+        timestamp=int(rng.integers(1_600_000_000, 1_700_000_000)),
+        bits=0x207FFFFF,
+        target=target_for_zero_bits(zero_bits),
+        start_nonce=start_nonce,
+    )
+
+
+def random_jobs(seed: int, count: int, **kwargs) -> list[MiningJob]:
+    rng = np.random.default_rng(seed)
+    return [random_job(rng, **kwargs) for _ in range(count)]

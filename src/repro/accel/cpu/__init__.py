@@ -1,0 +1,17 @@
+"""Software (Xeon) baseline and offload-overhead accounting."""
+
+from .model import (
+    CLOCK_GHZ,
+    OFFLOAD_SETUP_CYCLES,
+    CpuSerializerModel,
+    offload_overhead,
+    offloaded_latency,
+)
+
+__all__ = [
+    "CLOCK_GHZ",
+    "OFFLOAD_SETUP_CYCLES",
+    "CpuSerializerModel",
+    "offload_overhead",
+    "offloaded_latency",
+]

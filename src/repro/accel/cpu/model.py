@@ -1,0 +1,57 @@
+"""A Xeon-like software-serialization baseline, plus offload overheads.
+
+Two roles in the reproduction:
+
+* the "regular Xeon" that Protoacc can lose to on small objects
+  (paper §2, example #2), and
+* the host side of every offload: an accelerator invocation pays a
+  descriptor setup plus a PCIe-ish transfer, which is what makes blind
+  offloading of small objects a net loss.
+
+The software cost model is the standard shape for protobuf C++
+serialization: per-message call overhead, per-field dispatch (branchy,
+~tens of instructions), and a per-byte copy/encode term.
+"""
+
+from __future__ import annotations
+
+from repro.accel.base import AcceleratorModel
+from repro.accel.protoacc.message import Message
+
+#: Same reference clock as the accelerators, for comparable cycles.
+CLOCK_GHZ = 2.0
+
+SW_PER_MESSAGE = 250.0   # call chain, allocation, size pre-pass
+SW_PER_FIELD = 12.0      # dispatch + tag encode per field
+SW_PER_BYTE = 1.5        # copy/varint-encode per payload byte
+
+#: Offload invocation costs (paid by any accelerator, not the CPU).
+OFFLOAD_SETUP_CYCLES = 350.0   # doorbell, descriptor, completion IRQ
+OFFLOAD_BYTES_PER_CYCLE = 16.0  # PCIe-ish DMA bandwidth
+
+
+class CpuSerializerModel(AcceleratorModel[Message]):
+    """Software protobuf serialization on one core."""
+
+    name = "xeon-sw"
+
+    def measure_latency(self, item: Message) -> float:
+        cycles = SW_PER_MESSAGE * item.total_messages
+        cycles += SW_PER_FIELD * item.total_fields
+        cycles += SW_PER_BYTE * item.payload_bytes
+        return cycles
+
+    def measure_throughput(self, item: Message, repeat: int = 8) -> float:
+        return 1.0 / self.measure_latency(item)
+
+
+def offload_overhead(item: Message) -> float:
+    """Cycles to hand one message to an accelerator and collect the
+    result: fixed invocation cost plus the DMA transfer of the payload."""
+    return OFFLOAD_SETUP_CYCLES + item.payload_bytes / OFFLOAD_BYTES_PER_CYCLE
+
+
+def offloaded_latency(model: AcceleratorModel[Message], item: Message) -> float:
+    """End-to-end latency of serializing ``item`` on ``model`` from the
+    host's perspective (accelerator time + invocation overhead)."""
+    return model.measure_latency(item) + offload_overhead(item)

@@ -1,0 +1,43 @@
+"""Pipelined JPEG decoder: ground-truth model, workloads, interfaces.
+
+Stand-in for the paper's core_jpeg accelerator (an open-source pipelined
+JPEG decoder).  See DESIGN.md §2 for the RTL-to-Python substitution.
+"""
+
+from .functional import (
+    CodedImage,
+    decode_pixels,
+    encode_pixels,
+    image_from_pixels,
+    synthetic_photo,
+)
+from .interfaces import (
+    ENGLISH,
+    JPEG_PNET,
+    PROGRAM,
+    all_interfaces,
+    latency_jpeg_decode,
+    petri_interface,
+    tput_jpeg_decode,
+)
+from .model import JpegDecoderModel
+from .workload import JpegImage, random_image, random_images
+
+__all__ = [
+    "ENGLISH",
+    "JPEG_PNET",
+    "PROGRAM",
+    "CodedImage",
+    "JpegDecoderModel",
+    "JpegImage",
+    "decode_pixels",
+    "encode_pixels",
+    "image_from_pixels",
+    "synthetic_photo",
+    "all_interfaces",
+    "latency_jpeg_decode",
+    "petri_interface",
+    "random_image",
+    "random_images",
+    "tput_jpeg_decode",
+]

@@ -1,0 +1,151 @@
+"""Ground-truth model of a pipelined JPEG decoder (à la core_jpeg).
+
+Three stages coupled by small FIFOs, processing 8x8 blocks:
+
+1. **huffman** — entropy decode.  Cost is dominated by the coded bytes
+   of the block; micro-effects: a 1-cycle bitstream re-alignment stall
+   whenever the block ends off a byte boundary, and a 12-cycle restart-
+   marker resync every 64 blocks.
+2. **idct** — dequantize + 2D IDCT.  Two passes over 64 coefficients at
+   one coefficient/cycle plus setup; dequantization skips zero
+   coefficients in groups of 16, adding ``nnz // 16`` cycles.
+3. **output** — color/level conversion and writeback, 2 px/cycle, with
+   a blocking 256 B DRAM burst every 4th block (the write combiner's
+   granularity).  DRAM timing (row hits, refresh) comes from
+   :class:`repro.hw.Dram`.
+
+Timing follows the blocking-pipeline recurrence proved equivalent to
+cycle-ticking in ``tests/hw/test_pipeline_equivalence.py``; the output
+stage's DRAM interaction is resolved inline (its start times are
+monotone in block order, so DRAM requests are issued in time order).
+
+The Python-program and Petri-net interfaces for this decoder live in
+:mod:`repro.accel.jpeg.interfaces`; the error each makes against this
+model is organic (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from repro.accel.base import AcceleratorModel
+from repro.hw import Dram, DramConfig
+
+from .workload import JpegImage
+
+# --- Microarchitectural constants (the "RTL") -------------------------
+HEADER_PARSE_CYCLES = 150  # table + frame/scan header parse before block 0
+HUFF_BASE = 6              # per-block DC predict + control
+HUFF_PER_BYTE = 8.0        # bit-serial entropy decode: 1 bit/cycle
+RESTART_INTERVAL = 64      # blocks between restart markers
+RESTART_RESYNC = 12        # cycles to resync at a marker
+IDCT_BASE = 134            # 2 x 64 coefficient passes + 6 setup
+IDCT_NNZ_STEP = 16         # dequant skip granularity
+OUTPUT_PER_BLOCK = 32      # 64 px at 2 px/cycle
+WRITE_COMBINE_BLOCKS = 4   # blocks per 256 B writeback burst
+WRITE_BURST_BYTES = 256
+FIFO_DEPTH = 4             # between huffman->idct and idct->output
+EOI_CYCLES = 8             # end-of-image flush
+
+#: DRAM used by the writeback port (one decoder, one channel).
+DRAM_CONFIG = DramConfig()
+
+
+class JpegDecoderModel(AcceleratorModel[JpegImage]):
+    """Cycle-level decoder model; the reproduction's ground truth."""
+
+    name = "jpeg-decoder"
+
+    def __init__(self, dram_config: DramConfig | None = None):
+        self.dram_config = dram_config or DRAM_CONFIG
+
+    # ------------------------------------------------------------------
+    def decode_timing(self, image: JpegImage, *, start: float = 0.0) -> float:
+        """Return the cycle at which the last pixel of ``image`` is written.
+
+        ``start`` is when the coded stream is available; a fresh DRAM
+        (idle banks) is assumed, as per the isolated-latency contract.
+        """
+        dram = Dram(self.dram_config)
+        return self._run(image, dram, start)
+
+    def _run(self, image: JpegImage, dram: Dram, start: float) -> float:
+        n = image.n_blocks
+        coded = image.coded_bytes
+        nnz = image.nnz
+
+        # Per-block huffman cost, including alignment and restart stalls.
+        # The coded stream's bit length per block is 8*bytes minus a
+        # data-dependent remainder; decode stalls one cycle whenever the
+        # running bit position leaves the block unaligned.
+        huff = [0.0] * n
+        bitpos = 0
+        for i in range(n):
+            bits = int(coded[i]) * 8 - int(nnz[i]) % 7
+            bitpos += bits
+            cost = HUFF_BASE + HUFF_PER_BYTE * float(coded[i])
+            if bitpos % 8:
+                cost += 1.0
+            if (i + 1) % RESTART_INTERVAL == 0:
+                cost += RESTART_RESYNC
+                bitpos = 0  # markers are byte-aligned
+            huff[i] = cost
+
+        idct = [IDCT_BASE + int(nnz[i]) // IDCT_NNZ_STEP for i in range(n)]
+
+        # Blocking-pipeline recurrence (see repro.hw.pipeline docstring),
+        # with the output stage's DRAM bursts resolved inline.
+        t0 = start + HEADER_PARSE_CYCLES
+        cap = FIFO_DEPTH
+        e0 = [0.0] * n  # exit times, stage 0
+        e1 = [0.0] * n
+        b1 = [0.0] * n
+        b2 = [0.0] * n
+        e2 = [0.0] * n
+        out_addr = 0
+        for i in range(n):
+            # Stage 0: huffman (source always ready at t0).
+            avail0 = t0
+            free0 = e0[i - 1] if i else 0.0
+            d0 = max(avail0, free0) + huff[i]
+            space0 = b1[i - cap] if i >= cap else 0.0
+            e0[i] = max(d0, space0)
+
+            # Stage 1: idct.
+            b1[i] = max(e0[i], e1[i - 1] if i else 0.0)
+            d1 = b1[i] + idct[i]
+            space1 = b2[i - cap] if i >= cap else 0.0
+            e1[i] = max(d1, space1)
+
+            # Stage 2: output (last stage, never blocked downstream).
+            b2[i] = max(e1[i], e2[i - 1] if i else 0.0)
+            cost2 = float(OUTPUT_PER_BLOCK)
+            if (i + 1) % WRITE_COMBINE_BLOCKS == 0 or i == n - 1:
+                issue = b2[i] + OUTPUT_PER_BLOCK
+                done = dram.access(out_addr, issue, WRITE_BURST_BYTES)
+                cost2 += done - issue
+                out_addr += WRITE_BURST_BYTES
+            e2[i] = b2[i] + cost2
+
+        return e2[n - 1] + EOI_CYCLES
+
+    # ------------------------------------------------------------------
+    # AcceleratorModel contract
+    # ------------------------------------------------------------------
+    def measure_latency(self, item: JpegImage) -> float:
+        return self.decode_timing(item)
+
+    def measure_throughput(self, item: JpegImage, repeat: int = 8) -> float:
+        """Images are processed one-by-one (no cross-image overlap), so
+        sustained throughput is the inverse of the back-to-back period.
+        """
+        if repeat < 1:
+            raise ValueError("repeat must be >= 1")
+        dram = Dram(self.dram_config)
+        t = 0.0
+        first_done = None
+        for k in range(repeat):
+            t = self._run(item, dram, t)
+            if first_done is None:
+                first_done = t
+        if repeat == 1:
+            return 1.0 / t
+        return (repeat - 1) / (t - first_done)

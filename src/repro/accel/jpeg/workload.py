@@ -1,0 +1,116 @@
+"""Synthetic JPEG workloads.
+
+The paper validated the JPEG decoder's interfaces on 1500 random images.
+We have no JPEG corpus, so this module generates *statistical* images:
+the decoder's timing depends only on the number of 8x8 blocks and each
+block's coded size / coefficient count, so an image here is exactly that
+metadata (DESIGN.md §2 documents this substitution).
+
+All generation is driven by an explicit :class:`numpy.random.Generator`
+so workloads are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Fixed JFIF-ish header size in bytes (tables, frame/scan headers).
+HEADER_BYTES = 623
+
+
+@dataclass(frozen=True)
+class JpegImage:
+    """Metadata of one coded image, as the decoder's DMA engine sees it.
+
+    Attributes:
+        width, height: Pixel dimensions (multiples of 8).
+        coded_bytes: Per-block entropy-coded sizes, in bytes.
+        nnz: Per-block count of non-zero quantized coefficients (1..64).
+    """
+
+    width: int
+    height: int
+    coded_bytes: np.ndarray = field(repr=False)
+    nnz: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width % 8 or self.height % 8:
+            raise ValueError("dimensions must be multiples of 8")
+        if len(self.coded_bytes) != self.n_blocks or len(self.nnz) != self.n_blocks:
+            raise ValueError("per-block arrays must have n_blocks entries")
+        if np.any(self.nnz < 1) or np.any(self.nnz > 64):
+            raise ValueError("nnz must lie in [1, 64]")
+        if np.any(self.coded_bytes < 1):
+            raise ValueError("coded_bytes must be >= 1")
+
+    @property
+    def n_blocks(self) -> int:
+        return (self.width // 8) * (self.height // 8)
+
+    @property
+    def orig_size(self) -> int:
+        """Decoded image size in bytes (8-bit grayscale)."""
+        return self.width * self.height
+
+    @property
+    def coded_size(self) -> int:
+        """On-disk size: entropy-coded data plus header."""
+        return int(self.coded_bytes.sum()) + HEADER_BYTES
+
+    @property
+    def compress_rate(self) -> float:
+        """The paper's compression rate: output size over input size."""
+        return self.orig_size / self.coded_size
+
+    def __str__(self) -> str:
+        return (
+            f"JpegImage({self.width}x{self.height}, "
+            f"{self.coded_size}B coded, rate={self.compress_rate:.2f})"
+        )
+
+
+def random_image(
+    rng: np.random.Generator,
+    *,
+    min_dim: int = 16,
+    max_dim: int = 512,
+    min_rate: float = 0.8,
+    max_rate: float = 18.0,
+) -> JpegImage:
+    """Draw one random image.
+
+    Dimensions are log-uniform over [min_dim, max_dim] (rounded to
+    multiples of 8); the *target* compression rate is log-uniform over
+    [min_rate, max_rate].  Per-block coded sizes follow a gamma
+    distribution around the target (real entropy-coded block sizes are
+    right-skewed), so the *achieved* ``compress_rate`` deviates from the
+    target by sampling noise — exactly like real images.
+    """
+
+    def dim() -> int:
+        lo, hi = np.log(min_dim), np.log(max_dim)
+        return max(8, int(round(np.exp(rng.uniform(lo, hi)) / 8)) * 8)
+
+    width, height = dim(), dim()
+    n_blocks = (width // 8) * (height // 8)
+    rate = float(np.exp(rng.uniform(np.log(min_rate), np.log(max_rate))))
+
+    mean_bytes = 64.0 / rate
+    shape = 4.0  # right-skewed but not wild
+    coded = rng.gamma(shape, mean_bytes / shape, size=n_blocks)
+    coded = np.clip(np.round(coded), 1, 255).astype(np.int64)
+
+    # Non-zero coefficient count correlates with coded size: roughly
+    # 5.5 coded bits per retained coefficient, plus noise.
+    nnz = coded * 8.0 / 5.5 + rng.normal(0.0, 2.0, size=n_blocks)
+    nnz = np.clip(np.round(nnz), 1, 64).astype(np.int64)
+
+    return JpegImage(width=width, height=height, coded_bytes=coded, nnz=nnz)
+
+
+def random_images(seed: int, count: int, **kwargs) -> list[JpegImage]:
+    """The paper's "N random images" workload, reproducibly."""
+    rng = np.random.default_rng(seed)
+    return [random_image(rng, **kwargs) for _ in range(count)]

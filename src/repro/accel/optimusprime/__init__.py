@@ -1,0 +1,5 @@
+"""Optimus Prime: the small-object RPC-transformation baseline."""
+
+from .model import CLOCK_GHZ, OptimusPrimeModel
+
+__all__ = ["CLOCK_GHZ", "OptimusPrimeModel"]

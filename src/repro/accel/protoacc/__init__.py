@@ -1,0 +1,58 @@
+"""Protoacc: a protobuf (de)serialization accelerator, with a from-
+scratch protobuf wire-format substrate and 32 evaluation formats."""
+
+from .formats import build, format_names, instances
+from .interfaces import (
+    AVG_MEM_LATENCY,
+    ENGLISH,
+    PROGRAM,
+    all_interfaces,
+    bottleneck,
+    latency_bounds,
+    max_latency_protoacc_ser,
+    min_latency_protoacc_ser,
+    read_cost,
+    tput_protoacc_ser,
+    write_cost,
+)
+from .message import (
+    Field,
+    FieldKind,
+    Message,
+    decode,
+    decode_varint,
+    decode_with_kinds,
+    encode_varint,
+)
+from .model import (
+    ProtoaccDeserializerModel,
+    ProtoaccSerializerModel,
+    SerializeTiming,
+)
+
+__all__ = [
+    "AVG_MEM_LATENCY",
+    "ENGLISH",
+    "PROGRAM",
+    "Field",
+    "FieldKind",
+    "Message",
+    "ProtoaccDeserializerModel",
+    "ProtoaccSerializerModel",
+    "SerializeTiming",
+    "all_interfaces",
+    "bottleneck",
+    "build",
+    "decode",
+    "decode_varint",
+    "decode_with_kinds",
+    "encode_varint",
+    "format_names",
+    "instances",
+    "latency_bounds",
+    "max_latency_protoacc_ser",
+    "min_latency_protoacc_ser",
+    "read_cost",
+    "tput_protoacc_ser",
+    "write_cost",
+]

@@ -1,0 +1,239 @@
+"""The 32 message formats used to evaluate Protoacc's interfaces.
+
+The paper evaluates Protoacc's Python interfaces "using 32 message
+formats from its test suite".  We reconstruct an equivalent suite:
+32 named schemas spanning the axes that drive the accelerator's
+performance — direct field count (descriptor fetches come in groups of
+32), nesting depth (pointer chasing), submessage fan-out, and payload
+size (write-side beats).
+
+Each format is a builder ``(rng) -> Message`` producing a concrete
+random instance of that schema; :func:`instances` materializes the
+whole suite reproducibly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .message import Field, FieldKind, Message
+
+Builder = Callable[[np.random.Generator], Message]
+
+_REGISTRY: dict[str, Builder] = {}
+
+
+def format_names() -> list[str]:
+    """All 32 format names, in registry order."""
+    return list(_REGISTRY)
+
+
+def build(name: str, rng: np.random.Generator) -> Message:
+    """Materialize one random instance of the named format."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown format {name!r}; see format_names()") from None
+    return builder(rng)
+
+
+def instances(seed: int = 0) -> dict[str, Message]:
+    """One instance per format, reproducibly (the paper's workload)."""
+    rng = np.random.default_rng(seed)
+    return {name: build(name, rng) for name in format_names()}
+
+
+def _register(name: str) -> Callable[[Builder], Builder]:
+    def deco(fn: Builder) -> Builder:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate format {name!r}")
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _varints(rng: np.random.Generator, count: int, start: int = 1) -> list[Field]:
+    values = rng.integers(0, 1 << 40, size=count)
+    return [
+        Field(start + i, FieldKind.VARINT, int(v)) for i, v in enumerate(values)
+    ]
+
+
+def _flat(rng: np.random.Generator, count: int, name: str) -> Message:
+    return Message(tuple(_varints(rng, count)), schema_name=name)
+
+
+def _blob(rng: np.random.Generator, number: int, size: int) -> Field:
+    return Field(number, FieldKind.BYTES, rng.bytes(size))
+
+
+# ----------------------------------------------------------------------
+# Flat scalar formats: field-count sweep (descriptor-fetch behaviour)
+# ----------------------------------------------------------------------
+for _n in (1, 4, 8, 16, 32, 33, 48, 64, 128):
+
+    @_register(f"flat_varint_{_n}")
+    def _fmt(rng: np.random.Generator, n=_n) -> Message:
+        return _flat(rng, n, f"flat_varint_{n}")
+
+
+@_register("flat_fixed64_16")
+def _fixed64(rng: np.random.Generator) -> Message:
+    fields = [Field(i + 1, FieldKind.FIXED64, int(v)) for i, v in
+              enumerate(rng.integers(0, 1 << 62, size=16))]
+    return Message(tuple(fields), schema_name="flat_fixed64_16")
+
+
+@_register("flat_fixed32_16")
+def _fixed32(rng: np.random.Generator) -> Message:
+    fields = [Field(i + 1, FieldKind.FIXED32, int(v)) for i, v in
+              enumerate(rng.integers(0, 1 << 30, size=16))]
+    return Message(tuple(fields), schema_name="flat_fixed32_16")
+
+
+@_register("mixed_scalars_20")
+def _mixed(rng: np.random.Generator) -> Message:
+    fields: list[Field] = []
+    for i in range(20):
+        kind = (FieldKind.VARINT, FieldKind.FIXED32, FieldKind.FIXED64)[i % 3]
+        hi = {"varint": 1 << 40, "fixed32": 1 << 30, "fixed64": 1 << 60}[kind.value]
+        fields.append(Field(i + 1, kind, int(rng.integers(0, hi))))
+    return Message(tuple(fields), schema_name="mixed_scalars_20")
+
+
+# ----------------------------------------------------------------------
+# String / bytes formats: payload-size sweep (write-side behaviour)
+# ----------------------------------------------------------------------
+for _size, _label in ((16, "16B"), (64, "64B"), (300, "300B"), (1024, "1K"),
+                      (4096, "4K"), (16384, "16K")):
+
+    @_register(f"bytes_{_label}")
+    def _fmt_b(rng: np.random.Generator, size=_size, label=_label) -> Message:
+        fields = _varints(rng, 2) + [_blob(rng, 3, size)]
+        return Message(tuple(fields), schema_name=f"bytes_{label}")
+
+
+@_register("many_small_strings")
+def _strings(rng: np.random.Generator) -> Message:
+    fields = [
+        _blob(rng, i + 1, int(rng.integers(4, 24))) for i in range(12)
+    ]
+    return Message(tuple(fields), schema_name="many_small_strings")
+
+
+# ----------------------------------------------------------------------
+# Nested formats: depth sweep (pointer-chasing behaviour, paper Fig. 1)
+# ----------------------------------------------------------------------
+
+
+def _nested_chain(rng: np.random.Generator, depth: int, width: int = 4) -> Message:
+    inner = _flat(rng, width, "leaf")
+    for level in range(depth):
+        fields = _varints(rng, width) + [Field(width + 1, FieldKind.MESSAGE, inner)]
+        inner = Message(tuple(fields), schema_name=f"chain_level{level}")
+    return inner
+
+
+for _d in (1, 2, 3, 4, 6, 8):
+
+    @_register(f"nested_depth_{_d}")
+    def _fmt_n(rng: np.random.Generator, d=_d) -> Message:
+        msg = _nested_chain(rng, d)
+        return Message(msg.fields, schema_name=f"nested_depth_{d}")
+
+
+@_register("tree_fanout_2x2")
+def _tree22(rng: np.random.Generator) -> Message:
+    leaf = lambda: _flat(rng, 4, "leaf")  # noqa: E731
+    mid = lambda: Message(  # noqa: E731
+        tuple(_varints(rng, 2) + [Field(3, FieldKind.MESSAGE, leaf()),
+                                  Field(4, FieldKind.MESSAGE, leaf())]),
+        schema_name="mid",
+    )
+    fields = _varints(rng, 2) + [Field(3, FieldKind.MESSAGE, mid()),
+                                 Field(4, FieldKind.MESSAGE, mid())]
+    return Message(tuple(fields), schema_name="tree_fanout_2x2")
+
+
+@_register("repeated_submsg_8")
+def _rep8(rng: np.random.Generator) -> Message:
+    subs = [Field(1, FieldKind.MESSAGE, _flat(rng, 6, "elem")) for _ in range(8)]
+    return Message(tuple(subs), schema_name="repeated_submsg_8")
+
+
+@_register("repeated_submsg_32")
+def _rep32(rng: np.random.Generator) -> Message:
+    subs = [Field(1, FieldKind.MESSAGE, _flat(rng, 3, "elem")) for _ in range(32)]
+    return Message(tuple(subs), schema_name="repeated_submsg_32")
+
+
+# ----------------------------------------------------------------------
+# Realistic composites
+# ----------------------------------------------------------------------
+@_register("rpc_request")
+def _rpc_request(rng: np.random.Generator) -> Message:
+    header = Message(
+        tuple(_varints(rng, 4) + [_blob(rng, 5, 24)]), schema_name="header"
+    )
+    fields = [
+        Field(1, FieldKind.MESSAGE, header),
+        Field(2, FieldKind.VARINT, int(rng.integers(0, 1 << 32))),
+        _blob(rng, 3, int(rng.integers(32, 256))),
+    ]
+    return Message(tuple(fields), schema_name="rpc_request")
+
+
+@_register("rpc_response_large")
+def _rpc_response(rng: np.random.Generator) -> Message:
+    rows = [
+        Field(1, FieldKind.MESSAGE,
+              Message(tuple(_varints(rng, 3) + [_blob(rng, 4, 96)]), schema_name="row"))
+        for _ in range(10)
+    ]
+    fields = rows + _varints(rng, 2, start=2)
+    return Message(tuple(fields), schema_name="rpc_response_large")
+
+
+@_register("kv_pairs")
+def _kv(rng: np.random.Generator) -> Message:
+    pairs = [
+        Field(
+            1,
+            FieldKind.MESSAGE,
+            Message(
+                (
+                    _blob(rng, 1, int(rng.integers(4, 16))),
+                    _blob(rng, 2, int(rng.integers(8, 64))),
+                ),
+                schema_name="pair",
+            ),
+        )
+        for _ in range(6)
+    ]
+    return Message(tuple(pairs), schema_name="kv_pairs")
+
+
+@_register("telemetry_point")
+def _telemetry(rng: np.random.Generator) -> Message:
+    tags = Message(
+        tuple(_blob(rng, i + 1, int(rng.integers(4, 12))) for i in range(4)),
+        schema_name="tags",
+    )
+    fields = (
+        Field(1, FieldKind.FIXED64, int(rng.integers(0, 1 << 62))),  # timestamp
+        Field(2, FieldKind.FIXED64, int(rng.integers(0, 1 << 62))),  # value bits
+        Field(3, FieldKind.MESSAGE, tags),
+    )
+    return Message(fields, schema_name="telemetry_point")
+
+
+# Sanity: the suite must stay exactly the paper's 32 formats.
+assert len(_REGISTRY) == 32, f"expected 32 formats, have {len(_REGISTRY)}"

@@ -1,0 +1,260 @@
+"""Performance interfaces for the Protoacc serializer (paper Fig. 3).
+
+The executable interface below keeps the figure's exact structure —
+recursive ``read_cost``, throughput as the min of read and write rates,
+and honest latency *bounds* instead of a point estimate (read and write
+overlap in message-dependent ways, so a closed form is hard; bounds are
+"still much better than no information at all").
+
+One extension relative to the figure: our 32-format suite includes
+large BYTES payloads, so ``read_cost`` carries a streaming term for
+them (the paper's formats were scalar/nesting-focused).  Constants are
+vendor-fitted to the ground-truth model, like all interface constants
+in this reproduction.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.core.interface import LatencyBounds
+from repro.core.nl import EnglishInterface, PerformanceStatement, Relation
+from repro.core.program import ProgramInterface
+
+from .message import FieldKind, Message
+
+# ----------------------------------------------------------------------
+# Representation 1: English (paper Fig. 1, third entry)
+# ----------------------------------------------------------------------
+ENGLISH = EnglishInterface(
+    accelerator="protoacc-ser",
+    statements=(
+        PerformanceStatement(
+            metric="Throughput",
+            relation=Relation.DECREASES_WITH,
+            quantity="the degree of nesting in a message",
+            accessor=lambda msg: float(msg.nesting_depth),
+        ),
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Representation 2: executable Python program (paper Fig. 3)
+# ----------------------------------------------------------------------
+#: Fitted average latency of one accelerator memory access (cycles).
+#: Pointer chases and descriptor fetches land on effectively random
+#: rows, so this sits near the row-miss service time plus refresh duty.
+AVG_MEM_LATENCY = 42.9
+#: Conservative per-access latency used in the guaranteed upper bound.
+WORST_MEM_LATENCY = 48.0
+#: Best-case (row hit, no refresh) access, used in the lower bound.
+BEST_MEM_LATENCY = 18.0
+#: Fixed cost of one payload stream (CAS + activate), plus 1 beat/16 B.
+STREAM_SETUP = 38.0
+
+
+def _blob_stream_cost(msg: Message) -> float:
+    """Read-path cycles spent streaming this message's own BYTES data."""
+    return sum(
+        STREAM_SETUP + ceil(len(f.value) / 16)  # type: ignore[arg-type]
+        for f in msg.fields
+        if f.kind is FieldKind.BYTES
+    )
+
+
+def read_cost(msg: Message, avg_mem_latency: float = AVG_MEM_LATENCY) -> float:
+    """Read-path cycles for ``msg``, recursively (paper Fig. 3 lines 1-5).
+
+    6 control cycles + two dependent accesses (header, data base) + one
+    descriptor fetch-and-decode per 32 fields + payload streaming + the
+    full cost of every nested submessage (pointer chases serialize).
+    """
+    cost = 0.0
+    for sub in msg.submessages():
+        cost += read_cost(sub, avg_mem_latency)
+    cost += _blob_stream_cost(msg)
+    return (
+        cost
+        + 6
+        + avg_mem_latency * 2
+        + (4 + avg_mem_latency) * ceil(msg.num_fields / 32)
+    )
+
+
+def write_cost(msg: Message) -> float:
+    """Write-combiner cycles: setup plus one cycle per 16 B beat."""
+    return 5.0 + msg.num_writes
+
+
+def tput_protoacc_ser(msg: Message) -> float:
+    """Messages/cycle at saturation: the slower of the two paths wins
+    (paper Fig. 3 lines 7-13)."""
+    read_tput = 1.0 / read_cost(msg)
+    write_tput = 1.0 / write_cost(msg)
+    return min(read_tput, write_tput)
+
+
+def min_latency_protoacc_ser(msg: Message) -> float:
+    """Guaranteed lower bound: even with reads fully hidden, the write
+    combiner must set up and drain every beat, and the first beat cannot
+    exist before two best-case dependent accesses (Fig. 3 line 15-16)."""
+    return write_cost(msg) + 2 * BEST_MEM_LATENCY
+
+
+def max_latency_protoacc_ser(msg: Message) -> float:
+    """Guaranteed upper bound: read path and write path fully serialized,
+    with every access at its worst-case latency (Fig. 3 lines 18-22)."""
+    return read_cost(msg, WORST_MEM_LATENCY) + write_cost(msg) + 16.0
+
+
+PROGRAM = ProgramInterface(
+    "protoacc-ser",
+    throughput_fn=tput_protoacc_ser,
+    min_latency_fn=min_latency_protoacc_ser,
+    max_latency_fn=max_latency_protoacc_ser,
+)
+
+
+def latency_bounds(msg: Message) -> LatencyBounds:
+    """Convenience accessor for the guaranteed interval."""
+    return LatencyBounds(min_latency_protoacc_ser(msg), max_latency_protoacc_ser(msg))
+
+
+def bottleneck(msg: Message) -> str:
+    """Which stage limits throughput for ``msg`` — the question the
+    paper says this interface lets developers answer per message."""
+    return "read" if read_cost(msg) > write_cost(msg) else "write"
+
+
+def all_interfaces() -> dict[str, object]:
+    return {"english": ENGLISH, "program": PROGRAM}
+
+
+# ----------------------------------------------------------------------
+# §5 extension: composing with an environment (TLB) component interface
+# ----------------------------------------------------------------------
+#: Expected translation costs of the IOMMU TLB component, quoted by the
+#: platform (not the accelerator) vendor — the paper's §5 proposal is to
+#: model such shared components once and reuse them across accelerators.
+TLB_HIT_CYCLES = 1.0
+TLB_WALK_CYCLES = 110.0
+
+
+def accesses_per_message(msg: Message) -> int:
+    """Memory transactions the read path issues for ``msg``: header +
+    data-base chase, one per descriptor group, one per BYTES stream,
+    recursively."""
+    count = 2 + ceil(msg.num_fields / 32)
+    count += sum(1 for f in msg.fields if f.kind is FieldKind.BYTES)
+    for sub in msg.submessages():
+        count += accesses_per_message(sub)
+    return count
+
+
+def tlb_translation_cost(miss_ratio: float) -> float:
+    """Expected cycles one translation adds, given a workload's TLB
+    miss ratio (the component interface's single parameter)."""
+    if not 0.0 <= miss_ratio <= 1.0:
+        raise ValueError("miss_ratio must be in [0, 1]")
+    return TLB_HIT_CYCLES + miss_ratio * TLB_WALK_CYCLES
+
+
+def read_cost_with_tlb(
+    msg: Message,
+    miss_ratio: float,
+    avg_mem_latency: float = AVG_MEM_LATENCY,
+) -> float:
+    """Fig. 3's read cost composed with the TLB component interface."""
+    return read_cost(msg, avg_mem_latency) + accesses_per_message(
+        msg
+    ) * tlb_translation_cost(miss_ratio)
+
+
+def tput_protoacc_ser_tlb(msg: Message, miss_ratio: float) -> float:
+    """Throughput interface for a TLB-mediated deployment (§5)."""
+    read_tput = 1.0 / read_cost_with_tlb(msg, miss_ratio)
+    write_tput = 1.0 / write_cost(msg)
+    return min(read_tput, write_tput)
+
+
+# ----------------------------------------------------------------------
+# Deserializer interface (the "de" in (de)serialization)
+# ----------------------------------------------------------------------
+#: Parse front-end rate and per-allocation chase cost, vendor-fitted to
+#: the deserializer model.
+DESER_PARSE_BYTES_PER_CYCLE = 2.0
+DESER_ALLOC_COST = AVG_MEM_LATENCY
+
+
+def latency_protoacc_deser(msg: Message) -> float:
+    """Deserialization latency: one allocation chase per (sub)message,
+    scalar parsing at the front-end rate, payload scatter as streams."""
+    cost = DESER_ALLOC_COST
+    scalars = msg.encoded_size()
+    for f in msg.fields:
+        if f.kind is FieldKind.BYTES:
+            size = len(f.value)  # type: ignore[arg-type]
+            scalars -= size
+            cost += STREAM_SETUP + ceil(size / 16)
+        elif f.kind is FieldKind.MESSAGE:
+            sub = f.value
+            scalars -= sub.encoded_size()  # type: ignore[union-attr]
+            cost += latency_protoacc_deser(sub)  # type: ignore[arg-type]
+    return cost + scalars / DESER_PARSE_BYTES_PER_CYCLE
+
+
+def tput_protoacc_deser(msg: Message) -> float:
+    """Messages/cycle: the parse engine is fully serial per message."""
+    return 1.0 / latency_protoacc_deser(msg)
+
+
+DESER_PROGRAM = ProgramInterface(
+    "protoacc-deser",
+    latency_fn=latency_protoacc_deser,
+    throughput_fn=tput_protoacc_deser,
+)
+
+
+# ----------------------------------------------------------------------
+# §5 extension: composing with a shared-interconnect component
+# ----------------------------------------------------------------------
+
+
+def read_cost_with_bus(
+    msg: Message,
+    bus_config,
+    avg_mem_latency: float = AVG_MEM_LATENCY,
+) -> float:
+    """Fig. 3's read cost composed with the interconnect component
+    interface (:func:`repro.hw.noc.expected_bus_delay`): every word
+    transaction and every payload stream arbitrates on the bus first."""
+    from repro.hw.noc import expected_bus_delay
+
+    cost = read_cost(msg, avg_mem_latency)
+    word_accesses = accesses_per_message(msg) - _blob_count(msg)
+    cost += word_accesses * expected_bus_delay(64, bus_config)
+    cost += sum(
+        expected_bus_delay(len(f.value), bus_config)  # type: ignore[arg-type]
+        for f in _all_blob_fields(msg)
+    )
+    return cost
+
+
+def tput_protoacc_ser_bus(msg: Message, bus_config) -> float:
+    """Throughput interface for a shared-interconnect deployment (§5)."""
+    read_tput = 1.0 / read_cost_with_bus(msg, bus_config)
+    write_tput = 1.0 / write_cost(msg)
+    return min(read_tput, write_tput)
+
+
+def _blob_count(msg: Message) -> int:
+    own = sum(1 for f in msg.fields if f.kind is FieldKind.BYTES)
+    return own + sum(_blob_count(s) for s in msg.submessages())
+
+
+def _all_blob_fields(msg: Message):
+    for f in msg.fields:
+        if f.kind is FieldKind.BYTES:
+            yield f
+        elif f.kind is FieldKind.MESSAGE:
+            yield from _all_blob_fields(f.value)  # type: ignore[arg-type]

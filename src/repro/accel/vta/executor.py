@@ -1,0 +1,143 @@
+"""Functional execution of tiled GEMM schedules.
+
+Auto-tuning explores many lowerings of the *same* matmul; a schedule
+that is fast but wrong is worthless.  This executor runs a (workload,
+tiling) pair's semantics — the exact tile loop nest
+:func:`~repro.accel.vta.workload.tiled_gemm_program` lowers — over real
+int8 matrices, and can simultaneously walk the lowered instruction
+stream to verify it matches the loop nest (sizes, order, and final
+FINISH).  The autotune tests use it to assert every candidate the tuner
+considers computes the same result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .isa import Buffer, Opcode, Program
+from .workload import BLOCK, GemmWorkload, Tiling
+
+
+class SemanticsError(Exception):
+    """The instruction stream does not implement the expected loop nest."""
+
+
+def random_operands(
+    work: GemmWorkload, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random int8 operands with the workload's dimensions."""
+    a = rng.integers(-128, 128, size=(work.m * BLOCK, work.k * BLOCK), dtype=np.int64)
+    b = rng.integers(-128, 128, size=(work.k * BLOCK, work.n * BLOCK), dtype=np.int64)
+    return a, b
+
+
+def reference_gemm(a: np.ndarray, b: np.ndarray, *, relu: bool = False) -> np.ndarray:
+    """The semantics every schedule must reproduce."""
+    c = a @ b
+    if relu:
+        c = np.maximum(c, 0)
+    return c
+
+
+class _ProgramWalker:
+    """Checks the lowered instruction stream against the loop nest."""
+
+    def __init__(self, program: Program):
+        self._insns = list(program.instructions)
+        self._pos = 0
+        # Microcode loads run on the compute module interleaved with the
+        # nest; skip them wherever they appear.
+
+    def _next(self) -> object:
+        while self._pos < len(self._insns):
+            insn = self._insns[self._pos]
+            self._pos += 1
+            if insn.op is Opcode.LOAD and insn.buffer is Buffer.UOP:
+                continue
+            return insn
+        raise SemanticsError("instruction stream ended early")
+
+    def expect_load(self, buffer: Buffer, size: int) -> None:
+        insn = self._next()
+        if insn.op is not Opcode.LOAD or insn.buffer is not buffer:
+            raise SemanticsError(f"expected LOAD {buffer.value}, got {insn.describe()}")
+        if insn.size != size:
+            raise SemanticsError(
+                f"LOAD {buffer.value}: expected {size} B, got {insn.size} B"
+            )
+
+    def expect_gemm(self, macs: int) -> None:
+        insn = self._next()
+        if insn.op is not Opcode.GEMM:
+            raise SemanticsError(f"expected GEMM, got {insn.describe()}")
+        if insn.gemm_macs != macs:
+            raise SemanticsError(f"GEMM: expected {macs} macs, got {insn.gemm_macs}")
+
+    def expect_alu(self) -> None:
+        insn = self._next()
+        if insn.op is not Opcode.ALU:
+            raise SemanticsError(f"expected ALU, got {insn.describe()}")
+
+    def expect_store(self, size: int) -> None:
+        insn = self._next()
+        if insn.op is not Opcode.STORE or insn.size != size:
+            raise SemanticsError(f"expected STORE {size} B, got {insn.describe()}")
+
+    def expect_finish(self) -> None:
+        insn = self._next()
+        if insn.op is not Opcode.FINISH:
+            raise SemanticsError(f"expected FINISH, got {insn.describe()}")
+        if self._pos != len(self._insns):
+            raise SemanticsError("instructions remain after FINISH")
+
+
+def execute_gemm(
+    work: GemmWorkload,
+    tiling: Tiling,
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    relu: bool = False,
+    program: Program | None = None,
+) -> np.ndarray:
+    """Run the tiled loop nest; optionally verify ``program`` matches.
+
+    Mirrors the lowering exactly: output tiles in (i, j) order, each
+    accumulating over k-chunks, optional ReLU, then a store.
+    """
+    if a.shape != (work.m * BLOCK, work.k * BLOCK):
+        raise ValueError(f"a must be {(work.m * BLOCK, work.k * BLOCK)}, got {a.shape}")
+    if b.shape != (work.k * BLOCK, work.n * BLOCK):
+        raise ValueError(f"b must be {(work.k * BLOCK, work.n * BLOCK)}, got {b.shape}")
+    if work.m % tiling.tm or work.k % tiling.tk or work.n % tiling.tn:
+        raise ValueError("tiling must divide the workload dimensions")
+
+    walker = _ProgramWalker(program) if program is not None else None
+    tm_px, tk_px, tn_px = (
+        tiling.tm * BLOCK,
+        tiling.tk * BLOCK,
+        tiling.tn * BLOCK,
+    )
+    out = np.zeros((work.m * BLOCK, work.n * BLOCK), dtype=np.int64)
+
+    for i in range(0, work.m * BLOCK, tm_px):
+        for j in range(0, work.n * BLOCK, tn_px):
+            acc = np.zeros((tm_px, tn_px), dtype=np.int64)
+            for kk in range(0, work.k * BLOCK, tk_px):
+                a_tile = a[i : i + tm_px, kk : kk + tk_px]
+                b_tile = b[kk : kk + tk_px, j : j + tn_px]
+                if walker is not None:
+                    walker.expect_load(Buffer.INP, tiling.tm * tiling.tk * BLOCK * BLOCK)
+                    walker.expect_load(Buffer.WGT, tiling.tk * tiling.tn * BLOCK * BLOCK)
+                    walker.expect_gemm(tiling.tm * tiling.tn * tiling.tk * BLOCK)
+                acc += a_tile @ b_tile
+            if relu:
+                acc = np.maximum(acc, 0)
+                if walker is not None:
+                    walker.expect_alu()
+            if walker is not None:
+                walker.expect_store(tiling.tm * tiling.tn * BLOCK * BLOCK)
+            out[i : i + tm_px, j : j + tn_px] = acc
+    if walker is not None:
+        walker.expect_finish()
+    return out

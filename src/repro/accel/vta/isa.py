@@ -1,0 +1,216 @@
+"""The VTA instruction set (as much of it as performance depends on).
+
+VTA (the Versatile Tensor Accelerator behind TVM) executes four
+instruction classes on four concurrently-running modules:
+
+* ``LOAD``  — DMA a tensor tile from DRAM into an on-chip buffer.
+  Input/weight loads run on the *load* module; microcode (UOP) and
+  accumulator loads run on the *compute* module, sharing its time.
+* ``GEMM``  — the matrix-multiply core: a microcoded loop nest
+  executing one micro-op per cycle.
+* ``ALU``   — vector ALU over the accumulator (add/max/min/shift).
+* ``STORE`` — DMA an output tile from the accumulator to DRAM, on the
+  *store* module.
+
+Modules synchronize through four single-bit dependency-token queues
+(load→compute, compute→load, compute→store, store→compute).  Each
+instruction carries four flags saying which tokens it pops before
+executing and pushes after: exactly VTA's microarchitecture, and the
+thing that makes its performance non-trivial to predict.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Opcode(enum.Enum):
+    LOAD = "load"
+    GEMM = "gemm"
+    ALU = "alu"
+    STORE = "store"
+    FINISH = "finish"
+
+
+class Buffer(enum.Enum):
+    """On-chip SRAM targets of LOAD."""
+
+    INP = "inp"
+    WGT = "wgt"
+    ACC = "acc"
+    UOP = "uop"
+
+
+class AluOp(enum.Enum):
+    ADD = "add"
+    MAX = "max"
+    MIN = "min"
+    SHR = "shr"
+
+
+class Module(enum.Enum):
+    LOAD = "load"
+    COMPUTE = "compute"
+    STORE = "store"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One VTA instruction.
+
+    Only the fields that drive performance are modeled; addresses are
+    synthetic tile coordinates resolved by the model's DMA engine.
+    """
+
+    op: Opcode
+    # Dependency-token flags (see module docstring).
+    pop_prev: bool = False
+    pop_next: bool = False
+    push_prev: bool = False
+    push_next: bool = False
+    # LOAD / STORE operands.
+    buffer: Buffer | None = None
+    size: int = 0          # bytes moved
+    addr: int = 0          # DRAM byte address
+    # GEMM operands: a microcoded loop nest uop_count x lp0 x lp1.
+    uop_count: int = 0
+    lp0: int = 1
+    lp1: int = 1
+    # ALU operands.
+    alu_op: AluOp | None = None
+    vector_len: int = 0
+    iterations: int = 1
+    use_imm: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op is Opcode.LOAD:
+            if self.buffer is None or self.size <= 0:
+                raise ValueError("LOAD needs a buffer and a positive size")
+        elif self.op is Opcode.STORE:
+            if self.size <= 0:
+                raise ValueError("STORE needs a positive size")
+        elif self.op is Opcode.GEMM:
+            if self.uop_count <= 0 or self.lp0 <= 0 or self.lp1 <= 0:
+                raise ValueError("GEMM needs positive uop_count/lp0/lp1")
+        elif self.op is Opcode.ALU:
+            if self.alu_op is None or self.vector_len <= 0 or self.iterations <= 0:
+                raise ValueError("ALU needs an op, vector_len, and iterations")
+
+    @property
+    def module(self) -> Module:
+        """Which engine executes this instruction (VTA's dispatch rule)."""
+        if self.op is Opcode.LOAD and self.buffer in (Buffer.INP, Buffer.WGT):
+            return Module.LOAD
+        if self.op is Opcode.STORE:
+            return Module.STORE
+        return Module.COMPUTE
+
+    @property
+    def gemm_macs(self) -> int:
+        """Micro-op iterations a GEMM performs (1/cycle in the core)."""
+        if self.op is not Opcode.GEMM:
+            return 0
+        return self.uop_count * self.lp0 * self.lp1
+
+    def describe(self) -> str:
+        flags = "".join(
+            ch if on else "-"
+            for ch, on in zip(
+                "PNpn", (self.pop_prev, self.pop_next, self.push_prev, self.push_next)
+            )
+        )
+        if self.op is Opcode.LOAD:
+            body = f"LOAD {self.buffer.value} {self.size}B"
+        elif self.op is Opcode.STORE:
+            body = f"STORE {self.size}B"
+        elif self.op is Opcode.GEMM:
+            body = f"GEMM {self.uop_count}x{self.lp0}x{self.lp1}"
+        elif self.op is Opcode.ALU:
+            body = f"ALU {self.alu_op.value} len={self.vector_len} it={self.iterations}"
+        else:
+            body = "FINISH"
+        return f"{body} [{flags}]"
+
+
+@dataclass(frozen=True)
+class Program:
+    """An instruction sequence plus bookkeeping helpers.
+
+    ``warm_variant`` optionally carries the steady-state form of the
+    same schedule: identical work, but with the double-buffering pop
+    flags that apply when the pipeline is already primed (used when
+    streaming copies back to back — see ``VtaModel.measure_throughput``).
+    """
+
+    instructions: tuple[Instruction, ...]
+    name: str = "program"
+    warm_variant: "Program | None" = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError("a program needs at least one instruction")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def by_module(self, module: Module) -> list[Instruction]:
+        return [i for i in self.instructions if i.module is module]
+
+    @property
+    def total_macs(self) -> int:
+        return sum(i.gemm_macs for i in self.instructions)
+
+    @property
+    def dram_bytes(self) -> int:
+        return sum(
+            i.size for i in self.instructions if i.op in (Opcode.LOAD, Opcode.STORE)
+        )
+
+    def listing(self) -> str:
+        return "\n".join(
+            f"{k:4d}  {insn.describe()}" for k, insn in enumerate(self.instructions)
+        )
+
+    def streamed(self, copies: int) -> "Program":
+        """Concatenate ``copies`` back-to-back iterations: the first is
+        this (cold-start) program, the rest use the warm variant when
+        one is attached, so double-buffering credits carry across
+        iterations exactly as a compiler's steady-state loop would."""
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        tail = self.warm_variant or self
+        insns = self.instructions + tail.instructions * (copies - 1)
+        return Program(insns, name=f"{self.name}x{copies}")
+
+
+def token_balance(program: Program) -> dict[str, int]:
+    """Net pushes minus pops per dependency queue.
+
+    A program with a *negative* balance on any queue pops tokens that
+    are never pushed and will deadlock; the assembler rejects those.
+    Positive leftovers are legal (tokens simply remain).
+    """
+    balance = {"l2c": 0, "c2l": 0, "c2s": 0, "s2c": 0}
+    for insn in program.instructions:
+        m = insn.module
+        if m is Module.LOAD:
+            if insn.push_next:
+                balance["l2c"] += 1
+            if insn.pop_next:
+                balance["c2l"] -= 1
+        elif m is Module.COMPUTE:
+            if insn.push_prev:
+                balance["c2l"] += 1
+            if insn.push_next:
+                balance["c2s"] += 1
+            if insn.pop_prev:
+                balance["l2c"] -= 1
+            if insn.pop_next:
+                balance["s2c"] -= 1
+        elif m is Module.STORE:
+            if insn.push_prev:
+                balance["s2c"] += 1
+            if insn.pop_prev:
+                balance["c2s"] -= 1
+    return balance

@@ -1,0 +1,37 @@
+"""TVM-style auto-tuning for VTA, driven by pluggable profilers.
+
+The paper's example #3: auto-tuning is bottlenecked by profiling, and a
+Petri-net performance interface removes the bottleneck.  This package
+provides the search (:mod:`.tuner`), the profiler tiers
+(:mod:`.profilers`), and a learned cost model (:mod:`.costmodel`).
+"""
+
+from .costmodel import FEATURE_NAMES, LinearCostModel, features
+from .profilers import (
+    CycleAccurateProfiler,
+    EventModelProfiler,
+    PetriProfiler,
+    Profiler,
+    RooflineProfiler,
+    SpeedupSample,
+    profiling_speedups,
+)
+from .tuner import Candidate, TuneResult, anneal_tune, exhaustive_tune, random_tune
+
+__all__ = [
+    "FEATURE_NAMES",
+    "Candidate",
+    "CycleAccurateProfiler",
+    "EventModelProfiler",
+    "LinearCostModel",
+    "PetriProfiler",
+    "Profiler",
+    "RooflineProfiler",
+    "SpeedupSample",
+    "TuneResult",
+    "anneal_tune",
+    "exhaustive_tune",
+    "features",
+    "profiling_speedups",
+    "random_tune",
+]

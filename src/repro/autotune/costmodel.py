@@ -1,0 +1,87 @@
+"""A learned cost model, as in TVM's second auto-tuning step.
+
+TVM extracts a program-specific cost model from profiled samples and
+lets the search query the model instead of the hardware.  We implement
+the same idea with a least-squares linear model over schedule features;
+it is trained on whatever profiler the tuner uses (with a Petri-net
+interface, training data becomes cheap — the paper's point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.vta import Module, Opcode, Program
+
+FEATURE_NAMES = (
+    "total_macs",
+    "dram_bytes",
+    "n_instructions",
+    "n_gemm",
+    "n_alu",
+    "n_loads",
+    "n_stores",
+    "alu_lanes_work",
+)
+
+
+def features(program: Program) -> np.ndarray:
+    """Schedule features driving VTA latency (all counts, no timing)."""
+    n_gemm = n_alu = n_loads = n_stores = 0
+    alu_work = 0
+    for insn in program.instructions:
+        if insn.op is Opcode.GEMM:
+            n_gemm += 1
+        elif insn.op is Opcode.ALU:
+            n_alu += 1
+            alu_work += insn.iterations * insn.vector_len
+        elif insn.op is Opcode.LOAD:
+            n_loads += 1
+        elif insn.op is Opcode.STORE:
+            n_stores += 1
+    return np.array(
+        [
+            program.total_macs,
+            program.dram_bytes,
+            len(program),
+            n_gemm,
+            n_alu,
+            n_loads,
+            n_stores,
+            alu_work,
+        ],
+        dtype=float,
+    )
+
+
+@dataclass
+class LinearCostModel:
+    """cycles ~ w . features + b, fit by least squares."""
+
+    weights: np.ndarray | None = None
+    intercept: float = 0.0
+
+    def fit(self, programs: list[Program], cycles: list[float]) -> "LinearCostModel":
+        if len(programs) != len(cycles) or len(programs) < 2:
+            raise ValueError("need >= 2 (program, cycles) samples of equal length")
+        x = np.stack([features(p) for p in programs])
+        x = np.hstack([x, np.ones((x.shape[0], 1))])
+        y = np.asarray(cycles, dtype=float)
+        solution, *_ = np.linalg.lstsq(x, y, rcond=None)
+        self.weights = solution[:-1]
+        self.intercept = float(solution[-1])
+        return self
+
+    def predict(self, program: Program) -> float:
+        if self.weights is None:
+            raise RuntimeError("cost model is not fitted")
+        return float(features(program) @ self.weights + self.intercept)
+
+    def score(self, programs: list[Program], cycles: list[float]) -> float:
+        """Mean relative error on a held-out set."""
+        errors = [
+            abs(self.predict(p) - c) / c for p, c in zip(programs, cycles) if c > 0
+        ]
+        return sum(errors) / len(errors)

@@ -1,0 +1,143 @@
+"""Natural-language performance interfaces (the paper's Fig. 1).
+
+An English interface cannot predict numbers, but it is not *just* prose:
+each sentence asserts a checkable relation between an input property and
+a performance metric ("latency is inversely proportional to the
+compression rate").  We therefore represent NL interfaces as structured
+:class:`PerformanceStatement` objects that
+
+* render to the English of the paper's Fig. 1, and
+* can be *validated* against a ground-truth model by sweeping the input
+  property and checking the asserted monotonicity/proportionality.
+
+That machine-checkability is what separates a performance interface
+from marketing copy, and it powers ``tests/integration`` E1 checks.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+
+class Relation(enum.Enum):
+    """How a metric relates to an input property (or config parameter)."""
+
+    PROPORTIONAL = "is proportional to"
+    INVERSELY_PROPORTIONAL = "is inversely proportional to"
+    INCREASES_WITH = "increases as {quantity} increases"
+    DECREASES_WITH = "decreases as {quantity} increases"
+    EQUALS_PARAM = "is equal to the configuration parameter {quantity}"
+    CONSTANT = "does not vary with {quantity}"
+
+
+@dataclass(frozen=True)
+class PerformanceStatement:
+    """One sentence of an English performance interface.
+
+    Attributes:
+        metric: Metric name as rendered ("Latency", "Throughput", ...).
+        relation: The asserted relation.
+        quantity: Human-readable name of the input property / parameter.
+        accessor: Extracts the property's numeric value from a workload
+            item (or a model configuration), enabling validation.
+        measure: Extracts the metric from ``(model, item)``; defaults
+            are installed by :func:`default_measure`.
+    """
+
+    metric: str
+    relation: Relation
+    quantity: str
+    accessor: Callable[[Any], float] | None = None
+    measure: Callable[[Any, Any], float] | None = None
+
+    def render(self) -> str:
+        rel = self.relation
+        if rel in (Relation.PROPORTIONAL, Relation.INVERSELY_PROPORTIONAL):
+            return f"{self.metric} {rel.value} {self.quantity}"
+        return f"{self.metric} " + rel.value.format(quantity=self.quantity)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        pairs: Sequence[tuple[float, float]],
+        *,
+        tolerance: float = 0.15,
+    ) -> bool:
+        """Validate the statement against ``(property, metric)`` samples.
+
+        ``pairs`` should come from a sweep where *only* the named
+        property varies.  Proportionality is checked as constancy of the
+        metric/property ratio (within ``tolerance`` relative spread);
+        monotonic relations are checked on property-sorted samples;
+        EQUALS_PARAM requires metric == property exactly (1% slack).
+        """
+        if len(pairs) < 2:
+            raise ValueError("need at least two samples to check a relation")
+        pts = sorted(pairs)
+        xs = [p for p, _ in pts]
+        ys = [m for _, m in pts]
+        rel = self.relation
+        if rel is Relation.EQUALS_PARAM:
+            return all(abs(y - x) <= 0.01 * max(1.0, abs(x)) for x, y in pts)
+        if rel is Relation.CONSTANT:
+            return _spread(ys) <= tolerance
+        if rel is Relation.PROPORTIONAL:
+            return _spread([y / x for x, y in pts if x != 0]) <= tolerance
+        if rel is Relation.INVERSELY_PROPORTIONAL:
+            return _spread([y * x for x, y in pts]) <= tolerance
+        if rel is Relation.INCREASES_WITH:
+            return _mostly_monotone(xs, ys, sign=+1)
+        if rel is Relation.DECREASES_WITH:
+            return _mostly_monotone(xs, ys, sign=-1)
+        raise AssertionError(f"unhandled relation {rel}")
+
+
+def _spread(values: Sequence[float]) -> float:
+    """Relative spread: (max - min) / mean."""
+    if not values:
+        return math.inf
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return math.inf
+    return (max(values) - min(values)) / abs(mean)
+
+
+def _mostly_monotone(xs: Sequence[float], ys: Sequence[float], sign: int) -> bool:
+    """True when ys move with (sign=+1) / against (sign=-1) xs overall.
+
+    Uses pairwise concordance (a Kendall-tau style count) so small local
+    noise does not flip the verdict; requires >= 90% concordant pairs
+    among pairs with distinct x.
+    """
+    concordant = discordant = 0
+    n = len(xs)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if xs[i] == xs[j] or ys[i] == ys[j]:
+                continue
+            agree = (ys[j] - ys[i]) * (xs[j] - xs[i]) * sign > 0
+            concordant += int(agree)
+            discordant += int(not agree)
+    total = concordant + discordant
+    return total == 0 or concordant / total >= 0.9
+
+
+@dataclass(frozen=True)
+class EnglishInterface:
+    """A complete Fig. 1-style interface: a list of statements."""
+
+    accelerator: str
+    statements: tuple[PerformanceStatement, ...]
+
+    representation = "english"
+
+    def render(self) -> str:
+        return "\n".join(s.render() for s in self.statements)
+
+    def __str__(self) -> str:
+        return self.render()

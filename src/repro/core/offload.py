@@ -1,0 +1,160 @@
+"""The paper's §5 record/replay strawman for end-to-end estimation.
+
+Question: *"What performance can I expect from my application if I
+offload part of it to this accelerator?"*  Plugging an interface into
+the code is not enough — interfaces return time, not semantically
+meaningful responses.  The strawman:
+
+1. Run the application against a **software implementation** of the
+   accelerator's API, recording every request and response.
+2. Re-run it against a **replay stub** that returns the recorded
+   (correct) responses while charging each call the latency the
+   *interface* predicts on a virtual clock.
+
+Because accelerator invocations are typically pure functions, the
+second run follows the same path and its virtual clock estimates the
+offloaded end-to-end time.  :class:`OffloadEstimator` packages the two
+phases; the host application interacts with a tiny `call()` API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, TypeVar
+
+from .interface import PerformanceInterface
+
+RequestT = TypeVar("RequestT")
+ResponseT = TypeVar("ResponseT")
+
+#: An application: receives a device and drives it; returns anything.
+Application = Callable[["VirtualDevice"], Any]
+
+
+class VirtualDevice(Generic[RequestT, ResponseT]):
+    """What the application sees: a callable accelerator endpoint with a
+    virtual clock.  Host-side work is charged via :meth:`host_work`."""
+
+    def __init__(self) -> None:
+        self.clock = 0.0
+        self.calls = 0
+
+    def call(self, request: RequestT) -> ResponseT:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def host_work(self, cycles: float) -> None:
+        """Charge non-offloaded application work to the virtual clock."""
+        if cycles < 0:
+            raise ValueError("cycles must be >= 0")
+        self.clock += cycles
+
+
+class RecordingDevice(VirtualDevice[RequestT, ResponseT]):
+    """Phase 1: software implementation, recording request/response
+    pairs.  ``software_fn`` is the functional (not timing) behaviour;
+    ``software_latency`` optionally charges realistic software time."""
+
+    def __init__(
+        self,
+        software_fn: Callable[[RequestT], ResponseT],
+        software_latency: Callable[[RequestT], float] | None = None,
+    ):
+        super().__init__()
+        self.software_fn = software_fn
+        self.software_latency = software_latency
+        self.tape: list[tuple[RequestT, ResponseT]] = []
+
+    def call(self, request: RequestT) -> ResponseT:
+        response = self.software_fn(request)
+        self.tape.append((request, response))
+        self.calls += 1
+        if self.software_latency is not None:
+            self.clock += self.software_latency(request)
+        return response
+
+
+class ReplayDevice(VirtualDevice[RequestT, ResponseT]):
+    """Phase 2: returns recorded responses, charges interface latency.
+
+    Requests are matched by call order; a mismatch (the application
+    diverged, so it is not deterministic) raises ``ReplayDivergence``.
+    """
+
+    def __init__(
+        self,
+        tape: list[tuple[RequestT, ResponseT]],
+        interface: PerformanceInterface[RequestT],
+        invocation_overhead: Callable[[RequestT], float] | None = None,
+    ):
+        super().__init__()
+        self.tape = tape
+        self.interface = interface
+        self.invocation_overhead = invocation_overhead
+
+    def call(self, request: RequestT) -> ResponseT:
+        if self.calls >= len(self.tape):
+            raise ReplayDivergence(
+                f"application issued call #{self.calls + 1} but the tape has "
+                f"only {len(self.tape)} entries"
+            )
+        recorded_request, response = self.tape[self.calls]
+        if recorded_request != request:
+            raise ReplayDivergence(
+                f"call #{self.calls} diverged from the recorded run"
+            )
+        self.calls += 1
+        self.clock += self.interface.latency(request)
+        if self.invocation_overhead is not None:
+            self.clock += self.invocation_overhead(request)
+        return response
+
+
+class ReplayDivergence(RuntimeError):
+    """The replayed application did not follow the recorded path."""
+
+
+@dataclass(frozen=True)
+class OffloadEstimate:
+    """Result of the two-phase estimation."""
+
+    software_cycles: float
+    offloaded_cycles: float
+    calls: int
+
+    @property
+    def speedup(self) -> float:
+        if self.offloaded_cycles == 0:
+            return float("inf")
+        return self.software_cycles / self.offloaded_cycles
+
+
+class OffloadEstimator(Generic[RequestT, ResponseT]):
+    """Run the strawman end to end for one application."""
+
+    def __init__(
+        self,
+        software_fn: Callable[[RequestT], ResponseT],
+        software_latency: Callable[[RequestT], float],
+        interface: PerformanceInterface[RequestT],
+        invocation_overhead: Callable[[RequestT], float] | None = None,
+    ):
+        self.software_fn = software_fn
+        self.software_latency = software_latency
+        self.interface = interface
+        self.invocation_overhead = invocation_overhead
+
+    def estimate(self, application: Application) -> OffloadEstimate:
+        recorder: RecordingDevice[RequestT, ResponseT] = RecordingDevice(
+            self.software_fn, self.software_latency
+        )
+        application(recorder)
+
+        replayer: ReplayDevice[RequestT, ResponseT] = ReplayDevice(
+            recorder.tape, self.interface, self.invocation_overhead
+        )
+        application(replayer)
+        return OffloadEstimate(
+            software_cycles=recorder.clock,
+            offloaded_cycles=replayer.clock,
+            calls=recorder.calls,
+        )

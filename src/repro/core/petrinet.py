@@ -1,0 +1,103 @@
+"""Petri-net performance interfaces (the paper's third representation).
+
+:class:`PetriNetInterface` adapts a :class:`repro.petri.PetriNet` into
+the common :class:`~repro.core.interface.PerformanceInterface` contract:
+it knows how to turn one workload item into tokens (``tokenize``), run
+the net, and read a latency out of the completions.
+
+The net itself is the shippable artifact — authors provide it as
+``.pnet`` text (kept in ``pnet_text`` for the Table 1 complexity
+metric) or as a programmatic factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Sequence, TypeVar
+
+from repro.petri import PetriNet, SimResult, Simulator
+
+from .interface import PerformanceInterface
+
+ItemT = TypeVar("ItemT")
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One token to feed into the net for a workload item."""
+
+    place: str
+    payload: Any
+    at: float = 0.0
+
+
+class PetriNetInterface(PerformanceInterface[ItemT], Generic[ItemT]):
+    """Runs a performance-IR net over workload items.
+
+    Args:
+        accelerator: Name of the accelerator described.
+        net_factory: Builds the net (called once; the simulator resets
+            marking between runs).
+        tokenize: Maps a workload item to the tokens to inject.
+        sink: Place whose completions mark finished work.
+        epilogue: Fixed cycles appended after the last completion
+            (drain/flush the net does not model).
+        expected_completions: How many sink completions one item should
+            produce.  Defaults to the number of injected tokens; nets
+            with resident bookkeeping tokens (mutexes, credits) override
+            this, since those legitimately remain after quiescence.
+    """
+
+    representation = "petri-net"
+
+    def __init__(
+        self,
+        accelerator: str,
+        net_factory: Callable[[], PetriNet],
+        tokenize: Callable[[ItemT], Sequence[Injection]],
+        *,
+        sink: str = "out",
+        epilogue: float = 0.0,
+        pnet_text: str | None = None,
+        expected_completions: Callable[[ItemT], int] | None = None,
+    ):
+        self.accelerator = accelerator
+        self.net = net_factory()
+        self.tokenize = tokenize
+        self.sink = sink
+        self.epilogue = epilogue
+        self.pnet_text = pnet_text
+        self._expected = expected_completions
+
+    def _run(self, injections: Sequence[Injection], expected: int) -> SimResult:
+        sim = Simulator(self.net, sinks=[self.sink])
+        for inj in injections:
+            sim.inject(inj.place, inj.payload, at=inj.at)
+        result = sim.run()
+        done = len(result.completions[self.sink])
+        if done != expected:
+            raise RuntimeError(
+                f"net {self.net.name!r} completed {done}/{expected} tokens; "
+                f"stuck marking: { {p: n for p, n in self.net.marking().items() if n} }"
+            )
+        return result
+
+    def simulate(self, item: ItemT) -> SimResult:
+        """Run the net on one item and return the raw result."""
+        injections = self.tokenize(item)
+        expected = (
+            self._expected(item) if self._expected is not None else len(injections)
+        )
+        return self._run(injections, expected)
+
+    def latency(self, item: ItemT) -> float:
+        result = self.simulate(item)
+        return result.makespan() + self.epilogue
+
+    def describe(self) -> str:
+        n_places = len(self.net.places)
+        n_trans = len(self.net.transitions)
+        return (
+            f"petri-net performance interface for {self.accelerator} "
+            f"({n_places} places, {n_trans} transitions)"
+        )

@@ -1,0 +1,75 @@
+"""Executable-program performance interfaces (the paper's Figs. 2-3).
+
+A program interface is a small Python function (or set of functions)
+mapping a workload item to predicted latency/throughput.  They are the
+middle ground: more precise than English, still eyeball-able by a
+developer, and runnable during system design when the accelerator is
+not even available.
+
+:class:`ProgramInterface` wraps the plain functions so the validation
+harness can treat them like any other interface, while keeping the
+functions themselves importable and readable — the readable function
+*is* the interface, exactly as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+from .interface import LatencyBounds, PerformanceInterface
+
+ItemT = TypeVar("ItemT")
+
+
+class ProgramInterface(PerformanceInterface[ItemT], Generic[ItemT]):
+    """Adapter around latency/throughput interface functions.
+
+    Args:
+        accelerator: Name of the accelerator described.
+        latency_fn: Point latency predictor (cycles).  May be omitted
+            when only bounds are honest — then ``min_latency_fn`` /
+            ``max_latency_fn`` must both be given and ``latency``
+            returns the interval midpoint.
+        throughput_fn: Items/cycle predictor; defaults to 1/latency.
+        min_latency_fn, max_latency_fn: Optional guaranteed bounds.
+    """
+
+    representation = "program"
+
+    def __init__(
+        self,
+        accelerator: str,
+        latency_fn: Callable[[ItemT], float] | None = None,
+        throughput_fn: Callable[[ItemT], float] | None = None,
+        *,
+        min_latency_fn: Callable[[ItemT], float] | None = None,
+        max_latency_fn: Callable[[ItemT], float] | None = None,
+    ):
+        if latency_fn is None and (min_latency_fn is None or max_latency_fn is None):
+            raise ValueError(
+                "provide latency_fn, or both min_latency_fn and max_latency_fn"
+            )
+        self.accelerator = accelerator
+        self._latency_fn = latency_fn
+        self._throughput_fn = throughput_fn
+        self._min_fn = min_latency_fn
+        self._max_fn = max_latency_fn
+
+    def latency(self, item: ItemT) -> float:
+        if self._latency_fn is not None:
+            return float(self._latency_fn(item))
+        return self.latency_bounds(item).midpoint
+
+    def throughput(self, item: ItemT) -> float:
+        if self._throughput_fn is not None:
+            return float(self._throughput_fn(item))
+        return super().throughput(item)
+
+    def latency_bounds(self, item: ItemT) -> LatencyBounds:
+        if self._min_fn is not None and self._max_fn is not None:
+            return LatencyBounds(float(self._min_fn(item)), float(self._max_fn(item)))
+        return super().latency_bounds(item)
+
+    @property
+    def has_bounds(self) -> bool:
+        return self._min_fn is not None and self._max_fn is not None

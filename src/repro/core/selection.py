@@ -1,0 +1,155 @@
+"""Design-stage tooling built on performance interfaces.
+
+These are the paper's motivating workflows, executable *without any
+accelerator or ported code* — only interfaces and representative
+workload descriptions are needed:
+
+* example #1 (SoC designer): explore an area/performance frontier and
+  pick configurations under an area budget;
+* example #2 (infrastructure stack): rank candidate accelerators for a
+  workload, per dollar, against a software baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Sequence, TypeVar
+
+from .interface import PerformanceInterface
+
+ItemT = TypeVar("ItemT")
+
+
+@dataclass(frozen=True)
+class Candidate(Generic[ItemT]):
+    """One accelerator option under consideration.
+
+    Attributes:
+        name: Display name.
+        interface: Its (vendor-shipped) performance interface.
+        price_dollars: Unit price for per-dollar rankings.
+        invocation_overhead: Host-side cycles added per item when the
+            accelerator is invoked as an offload (0 for on-CPU options).
+    """
+
+    name: str
+    interface: PerformanceInterface[ItemT]
+    price_dollars: float = 1.0
+    invocation_overhead: Callable[[ItemT], float] | None = None
+
+    def end_to_end_latency(self, item: ItemT) -> float:
+        latency = self.interface.latency(item)
+        if self.invocation_overhead is not None:
+            latency += self.invocation_overhead(item)
+        return latency
+
+
+@dataclass(frozen=True)
+class Ranking(Generic[ItemT]):
+    """Candidates ordered by a figure of merit (best first)."""
+
+    metric: str
+    entries: list[tuple[str, float]]
+
+    @property
+    def best(self) -> str:
+        return self.entries[0][0]
+
+    def table(self) -> str:
+        width = max(len(name) for name, _ in self.entries)
+        return "\n".join(
+            f"{name:<{width}}  {value:12.6g}" for name, value in self.entries
+        )
+
+
+def mean_workload_latency(
+    candidate: Candidate[ItemT], workload: Sequence[ItemT]
+) -> float:
+    """Average end-to-end latency over a representative workload."""
+    if not workload:
+        raise ValueError("workload must not be empty")
+    return sum(candidate.end_to_end_latency(item) for item in workload) / len(workload)
+
+
+def rank_by_latency(
+    candidates: Sequence[Candidate[ItemT]], workload: Sequence[ItemT]
+) -> Ranking[ItemT]:
+    """Example #2's first question: which candidate is fastest for *my*
+    workload (not for the vendor's benchmark)?"""
+    entries = sorted(
+        (c.name, mean_workload_latency(c, workload)) for c in candidates
+    )
+    entries.sort(key=lambda e: e[1])
+    return Ranking(metric="mean latency (cycles)", entries=entries)
+
+
+def rank_by_speedup_per_dollar(
+    candidates: Sequence[Candidate[ItemT]],
+    workload: Sequence[ItemT],
+    baseline_latency: Callable[[ItemT], float],
+) -> Ranking[ItemT]:
+    """Example #2's "best performance per dollar" question: speedup over
+    the software baseline, normalized by unit price."""
+    base = sum(baseline_latency(item) for item in workload) / len(workload)
+    entries = []
+    for c in candidates:
+        speedup = base / mean_workload_latency(c, workload)
+        entries.append((c.name, speedup / c.price_dollars))
+    entries.sort(key=lambda e: -e[1])
+    return Ranking(metric="speedup per dollar", entries=entries)
+
+
+def offload_speedup(
+    candidate: Candidate[ItemT],
+    workload: Sequence[ItemT],
+    baseline_latency: Callable[[ItemT], float],
+) -> float:
+    """Predicted speedup of offloading this workload to ``candidate``
+    (values < 1 mean the offload would *hurt*, the paper's warning)."""
+    base = sum(baseline_latency(item) for item in workload)
+    accel = sum(candidate.end_to_end_latency(item) for item in workload)
+    return base / accel
+
+
+# ----------------------------------------------------------------------
+# Example #1: SoC area/performance frontier
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One configuration of a parameterizable IP block."""
+
+    config: str
+    area: float
+    latency: float
+    throughput: float
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> list[DesignPoint]:
+    """Points not dominated in (area, latency): the curve an SoC
+    designer actually chooses from."""
+    frontier = []
+    for p in points:
+        dominated = any(
+            (q.area <= p.area and q.latency <= p.latency)
+            and (q.area < p.area or q.latency < p.latency)
+            for q in points
+        )
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda p: p.area)
+
+
+def pick_under_area_budget(
+    points: Sequence[DesignPoint], area_budget: float
+) -> DesignPoint:
+    """Fastest configuration that fits the budget (example #1's
+    "how big must each IP block be?")."""
+    feasible = [p for p in points if p.area <= area_budget]
+    if not feasible:
+        raise ValueError(
+            f"no configuration fits area budget {area_budget}; smallest is "
+            f"{min(p.area for p in points)}"
+        )
+    return min(feasible, key=lambda p: p.latency)

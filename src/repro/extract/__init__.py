@@ -1,0 +1,19 @@
+"""Automatic interface extraction (the paper's §5 future work).
+
+Profile an accelerator model over a training workload, fit an
+interpretable non-negative cost formula over named features, and get
+back a :class:`repro.core.PerformanceInterface` — plus the formula as
+text, so a human can eyeball what the tool learned.
+"""
+
+from .features import jpeg_features, protoacc_features, vta_features
+from .fit import ExtractedInterface, FitReport, extract_program_interface
+
+__all__ = [
+    "ExtractedInterface",
+    "FitReport",
+    "extract_program_interface",
+    "jpeg_features",
+    "protoacc_features",
+    "vta_features",
+]

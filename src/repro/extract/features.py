@@ -1,0 +1,74 @@
+"""Per-accelerator feature extractors for interface extraction.
+
+Features are the observable workload properties a vendor's datasheet
+would name — exactly the quantities the hand-written interfaces use —
+so an extracted formula is directly comparable to a hand-written one.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.accel.jpeg.workload import JpegImage
+from repro.accel.protoacc.message import FieldKind, Message
+from repro.accel.vta.isa import Opcode, Program
+
+
+def jpeg_features(img: JpegImage) -> dict[str, float]:
+    blocks = img.n_blocks
+    coded = float(img.coded_bytes.sum())
+    return {
+        "blocks": float(blocks),
+        "coded_bytes": coded,
+        # The max() regime split of the hand-written interface, offered
+        # to the fitter as explicit features.
+        "output_bound_cycles": float(max(0.0, 136.5 * blocks - 8.0 * coded)),
+    }
+
+
+def protoacc_features(msg: Message) -> dict[str, float]:
+    def descriptor_groups(m: Message) -> int:
+        total = ceil(m.num_fields / 32)
+        return total + sum(descriptor_groups(s) for s in m.submessages())
+
+    def blob_count(m: Message) -> int:
+        own = sum(1 for f in m.fields if f.kind is FieldKind.BYTES)
+        return own + sum(blob_count(s) for s in m.submessages())
+
+    def blob_beats(m: Message) -> int:
+        own = sum(
+            ceil(len(f.value) / 16)  # type: ignore[arg-type]
+            for f in m.fields
+            if f.kind is FieldKind.BYTES
+        )
+        return own + sum(blob_beats(s) for s in m.submessages())
+
+    return {
+        "messages": float(msg.total_messages),
+        "descriptor_groups": float(descriptor_groups(msg)),
+        "blob_streams": float(blob_count(msg)),
+        "blob_beats": float(blob_beats(msg)),
+        "write_beats": float(msg.num_writes),
+    }
+
+
+def vta_features(program: Program) -> dict[str, float]:
+    gemm_macs = alu_work = load_bytes = store_bytes = n_dma = 0
+    for insn in program.instructions:
+        if insn.op is Opcode.GEMM:
+            gemm_macs += insn.gemm_macs
+        elif insn.op is Opcode.ALU:
+            alu_work += insn.iterations * ceil(insn.vector_len / 16)
+        elif insn.op is Opcode.LOAD:
+            load_bytes += insn.size
+            n_dma += 1
+        elif insn.op is Opcode.STORE:
+            store_bytes += insn.size
+            n_dma += 1
+    return {
+        "gemm_macs": float(gemm_macs),
+        "alu_work": float(alu_work),
+        "dma_bytes": float(load_bytes + store_bytes),
+        "dma_count": float(n_dma),
+        "instructions": float(len(program)),
+    }

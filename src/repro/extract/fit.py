@@ -1,0 +1,124 @@
+"""Automatic extraction of program interfaces from measurements.
+
+The paper's §5 names "building tools that can automatically extract
+interfaces as Petri nets or Python programs from accelerator
+implementations" as future work.  This module implements the
+measurement-driven half of that vision (in the spirit of Freud and
+PIX, which the paper builds on): profile the accelerator over a
+training workload, fit an interpretable cost formula over named
+workload features, and emit an object that *is* a program interface —
+including a human-readable rendering of the learned formula.
+
+The fit is non-negative least squares (costs cannot be negative), so
+the extracted formula reads like the hand-written ones: a sum of
+per-feature rates plus a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Mapping, Sequence, TypeVar
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.accel.base import AcceleratorModel
+from repro.core.interface import PerformanceInterface
+
+ItemT = TypeVar("ItemT")
+
+#: A feature extractor: item -> {feature name: value}.
+FeatureFn = Callable[[ItemT], Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Quality of an extraction run."""
+
+    train_items: int
+    train_error: float   # mean relative error on the training set
+    feature_names: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"fit on {self.train_items} items, "
+            f"train error {self.train_error * 100:.2f}%"
+        )
+
+
+class ExtractedInterface(PerformanceInterface[ItemT], Generic[ItemT]):
+    """A program interface learned from measurements."""
+
+    representation = "program (auto-extracted)"
+
+    def __init__(
+        self,
+        accelerator: str,
+        feature_fn: FeatureFn,
+        names: Sequence[str],
+        weights: np.ndarray,
+        intercept: float,
+    ):
+        self.accelerator = accelerator
+        self._feature_fn = feature_fn
+        self._names = tuple(names)
+        self._weights = weights
+        self._intercept = intercept
+
+    def latency(self, item: ItemT) -> float:
+        feats = self._feature_fn(item)
+        total = self._intercept
+        for name, w in zip(self._names, self._weights):
+            total += w * float(feats[name])
+        return total
+
+    def formula(self) -> str:
+        """The learned cost model, printed like a hand-written interface."""
+        terms = [
+            f"{w:.4g}*{name}"
+            for name, w in zip(self._names, self._weights)
+            if w > 1e-9
+        ]
+        terms.append(f"{self._intercept:.4g}")
+        return "latency = " + " + ".join(terms)
+
+
+def extract_program_interface(
+    model: AcceleratorModel[ItemT],
+    workload: Sequence[ItemT],
+    feature_fn: FeatureFn,
+    *,
+    accelerator: str | None = None,
+) -> tuple[ExtractedInterface[ItemT], FitReport]:
+    """Profile ``model`` on ``workload`` and fit a latency formula.
+
+    Returns the extracted interface plus a fit report.  The caller
+    should score the interface on a *held-out* workload with
+    :func:`repro.core.validate_interface` — the extractor does not peek.
+    """
+    if len(workload) < 3:
+        raise ValueError("need at least 3 training items")
+    rows = [feature_fn(item) for item in workload]
+    names = sorted(rows[0])
+    for row in rows:
+        if sorted(row) != names:
+            raise ValueError("feature_fn must return the same keys for every item")
+    x = np.array([[float(r[n]) for n in names] + [1.0] for r in rows])
+    y = np.array([model.measure_latency(item) for item in workload], dtype=float)
+
+    # Column scaling keeps NNLS well-conditioned across feature ranges.
+    scales = np.maximum(np.abs(x).max(axis=0), 1e-12)
+    solution, _ = nnls(x / scales, y)
+    solution = solution / scales
+    weights, intercept = solution[:-1], float(solution[-1])
+
+    iface = ExtractedInterface(
+        accelerator or model.name, feature_fn, names, weights, intercept
+    )
+    predictions = np.array([iface.latency(item) for item in workload])
+    train_error = float(np.mean(np.abs(predictions - y) / np.maximum(y, 1e-12)))
+    return iface, FitReport(
+        train_items=len(workload),
+        train_error=train_error,
+        feature_names=tuple(names),
+    )

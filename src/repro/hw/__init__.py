@@ -1,0 +1,38 @@
+"""Cycle-level hardware modeling substrate for ground-truth accelerators.
+
+The paper measured real RTL (via Verilator and FPGAs); we have neither,
+so every accelerator's "hardware" in this reproduction is a model built
+from the pieces in this package.  DESIGN.md §5 documents the timing
+semantics; the property tests prove the fast analytical recurrences
+match cycle-ticking references.
+"""
+
+from .fifo import Fifo
+from .kernel import ClockedSim, EventSim, SimError
+from .memory import Dram, DramConfig
+from .noc import BusConfig, SharedBus, expected_bus_delay
+from .pipeline import LinePipeline, PipelineSchedule, StageSpec, TickPipeline
+from .stats import ErrorReport, Summary, relative_error, relative_errors
+from .tlb import Tlb, TlbConfig
+
+__all__ = [
+    "BusConfig",
+    "ClockedSim",
+    "Dram",
+    "DramConfig",
+    "ErrorReport",
+    "EventSim",
+    "Fifo",
+    "LinePipeline",
+    "PipelineSchedule",
+    "SharedBus",
+    "SimError",
+    "StageSpec",
+    "Summary",
+    "TickPipeline",
+    "Tlb",
+    "TlbConfig",
+    "expected_bus_delay",
+    "relative_error",
+    "relative_errors",
+]

@@ -1,0 +1,63 @@
+"""Bounded FIFO with hardware-style occupancy semantics.
+
+Used by the tick-accurate reference pipeline and by the VTA model's
+dependency-token queues.  The FIFO is "flow-through": an item pushed at
+cycle *t* may be popped at cycle *t* (combinational bypass), matching
+the instantaneous-transfer semantics of the analytical recurrence in
+:mod:`repro.hw.pipeline` and of the Petri-net engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Fifo(Generic[T]):
+    """A capacity-bounded queue with explicit full/empty checks."""
+
+    def __init__(self, capacity: int, name: str = "fifo"):
+        if capacity < 1:
+            raise ValueError("fifo capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[T] = deque()
+        #: Cumulative statistics.
+        self.pushes = 0
+        self.pops = 0
+        self.high_water = 0
+
+    def can_push(self) -> bool:
+        return len(self._items) < self.capacity
+
+    def can_pop(self) -> bool:
+        return bool(self._items)
+
+    def push(self, item: T) -> None:
+        if not self.can_push():
+            raise OverflowError(f"fifo {self.name!r} full (capacity {self.capacity})")
+        self._items.append(item)
+        self.pushes += 1
+        self.high_water = max(self.high_water, len(self._items))
+
+    def pop(self) -> T:
+        if not self._items:
+            raise IndexError(f"fifo {self.name!r} empty")
+        self.pops += 1
+        return self._items.popleft()
+
+    def front(self) -> T:
+        if not self._items:
+            raise IndexError(f"fifo {self.name!r} empty")
+        return self._items[0]
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Fifo({self.name!r}, {len(self._items)}/{self.capacity})"

@@ -1,0 +1,106 @@
+"""Discrete-event and clocked simulation kernels.
+
+Ground-truth accelerator models in :mod:`repro.accel` are built on two
+substrates:
+
+* :class:`EventSim` — a time-ordered callback queue, used by models
+  whose components interact at irregular instants (DRAM controllers,
+  VTA's four concurrent modules).
+* :class:`ClockedSim` — ticks registered modules once per cycle, used
+  by reference models that we cross-validate the fast recurrences
+  against (see :mod:`repro.hw.pipeline`).
+
+Both are deterministic: simultaneous work is ordered by registration /
+schedule sequence numbers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+
+class SimError(Exception):
+    """Raised on invalid kernel usage (time travel, runaway loops)."""
+
+
+@dataclass(order=True)
+class _Scheduled:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+
+
+class EventSim:
+    """Minimal deterministic discrete-event kernel."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Scheduled] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at absolute ``time``."""
+        if time < self.now:
+            raise SimError(f"cannot schedule at {time} < now {self.now}")
+        heapq.heappush(self._queue, _Scheduled(time, next(self._seq), fn))
+
+    def after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` time units from now."""
+        self.at(self.now + delay, fn)
+
+    def run(self, *, until: float | None = None, max_events: int = 50_000_000) -> float:
+        """Drain the queue; returns the final simulation time."""
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self.now = until
+                return self.now
+            ev = heapq.heappop(self._queue)
+            self.now = ev.time
+            ev.fn()
+            processed += 1
+            if processed > max_events:
+                raise SimError(f"exceeded {max_events} events; runaway model?")
+        return self.now
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class Clocked(Protocol):
+    """A module advanced once per clock cycle by :class:`ClockedSim`."""
+
+    def tick(self, cycle: int) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class ClockedSim:
+    """Ticks registered modules once per cycle until a stop condition.
+
+    Modules are ticked in registration order each cycle.  The companion
+    intra-cycle fixpoint used by flow-through FIFO pipelines lives in
+    :mod:`repro.hw.pipeline`, not here; this kernel is a plain
+    synchronous clock.
+    """
+
+    def __init__(self) -> None:
+        self._modules: list[Clocked] = []
+        self.cycle = 0
+
+    def add(self, module: Clocked) -> None:
+        self._modules.append(module)
+
+    def run_until(
+        self, done: Callable[[], bool], *, max_cycles: int = 100_000_000
+    ) -> int:
+        """Tick until ``done()`` is true; returns the cycle count."""
+        while not done():
+            for m in self._modules:
+                m.tick(self.cycle)
+            self.cycle += 1
+            if self.cycle > max_cycles:
+                raise SimError(f"exceeded {max_cycles} cycles; model hung?")
+        return self.cycle

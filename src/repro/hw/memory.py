@@ -1,0 +1,169 @@
+"""A small DRAM timing model: banks, row buffers, refresh, queueing.
+
+The paper's §5 observes that the hard part of accelerator performance
+interfaces is often not the datapath but its interaction with memory:
+Protoacc reads messages through a memory system, VTA streams tiles from
+DRAM.  Our ground-truth models therefore include a DRAM model with
+address-dependent latency; the *interfaces* summarize all of it as a
+single ``avg_mem_latency`` constant, which is one of the organic error
+sources tabulated in DESIGN.md §6.
+
+Timing per access (one DRAM burst)::
+
+    start    = max(issue_time, bank_available, end_of_refresh_window)
+    service  = cas_latency + (row_hit ? 0 : row_miss_penalty)
+               + burst_beats(size)
+    complete = start + service
+
+All parameters are in core clock cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DramConfig:
+    """Timing/geometry parameters (defaults resemble a modest DDR part)."""
+
+    cas_latency: int = 14
+    row_miss_penalty: int = 24
+    banks: int = 8
+    row_size: int = 2048  # bytes covered by one open row
+    bytes_per_beat: int = 16
+    refresh_interval: int = 7_800
+    refresh_duration: int = 160
+
+    def burst_beats(self, size: int) -> int:
+        return max(1, -(-size // self.bytes_per_beat))
+
+    def expected_latency(self, size: int = 64, hit_ratio: float = 0.6) -> float:
+        """Analytic average an interface would quote as ``avg_mem_latency``.
+
+        Accounts for the refresh duty cycle but not for queueing, which
+        is workload-dependent — exactly the abstraction gap the paper's
+        interfaces accept.
+        """
+        service = (
+            self.cas_latency
+            + (1.0 - hit_ratio) * self.row_miss_penalty
+            + self.burst_beats(size)
+        )
+        refresh_overhead = self.refresh_duration / self.refresh_interval
+        return service * (1.0 + refresh_overhead)
+
+
+@dataclass
+class _Bank:
+    available: float = 0.0
+    open_row: int = -1
+
+
+class Dram:
+    """Stateful DRAM: call :meth:`access` in non-decreasing time order
+    per bank is not required — each access queues behind its bank.
+    """
+
+    def __init__(self, config: DramConfig | None = None):
+        self.config = config or DramConfig()
+        self._banks = [_Bank() for _ in range(self.config.banks)]
+        self._stream_available = 0.0
+        #: Cumulative statistics.
+        self.accesses = 0
+        self.row_hits = 0
+        self.total_latency = 0.0
+
+    def reset(self) -> None:
+        self._banks = [_Bank() for _ in range(self.config.banks)]
+        self._stream_available = 0.0
+        self.accesses = 0
+        self.row_hits = 0
+        self.total_latency = 0.0
+
+    def _bank_and_row(self, addr: int) -> tuple[int, int]:
+        cfg = self.config
+        row = addr // cfg.row_size
+        return row % cfg.banks, row // cfg.banks
+
+    def _after_refresh(self, t: float) -> float:
+        """Refresh windows occupy [k*interval, k*interval + duration) for
+        k >= 1 (the controller issues the first refresh one interval after
+        power-up, so time 0 starts clean)."""
+        cfg = self.config
+        if t < cfg.refresh_interval:
+            return t
+        phase = t % cfg.refresh_interval
+        if phase < cfg.refresh_duration:
+            return t + (cfg.refresh_duration - phase)
+        return t
+
+    def access(self, addr: int, at: float, size: int = 64) -> float:
+        """Issue one burst; returns the completion time."""
+        if addr < 0 or size < 1:
+            raise ValueError("addr must be >= 0 and size >= 1")
+        cfg = self.config
+        bank_idx, row = self._bank_and_row(addr)
+        bank = self._banks[bank_idx]
+        start = self._after_refresh(max(at, bank.available))
+        hit = bank.open_row == row
+        service = cfg.cas_latency + (0 if hit else cfg.row_miss_penalty)
+        service += cfg.burst_beats(size)
+        complete = start + service
+        bank.available = complete
+        bank.open_row = row
+        self.accesses += 1
+        self.row_hits += int(hit)
+        self.total_latency += complete - at
+        return complete
+
+    def read_span(self, addr: int, at: float, size: int) -> float:
+        """Stream ``size`` bytes starting at ``addr`` as row-sized bursts."""
+        cfg = self.config
+        t = at
+        remaining = size
+        cursor = addr
+        while remaining > 0:
+            chunk = min(remaining, cfg.row_size - cursor % cfg.row_size)
+            t = self.access(cursor, t, chunk)
+            cursor += chunk
+            remaining -= chunk
+        return t
+
+    def stream(self, addr: int, at: float, size: int) -> float:
+        """Bandwidth-bound sequential burst (prefetched, bank-interleaved).
+
+        Unlike :meth:`access`, a stream overlaps row activations with
+        data transfer: cost is one CAS, one beat per 16 B, a small 4-cycle
+        re-activate bubble per row crossed after the first, plus any
+        refresh windows the stream overlaps.  Streams share one prefetch
+        port, so concurrent streams serialize behind ``_stream_available``.
+        """
+        if addr < 0 or size < 1:
+            raise ValueError("addr must be >= 0 and size >= 1")
+        cfg = self.config
+        start = self._after_refresh(max(at, self._stream_available))
+        rows = (addr + size - 1) // cfg.row_size - addr // cfg.row_size
+        duration = (
+            cfg.cas_latency
+            + cfg.row_miss_penalty
+            + cfg.burst_beats(size)
+            + rows * 4
+        )
+        # Refresh windows that open during the stream stall it fully.
+        first_window = int(start // cfg.refresh_interval) + 1
+        last_window = int((start + duration) // cfg.refresh_interval)
+        duration += max(0, last_window - first_window + 1) * cfg.refresh_duration
+        end = start + duration
+        self._stream_available = end
+        self.accesses += 1
+        self.total_latency += end - at
+        return end
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.accesses if self.accesses else 0.0

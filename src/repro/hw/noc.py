@@ -1,0 +1,109 @@
+"""A shared-interconnect model (the paper's §5 SmartNIC concern).
+
+"A Petri net for a SmartNIC will likely need to include a model of the
+interconnect, since it can have a significant impact on performance."
+This module provides the ground-truth side: a shared bus with FCFS
+arbitration and *background traffic* (the other SmartNIC engines), plus
+the component-interface side: a closed-form expected-waiting estimate
+an accelerator interface can compose with (M/D/1 queueing, since bus
+service times are near-deterministic).
+
+The Protoacc model accepts a ``bus_config`` so every DMA transaction
+arbitrates here before reaching DRAM — see the E13 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Interconnect parameters.
+
+    Attributes:
+        bytes_per_cycle: Transfer bandwidth.
+        grant_overhead: Arbitration cycles per transaction.
+        background_utilization: Fraction of bus capacity consumed by
+            other engines' traffic (0 = idle interconnect).
+        background_packet: Size of one background transaction, bytes.
+        seed: Background arrival process seed (deterministic runs).
+    """
+
+    bytes_per_cycle: float = 16.0
+    grant_overhead: float = 4.0
+    background_utilization: float = 0.0
+    background_packet: int = 256
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.background_utilization < 0.95:
+            raise ValueError("background_utilization must be in [0, 0.95)")
+        if self.bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+
+    def service_time(self, size: int) -> float:
+        return self.grant_overhead + size / self.bytes_per_cycle
+
+
+class SharedBus:
+    """FCFS bus with a deterministic background-traffic process."""
+
+    def __init__(self, config: BusConfig | None = None):
+        self.config = config or BusConfig()
+        self._busy_until = 0.0
+        self._rng = np.random.default_rng(self.config.seed)
+        self._next_background = self._draw_gap()
+        #: Statistics.
+        self.requests = 0
+        self.total_wait = 0.0
+
+    def _draw_gap(self) -> float:
+        cfg = self.config
+        if cfg.background_utilization == 0:
+            return float("inf")
+        mean_gap = cfg.service_time(cfg.background_packet) / cfg.background_utilization
+        return float(self._rng.exponential(mean_gap))
+
+    def _absorb_background(self, until: float) -> None:
+        cfg = self.config
+        while self._next_background <= until:
+            start = max(self._next_background, self._busy_until)
+            self._busy_until = start + cfg.service_time(cfg.background_packet)
+            self._next_background += self._draw_gap()
+
+    def request(self, at: float, size: int) -> float:
+        """Arbitrate one transaction; returns when its transfer completes.
+
+        Must be called with non-decreasing ``at`` (one requester port;
+        the accelerator's DMA engine is serial anyway).
+        """
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self._absorb_background(at)
+        grant = max(at, self._busy_until)
+        done = grant + self.config.service_time(size)
+        self._busy_until = done
+        self.requests += 1
+        self.total_wait += grant - at
+        return done
+
+    @property
+    def mean_wait(self) -> float:
+        return self.total_wait / self.requests if self.requests else 0.0
+
+
+def expected_bus_delay(size: int, config: BusConfig) -> float:
+    """The interconnect's *component interface*: expected cycles one
+    transaction spends at the bus (queueing + service).
+
+    Queueing uses the M/D/1 mean wait for the background load,
+    W = rho * S / (2 * (1 - rho)): background arrivals are memoryless,
+    service is deterministic.
+    """
+    rho = config.background_utilization
+    service_bg = config.service_time(config.background_packet)
+    wait = rho * service_bg / (2 * (1 - rho)) if rho else 0.0
+    return wait + config.service_time(size)

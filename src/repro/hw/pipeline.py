@@ -1,0 +1,249 @@
+"""Exact timing of linear pipelines with bounded inter-stage FIFOs.
+
+This is the workhorse of the ground-truth accelerator models: a linear
+pipeline of serial stages (one item in flight per stage, initiation
+interval = service time) joined by bounded FIFOs, with
+blocking-after-service semantics — a stage that finished an item holds
+it (and stays busy) until the downstream FIFO has space.
+
+Two implementations are provided:
+
+* :class:`LinePipeline` computes the schedule with an exact recurrence,
+  O(items x stages), which is what the accelerator models use.
+* :class:`TickPipeline` simulates the same structure cycle by cycle and
+  exists to *prove* the recurrence right: the property-based tests in
+  ``tests/hw/test_pipeline_equivalence.py`` assert both produce
+  identical schedules for arbitrary integer costs.
+
+Recurrence (item ``i``, stage ``s``, FIFO ``s`` between ``s`` and
+``s+1`` with capacity ``cap[s] >= 1``)::
+
+    b[i][s] = max(e[i][s-1], e[i-1][s])        # start: item here & stage free
+    d[i][s] = b[i][s] + cost[s](item_i)        # compute done
+    e[i][s] = max(d[i][s], b[i-cap[s]][s+1])   # leave: downstream space
+    e[i][-1] = arrival[i]                      # source
+    e[i][last] = d[i][last]                    # sink never blocks
+
+The FIFO-space term says: the slot item ``i`` needs frees up the moment
+item ``i - cap[s]`` *starts* in stage ``s+1`` (is popped from the FIFO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .fifo import Fifo
+from .kernel import SimError
+
+CostFn = Callable[[Any], float]
+
+
+@dataclass
+class StageSpec:
+    """One pipeline stage: a name and a per-item service-time function."""
+
+    name: str
+    cost: CostFn
+
+
+@dataclass
+class PipelineSchedule:
+    """Full timing of a pipeline run."""
+
+    begin: list[list[float]]  # begin[i][s]
+    done: list[list[float]]  # compute-complete
+    exit: list[list[float]]  # leave stage (after any blocking)
+    arrivals: list[float]
+
+    @property
+    def items(self) -> int:
+        return len(self.begin)
+
+    @property
+    def stages(self) -> int:
+        return len(self.begin[0]) if self.begin else 0
+
+    def completion_times(self) -> list[float]:
+        """Time each item left the final stage."""
+        return [row[-1] for row in self.exit]
+
+    def latencies(self) -> list[float]:
+        """Per-item end-to-end latency (exit minus arrival)."""
+        return [row[-1] - a for row, a in zip(self.exit, self.arrivals)]
+
+    def makespan(self) -> float:
+        """Completion time of the last item (0 for an empty run)."""
+        exits = self.completion_times()
+        return max(exits, default=0.0)
+
+    def throughput(self) -> float:
+        """Items per cycle over the whole run (first arrival to last exit)."""
+        if not self.begin:
+            return 0.0
+        span = self.makespan() - min(self.arrivals)
+        return len(self.begin) / span if span > 0 else float("inf")
+
+    def stage_busy(self, s: int) -> float:
+        """Total busy time (compute + blocked) of stage ``s``."""
+        return sum(e[s] - b[s] for b, e in zip(self.begin, self.exit))
+
+
+class LinePipeline:
+    """Analytical blocking-pipeline timing model.
+
+    Args:
+        stages: Ordered stage specs.
+        fifo_capacity: Either one capacity for all inter-stage FIFOs or
+            a sequence of ``len(stages) - 1`` capacities, each >= 1.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[StageSpec],
+        fifo_capacity: int | Sequence[int] = 2,
+    ):
+        if not stages:
+            raise SimError("pipeline needs at least one stage")
+        self.stages = list(stages)
+        n_fifos = len(stages) - 1
+        if isinstance(fifo_capacity, int):
+            caps = [fifo_capacity] * n_fifos
+        else:
+            caps = list(fifo_capacity)
+            if len(caps) != n_fifos:
+                raise SimError(f"expected {n_fifos} fifo capacities, got {len(caps)}")
+        if any(c < 1 for c in caps):
+            raise SimError("fifo capacities must be >= 1")
+        self.caps = caps
+
+    def schedule(
+        self, items: Sequence[Any], arrivals: Sequence[float] | None = None
+    ) -> PipelineSchedule:
+        """Compute the exact schedule for ``items``.
+
+        ``arrivals`` defaults to all-zero (batch at time 0 = saturated
+        throughput measurement); it must be non-decreasing.
+        """
+        n = len(items)
+        s_count = len(self.stages)
+        if arrivals is None:
+            arr = [0.0] * n
+        else:
+            arr = [float(a) for a in arrivals]
+            if len(arr) != n:
+                raise SimError("arrivals length must match items")
+            if any(b < a for a, b in zip(arr, arr[1:])):
+                raise SimError("arrivals must be non-decreasing")
+
+        begin = [[0.0] * s_count for _ in range(n)]
+        done = [[0.0] * s_count for _ in range(n)]
+        exit_ = [[0.0] * s_count for _ in range(n)]
+
+        costs = [[float(spec.cost(it)) for spec in self.stages] for it in items]
+        for i, row in enumerate(costs):
+            for s, c in enumerate(row):
+                if c < 0:
+                    raise SimError(f"negative cost {c} (item {i}, stage {s})")
+
+        for i in range(n):
+            for s in range(s_count):
+                avail = arr[i] if s == 0 else exit_[i][s - 1]
+                stage_free = exit_[i - 1][s] if i > 0 else 0.0
+                begin[i][s] = max(avail, stage_free)
+                done[i][s] = begin[i][s] + costs[i][s]
+                if s == s_count - 1:
+                    exit_[i][s] = done[i][s]
+                else:
+                    cap = self.caps[s]
+                    space_at = begin[i - cap][s + 1] if i >= cap else 0.0
+                    exit_[i][s] = max(done[i][s], space_at)
+        return PipelineSchedule(begin=begin, done=done, exit=exit_, arrivals=arr)
+
+
+class TickPipeline:
+    """Cycle-ticking reference implementation of the same semantics.
+
+    Integer costs only.  Within each cycle, stage moves (push completed
+    item downstream, pop next item) are iterated to a fixpoint so that
+    an item can traverse a zero-occupancy path in one instant, matching
+    the recurrence's instantaneous-transfer semantics.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[StageSpec],
+        fifo_capacity: int | Sequence[int] = 2,
+    ):
+        self._line = LinePipeline(stages, fifo_capacity)  # reuse validation
+        self.stages = self._line.stages
+        self.caps = self._line.caps
+
+    def schedule(
+        self, items: Sequence[Any], arrivals: Sequence[float] | None = None
+    ) -> PipelineSchedule:
+        n = len(items)
+        s_count = len(self.stages)
+        arr = [0.0] * n if arrivals is None else [float(a) for a in arrivals]
+        costs = [[int(spec.cost(it)) for spec in self.stages] for it in items]
+        for row in costs:
+            if any(c < 0 for c in row):
+                raise SimError("negative cost")
+
+        begin = [[0.0] * s_count for _ in range(n)]
+        done_t = [[0.0] * s_count for _ in range(n)]
+        exit_t = [[0.0] * s_count for _ in range(n)]
+
+        fifos = [Fifo(c, f"f{s}") for s, c in enumerate(self.caps)]
+        # Stage state: (item_index, finish_cycle) or None; "holding" means
+        # compute finished but blocked on downstream space.
+        current: list[tuple[int, int] | None] = [None] * s_count
+        holding: list[int | None] = [None] * s_count
+        next_item = 0
+        completed = 0
+        cycle = 0
+        guard = 0
+
+        while completed < n:
+            progress = True
+            while progress:  # intra-cycle fixpoint
+                progress = False
+                for s in range(s_count - 1, -1, -1):
+                    # Finish compute.
+                    if current[s] is not None and current[s][1] <= cycle:
+                        item, _ = current[s]
+                        done_t[item][s] = current[s][1]
+                        current[s] = None
+                        holding[s] = item
+                        progress = True
+                    # Drain holding into downstream (or out of the pipe).
+                    if holding[s] is not None:
+                        item = holding[s]
+                        if s == s_count - 1:
+                            exit_t[item][s] = max(done_t[item][s], cycle)
+                            holding[s] = None
+                            completed += 1
+                            progress = True
+                        elif fifos[s].can_push():
+                            exit_t[item][s] = cycle
+                            fifos[s].push(item)
+                            holding[s] = None
+                            progress = True
+                    # Start the next item.
+                    if current[s] is None and holding[s] is None:
+                        item = None
+                        if s == 0:
+                            if next_item < n and arr[next_item] <= cycle:
+                                item = next_item
+                                next_item += 1
+                        elif fifos[s - 1].can_pop():
+                            item = fifos[s - 1].pop()
+                        if item is not None:
+                            begin[item][s] = cycle
+                            current[s] = (item, cycle + costs[item][s])
+                            progress = True
+            cycle += 1
+            guard += 1
+            if guard > 10_000_000:
+                raise SimError("tick pipeline exceeded 10M cycles")
+        return PipelineSchedule(begin=begin, done=done_t, exit=exit_t, arrivals=arr)

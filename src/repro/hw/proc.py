@@ -1,0 +1,132 @@
+"""Generator-based processes on top of :class:`repro.hw.EventSim`.
+
+Models with several concurrently-executing engines (VTA's fetch, load,
+compute, and store modules) read far more naturally as communicating
+sequential processes than as callback chains.  A process is a generator
+that yields commands:
+
+* ``Delay(dt)`` — advance this process ``dt`` time units.
+* ``Get(queue)`` — pop one item from a :class:`ProcQueue`, blocking
+  while it is empty; the item is sent back into the generator.
+* ``Put(queue, item)`` — push one item, blocking while the queue is at
+  capacity.
+
+Determinism: all wakeups are scheduled through the event kernel, so
+same-time events run in schedule order; two runs of the same program
+interleave identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from .kernel import EventSim, SimError
+
+
+@dataclass(frozen=True)
+class Delay:
+    dt: float
+
+
+@dataclass(frozen=True)
+class Get:
+    queue: "ProcQueue"
+
+
+@dataclass(frozen=True)
+class Put:
+    queue: "ProcQueue"
+    item: Any = None
+
+
+Command = Delay | Get | Put
+ProcGen = Generator[Command, Any, None]
+
+
+class ProcQueue:
+    """A token/message queue connecting processes.
+
+    Items are FIFO.  ``capacity=None`` means unbounded (dependency-token
+    queues); a bounded queue blocks putters when full (command queues).
+    """
+
+    def __init__(self, sim: EventSim, capacity: int | None = None, name: str = "q"):
+        if capacity is not None and capacity < 1:
+            raise SimError("queue capacity must be >= 1 or None")
+        self._sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Callable[[Any], None]] = deque()
+        self._putters: deque[tuple[Any, Callable[[Any], None]]] = deque()
+        #: Statistics.
+        self.puts = 0
+        self.gets = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # Internal plumbing used by the scheduler -------------------------
+    def _try_get(self, resume: Callable[[Any], None]) -> None:
+        if self._items:
+            item = self._items.popleft()
+            self.gets += 1
+            self._admit_waiting_putter()
+            self._sim.after(0.0, lambda: resume(item))
+        else:
+            self._getters.append(resume)
+
+    def _try_put(self, item: Any, resume: Callable[[Any], None]) -> None:
+        if self._getters:
+            getter = self._getters.popleft()
+            self.puts += 1
+            self.gets += 1
+            self._sim.after(0.0, lambda: getter(item))
+            self._sim.after(0.0, lambda: resume(None))
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            self.puts += 1
+            self._sim.after(0.0, lambda: resume(None))
+        else:
+            self._putters.append((item, resume))
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            item, resume = self._putters.popleft()
+            self._items.append(item)
+            self.puts += 1
+            self._sim.after(0.0, lambda: resume(None))
+
+
+def spawn(sim: EventSim, gen: ProcGen, *, name: str = "proc") -> dict:
+    """Start a process; returns a status dict updated as it runs.
+
+    The status dict has keys ``done`` (bool) and ``end`` (finish time or
+    ``None``), letting callers poll completion after ``sim.run()``.
+    """
+    status = {"done": False, "end": None, "name": name}
+
+    def step(send_value: Any) -> None:
+        try:
+            cmd = gen.send(send_value)
+        except StopIteration:
+            status["done"] = True
+            status["end"] = sim.now
+            return
+        if isinstance(cmd, Delay):
+            if cmd.dt < 0:
+                raise SimError(f"process {name!r} yielded negative delay {cmd.dt}")
+            sim.after(cmd.dt, lambda: step(None))
+        elif isinstance(cmd, Get):
+            cmd.queue._try_get(step)
+        elif isinstance(cmd, Put):
+            cmd.queue._try_put(cmd.item, step)
+        else:
+            raise SimError(f"process {name!r} yielded unknown command {cmd!r}")
+
+    sim.after(0.0, lambda: step(None))
+    return status

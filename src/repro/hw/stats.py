@@ -1,0 +1,82 @@
+"""Summary statistics shared by models, validation, and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        if len(values) == 0:
+            raise ValueError("cannot summarize an empty sample")
+        arr = np.asarray(values, dtype=float)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} min={self.minimum:.3f} "
+            f"p50={self.p50:.3f} p95={self.p95:.3f} p99={self.p99:.3f} "
+            f"max={self.maximum:.3f}"
+        )
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    """|predicted - actual| / actual, with a guard for zero actuals."""
+    if actual == 0:
+        return 0.0 if predicted == 0 else float("inf")
+    return abs(predicted - actual) / abs(actual)
+
+
+def relative_errors(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> np.ndarray:
+    """Vectorized relative errors; lengths must match."""
+    if len(predicted) != len(actual):
+        raise ValueError("predicted and actual must have the same length")
+    p = np.asarray(predicted, dtype=float)
+    a = np.asarray(actual, dtype=float)
+    out = np.empty_like(a)
+    zero = a == 0
+    out[~zero] = np.abs(p[~zero] - a[~zero]) / np.abs(a[~zero])
+    out[zero] = np.where(p[zero] == 0, 0.0, np.inf)
+    return out
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Average/max relative error between predictions and ground truth."""
+
+    avg: float
+    max: float
+    count: int
+
+    @classmethod
+    def of(cls, predicted: Sequence[float], actual: Sequence[float]) -> "ErrorReport":
+        errs = relative_errors(predicted, actual)
+        return cls(avg=float(errs.mean()), max=float(errs.max()), count=int(errs.size))
+
+    def as_percent(self) -> str:
+        return f"avg {self.avg * 100:.2f}% (max {self.max * 100:.2f}%) over n={self.count}"

@@ -1,0 +1,82 @@
+"""Timed, colored Petri nets: the performance IR for accelerators.
+
+This package is the reusable engine behind the paper's third interface
+representation.  A net built here (or parsed from ``.pnet`` text) is a
+circuit that is *performance-equivalent* to an accelerator: simulating
+it over a workload predicts the accelerator's latency and throughput
+without computing any of its functional outputs.
+
+Typical use::
+
+    from repro.petri import PetriNet, Simulator
+
+    net = PetriNet("adder")
+    net.add_place("in")
+    net.add_place("out")
+    net.add_transition("alu", ["in"], ["out"], delay=3)
+
+    sim = Simulator(net, sinks=["out"])
+    sim.inject_stream("in", range(100))
+    result = sim.run()
+    result.latencies()    # -> per-item end-to-end cycles
+"""
+
+from .components import (
+    add_bounded_stage,
+    add_fcfs_port,
+    add_mutex,
+    mutex_injections,
+)
+from .analysis import (
+    StructureReport,
+    analyze_structure,
+    bottleneck_estimate,
+    find_cycles,
+    incidence_matrix,
+    p_invariants,
+)
+from .dot import to_dot
+from .dsl import parse, to_pnet
+from .errors import (
+    CapacityError,
+    DeadlockError,
+    DefinitionError,
+    DslError,
+    PetriError,
+    SimulationError,
+)
+from .net import Arc, PetriNet, Place, Transition, chain
+from .simulate import Completion, SimResult, Simulator, run_workload
+from .token import Token
+
+__all__ = [
+    "Arc",
+    "CapacityError",
+    "Completion",
+    "DeadlockError",
+    "DefinitionError",
+    "DslError",
+    "PetriError",
+    "PetriNet",
+    "Place",
+    "SimResult",
+    "SimulationError",
+    "Simulator",
+    "StructureReport",
+    "Token",
+    "Transition",
+    "add_bounded_stage",
+    "add_fcfs_port",
+    "add_mutex",
+    "analyze_structure",
+    "bottleneck_estimate",
+    "chain",
+    "find_cycles",
+    "incidence_matrix",
+    "mutex_injections",
+    "p_invariants",
+    "parse",
+    "run_workload",
+    "to_dot",
+    "to_pnet",
+]

@@ -1,0 +1,171 @@
+"""Static analysis of performance-IR nets.
+
+Tools (not humans) are the audience for the Petri-net representation,
+and tools need sanity checks before trusting a vendor-shipped net: is it
+structurally sound, can it deadlock on its own, does it conserve data
+units?  This module provides the checks the paper's vision implies a
+"performance IR" toolchain would run on ingestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .net import PetriNet
+
+
+@dataclass
+class StructureReport:
+    """Result of :func:`analyze_structure`."""
+
+    place_order: list[str]
+    transition_order: list[str]
+    incidence: np.ndarray
+    warnings: list[str] = field(default_factory=list)
+    conservative: bool = False
+    p_invariants: np.ndarray | None = None
+    source_places: list[str] = field(default_factory=list)
+    sink_places: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [
+            f"places={len(self.place_order)} transitions={len(self.transition_order)}",
+            f"sources={self.source_places} sinks={self.sink_places}",
+            f"conservative={self.conservative}",
+        ]
+        lines.extend(f"warning: {w}" for w in self.warnings)
+        return "\n".join(lines)
+
+
+def incidence_matrix(net: PetriNet) -> tuple[np.ndarray, list[str], list[str]]:
+    """Return (C, places, transitions) with C[p, t] = produced - consumed.
+
+    The incidence matrix is the standard linear-algebraic view of a
+    Petri net: marking' = marking + C @ firing_counts.
+    """
+    places = sorted(net.places)
+    transitions = [t.name for t in net.ordered_transitions()]
+    p_index = {p: i for i, p in enumerate(places)}
+    c = np.zeros((len(places), len(transitions)), dtype=np.int64)
+    for j, tname in enumerate(transitions):
+        t = net.transitions[tname]
+        for arc in t.inputs:
+            c[p_index[arc.place], j] -= arc.weight
+        for arc in t.outputs:
+            c[p_index[arc.place], j] += arc.weight
+    return c, places, transitions
+
+
+def p_invariants(incidence: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    """Left-nullspace basis of the incidence matrix (real-valued).
+
+    Rows y with y @ C == 0 are place invariants: the weighted token sum
+    y . marking is constant under any firing sequence.  A net whose
+    invariants cover all places with positive weights is *conservative*:
+    it can neither create nor destroy data units internally.
+    """
+    if incidence.size == 0:
+        return np.zeros((0, incidence.shape[0]))
+    # Left nullspace of C == nullspace of C.T; with C.T = U S Vt, the
+    # rows of Vt beyond the rank span {y : C.T y = 0} i.e. {y : y C = 0}.
+    _, s, vt = np.linalg.svd(incidence.astype(float).T)
+    rank = int(np.sum(s > tol)) if s.size else 0
+    return vt[rank:]
+
+
+def analyze_structure(net: PetriNet) -> StructureReport:
+    """Run all static checks and return a consolidated report."""
+    c, places, transitions = incidence_matrix(net)
+    warnings = net.validate()
+
+    consumed = set()
+    produced = set()
+    for t in net.transitions.values():
+        consumed.update(a.place for a in t.inputs)
+        produced.update(a.place for a in t.outputs)
+    sources = sorted(p for p in net.places if p not in produced)
+    sinks = sorted(p for p in net.places if p not in consumed)
+
+    inv = p_invariants(c) if c.size else None
+    conservative = False
+    if inv is not None and inv.shape[0] > 0:
+        for row in inv:
+            if np.all(row > 1e-9) or np.all(row < -1e-9):
+                conservative = True
+                break
+
+    return StructureReport(
+        place_order=places,
+        transition_order=transitions,
+        incidence=c,
+        warnings=warnings,
+        conservative=conservative,
+        p_invariants=inv,
+        source_places=sources,
+        sink_places=sinks,
+    )
+
+
+def find_cycles(net: PetriNet) -> list[list[str]]:
+    """Enumerate simple cycles in the place/transition bipartite graph.
+
+    Cycles are legitimate (they model credit/ring buffers) but a cycle
+    with no initial tokens and no external injection point deadlocks, so
+    interface authors want to see them listed.
+    """
+    graph: dict[str, set[str]] = {}
+    for t in net.transitions.values():
+        tnode = f"t:{t.name}"
+        graph.setdefault(tnode, set())
+        for arc in t.inputs:
+            graph.setdefault(f"p:{arc.place}", set()).add(tnode)
+        for arc in t.outputs:
+            graph[tnode].add(f"p:{arc.place}")
+            graph.setdefault(f"p:{arc.place}", set())
+
+    cycles: list[list[str]] = []
+    seen_cycles: set[tuple[str, ...]] = set()
+
+    def dfs(node: str, path: list[str], on_path: set[str]) -> None:
+        for nxt in sorted(graph.get(node, ())):
+            if nxt in on_path:
+                idx = path.index(nxt)
+                cyc = path[idx:]
+                key = _canonical(cyc)
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    cycles.append([n.split(":", 1)[1] for n in cyc])
+            elif len(path) < 64:
+                path.append(nxt)
+                on_path.add(nxt)
+                dfs(nxt, path, on_path)
+                on_path.discard(nxt)
+                path.pop()
+
+    for start in sorted(graph):
+        dfs(start, [start], {start})
+    return cycles
+
+
+def _canonical(cycle: list[str]) -> tuple[str, ...]:
+    """Rotation-invariant key for a cycle."""
+    best = None
+    for i in range(len(cycle)):
+        rot = tuple(cycle[i:] + cycle[:i])
+        if best is None or rot < best:
+            best = rot
+    return best or ()
+
+
+def bottleneck_estimate(net: PetriNet) -> dict[str, float]:
+    """Per-transition saturated service demand after a simulation run.
+
+    Must be called after a :class:`~repro.petri.simulate.Simulator` run;
+    uses the busy-time statistics the simulator maintains.  The
+    transition with the highest busy time is the throughput bottleneck
+    under the simulated workload — the piece of information the paper's
+    Protoacc interface surfaces as "which stage bottlenecks a message".
+    """
+    return {name: t.busy_time for name, t in net.transitions.items()}

@@ -1,0 +1,107 @@
+"""Reusable performance-IR components (paper §5).
+
+"One possible solution … could be to develop individual Petri nets for
+such components once and reuse them across multiple accelerators."
+This module provides those building blocks: structural idioms that
+recur in every accelerator net we wrote by hand — mutex resources,
+FCFS-arbitrated shared ports, and bounded pipelines — packaged so a new
+interface author composes rather than rediscovers them.
+
+Each helper mutates a net under construction and returns the names it
+created; companion ``*_injections`` helpers produce the initial tokens
+the component needs at simulation time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from .errors import DefinitionError
+from .net import DelaySpec, PetriNet
+from .token import Token
+
+
+def add_mutex(net: PetriNet, name: str) -> str:
+    """A serialization resource: a place meant to hold exactly one token.
+
+    Transitions that need the resource list the place in *both* their
+    inputs and outputs.  The place is unbounded on purpose: a capacity-1
+    self-loop could never reserve output space under reserve-at-start
+    semantics (see the VTA interface for the original discussion).
+    """
+    net.add_place(name)
+    return name
+
+
+def mutex_injections(names: Sequence[str]) -> list[tuple[str, Token]]:
+    """Initial marking for mutexes: one token each, at time zero."""
+    return [(name, Token(payload=None)) for name in names]
+
+
+def add_fcfs_port(
+    net: PetriNet,
+    name: str,
+    *,
+    users: Mapping[str, DelaySpec],
+    done_place: str,
+    classify: Callable[[Mapping], str] | None = None,
+) -> dict[str, str]:
+    """A shared port granted in request order across independent users.
+
+    Creates a request place ``<name>_req`` (FIFO across all users — the
+    arbitration) and a grant mutex ``<name>``.  For each user class a
+    grant transition consumes ``[<name>_req, <name>]`` and produces
+    ``[<name>, done_place]`` with that user's service delay.  When
+    several user classes share the request place, ``classify`` maps the
+    consumed tokens to a class name and each grant transition guards on
+    it (tokens must carry enough payload to classify).
+
+    Returns ``{"request": ..., "grant": ...}`` place names.  Requesters
+    deposit tokens into the request place (usually as the output of an
+    upstream transition); the caller injects the grant token via
+    :func:`mutex_injections`.
+    """
+    if not users:
+        raise DefinitionError("fcfs port needs at least one user class")
+    req = net.add_place(f"{name}_req").name
+    add_mutex(net, name)
+    for user, delay in users.items():
+        guard = None
+        if classify is not None:
+            def guard(consumed, user=user):  # noqa: E306
+                return classify(consumed) == user
+
+        net.add_transition(
+            f"{name}_grant_{user}",
+            [req, name],
+            [name, done_place],
+            delay=delay,
+            guard=guard,
+            servers=1,
+        )
+    return {"request": req, "grant": name}
+
+
+def add_bounded_stage(
+    net: PetriNet,
+    name: str,
+    source: str,
+    sink: str,
+    *,
+    delay: DelaySpec,
+    queue_capacity: int | None = None,
+    servers: int | None = 1,
+) -> str:
+    """One pipeline stage with an optional bounded input queue.
+
+    If ``queue_capacity`` is given, a queue place ``q_<name>`` is
+    inserted between ``source`` and the stage via a zero-delay mover
+    (modeling a FIFO whose fullness backpressures the producer).
+    """
+    upstream = source
+    if queue_capacity is not None:
+        q = net.add_place(f"q_{name}", capacity=queue_capacity).name
+        net.add_transition(f"enq_{name}", [source], [q], delay=0.0, servers=None)
+        upstream = q
+    net.add_transition(name, [upstream], [sink], delay=delay, servers=servers)
+    return name

@@ -1,0 +1,40 @@
+"""Graphviz DOT export for performance-IR nets.
+
+Petri-net interfaces are "not human-readable" per the paper; rendering
+them is the next best thing for a developer who wants to eyeball the
+pipeline topology a vendor shipped.
+"""
+
+from __future__ import annotations
+
+from .net import PetriNet
+
+
+def to_dot(net: PetriNet, *, rankdir: str = "LR") -> str:
+    """Render the net as a DOT digraph (places=circles, transitions=boxes)."""
+    lines = [
+        f'digraph "{net.name}" {{',
+        f"  rankdir={rankdir};",
+        '  node [fontname="Helvetica"];',
+    ]
+    for name, place in net.places.items():
+        cap = "" if place.capacity is None else f"\\ncap={place.capacity}"
+        lines.append(f'  "p_{name}" [shape=circle, label="{name}{cap}"];')
+    for t in net.ordered_transitions():
+        extra = ""
+        if t.servers is None:
+            extra = "\\nservers=inf"
+        elif t.servers != 1:
+            extra = f"\\nservers={t.servers}"
+        lines.append(
+            f'  "t_{t.name}" [shape=box, style=filled, fillcolor=lightgray, '
+            f'label="{t.name}{extra}"];'
+        )
+        for arc in t.inputs:
+            w = "" if arc.weight == 1 else f' [label="{arc.weight}"]'
+            lines.append(f'  "p_{arc.place}" -> "t_{t.name}"{w};')
+        for arc in t.outputs:
+            w = "" if arc.weight == 1 else f' [label="{arc.weight}"]'
+            lines.append(f'  "t_{t.name}" -> "p_{arc.place}"{w};')
+    lines.append("}")
+    return "\n".join(lines)

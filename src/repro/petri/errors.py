@@ -1,0 +1,35 @@
+"""Exceptions raised by the Petri-net performance IR engine."""
+
+
+class PetriError(Exception):
+    """Base class for all Petri-net engine errors."""
+
+
+class DefinitionError(PetriError):
+    """The net is structurally ill-formed (duplicate names, bad arcs, ...)."""
+
+
+class SimulationError(PetriError):
+    """The simulation reached an invalid state (e.g. negative delay)."""
+
+
+class DeadlockError(SimulationError):
+    """No transition is enabled but tokens remain and work was expected.
+
+    Raised only when the caller asked :class:`repro.petri.simulate.Simulator`
+    to treat starvation as an error (``on_deadlock="raise"``).
+    """
+
+
+class CapacityError(PetriError):
+    """A token was forced into a place beyond its declared capacity."""
+
+
+class DslError(PetriError):
+    """A ``.pnet`` DSL document could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line

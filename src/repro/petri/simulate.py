@@ -1,0 +1,380 @@
+"""Deterministic discrete-event execution of timed Petri nets.
+
+Execution semantics (documented here because the ground-truth hardware
+models in :mod:`repro.hw` and the interface nets must agree on them):
+
+* Time is continuous (floats, usually interpreted as clock cycles).
+* A transition is *enabled* at time ``t`` when (a) every input place
+  holds at least ``weight`` tokens, (b) its guard accepts the tokens
+  that would be consumed (FIFO order per place), (c) a server is free,
+  and (d) every output place can reserve ``weight`` slots.
+* Firing consumes the input tokens and reserves output slots at ``t``
+  ("reserve-at-start" backpressure: a stage does not begin work it
+  cannot drain, like a pipeline stage gated by downstream ready).
+* The firing completes at ``t + delay(consumed)``; completion deposits
+  the produced tokens and frees the server.
+* When several transitions are enabled at the same instant they fire in
+  ``(priority, name)`` order, and firing repeats until no transition is
+  enabled, so zero-delay transitions cascade within one instant.
+
+Determinism: given the same net, injection schedule, and token payloads,
+two runs produce identical event sequences.  Nothing in the engine draws
+randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Literal, Mapping, Sequence
+
+from .errors import DeadlockError, SimulationError
+from .net import PetriNet, Transition
+from .token import Token
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+@dataclass
+class Completion:
+    """A token arriving at a sink place."""
+
+    time: float
+    token: Token
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency: arrival time minus injection time."""
+        return self.token.aged(self.time)
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    end_time: float
+    completions: dict[str, list[Completion]]
+    fired: dict[str, int]
+    deadlocked: bool = False
+    residual_tokens: int = 0
+
+    def sink(self, name: str | None = None) -> list[Completion]:
+        """Completions for ``name``, or for the only sink when omitted."""
+        if name is None:
+            if len(self.completions) != 1:
+                raise ValueError(
+                    f"net has {len(self.completions)} sinks; name one of "
+                    f"{sorted(self.completions)}"
+                )
+            return next(iter(self.completions.values()))
+        return self.completions[name]
+
+    def latencies(self, sink: str | None = None) -> list[float]:
+        return [c.latency for c in self.sink(sink)]
+
+    def makespan(self) -> float:
+        """Time of the last completion across all sinks (0 if none)."""
+        times = [c.time for comps in self.completions.values() for c in comps]
+        return max(times, default=0.0)
+
+    def throughput(self, sink: str | None = None) -> float:
+        """Completions per unit time, measured over the full run."""
+        comps = self.sink(sink)
+        if not comps or self.end_time <= 0:
+            return 0.0
+        return len(comps) / self.end_time
+
+
+class Simulator:
+    """Runs a :class:`~repro.petri.net.PetriNet` over an injected workload.
+
+    Args:
+        net: The net to execute.  Its marking is reset on :meth:`run`.
+        sinks: Place names treated as terminal; tokens deposited there
+            are recorded as :class:`Completion` and removed, so sink
+            capacity never throttles the net.
+        trace: When true, every token records its ``(transition, time)``
+            path — useful for debugging interface nets, costly for
+            large workloads.
+    """
+
+    #: Safety valve against zero-delay livelock.
+    MAX_FIRINGS_PER_INSTANT = 100_000
+
+    def __init__(
+        self,
+        net: PetriNet,
+        sinks: Sequence[str] = ("out",),
+        *,
+        trace: bool = False,
+    ):
+        for s in sinks:
+            if s not in net.places:
+                raise SimulationError(f"sink {s!r} is not a place of net {net.name!r}")
+        self.net = net
+        self.sinks = list(sinks)
+        self.trace = trace
+        self._events: list[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._pending: list[tuple[float, str, Token]] = []
+
+    # ------------------------------------------------------------------
+    # Workload injection
+    # ------------------------------------------------------------------
+    def inject(self, place: str, payload: Any = None, at: float = 0.0) -> Token:
+        """Schedule a token carrying ``payload`` to enter ``place`` at ``at``."""
+        if place not in self.net.places:
+            raise SimulationError(f"unknown place {place!r}")
+        token = payload if isinstance(payload, Token) else Token(payload=payload)
+        self._pending.append((at, place, token))
+        return token
+
+    def inject_stream(
+        self, place: str, payloads: Iterable[Any], *, start: float = 0.0, gap: float = 0.0
+    ) -> list[Token]:
+        """Inject one token per payload, ``gap`` time units apart."""
+        tokens = []
+        t = start
+        for payload in payloads:
+            tokens.append(self.inject(place, payload, at=t))
+            t += gap
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        until: float | None = None,
+        on_deadlock: Literal["stop", "raise"] = "stop",
+    ) -> SimResult:
+        """Execute until quiescence (or ``until``), returning the result."""
+        net = self.net
+        net.reset()
+        self._events.clear()
+        self._now = 0.0
+        completions: dict[str, list[Completion]] = {s: [] for s in self.sinks}
+        sinkset = set(self.sinks)
+
+        # Dirty-set scheduling: only transitions whose neighborhood
+        # changed are re-checked for enabledness.  consumers[p] are the
+        # transitions reading place p (can be enabled by a deposit or a
+        # head change); producers[p] are those writing p (can be enabled
+        # when p's capacity frees up).
+        self._consumers: dict[str, list[Transition]] = {p: [] for p in net.places}
+        self._producers: dict[str, list[Transition]] = {p: [] for p in net.places}
+        for t in net.ordered_transitions():
+            t.sort_key = (t.priority, t.name)
+            # Arc caches: resolve place objects once, not per check.
+            t.in_arcs = [(arc.place, net.places[arc.place], arc.weight) for arc in t.inputs]
+            t.out_arcs = [(arc.place, net.places[arc.place], arc.weight) for arc in t.outputs]
+            for arc in t.inputs:
+                self._consumers[arc.place].append(t)
+            for arc in t.outputs:
+                self._producers[arc.place].append(t)
+        self._dirty: set[Transition] = set()
+
+        for at, place, token in sorted(
+            self._pending, key=lambda item: (item[0], item[2].uid)
+        ):
+            self._schedule(at, self._make_inject(place, token, sinkset, completions))
+        self._pending.clear()
+
+        while self._events:
+            # Pop every event scheduled for the next instant, apply them,
+            # then fire enabled transitions to fixpoint at that instant.
+            t = self._events[0].time
+            if until is not None and t > until:
+                self._now = until
+                break
+            self._now = t
+            while self._events and self._events[0].time == t:
+                heapq.heappop(self._events).action()
+            self._fire_all(sinkset, completions)
+
+        deadlocked = False
+        residual = net.total_tokens()
+        in_flight = any(t.busy for t in net.transitions.values())
+        if residual > 0 and not in_flight and not self._events:
+            deadlocked = True
+            if on_deadlock == "raise":
+                raise DeadlockError(
+                    f"net {net.name!r} starved with {residual} resident tokens: "
+                    f"marking={net.marking()}"
+                )
+        return SimResult(
+            end_time=self._now,
+            completions=completions,
+            fired={name: t.fire_count for name, t in net.transitions.items()},
+            deadlocked=deadlocked,
+            residual_tokens=residual,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _schedule(self, time: float, action: Callable[[], None]) -> None:
+        if time < self._now:
+            raise SimulationError(f"event scheduled in the past ({time} < {self._now})")
+        heapq.heappush(self._events, _Event(time, next(self._seq), action))
+
+    def _make_inject(
+        self,
+        place: str,
+        token: Token,
+        sinkset: set[str],
+        completions: dict[str, list[Completion]],
+    ) -> Callable[[], None]:
+        def action() -> None:
+            token.born = self._now
+            if self.trace and token.trace is None:
+                token.trace = []
+            self._deposit(place, token, sinkset, completions, from_reservation=False)
+
+        return action
+
+    def _deposit(
+        self,
+        place: str,
+        token: Token,
+        sinkset: set[str],
+        completions: dict[str, list[Completion]],
+        *,
+        from_reservation: bool,
+    ) -> None:
+        if place in sinkset:
+            if from_reservation:
+                self.net.places[place].reserved -= 1
+                # A sink deposit releases reserved capacity: writers of
+                # this place may become enabled again.
+                self._dirty.update(self._producers[place])
+            completions[place].append(Completion(time=self._now, token=token))
+        else:
+            self.net.places[place].put(token, from_reservation=from_reservation)
+            self._dirty.update(self._consumers[place])
+
+    def _enabled_consumption(
+        self, t: Transition
+    ) -> dict[str, list[Token]] | None:
+        """Return the tokens ``t`` would consume now, or ``None`` if disabled."""
+        if t.servers is not None and t.busy >= t.servers:
+            return None
+        for _, place, weight in t.in_arcs:
+            if len(place.tokens) < weight:
+                return None
+        for _, place, weight in t.out_arcs:
+            cap = place.capacity
+            if cap is not None and cap - len(place.tokens) - place.reserved < weight:
+                return None
+        consumed = {
+            name: (
+                [place.tokens[0]] if weight == 1 else place.peek(weight)
+            )
+            for name, place, weight in t.in_arcs
+        }
+        if t.guard is not None and not t.guard(consumed):
+            return None
+        return consumed
+
+    def _fire_all(
+        self, sinkset: set[str], completions: dict[str, list[Completion]]
+    ) -> None:
+        for _ in range(self.MAX_FIRINGS_PER_INSTANT):
+            if not self._dirty:
+                return
+            batch = sorted(self._dirty, key=lambda t: t.sort_key)
+            self._dirty.clear()
+            for t in batch:
+                while True:
+                    consumed = self._enabled_consumption(t)
+                    if consumed is None:
+                        break
+                    self._fire(t, sinkset, completions)
+        raise SimulationError(
+            f"net {net.name!r}: more than {self.MAX_FIRINGS_PER_INSTANT} firings at "
+            f"t={self._now}; likely a zero-delay loop"
+        )
+
+    def _fire(
+        self,
+        t: Transition,
+        sinkset: set[str],
+        completions: dict[str, list[Completion]],
+    ) -> None:
+        consumed = {
+            name: place.take(weight) for name, place, weight in t.in_arcs
+        }
+        for _, place, weight in t.out_arcs:
+            place.reserved += weight
+        # Consuming freed input capacity (writers may proceed) and
+        # changed the input heads (other readers' guards may now match).
+        dirty = self._dirty
+        for name, _, _ in t.in_arcs:
+            dirty.update(self._producers[name])
+            dirty.update(self._consumers[name])
+        delay = t.compute_delay(consumed)
+        t.busy += 1
+        t.fire_count += 1
+        t.busy_time += delay
+        fire_time = self._now
+
+        def complete() -> None:
+            produced = (
+                t.produce(consumed) if t.produce is not None else t.default_production(consumed)
+            )
+            for arc in t.outputs:
+                toks = list(produced.get(arc.place, ()))
+                if len(toks) != arc.weight:
+                    raise SimulationError(
+                        f"transition {t.name!r} produced {len(toks)} tokens for "
+                        f"{arc.place!r}, expected {arc.weight}"
+                    )
+                for tok in toks:
+                    if tok.born is None:
+                        tok.born = fire_time
+                    if self.trace:
+                        if tok.trace is None:
+                            tok.trace = []
+                        tok.trace.append((t.name, self._now))
+                    self._deposit(
+                        arc.place, tok, sinkset, completions, from_reservation=True
+                    )
+            extras = set(produced) - {a.place for a in t.outputs}
+            if extras:
+                raise SimulationError(
+                    f"transition {t.name!r} produced tokens for non-output "
+                    f"places {sorted(extras)}"
+                )
+            t.busy -= 1
+            self._dirty.add(t)  # a server freed up
+
+        self._schedule(fire_time + delay, complete)
+
+
+def run_workload(
+    net: PetriNet,
+    payloads: Iterable[Any],
+    *,
+    entry: str = "in",
+    sinks: Sequence[str] = ("out",),
+    gap: float = 0.0,
+    start: float = 0.0,
+    until: float | None = None,
+) -> SimResult:
+    """One-shot helper: inject ``payloads`` into ``entry`` and run.
+
+    ``gap=0`` gives closed-batch semantics (everything available at
+    ``start``), which measures saturated throughput; a positive gap
+    models an open arrival process.
+    """
+    sim = Simulator(net, sinks=sinks)
+    sim.inject_stream(entry, payloads, start=start, gap=gap)
+    return sim.run(until=until)

@@ -1,0 +1,1 @@
+"""Command-line tooling for shipped performance interfaces."""

@@ -1,0 +1,130 @@
+"""``python -m repro.tools.pnet`` — the performance-IR toolchain CLI.
+
+The paper's vision has vendors *shipping* Petri-net interfaces; users
+then need tooling to inspect and run what they received.  Subcommands:
+
+* ``validate FILE`` — parse and statically analyze a ``.pnet`` document
+  (structure report, warnings, cycles).
+* ``dot FILE`` — emit Graphviz DOT for rendering.
+* ``simulate FILE --items N [--payload JSON] [--gap G]`` — inject a
+  workload and report latency/throughput statistics.
+
+Examples::
+
+    python -m repro.tools.pnet validate iface.pnet
+    python -m repro.tools.pnet dot iface.pnet > iface.dot
+    python -m repro.tools.pnet simulate iface.pnet --items 100 \
+        --payload '{"bytes": 32, "nnz": 10, "i": 0, "wr": true}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.hw.stats import Summary
+from repro.petri import (
+    DslError,
+    Simulator,
+    analyze_structure,
+    find_cycles,
+    parse,
+    to_dot,
+)
+
+
+def _load(path: str):
+    text = Path(path).read_text()
+    return parse(text)
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        net = _load(args.file)
+    except DslError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 1
+    report = analyze_structure(net)
+    print(f"net {net.name!r}: {report.summary()}")
+    cycles = find_cycles(net)
+    if cycles:
+        print(f"cycles ({len(cycles)}):")
+        for cyc in cycles:
+            print("  " + " -> ".join(cyc))
+    hard = [w for w in report.warnings if "sink" not in w]
+    return 1 if hard else 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    print(to_dot(_load(args.file)))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    net = _load(args.file)
+    payload = json.loads(args.payload) if args.payload else None
+    if args.entry not in net.places:
+        print(f"error: entry place {args.entry!r} not in net", file=sys.stderr)
+        return 1
+    if args.sink not in net.places:
+        print(f"error: sink place {args.sink!r} not in net", file=sys.stderr)
+        return 1
+    sim = Simulator(net, sinks=[args.sink])
+    sim.inject_stream(args.entry, [payload] * args.items, gap=args.gap)
+    result = sim.run()
+    if result.deadlocked:
+        print(
+            f"DEADLOCK after {len(result.sink())} completions; "
+            f"marking: {net.marking()}",
+            file=sys.stderr,
+        )
+        return 1
+    if not result.sink():
+        print("no completions (empty workload?)", file=sys.stderr)
+        return 1
+    lat = Summary.of(result.latencies())
+    print(f"completions: {len(result.sink())}")
+    print(f"latency (cycles): {lat}")
+    print(f"makespan: {result.makespan():.1f}")
+    print(f"throughput: {result.throughput():.6f} items/cycle")
+    print("firings: " + ", ".join(f"{k}={v}" for k, v in sorted(result.fired.items())))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.pnet",
+        description="Inspect and run .pnet performance interfaces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_val = sub.add_parser("validate", help="parse + static analysis")
+    p_val.add_argument("file")
+    p_val.set_defaults(fn=cmd_validate)
+
+    p_dot = sub.add_parser("dot", help="emit Graphviz DOT")
+    p_dot.add_argument("file")
+    p_dot.set_defaults(fn=cmd_dot)
+
+    p_sim = sub.add_parser("simulate", help="run a workload through the net")
+    p_sim.add_argument("file")
+    p_sim.add_argument("--items", type=int, default=10, help="tokens to inject")
+    p_sim.add_argument(
+        "--payload", help="JSON payload for each token (delay exprs read it)"
+    )
+    p_sim.add_argument("--gap", type=float, default=0.0, help="inter-arrival gap")
+    p_sim.add_argument("--entry", default="in", help="injection place")
+    p_sim.add_argument("--sink", default="out", help="completion place")
+    p_sim.set_defaults(fn=cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Workload generators, re-exported under one roof.
+
+Each accelerator package owns its generator (images, message formats,
+VTA programs); this package aggregates them and adds the cross-cutting
+RPC mixes used by the selection scenarios.
+"""
+
+from repro.accel.jpeg.workload import JpegImage, random_image, random_images
+from repro.accel.protoacc.formats import build, format_names, instances
+from repro.accel.vta.workload import (
+    GemmWorkload,
+    Tiling,
+    legal_tilings,
+    random_program,
+    random_programs,
+    tiled_gemm_program,
+)
+
+from .rpc import (
+    ALL_MIXES,
+    ANALYTICS_MIX,
+    ENTERPRISE_MIX,
+    STORAGE_MIX,
+    RpcMix,
+    sized_message,
+)
+
+__all__ = [
+    "ALL_MIXES",
+    "ANALYTICS_MIX",
+    "ENTERPRISE_MIX",
+    "STORAGE_MIX",
+    "GemmWorkload",
+    "JpegImage",
+    "RpcMix",
+    "Tiling",
+    "build",
+    "format_names",
+    "instances",
+    "legal_tilings",
+    "random_image",
+    "random_images",
+    "random_program",
+    "random_programs",
+    "sized_message",
+    "tiled_gemm_program",
+]

@@ -1,0 +1,74 @@
+"""RPC workload mixes for the infrastructure-stack scenario (example #2).
+
+An enterprise RPC stack does not serialize one message shape; it sees a
+*mix*.  The mixes here are size/shape distributions that generate
+concrete :class:`~repro.accel.protoacc.Message` instances, used by the
+crossover benchmark (E7) and the selection examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.accel.protoacc.message import Field, FieldKind, Message
+
+
+def sized_message(size: int, rng: np.random.Generator, *, nested: bool = False) -> Message:
+    """A message whose payload is roughly ``size`` bytes: a couple of
+    scalar header fields plus one blob (optionally behind a submessage)."""
+    blob = Field(3, FieldKind.BYTES, rng.bytes(max(1, size)))
+    header = [
+        Field(1, FieldKind.VARINT, int(rng.integers(0, 1 << 32))),
+        Field(2, FieldKind.VARINT, int(rng.integers(0, 1 << 16))),
+    ]
+    if nested:
+        inner = Message(tuple(header + [blob]), schema_name="payload")
+        return Message(
+            (Field(1, FieldKind.MESSAGE, inner),), schema_name=f"rpc_{size}B_nested"
+        )
+    return Message(tuple(header + [blob]), schema_name=f"rpc_{size}B")
+
+
+@dataclass(frozen=True)
+class RpcMix:
+    """A named distribution over message sizes/shapes."""
+
+    name: str
+    sampler: Callable[[np.random.Generator], Message]
+
+    def sample(self, seed: int, count: int) -> list[Message]:
+        rng = np.random.default_rng(seed)
+        return [self.sampler(rng) for _ in range(count)]
+
+
+def _enterprise(rng: np.random.Generator) -> Message:
+    # Mostly small control-plane messages, occasional medium payloads:
+    # log-normal with a ~48 B median, as datacenter RPC studies report.
+    size = int(np.exp(rng.normal(3.9, 0.9)))
+    return sized_message(max(8, size), rng, nested=rng.random() < 0.25)
+
+
+def _storage(rng: np.random.Generator) -> Message:
+    # Bulk data plane: multi-KB values dominate.
+    size = int(np.exp(rng.normal(8.3, 0.7)))
+    return sized_message(max(512, size), rng)
+
+
+def _analytics(rng: np.random.Generator) -> Message:
+    # Wide, flat rows: many scalar fields, tiny payloads.
+    n_fields = int(rng.integers(16, 64))
+    fields = [
+        Field(i + 1, FieldKind.VARINT, int(v))
+        for i, v in enumerate(rng.integers(0, 1 << 40, size=n_fields))
+    ]
+    return Message(tuple(fields), schema_name="analytics_row")
+
+
+ENTERPRISE_MIX = RpcMix("enterprise", _enterprise)
+STORAGE_MIX = RpcMix("storage", _storage)
+ANALYTICS_MIX = RpcMix("analytics", _analytics)
+
+ALL_MIXES = (ENTERPRISE_MIX, STORAGE_MIX, ANALYTICS_MIX)

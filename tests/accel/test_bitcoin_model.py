@@ -1,0 +1,140 @@
+"""Tests for the Bitcoin miner model and its interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.accel.bitcoin import (
+    ENGLISH,
+    VALID_LOOPS,
+    BitcoinMinerModel,
+    area_latency_frontier,
+    area_miner,
+    latency_attempt,
+    latency_miner,
+    mining_cycles,
+    petri_interface,
+    random_job,
+    sha256d,
+    target_for_zero_bits,
+    tput_miner,
+)
+from repro.accel.bitcoin.sha256 import hash_meets_target
+from repro.core.nl import Relation
+
+
+def job(zero_bits=8, seed=0):
+    return random_job(np.random.default_rng(seed), zero_bits=zero_bits)
+
+
+class TestModel:
+    def test_invalid_loop_rejected(self):
+        with pytest.raises(ValueError, match="loop must be one of"):
+            BitcoinMinerModel(3)
+
+    @pytest.mark.parametrize("loop", VALID_LOOPS)
+    def test_pass_latency_equals_loop(self, loop):
+        # The paper's Fig. 1 claim, measured from the round schedule.
+        assert BitcoinMinerModel(loop).pass_latency() == loop
+
+    def test_attempt_latency_is_two_passes(self):
+        assert BitcoinMinerModel(16).attempt_latency() == 32
+
+    def test_area_grows_inversely_with_loop(self):
+        areas = [BitcoinMinerModel(loop).area() for loop in VALID_LOOPS]
+        assert areas == sorted(areas, reverse=True)
+        # Inverse proportionality up to the small control constant.
+        assert areas[0] / areas[-1] > 30
+
+    def test_hashrate_is_inverse_loop(self):
+        assert BitcoinMinerModel(4).hashrate() == pytest.approx(1 / 4)
+
+    def test_mine_finds_real_nonce(self):
+        j = job(zero_bits=8)
+        result = BitcoinMinerModel(8).mine(j, max_attempts=200_000)
+        assert result.found
+        digest = sha256d(j.header(result.nonce))
+        assert digest == result.digest
+        assert hash_meets_target(digest, j.target)
+
+    def test_mine_cycle_accounting(self):
+        j = job(zero_bits=6)
+        model = BitcoinMinerModel(8)
+        result = model.mine(j, max_attempts=100_000)
+        expected = model.attempt_latency() + (result.attempts - 1) * 8
+        assert result.cycles == expected
+
+    def test_mine_gives_up_at_max_attempts(self):
+        j = job(zero_bits=200)  # unfindable
+        result = BitcoinMinerModel(8).mine(j, max_attempts=10)
+        assert not result.found
+        assert result.attempts == 10
+
+    def test_measure_contract(self):
+        model = BitcoinMinerModel(16)
+        j = job()
+        assert model.measure_latency(j) == 32
+        assert model.measure_throughput(j) == pytest.approx(1 / 16)
+
+
+class TestWorkload:
+    def test_header_is_80_bytes(self):
+        assert len(job().header(0)) == 80
+
+    def test_nonce_lands_in_last_word(self):
+        j = job()
+        a, b = j.header(0), j.header(1)
+        assert a[:76] == b[:76]
+        assert a[76:] != b[76:]
+
+    def test_target_for_zero_bits(self):
+        t = target_for_zero_bits(8)
+        assert t.bit_length() == 248
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            target_for_zero_bits(256)
+
+
+class TestInterfaces:
+    def test_english_renders_fig1(self):
+        text = ENGLISH.render()
+        assert "Latency (cycles) is equal to the configuration parameter Loop" in text
+        assert "area" in text and "inversely proportional to Loop" in text
+
+    def test_equals_param_statement_validates(self):
+        pairs = [
+            (loop, float(BitcoinMinerModel(loop).pass_latency()))
+            for loop in VALID_LOOPS
+        ]
+        stmt = ENGLISH.statements[0]
+        assert stmt.relation is Relation.EQUALS_PARAM
+        assert stmt.check(pairs)
+
+    def test_area_statement_validates(self):
+        pairs = [(loop, area_miner(loop)) for loop in VALID_LOOPS]
+        assert ENGLISH.statements[1].check(pairs, tolerance=0.15)
+
+    @pytest.mark.parametrize("loop", VALID_LOOPS)
+    def test_program_matches_model(self, loop):
+        model = BitcoinMinerModel(loop)
+        assert latency_miner(loop) == model.pass_latency()
+        assert latency_attempt(loop) == model.attempt_latency()
+        assert tput_miner(loop) == model.hashrate()
+        assert area_miner(loop) == model.area()
+
+    def test_mining_cycles_matches_model_accounting(self):
+        j = job(zero_bits=6)
+        model = BitcoinMinerModel(8)
+        result = model.mine(j, max_attempts=100_000)
+        assert mining_cycles(8, result.attempts) == result.cycles
+
+    @pytest.mark.parametrize("loop", (1, 8, 64))
+    def test_petri_latency_matches_model(self, loop):
+        iface = petri_interface(loop)
+        j = job()
+        assert iface.latency(j) == BitcoinMinerModel(loop).attempt_latency()
+
+    def test_frontier_covers_all_loops(self):
+        rows = area_latency_frontier()
+        assert [r["loop"] for r in rows] == [float(x) for x in VALID_LOOPS]
+        assert all(r["area"] > 0 for r in rows)

@@ -1,0 +1,80 @@
+"""Tests for the from-scratch SHA-256 (against hashlib as oracle)."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.bitcoin.sha256 import (
+    compress,
+    count_leading_zero_bits,
+    hash_meets_target,
+    midstate,
+    padding,
+    sha256,
+    sha256d,
+)
+
+
+@pytest.mark.parametrize(
+    "message",
+    [b"", b"abc", b"a" * 55, b"a" * 56, b"a" * 63, b"a" * 64, b"a" * 65, b"x" * 1000],
+)
+def test_matches_hashlib(message):
+    assert sha256(message) == hashlib.sha256(message).digest()
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_matches_hashlib_random(message):
+    assert sha256(message) == hashlib.sha256(message).digest()
+
+
+def test_sha256d_is_double_hash():
+    data = b"block header"
+    assert sha256d(data) == hashlib.sha256(hashlib.sha256(data).digest()).digest()
+
+
+def test_known_vector():
+    assert (
+        sha256(b"abc").hex()
+        == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    )
+
+
+def test_midstate_plus_tail_equals_full_hash():
+    data = b"q" * 80  # like a block header
+    mid = midstate(data)
+    final = compress(mid, data[64:] + padding(80))
+    import struct
+
+    assert struct.pack(">8I", *final) == sha256(data)
+
+
+def test_midstate_requires_full_block():
+    with pytest.raises(ValueError):
+        midstate(b"short")
+
+
+def test_compress_requires_64_bytes():
+    with pytest.raises(ValueError):
+        compress((0,) * 8, b"x" * 63)
+
+
+def test_padding_lengths():
+    for n in (0, 1, 55, 56, 63, 64, 80, 119):
+        assert (n + len(padding(n))) % 64 == 0
+
+
+def test_target_comparison_little_endian():
+    digest = b"\xff" + b"\x00" * 31  # tiny as little-endian int
+    assert hash_meets_target(digest, 0xFF)
+    assert not hash_meets_target(digest, 0xFE)
+
+
+def test_leading_zero_bits():
+    digest = (1).to_bytes(32, "little")
+    assert count_leading_zero_bits(digest) == 255
+    digest = (2**255).to_bytes(32, "little")
+    assert count_leading_zero_bits(digest) == 0

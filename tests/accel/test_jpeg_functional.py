@@ -1,0 +1,173 @@
+"""Tests for the functional JPEG codec path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.jpeg.functional import (
+    BitReader,
+    BitWriter,
+    CodedImage,
+    decode_block,
+    decode_pixels,
+    encode_block,
+    encode_pixels,
+    fdct,
+    idct,
+    image_from_pixels,
+    quant_table,
+    synthetic_photo,
+)
+from repro.accel.jpeg import JpegDecoderModel, latency_jpeg_decode
+
+
+class TestDct:
+    def test_round_trip_identity(self):
+        rng = np.random.default_rng(1)
+        block = rng.uniform(-128, 127, (8, 8))
+        assert np.allclose(idct(fdct(block)), block, atol=1e-9)
+
+    def test_dc_of_constant_block(self):
+        block = np.full((8, 8), 64.0)
+        coeffs = fdct(block)
+        assert coeffs[0, 0] == pytest.approx(64.0 * 8)
+        assert np.allclose(coeffs.flatten()[1:], 0, atol=1e-9)
+
+    def test_orthonormal_energy(self):
+        rng = np.random.default_rng(2)
+        block = rng.normal(0, 50, (8, 8))
+        assert np.sum(block**2) == pytest.approx(np.sum(fdct(block) ** 2))
+
+
+class TestQuantTable:
+    def test_quality_bounds(self):
+        with pytest.raises(ValueError):
+            quant_table(0)
+        with pytest.raises(ValueError):
+            quant_table(101)
+
+    def test_higher_quality_finer_steps(self):
+        assert quant_table(90).mean() < quant_table(30).mean()
+
+    def test_q50_is_base_table(self):
+        from repro.accel.jpeg.functional import BASE_QUANT
+
+        assert (quant_table(50) == BASE_QUANT).all()
+        assert (quant_table(1) >= 1).all()  # clipping floor holds
+
+
+class TestBits:
+    def test_writer_reader_round_trip(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0b0110, 4)
+        r = BitReader(w.to_bytes())
+        assert r.read(3) == 0b101
+        assert r.read(4) == 0b0110
+
+    def test_writer_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(4, 2)
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(1, 8)), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, chunks):
+        w = BitWriter()
+        expect = []
+        for value, length in chunks:
+            value &= (1 << length) - 1
+            w.write(value, length)
+            expect.append((value, length))
+        r = BitReader(w.to_bytes())
+        for value, length in expect:
+            assert r.read(length) == value
+
+
+class TestBlockCoding:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_block_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        # Sparse-ish quantized blocks, like real post-quantization data.
+        block = np.zeros((8, 8), dtype=np.int64)
+        n = int(rng.integers(0, 20))
+        idx = rng.choice(64, size=n, replace=False)
+        block.flat[idx] = rng.integers(-255, 256, size=n)
+        w = BitWriter()
+        dc, nnz = encode_block(block, prev_dc=0, writer=w)
+        decoded, dc_out = decode_block(BitReader(w.to_bytes()), prev_dc=0)
+        assert (decoded == block).all()
+        assert dc_out == block[0, 0]
+
+    def test_dc_prediction_chain(self):
+        blocks = [np.zeros((8, 8), dtype=np.int64) for _ in range(3)]
+        for i, b in enumerate(blocks):
+            b[0, 0] = 10 * (i + 1)
+        w = BitWriter()
+        prev = 0
+        for b in blocks:
+            prev, _ = encode_block(b, prev, w)
+        r = BitReader(w.to_bytes())
+        prev = 0
+        for b in blocks:
+            decoded, prev = decode_block(r, prev)
+            assert decoded[0, 0] == b[0, 0]
+
+
+class TestImagePath:
+    def test_encode_decode_high_quality_close_to_original(self):
+        rng = np.random.default_rng(3)
+        pixels = synthetic_photo(rng, 32, 32, detail=0.3)
+        coded = encode_pixels(pixels, quality=95)
+        restored = decode_pixels(coded)
+        rmse = np.sqrt(np.mean((restored.astype(float) - pixels) ** 2))
+        assert rmse < 6.0
+
+    def test_quality_controls_size(self):
+        rng = np.random.default_rng(4)
+        pixels = synthetic_photo(rng, 32, 32, detail=0.6)
+        small = encode_pixels(pixels, quality=20)
+        large = encode_pixels(pixels, quality=95)
+        assert len(large.bitstream) > len(small.bitstream)
+
+    def test_detail_controls_compressibility(self):
+        rng = np.random.default_rng(5)
+        smooth = encode_pixels(synthetic_photo(rng, 32, 32, detail=0.0), 75)
+        rough = encode_pixels(synthetic_photo(rng, 32, 32, detail=1.0), 75)
+        assert len(rough.bitstream) > len(smooth.bitstream)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            encode_pixels(np.zeros((10, 16), dtype=np.uint8))
+
+    def test_block_stats_shape(self):
+        rng = np.random.default_rng(6)
+        coded = encode_pixels(synthetic_photo(rng, 24, 16), 75)
+        assert coded.n_blocks == 6
+        assert len(coded.block_bits) == 6
+        assert (coded.block_nnz >= 0).all() and (coded.block_nnz <= 64).all()
+
+
+class TestBridgeToTimingModel:
+    def test_real_encodes_flow_through_interfaces(self):
+        rng = np.random.default_rng(7)
+        pixels = synthetic_photo(rng, 48, 48, detail=0.5)
+        img = image_from_pixels(pixels, quality=75)
+        model = JpegDecoderModel()
+        measured = model.measure_latency(img)
+        predicted = latency_jpeg_decode(img)
+        assert abs(predicted - measured) / measured < 0.10
+
+    def test_detail_moves_compression_rate(self):
+        rng = np.random.default_rng(8)
+        smooth = image_from_pixels(synthetic_photo(rng, 64, 64, 0.0), 75)
+        rough = image_from_pixels(synthetic_photo(rng, 64, 64, 1.0), 75)
+        assert smooth.compress_rate > rough.compress_rate
+
+    def test_statistical_generator_in_real_encode_range(self):
+        # The statistical workload's per-block coded sizes must overlap
+        # the range real encodes produce (cross-validation of DESIGN §2).
+        rng = np.random.default_rng(9)
+        real = image_from_pixels(synthetic_photo(rng, 64, 64, 0.5), 75)
+        assert 2 <= real.coded_bytes.mean() <= 64

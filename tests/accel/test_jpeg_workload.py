@@ -1,0 +1,88 @@
+"""Tests for the JPEG workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.accel.jpeg import JpegImage, random_image, random_images
+from repro.accel.jpeg.workload import HEADER_BYTES
+
+
+def make_image(width=16, height=16, bytes_per_block=8, nnz=10):
+    n = (width // 8) * (height // 8)
+    return JpegImage(
+        width=width,
+        height=height,
+        coded_bytes=np.full(n, bytes_per_block, dtype=np.int64),
+        nnz=np.full(n, nnz, dtype=np.int64),
+    )
+
+
+def test_block_count():
+    img = make_image(32, 16)
+    assert img.n_blocks == 8
+    assert img.orig_size == 512
+
+
+def test_coded_size_includes_header():
+    img = make_image(16, 16, bytes_per_block=10)
+    assert img.coded_size == 4 * 10 + HEADER_BYTES
+
+
+def test_compress_rate_is_output_over_input():
+    img = make_image(16, 16, bytes_per_block=10)
+    assert img.compress_rate == pytest.approx(256 / (40 + HEADER_BYTES))
+
+
+def test_dimensions_must_be_multiple_of_8():
+    with pytest.raises(ValueError, match="multiples of 8"):
+        make_image(width=12)
+
+
+def test_per_block_arrays_validated():
+    with pytest.raises(ValueError, match="n_blocks"):
+        JpegImage(16, 16, np.ones(3, dtype=np.int64), np.ones(3, dtype=np.int64))
+
+
+def test_nnz_range_validated():
+    n = 4
+    with pytest.raises(ValueError, match="nnz"):
+        JpegImage(
+            16, 16, np.ones(n, dtype=np.int64), np.full(n, 65, dtype=np.int64)
+        )
+
+
+def test_coded_bytes_positive():
+    n = 4
+    with pytest.raises(ValueError, match="coded_bytes"):
+        JpegImage(16, 16, np.zeros(n, dtype=np.int64), np.ones(n, dtype=np.int64))
+
+
+def test_random_images_reproducible():
+    a = random_images(123, 5)
+    b = random_images(123, 5)
+    assert [i.width for i in a] == [i.width for i in b]
+    assert all((x.coded_bytes == y.coded_bytes).all() for x, y in zip(a, b))
+
+
+def test_random_images_differ_across_seeds():
+    a = random_images(1, 5)
+    b = random_images(2, 5)
+    assert [i.coded_size for i in a] != [i.coded_size for i in b]
+
+
+def test_random_image_respects_bounds():
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        img = random_image(rng, min_dim=16, max_dim=64)
+        assert 16 <= img.width <= 64
+        assert 16 <= img.height <= 64
+        assert img.width % 8 == 0
+        assert (img.nnz >= 1).all() and (img.nnz <= 64).all()
+        assert (img.coded_bytes >= 1).all()
+
+
+def test_compression_rate_spans_both_regimes():
+    imgs = random_images(99, 300)
+    rates = [i.compress_rate for i in imgs]
+    assert min(rates) < 2.0  # some input-bound images
+    assert max(rates) > 8.0  # some output-bound images

@@ -1,0 +1,144 @@
+"""Tests for the Protoacc interfaces (paper Fig. 3 + Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.accel.protoacc import (
+    AVG_MEM_LATENCY,
+    ENGLISH,
+    PROGRAM,
+    Field,
+    FieldKind,
+    Message,
+    ProtoaccSerializerModel,
+    bottleneck,
+    instances,
+    latency_bounds,
+    max_latency_protoacc_ser,
+    min_latency_protoacc_ser,
+    read_cost,
+    tput_protoacc_ser,
+    write_cost,
+)
+from repro.hw.stats import ErrorReport
+from tests.accel.test_protoacc_model import flat, nested
+
+
+class TestReadCost:
+    def test_recursive_structure(self):
+        # read_cost(outer) = own cost + read_cost(inner), Fig. 3 lines 1-5.
+        inner = flat(4)
+        outer = Message((Field(1, FieldKind.MESSAGE, inner),))
+        own = 6 + AVG_MEM_LATENCY * 2 + (4 + AVG_MEM_LATENCY)  # 1 field group
+        assert read_cost(outer) == pytest.approx(own + read_cost(inner))
+
+    def test_descriptor_term_steps_at_32(self):
+        assert read_cost(flat(33)) - read_cost(flat(32)) == pytest.approx(
+            4 + AVG_MEM_LATENCY
+        )
+        assert read_cost(flat(31)) == pytest.approx(read_cost(flat(32)))
+
+    def test_blob_streaming_term(self):
+        small = Message((Field(1, FieldKind.BYTES, b"x" * 16),))
+        large = Message((Field(1, FieldKind.BYTES, b"x" * 1600),))
+        assert read_cost(large) - read_cost(small) == pytest.approx(99, abs=2)
+
+
+class TestThroughputInterface:
+    def test_min_of_read_and_write(self):
+        msg = flat(4)
+        assert tput_protoacc_ser(msg) == pytest.approx(
+            min(1 / read_cost(msg), 1 / write_cost(msg))
+        )
+
+    def test_bottleneck_labels(self):
+        assert bottleneck(nested(6)) == "read"
+        assert bottleneck(Message((Field(1, FieldKind.BYTES, b"z" * 8192),))) == "write"
+
+    def test_accuracy_against_model_on_32_formats(self):
+        # Paper §3: avg (max) error 5.9% (13.3%) over the 32 formats.
+        # Same order here: avg < 8%, max < 15%.
+        model = ProtoaccSerializerModel()
+        msgs = instances(seed=3)
+        actual = [model.measure_throughput(m, repeat=8) for m in msgs.values()]
+        pred = [tput_protoacc_ser(m) for m in msgs.values()]
+        rep = ErrorReport.of(pred, actual)
+        assert rep.avg < 0.08
+        assert rep.max < 0.15
+
+
+class TestLatencyBounds:
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    def test_bounds_always_contain_measured_latency(self, seed):
+        # Paper §3: "the latency was always within the predicted bounds".
+        model = ProtoaccSerializerModel()
+        for name, msg in instances(seed=seed).items():
+            lat = model.measure_latency(msg)
+            b = latency_bounds(msg)
+            assert b.lower <= lat <= b.upper, (
+                f"{name}: {lat} outside [{b.lower}, {b.upper}]"
+            )
+
+    def test_bounds_ordered(self):
+        for msg in instances(seed=0).values():
+            assert min_latency_protoacc_ser(msg) < max_latency_protoacc_ser(msg)
+
+    def test_program_interface_exposes_bounds(self):
+        msg = flat(8)
+        assert PROGRAM.has_bounds
+        b = PROGRAM.latency_bounds(msg)
+        assert b.lower == min_latency_protoacc_ser(msg)
+        assert b.upper == max_latency_protoacc_ser(msg)
+        assert PROGRAM.latency(msg) == b.midpoint
+
+
+class TestEnglish:
+    def test_renders_fig1_sentence(self):
+        assert ENGLISH.render() == (
+            "Throughput decreases as the degree of nesting in a message increases"
+        )
+
+    def test_statement_validates_against_model(self):
+        model = ProtoaccSerializerModel()
+        pairs = [
+            (float(d), model.measure_throughput(nested(d), repeat=6))
+            for d in (0, 1, 2, 4, 6, 8)
+        ]
+        assert ENGLISH.statements[0].check(pairs)
+
+    def test_statement_accessor_reads_depth(self):
+        stmt = ENGLISH.statements[0]
+        assert stmt.accessor(nested(3)) == 3.0
+
+
+class TestDeserializerInterface:
+    def test_accuracy_on_32_formats(self):
+        from repro.accel.protoacc import ProtoaccDeserializerModel
+        from repro.accel.protoacc.interfaces import (
+            DESER_PROGRAM,
+            latency_protoacc_deser,
+        )
+        from repro.core import validate_interface
+
+        model = ProtoaccDeserializerModel()
+        msgs = list(instances(seed=3).values())
+        report = validate_interface(
+            DESER_PROGRAM, model, msgs, check_throughput=False
+        )
+        assert report.latency.avg < 0.05
+        assert report.latency.max < 0.10
+        # Wrapper and raw function agree.
+        assert DESER_PROGRAM.latency(msgs[0]) == latency_protoacc_deser(msgs[0])
+
+    def test_deser_recursion_counts_allocations(self):
+        from repro.accel.protoacc.interfaces import (
+            DESER_ALLOC_COST,
+            latency_protoacc_deser,
+        )
+
+        flat_m = flat(4)
+        wrapped = nested(3)
+        # Each nesting level adds at least one allocation chase.
+        assert latency_protoacc_deser(wrapped) > latency_protoacc_deser(
+            flat_m
+        ) + 2 * DESER_ALLOC_COST

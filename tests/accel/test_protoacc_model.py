@@ -1,0 +1,125 @@
+"""Tests for the Protoacc ground-truth models and format suite."""
+
+import numpy as np
+import pytest
+
+from repro.accel.protoacc import (
+    Field,
+    FieldKind,
+    Message,
+    ProtoaccDeserializerModel,
+    ProtoaccSerializerModel,
+    build,
+    format_names,
+    instances,
+)
+
+
+def flat(n, rng=None):
+    rng = rng or np.random.default_rng(0)
+    fields = tuple(
+        Field(i + 1, FieldKind.VARINT, int(v))
+        for i, v in enumerate(rng.integers(0, 1 << 40, size=n))
+    )
+    return Message(fields, schema_name=f"flat{n}")
+
+
+def nested(depth):
+    msg = flat(4)
+    for _ in range(depth):
+        msg = Message((Field(1, FieldKind.MESSAGE, msg),), schema_name="wrap")
+    return msg
+
+
+class TestFormats:
+    def test_exactly_32_formats(self):
+        assert len(format_names()) == 32
+
+    def test_instances_reproducible(self):
+        a = instances(seed=5)
+        b = instances(seed=5)
+        assert {k: v.encode() for k, v in a.items()} == {
+            k: v.encode() for k, v in b.items()
+        }
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(KeyError, match="unknown format"):
+            build("nope", np.random.default_rng(0))
+
+    def test_suite_spans_the_performance_axes(self):
+        msgs = instances(seed=1)
+        depths = [m.nesting_depth for m in msgs.values()]
+        sizes = [m.encoded_size() for m in msgs.values()]
+        fields = [m.num_fields for m in msgs.values()]
+        assert max(depths) >= 6 and min(depths) == 0
+        assert max(sizes) > 8_000 and min(sizes) < 64
+        assert max(fields) >= 128 and min(fields) == 1
+
+    def test_field_count_formats_match_their_names(self):
+        msgs = instances(seed=2)
+        for n in (1, 32, 33, 128):
+            assert msgs[f"flat_varint_{n}"].num_fields == n
+
+
+class TestSerializerModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ProtoaccSerializerModel()
+
+    def test_deterministic(self, model):
+        msg = flat(8)
+        assert model.measure_latency(msg) == model.measure_latency(msg)
+
+    def test_latency_grows_with_nesting(self, model):
+        lats = [model.measure_latency(nested(d)) for d in (0, 2, 4, 8)]
+        assert lats == sorted(lats)
+        # Each extra level adds two dependent accesses: super-linear in
+        # wall terms, roughly linear per level.
+        assert lats[3] > lats[0] * 3
+
+    def test_throughput_decreases_with_nesting(self, model):
+        tps = [model.measure_throughput(nested(d), repeat=6) for d in (0, 2, 4, 8)]
+        assert tps == sorted(tps, reverse=True)
+
+    def test_descriptor_fetch_step_at_32_fields(self, model):
+        # Crossing a 32-field boundary costs one extra descriptor fetch;
+        # within a group, latency moves only via encoded-size drain.
+        l32 = model.measure_latency(flat(32))
+        l33 = model.measure_latency(flat(33))
+        l34 = model.measure_latency(flat(34))
+        assert l33 - l32 > 20  # full memory access + decode
+        assert l34 - l33 < 10
+
+    def test_write_bound_for_large_blobs(self, model):
+        msg = Message((Field(1, FieldKind.BYTES, b"z" * 8192),))
+        lat = model.measure_latency(msg)
+        # Drain alone needs ~encoded/16 cycles.
+        assert lat >= msg.num_writes
+
+    def test_throughput_streaming_beats_isolated_inverse_latency(self, model):
+        # Read of message k+1 overlaps write of message k.
+        msg = build("rpc_request", np.random.default_rng(7))
+        tput = model.measure_throughput(msg, repeat=8)
+        assert tput >= 0.9 / model.measure_latency(msg)
+
+    def test_repeat_validation(self, model):
+        with pytest.raises(ValueError):
+            model.measure_throughput(flat(2), repeat=0)
+
+    def test_timing_breakdown_consistent(self, model):
+        timing = model.serialize_timing(flat(16))
+        assert timing.write_end >= timing.read_end - 20  # drain ends after data
+        assert timing.latency > timing.write_end
+
+
+class TestDeserializerModel:
+    def test_latency_positive_and_deterministic(self):
+        model = ProtoaccDeserializerModel()
+        msg = build("kv_pairs", np.random.default_rng(1))
+        lat = model.measure_latency(msg)
+        assert lat > 0
+        assert lat == model.measure_latency(msg)
+
+    def test_nesting_costs_allocations(self):
+        model = ProtoaccDeserializerModel()
+        assert model.measure_latency(nested(6)) > model.measure_latency(nested(0))

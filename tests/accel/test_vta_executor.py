@@ -1,0 +1,96 @@
+"""Tests for the VTA schedule executor: every lowering computes the
+same matmul (schedule-equivalence, the autotuner's safety net)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.vta import GemmWorkload, Tiling, legal_tilings, tiled_gemm_program
+from repro.accel.vta.executor import (
+    SemanticsError,
+    execute_gemm,
+    random_operands,
+    reference_gemm,
+)
+
+
+def test_matches_reference_simple():
+    work = GemmWorkload(2, 2, 2)
+    a, b = random_operands(work, np.random.default_rng(0))
+    out = execute_gemm(work, Tiling(1, 1, 1), a, b)
+    assert (out == reference_gemm(a, b)).all()
+
+
+def test_all_legal_tilings_equivalent():
+    work = GemmWorkload(4, 2, 4)
+    a, b = random_operands(work, np.random.default_rng(1))
+    expected = reference_gemm(a, b)
+    for tiling in legal_tilings(work):
+        assert (execute_gemm(work, tiling, a, b) == expected).all(), tiling
+
+
+@given(
+    st.integers(1, 4), st.integers(1, 4), st.integers(1, 4), st.integers(0, 2**31)
+)
+@settings(max_examples=25, deadline=None)
+def test_random_workloads_and_tilings(m, k, n, seed):
+    work = GemmWorkload(m, k, n)
+    rng = np.random.default_rng(seed)
+    a, b = random_operands(work, rng)
+    tilings = legal_tilings(work)
+    tiling = tilings[seed % len(tilings)]
+    relu = bool(seed % 2)
+    out = execute_gemm(work, tiling, a, b, relu=relu)
+    assert (out == reference_gemm(a, b, relu=relu)).all()
+
+
+def test_relu_clamps_negatives():
+    work = GemmWorkload(1, 1, 1)
+    a = -np.ones((16, 16), dtype=np.int64)
+    b = np.ones((16, 16), dtype=np.int64)
+    out = execute_gemm(work, Tiling(1, 1, 1), a, b, relu=True)
+    assert (out == 0).all()
+
+
+def test_program_walker_accepts_matching_lowering():
+    work = GemmWorkload(2, 2, 2)
+    tiling = Tiling(1, 2, 1)
+    program = tiled_gemm_program(work, tiling, alu_relu=True)
+    a, b = random_operands(work, np.random.default_rng(2))
+    out = execute_gemm(work, tiling, a, b, relu=True, program=program)
+    assert (out == reference_gemm(a, b, relu=True)).all()
+
+
+def test_program_walker_rejects_wrong_tiling():
+    work = GemmWorkload(2, 2, 2)
+    program = tiled_gemm_program(work, Tiling(2, 1, 1), alu_relu=True)
+    a, b = random_operands(work, np.random.default_rng(3))
+    with pytest.raises(SemanticsError):
+        execute_gemm(work, Tiling(1, 1, 1), a, b, relu=True, program=program)
+
+
+def test_program_walker_rejects_truncated_program():
+    work = GemmWorkload(2, 1, 1)
+    tiling = Tiling(1, 1, 1)
+    program = tiled_gemm_program(work, tiling, alu_relu=False)
+    from repro.accel.vta import Program
+
+    truncated = Program(program.instructions[:-2], name="trunc")
+    a, b = random_operands(work, np.random.default_rng(4))
+    with pytest.raises(SemanticsError):
+        execute_gemm(work, tiling, a, b, relu=False, program=truncated)
+
+
+def test_shape_validation():
+    work = GemmWorkload(2, 2, 2)
+    a, b = random_operands(GemmWorkload(1, 2, 2), np.random.default_rng(5))
+    with pytest.raises(ValueError, match="a must be"):
+        execute_gemm(work, Tiling(1, 1, 1), a, b)
+
+
+def test_tiling_must_divide():
+    work = GemmWorkload(3, 3, 3)
+    a, b = random_operands(work, np.random.default_rng(6))
+    with pytest.raises(ValueError, match="divide"):
+        execute_gemm(work, Tiling(2, 1, 1), a, b)

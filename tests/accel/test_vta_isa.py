@@ -1,0 +1,163 @@
+"""Tests for the VTA ISA, assembler, and workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.accel.vta import (
+    AluOp,
+    AssemblyError,
+    Buffer,
+    GemmWorkload,
+    Instruction,
+    Module,
+    Opcode,
+    Program,
+    Tiling,
+    assert_valid,
+    from_text,
+    legal_tilings,
+    random_programs,
+    tiled_gemm_program,
+    to_text,
+    token_balance,
+    validate,
+)
+
+
+def gemm(**kw):
+    args = dict(uop_count=4, lp0=2, lp1=16)
+    args.update(kw)
+    return Instruction(Opcode.GEMM, **args)
+
+
+class TestInstruction:
+    def test_load_requires_buffer_and_size(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD, size=64)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD, buffer=Buffer.INP, size=0)
+
+    def test_gemm_requires_positive_dims(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.GEMM, uop_count=0)
+
+    def test_alu_requires_operands(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ALU, vector_len=8, iterations=1)
+
+    def test_module_routing(self):
+        assert Instruction(Opcode.LOAD, buffer=Buffer.INP, size=1).module is Module.LOAD
+        assert Instruction(Opcode.LOAD, buffer=Buffer.WGT, size=1).module is Module.LOAD
+        assert Instruction(Opcode.LOAD, buffer=Buffer.UOP, size=1).module is Module.COMPUTE
+        assert Instruction(Opcode.LOAD, buffer=Buffer.ACC, size=1).module is Module.COMPUTE
+        assert Instruction(Opcode.STORE, size=1).module is Module.STORE
+        assert gemm().module is Module.COMPUTE
+
+    def test_gemm_macs(self):
+        assert gemm(uop_count=3, lp0=4, lp1=5).gemm_macs == 60
+        assert Instruction(Opcode.FINISH).gemm_macs == 0
+
+    def test_describe_shows_flags(self):
+        text = gemm(pop_prev=True, push_next=True).describe()
+        assert "[P--n]" in text
+
+
+class TestProgram:
+    def test_needs_instructions(self):
+        with pytest.raises(ValueError):
+            Program(())
+
+    def test_by_module_partitions(self):
+        prog = tiled_gemm_program(GemmWorkload(2, 2, 2), Tiling(1, 1, 1))
+        total = sum(len(prog.by_module(m)) for m in Module)
+        assert total == len(prog)
+
+    def test_token_balance_nonnegative_for_generated(self):
+        for prog in random_programs(3, 10, max_dim=5):
+            assert all(v >= 0 for v in token_balance(prog).values())
+
+    def test_streamed_uses_warm_variant(self):
+        prog = tiled_gemm_program(GemmWorkload(2, 1, 1), Tiling(1, 1, 1))
+        combined = prog.streamed(3)
+        assert len(combined) == 3 * len(prog)
+        # Warm copies arm every double-buffering pop on input loads.
+        warm_loads = [
+            i for i in combined.instructions[len(prog):]
+            if i.op is Opcode.LOAD and i.buffer is Buffer.INP
+        ]
+        assert all(i.pop_next for i in warm_loads)
+
+    def test_streamed_validates_copies(self):
+        prog = tiled_gemm_program(GemmWorkload(1, 1, 1), Tiling(1, 1, 1))
+        with pytest.raises(ValueError):
+            prog.streamed(0)
+
+
+class TestWorkload:
+    def test_legal_tilings_divide_and_fit(self):
+        work = GemmWorkload(4, 8, 4)
+        for t in legal_tilings(work):
+            assert work.m % t.tm == 0
+            assert work.k % t.tk == 0
+            assert work.n % t.tn == 0
+            assert t.fits()
+
+    def test_tiling_must_divide(self):
+        with pytest.raises(ValueError, match="divide"):
+            tiled_gemm_program(GemmWorkload(3, 3, 3), Tiling(2, 1, 1))
+
+    def test_reproducible(self):
+        a = random_programs(7, 5)
+        b = random_programs(7, 5)
+        assert [p.instructions for p in a] == [p.instructions for p in b]
+
+    def test_generated_programs_pass_validation(self):
+        for prog in random_programs(11, 15, max_dim=6):
+            assert_valid(prog)
+
+    def test_workload_macs(self):
+        assert GemmWorkload(2, 3, 4).macs == 2 * 3 * 4 * 16
+
+
+class TestAssembler:
+    def test_validate_catches_negative_balance(self):
+        prog = Program((gemm(pop_prev=True),))
+        problems = validate(prog)
+        assert any("no matching push" in p for p in problems)
+
+    def test_validate_catches_buffer_overflow(self):
+        prog = Program(
+            (Instruction(Opcode.LOAD, buffer=Buffer.UOP, size=1 << 20),)
+        )
+        assert any("exceeds" in p for p in validate(prog))
+
+    def test_validate_catches_bad_flags_for_module(self):
+        prog = Program(
+            (Instruction(Opcode.LOAD, buffer=Buffer.INP, size=64, pop_prev=True),)
+        )
+        assert any("no 'prev' queue" in p for p in validate(prog))
+
+    def test_validate_finish_placement(self):
+        prog = Program((Instruction(Opcode.FINISH), gemm(push_prev=True)))
+        assert any("last instruction" in p for p in validate(prog))
+
+    def test_assert_valid_raises(self):
+        prog = Program((gemm(pop_prev=True),))
+        with pytest.raises(AssemblyError):
+            assert_valid(prog)
+
+    def test_text_round_trip(self):
+        prog = tiled_gemm_program(
+            GemmWorkload(2, 2, 2), Tiling(1, 2, 1), uop_reload_every=2
+        )
+        back = from_text(to_text(prog))
+        assert back.instructions == prog.instructions
+        assert back.name == prog.name
+
+    def test_text_parse_errors(self):
+        with pytest.raises(AssemblyError, match="unknown flag"):
+            from_text("gemm uops=1 lp0=1 lp1=1 !bogus\n")
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            from_text("frobnicate\n")
+        with pytest.raises(AssemblyError, match="no instructions"):
+            from_text("# nothing\n")

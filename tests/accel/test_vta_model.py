@@ -1,0 +1,132 @@
+"""Tests for the VTA model and its interfaces."""
+
+import pytest
+
+from repro.accel.vta import (
+    ENGLISH,
+    GemmWorkload,
+    Instruction,
+    Opcode,
+    Program,
+    Tiling,
+    VtaConfig,
+    VtaModel,
+    latency_vta_roofline,
+    petri_interface,
+    random_programs,
+    tiled_gemm_program,
+)
+from repro.hw.kernel import SimError
+from repro.hw.stats import ErrorReport
+
+
+@pytest.fixture(scope="module")
+def model():
+    return VtaModel()
+
+
+def prog(m=2, k=2, n=2, tm=1, tk=1, tn=1, **kw):
+    return tiled_gemm_program(GemmWorkload(m, k, n), Tiling(tm, tk, tn), **kw)
+
+
+class TestModel:
+    def test_deterministic(self, model):
+        p = prog()
+        assert model.measure_latency(p) == model.measure_latency(p)
+
+    def test_gemm_scaling(self, model):
+        # Compute-bound workload: 4x the reduction depth ~ 4x the cycles.
+        small = prog(2, 2, 2, 1, 2, 1)
+        big = prog(2, 8, 2, 1, 2, 1)
+        ratio = model.measure_latency(big) / model.measure_latency(small)
+        assert 2.5 < ratio < 4.5
+
+    def test_bigger_tiles_fewer_instructions_faster(self, model):
+        fine = prog(4, 4, 4, 1, 1, 1)
+        coarse = prog(4, 4, 4, 2, 4, 2)
+        assert len(coarse) < len(fine)
+        assert model.measure_latency(coarse) < model.measure_latency(fine)
+
+    def test_deadlocking_program_detected(self, model):
+        bad = Program(
+            (
+                Instruction(
+                    Opcode.GEMM, uop_count=1, lp0=1, lp1=1, pop_prev=True
+                ),
+            )
+        )
+        with pytest.raises(SimError):
+            model.run(bad)
+
+    def test_run_result_breakdown(self, model):
+        p = prog()
+        result = model.run(p)
+        assert result.cycles == max(result.insn_end)
+        assert result.dram_accesses > 0
+        assert result.module_busy["compute"] > 0
+
+    def test_copy_ends_validation(self, model):
+        result = model.run(prog())
+        with pytest.raises(ValueError):
+            result.copy_ends(7)  # does not divide
+
+    def test_throughput_at_least_inverse_latency(self, model):
+        p = prog(2, 2, 2)
+        tput = model.measure_throughput(p)
+        lat = model.measure_latency(p)
+        assert tput >= 0.95 / lat  # streaming overlaps, never much worse
+
+    def test_throughput_repeat_validation(self, model):
+        with pytest.raises(ValueError):
+            model.measure_throughput(prog(), repeat=0)
+
+
+class TestPetriInterface:
+    @pytest.fixture(scope="class")
+    def iface(self):
+        return petri_interface()
+
+    def test_latency_accuracy(self, model, iface):
+        # Paper Table 1: avg (max) error 1.49% (9.3%).  Same order here.
+        progs = random_programs(31, 12, max_dim=6)
+        actual = [model.measure_latency(p) for p in progs]
+        pred = [iface.latency(p) for p in progs]
+        rep = ErrorReport.of(pred, actual)
+        assert rep.avg < 0.04
+        assert rep.max < 0.10
+
+    def test_throughput_accuracy(self, model, iface):
+        progs = random_programs(32, 6, max_dim=5)
+        actual = [model.measure_throughput(p) for p in progs]
+        pred = [iface.throughput(p) for p in progs]
+        rep = ErrorReport.of(pred, actual)
+        assert rep.avg < 0.05
+        assert rep.max < 0.10
+
+    def test_net_structure(self, iface):
+        places = set(iface.net.places)
+        assert {"dram_port", "port_req", "l2c", "c2l", "c2s", "s2c"} <= places
+
+    def test_reusable(self, iface):
+        p = prog()
+        first = iface.latency(p)
+        iface.latency(prog(3, 1, 1))
+        assert iface.latency(p) == first
+
+
+class TestRoofline:
+    def test_underestimates_but_tracks(self, model):
+        # No dependency stalls modeled, so the roofline is a lower-ish
+        # estimate that still orders schedules correctly most of the time.
+        progs = random_programs(33, 8, max_dim=5)
+        actual = [model.measure_latency(p) for p in progs]
+        pred = [latency_vta_roofline(p) for p in progs]
+        rep = ErrorReport.of(pred, actual)
+        assert rep.avg < 0.6
+
+    def test_english_statements_validate(self, model):
+        pairs_lat = []
+        for k in (1, 2, 4, 8):
+            p = prog(2, k, 2, 1, 1, 1)
+            pairs_lat.append((float(p.total_macs), model.measure_latency(p)))
+        assert ENGLISH.statements[0].check(pairs_lat)

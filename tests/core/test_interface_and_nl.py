@@ -1,0 +1,143 @@
+"""Tests for the interface abstraction and NL representation."""
+
+import pytest
+
+from repro.core import (
+    BoundsOnlyInterface,
+    EnglishInterface,
+    LatencyBounds,
+    PerformanceInterface,
+    PerformanceStatement,
+    ProgramInterface,
+    Relation,
+)
+
+
+class ConstInterface(PerformanceInterface[int]):
+    accelerator = "toy"
+    representation = "program"
+
+    def latency(self, item: int) -> float:
+        return float(item)
+
+
+class TestLatencyBounds:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            LatencyBounds(10, 5)
+
+    def test_contains_with_slack(self):
+        b = LatencyBounds(100, 200)
+        assert b.contains(100)
+        assert b.contains(200)
+        assert not b.contains(210)
+        assert b.contains(210, slack=0.1)
+
+    def test_width_and_midpoint(self):
+        b = LatencyBounds(10, 30)
+        assert b.width == 20
+        assert b.midpoint == 20
+
+
+class TestPerformanceInterface:
+    def test_default_throughput_is_inverse_latency(self):
+        assert ConstInterface().throughput(4) == 0.25
+
+    def test_nonpositive_latency_rejected_for_throughput(self):
+        with pytest.raises(ValueError):
+            ConstInterface().throughput(0)
+
+    def test_default_bounds_are_point(self):
+        b = ConstInterface().latency_bounds(7)
+        assert b.lower == b.upper == 7
+
+    def test_describe(self):
+        assert "toy" in ConstInterface().describe()
+
+
+class TestBoundsOnly:
+    class Ranged(BoundsOnlyInterface[int]):
+        accelerator = "ranged"
+
+        def bounds(self, item):
+            return LatencyBounds(item, item * 3)
+
+    def test_latency_is_midpoint(self):
+        iface = self.Ranged()
+        assert iface.latency(10) == 20
+        assert iface.latency_bounds(10).upper == 30
+
+
+class TestProgramInterfaceWrapper:
+    def test_requires_some_latency_info(self):
+        with pytest.raises(ValueError):
+            ProgramInterface("x")
+
+    def test_bounds_only_construction(self):
+        iface = ProgramInterface(
+            "x", min_latency_fn=lambda i: i, max_latency_fn=lambda i: 2 * i
+        )
+        assert iface.latency(10) == 15
+        assert iface.has_bounds
+
+
+class TestRelationChecks:
+    def test_proportional(self):
+        stmt = PerformanceStatement("Latency", Relation.PROPORTIONAL, "size")
+        assert stmt.check([(1, 10), (2, 20), (4, 40)])
+        assert not stmt.check([(1, 10), (2, 15), (4, 80)], tolerance=0.1)
+
+    def test_inversely_proportional(self):
+        stmt = PerformanceStatement("Latency", Relation.INVERSELY_PROPORTIONAL, "rate")
+        assert stmt.check([(1, 100), (2, 50), (4, 25)])
+        assert not stmt.check([(1, 100), (2, 100), (4, 100)])
+
+    def test_monotone_relations(self):
+        inc = PerformanceStatement("Latency", Relation.INCREASES_WITH, "n")
+        dec = PerformanceStatement("Throughput", Relation.DECREASES_WITH, "n")
+        up = [(1, 5), (2, 6), (3, 9), (4, 11)]
+        down = [(x, 20 - y) for x, y in up]
+        assert inc.check(up)
+        assert not inc.check(down)
+        assert dec.check(down)
+
+    def test_monotone_tolerates_local_noise(self):
+        stmt = PerformanceStatement("Latency", Relation.INCREASES_WITH, "n")
+        pairs = [(i, i + (0.3 if i == 5 else 0)) for i in range(20)]
+        pairs[5] = (5, 4.9)  # one local inversion
+        assert stmt.check(pairs)
+
+    def test_equals_param(self):
+        stmt = PerformanceStatement("Latency", Relation.EQUALS_PARAM, "Loop")
+        assert stmt.check([(8, 8.0), (16, 16.0)])
+        assert not stmt.check([(8, 9.0), (16, 16.0)])
+
+    def test_constant(self):
+        stmt = PerformanceStatement("Latency", Relation.CONSTANT, "payload")
+        assert stmt.check([(1, 100), (9, 101)])
+        assert not stmt.check([(1, 100), (9, 300)])
+
+    def test_needs_two_samples(self):
+        stmt = PerformanceStatement("Latency", Relation.CONSTANT, "x")
+        with pytest.raises(ValueError):
+            stmt.check([(1, 1)])
+
+
+class TestRendering:
+    def test_each_relation_renders(self):
+        for rel in Relation:
+            stmt = PerformanceStatement("Latency", rel, "the input size")
+            text = stmt.render()
+            assert text.startswith("Latency")
+            assert "{" not in text  # templates fully substituted
+
+    def test_interface_joins_statements(self):
+        iface = EnglishInterface(
+            accelerator="toy",
+            statements=(
+                PerformanceStatement("Latency", Relation.PROPORTIONAL, "size"),
+                PerformanceStatement("Area", Relation.CONSTANT, "size"),
+            ),
+        )
+        assert len(iface.render().splitlines()) == 2
+        assert str(iface) == iface.render()

@@ -1,0 +1,99 @@
+"""Tests for the §5 record/replay offload estimator."""
+
+import pytest
+
+from repro.core import (
+    OffloadEstimator,
+    PerformanceInterface,
+    RecordingDevice,
+    ReplayDevice,
+    ReplayDivergence,
+)
+
+
+class TenXInterface(PerformanceInterface[int]):
+    accelerator = "toy"
+    representation = "program"
+
+    def latency(self, item: int) -> float:
+        return float(item)  # accelerator: 1 cycle per unit
+
+
+def software_fn(request: int) -> int:
+    return request * 2  # functional behaviour
+
+
+def software_latency(request: int) -> float:
+    return 10.0 * request  # software: 10 cycles per unit
+
+
+def app(device):
+    total = 0
+    for request in (1, 2, 3):
+        response = device.call(request)
+        device.host_work(5)
+        total += response
+    return total
+
+
+class TestRecording:
+    def test_records_pairs_and_clock(self):
+        dev = RecordingDevice(software_fn, software_latency)
+        app(dev)
+        assert dev.tape == [(1, 2), (2, 4), (3, 6)]
+        assert dev.clock == 10 * 6 + 15  # software + host work
+        assert dev.calls == 3
+
+
+class TestReplay:
+    def test_replays_responses_with_interface_latency(self):
+        recorder = RecordingDevice(software_fn, software_latency)
+        result_sw = app(recorder)
+        replayer = ReplayDevice(recorder.tape, TenXInterface())
+        result_replay = app(replayer)
+        assert result_replay == result_sw  # correct responses
+        assert replayer.clock == 6 + 15  # interface latency + host work
+
+    def test_divergent_request_detected(self):
+        replayer = ReplayDevice([(1, 2)], TenXInterface())
+
+        def bad_app(device):
+            device.call(99)
+
+        with pytest.raises(ReplayDivergence, match="diverged"):
+            bad_app(replayer)
+
+    def test_extra_call_detected(self):
+        replayer = ReplayDevice([(1, 2)], TenXInterface())
+
+        def chatty(device):
+            device.call(1)
+            device.call(1)
+
+        with pytest.raises(ReplayDivergence, match="tape has"):
+            chatty(replayer)
+
+    def test_invocation_overhead_charged(self):
+        recorder = RecordingDevice(software_fn, software_latency)
+        app(recorder)
+        replayer = ReplayDevice(
+            recorder.tape, TenXInterface(), invocation_overhead=lambda r: 100.0
+        )
+        app(replayer)
+        assert replayer.clock == 6 + 15 + 300
+
+    def test_host_work_validation(self):
+        dev = RecordingDevice(software_fn)
+        with pytest.raises(ValueError):
+            dev.host_work(-1)
+
+
+class TestEstimator:
+    def test_end_to_end_speedup(self):
+        est = OffloadEstimator(
+            software_fn, software_latency, TenXInterface()
+        ).estimate(app)
+        assert est.calls == 3
+        assert est.software_cycles == 75
+        assert est.offloaded_cycles == 21
+        assert est.speedup == pytest.approx(75 / 21)

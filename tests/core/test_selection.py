@@ -1,0 +1,99 @@
+"""Tests for the design-stage selection tooling."""
+
+import pytest
+
+from repro.core import (
+    Candidate,
+    DesignPoint,
+    PerformanceInterface,
+    mean_workload_latency,
+    offload_speedup,
+    pareto_frontier,
+    pick_under_area_budget,
+    rank_by_latency,
+    rank_by_speedup_per_dollar,
+)
+
+
+class Scaled(PerformanceInterface[int]):
+    representation = "program"
+
+    def __init__(self, name, factor):
+        self.accelerator = name
+        self.factor = factor
+
+    def latency(self, item: int) -> float:
+        return self.factor * item
+
+
+FAST = Candidate("fast", Scaled("fast", 1.0), price_dollars=4.0)
+SLOW = Candidate("slow", Scaled("slow", 3.0), price_dollars=1.0)
+TAXED = Candidate(
+    "taxed", Scaled("taxed", 1.0), invocation_overhead=lambda item: 100.0
+)
+WORKLOAD = [10, 20, 30]
+
+
+def baseline(item):
+    return 6.0 * item
+
+
+class TestRanking:
+    def test_rank_by_latency(self):
+        ranking = rank_by_latency([FAST, SLOW], WORKLOAD)
+        assert ranking.best == "fast"
+        assert ranking.entries[0][1] == pytest.approx(20.0)
+
+    def test_invocation_overhead_counts(self):
+        # 100-cycle overhead makes "taxed" worse than "slow" for small items.
+        ranking = rank_by_latency([SLOW, TAXED], [5, 5])
+        assert ranking.best == "slow"
+
+    def test_rank_per_dollar_prefers_cheap(self):
+        # fast: speedup 6, $4 -> 1.5/dollar; slow: speedup 2, $1 -> 2/dollar.
+        ranking = rank_by_speedup_per_dollar([FAST, SLOW], WORKLOAD, baseline)
+        assert ranking.best == "slow"
+
+    def test_offload_speedup_below_one_flags_harm(self):
+        harmful = Candidate(
+            "harmful", Scaled("harmful", 5.0), invocation_overhead=lambda i: 50.0
+        )
+        assert offload_speedup(harmful, [2, 3], baseline) < 1.0
+        assert offload_speedup(FAST, WORKLOAD, baseline) == pytest.approx(6.0)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            mean_workload_latency(FAST, [])
+
+    def test_table_renders(self):
+        ranking = rank_by_latency([FAST, SLOW], WORKLOAD)
+        assert "fast" in ranking.table()
+
+
+class TestFrontier:
+    POINTS = [
+        DesignPoint("a", area=100, latency=10, throughput=0.1),
+        DesignPoint("b", area=50, latency=20, throughput=0.05),
+        DesignPoint("c", area=80, latency=30, throughput=0.03),  # dominated by a? no: a bigger
+        DesignPoint("d", area=120, latency=9, throughput=0.11),
+        DesignPoint("e", area=60, latency=25, throughput=0.04),  # dominated by b? area 60>50, lat 25>20 -> dominated
+    ]
+
+    def test_pareto_removes_dominated(self):
+        frontier = pareto_frontier(self.POINTS)
+        names = [p.config for p in frontier]
+        assert "e" not in names
+        assert "b" in names and "a" in names and "d" in names
+
+    def test_frontier_sorted_by_area(self):
+        frontier = pareto_frontier(self.POINTS)
+        areas = [p.area for p in frontier]
+        assert areas == sorted(areas)
+
+    def test_pick_under_budget(self):
+        assert pick_under_area_budget(self.POINTS, 100).config == "a"
+        assert pick_under_area_budget(self.POINTS, 55).config == "b"
+
+    def test_budget_too_small(self):
+        with pytest.raises(ValueError, match="no configuration fits"):
+            pick_under_area_budget(self.POINTS, 10)

@@ -1,0 +1,132 @@
+"""Tests for the validation harness and the complexity metric."""
+
+import pytest
+
+from repro.accel.base import AcceleratorModel
+from repro.core import (
+    LatencyBounds,
+    PerformanceInterface,
+    accuracy_gain,
+    compare_representations,
+    interface_complexity,
+    loc_of_module,
+    loc_of_text,
+    validate_interface,
+)
+
+
+class ToyModel(AcceleratorModel[int]):
+    name = "toy"
+
+    def measure_latency(self, item: int) -> float:
+        return float(item * 10)
+
+
+class GoodInterface(PerformanceInterface[int]):
+    accelerator = "toy"
+    representation = "petri-net"
+
+    def latency(self, item: int) -> float:
+        return item * 10.0
+
+
+class RoughInterface(PerformanceInterface[int]):
+    accelerator = "toy"
+    representation = "program"
+
+    def latency(self, item: int) -> float:
+        return item * 11.0  # 10% high
+
+    def latency_bounds(self, item):
+        return LatencyBounds(item * 9.0, item * 12.0)
+
+
+WORKLOAD = [1, 2, 5, 10]
+
+
+class TestValidation:
+    def test_perfect_interface_scores_zero(self):
+        report = validate_interface(GoodInterface(), ToyModel(), WORKLOAD)
+        assert report.latency.avg == 0.0
+        assert report.throughput.avg == 0.0
+        assert report.items == 4
+
+    def test_rough_interface_scores_ten_percent(self):
+        report = validate_interface(
+            RoughInterface(), ToyModel(), WORKLOAD, check_throughput=False
+        )
+        assert report.latency.avg == pytest.approx(0.10)
+        assert report.throughput is None
+
+    def test_bounds_checking(self):
+        report = validate_interface(
+            RoughInterface(),
+            ToyModel(),
+            WORKLOAD,
+            check_latency=False,
+            check_throughput=False,
+            check_bounds=True,
+        )
+        assert report.bounds.all_within
+
+    def test_bounds_violation_detected(self):
+        class BadBounds(RoughInterface):
+            def latency_bounds(self, item):
+                return LatencyBounds(item * 11.0, item * 12.0)  # excludes truth
+
+        report = validate_interface(
+            BadBounds(), ToyModel(), WORKLOAD, check_bounds=True,
+            check_latency=False, check_throughput=False,
+        )
+        assert report.bounds.violations == 4
+        assert not report.bounds.all_within
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            validate_interface(GoodInterface(), ToyModel(), [])
+
+    def test_compare_and_gain(self):
+        reports = compare_representations(
+            {"petri-net": GoodInterface(), "program": RoughInterface()},
+            ToyModel(),
+            WORKLOAD,
+            check_throughput=False,
+        )
+        gain = accuracy_gain(reports["petri-net"], reports["program"])
+        assert gain == float("inf")  # perfect vs 10%
+
+    def test_summary_text(self):
+        report = validate_interface(GoodInterface(), ToyModel(), WORKLOAD)
+        assert "toy/petri-net" in report.summary()
+        assert "latency" in report.summary()
+
+
+class TestComplexity:
+    def test_loc_of_text_skips_blanks_and_comments(self):
+        text = "# header\n\nplace a\nplace b  # trailing\n\n"
+        assert loc_of_text(text) == 2
+
+    def test_loc_of_module_excludes_docstrings(self):
+        import repro.core.complexity as mod
+
+        loc = loc_of_module(mod)
+        raw = loc_of_text(open(mod.__file__).read())
+        assert 0 < loc < raw  # docstrings removed something
+
+    def test_ratio(self):
+        import repro.accel.jpeg.model as impl
+        from repro.accel.jpeg import JPEG_PNET
+
+        report = interface_complexity(JPEG_PNET, impl)
+        assert 0 < report.ratio < 0.5
+        assert report.as_percent().endswith("%")
+
+    def test_module_list_sums(self):
+        import repro.accel.jpeg.model as a
+        import repro.accel.jpeg.workload as b
+        from repro.accel.jpeg import JPEG_PNET
+
+        single = interface_complexity(JPEG_PNET, a)
+        double = interface_complexity(JPEG_PNET, [a, b])
+        assert double.implementation_loc > single.implementation_loc
+        assert double.ratio < single.ratio

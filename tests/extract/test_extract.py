@@ -1,0 +1,115 @@
+"""Tests for automatic interface extraction (§5 future work)."""
+
+import pytest
+
+from repro.accel.base import AcceleratorModel
+from repro.accel.jpeg import JpegDecoderModel, random_images
+from repro.accel.protoacc import ProtoaccSerializerModel, instances
+from repro.accel.vta import VtaModel, random_programs
+from repro.core import validate_interface
+from repro.extract import (
+    extract_program_interface,
+    jpeg_features,
+    protoacc_features,
+    vta_features,
+)
+
+
+class LinearToy(AcceleratorModel[int]):
+    name = "toy"
+
+    def measure_latency(self, item: int) -> float:
+        return 3.0 * item + 50.0
+
+
+def toy_features(item: int) -> dict[str, float]:
+    return {"n": float(item)}
+
+
+class TestFitMechanics:
+    def test_recovers_exact_linear_model(self):
+        iface, report = extract_program_interface(
+            LinearToy(), list(range(1, 20)), toy_features
+        )
+        assert report.train_error < 1e-6
+        assert iface.latency(100) == pytest.approx(350.0, rel=1e-6)
+
+    def test_formula_renders(self):
+        iface, _ = extract_program_interface(
+            LinearToy(), list(range(1, 10)), toy_features
+        )
+        assert iface.formula().startswith("latency = ")
+        assert "n" in iface.formula()
+
+    def test_weights_nonnegative(self):
+        # A feature anticorrelated with latency must be zeroed, not
+        # given a negative rate (costs are costs).
+        def noisy_features(item):
+            return {"n": float(item), "anti": float(100 - item)}
+
+        iface, _ = extract_program_interface(
+            LinearToy(), list(range(1, 50)), noisy_features
+        )
+        assert all(w >= 0 for w in iface._weights)
+
+    def test_needs_three_items(self):
+        with pytest.raises(ValueError):
+            extract_program_interface(LinearToy(), [1, 2], toy_features)
+
+    def test_inconsistent_features_rejected(self):
+        def flaky(item):
+            return {"a": 1.0} if item % 2 else {"b": 1.0}
+
+        with pytest.raises(ValueError, match="same keys"):
+            extract_program_interface(LinearToy(), [1, 2, 3, 4], flaky)
+
+
+class TestRealAccelerators:
+    def test_jpeg_extraction_close_on_holdout(self):
+        model = JpegDecoderModel()
+        iface, _ = extract_program_interface(
+            model, random_images(1, 80), jpeg_features
+        )
+        holdout = validate_interface(
+            iface, model, random_images(2, 40), check_throughput=False
+        )
+        assert holdout.latency.avg < 0.05
+
+    def test_jpeg_extraction_recovers_decode_rate(self):
+        # The model decodes at 8 cycles/coded byte; the extractor should
+        # find a rate close to that — interpretability, not a black box.
+        model = JpegDecoderModel()
+        iface, _ = extract_program_interface(
+            model, random_images(3, 80), jpeg_features
+        )
+        rate = dict(zip(iface._names, iface._weights))["coded_bytes"]
+        assert rate == pytest.approx(8.0, rel=0.1)
+
+    def test_protoacc_extraction(self):
+        model = ProtoaccSerializerModel()
+        msgs = list(instances(seed=3).values())
+        iface, _ = extract_program_interface(model, msgs[:20], protoacc_features)
+        holdout = validate_interface(
+            iface, model, msgs[20:], check_throughput=False
+        )
+        assert holdout.latency.avg < 0.06
+
+    def test_vta_extraction(self):
+        model = VtaModel()
+        iface, _ = extract_program_interface(
+            model, random_programs(4, 40, max_dim=5), vta_features
+        )
+        holdout = validate_interface(
+            iface, model, random_programs(5, 15, max_dim=5), check_throughput=False
+        )
+        assert holdout.latency.avg < 0.12
+
+    def test_vta_extraction_recovers_mac_rate(self):
+        model = VtaModel()
+        iface, _ = extract_program_interface(
+            model, random_programs(6, 40, max_dim=5), vta_features
+        )
+        rate = dict(zip(iface._names, iface._weights))["gemm_macs"]
+        # One MAC row per cycle in the core; collinearity with ALU work
+        # (schedules pair them) leaves the fitter some slack.
+        assert 0.5 <= rate <= 1.3

@@ -1,0 +1,150 @@
+"""Tests for the event kernel, FIFO, and statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.hw import ClockedSim, ErrorReport, EventSim, Fifo, SimError, Summary
+from repro.hw.stats import relative_error, relative_errors
+
+
+class TestEventSim:
+    def test_events_run_in_time_order(self):
+        sim = EventSim()
+        log = []
+        sim.at(5.0, lambda: log.append("b"))
+        sim.at(1.0, lambda: log.append("a"))
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_ties_run_in_schedule_order(self):
+        sim = EventSim()
+        log = []
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(1.0, lambda: log.append(2))
+        sim.run()
+        assert log == [1, 2]
+
+    def test_after_is_relative(self):
+        sim = EventSim()
+        times = []
+        sim.at(3.0, lambda: sim.after(2.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [5.0]
+
+    def test_past_scheduling_rejected(self):
+        sim = EventSim()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimError, match="cannot schedule"):
+            sim.at(1.0, lambda: None)
+
+    def test_until_stops(self):
+        sim = EventSim()
+        log = []
+        for t in (1.0, 2.0, 3.0):
+            sim.at(t, lambda t=t: log.append(t))
+        end = sim.run(until=2.5)
+        assert log == [1.0, 2.0]
+        assert end == 2.5
+        assert sim.pending() == 1
+
+    def test_runaway_guard(self):
+        sim = EventSim()
+
+        def loop():
+            sim.after(0.0, loop)
+
+        sim.at(0.0, loop)
+        with pytest.raises(SimError, match="events"):
+            sim.run(max_events=100)
+
+
+class TestClockedSim:
+    def test_ticks_until_done(self):
+        sim = ClockedSim()
+        counter = {"n": 0}
+
+        class M:
+            def tick(self, cycle):
+                counter["n"] = cycle
+
+        sim.add(M())
+        cycles = sim.run_until(lambda: counter["n"] >= 9)
+        assert cycles == 10
+
+    def test_hang_guard(self):
+        sim = ClockedSim()
+
+        class Idle:
+            def tick(self, cycle):
+                pass
+
+        sim.add(Idle())
+        with pytest.raises(SimError, match="cycles"):
+            sim.run_until(lambda: False, max_cycles=100)
+
+
+class TestFifo:
+    def test_push_pop_order(self):
+        f = Fifo(3)
+        f.push(1)
+        f.push(2)
+        assert f.pop() == 1
+        assert f.front() == 2
+
+    def test_capacity_enforced(self):
+        f = Fifo(1)
+        f.push(1)
+        assert not f.can_push()
+        with pytest.raises(OverflowError):
+            f.push(2)
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            Fifo(1).pop()
+        with pytest.raises(IndexError):
+            Fifo(1).front()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Fifo(0)
+
+    def test_statistics(self):
+        f = Fifo(2)
+        f.push(1)
+        f.push(2)
+        f.pop()
+        assert (f.pushes, f.pops, f.high_water) == (2, 1, 2)
+
+
+class TestStats:
+    def test_summary_basic(self):
+        s = Summary.of([1, 2, 3, 4])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1
+        assert s.maximum == 4
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Summary.of([])
+
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert math.isinf(relative_error(1, 0))
+
+    def test_relative_errors_vectorized(self):
+        errs = relative_errors([110, 90], [100, 100])
+        assert errs.tolist() == pytest.approx([0.1, 0.1])
+
+    def test_relative_errors_length_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_errors([1], [1, 2])
+
+    def test_error_report(self):
+        rep = ErrorReport.of([110, 100], [100, 100])
+        assert rep.avg == pytest.approx(0.05)
+        assert rep.max == pytest.approx(0.1)
+        assert "avg 5.00%" in rep.as_percent()

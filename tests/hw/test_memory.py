@@ -1,0 +1,101 @@
+"""Tests for the DRAM timing model."""
+
+import pytest
+
+from repro.hw import Dram, DramConfig
+
+
+def cfg(**kw):
+    defaults = dict(
+        cas_latency=10,
+        row_miss_penalty=20,
+        banks=4,
+        row_size=1024,
+        bytes_per_beat=16,
+        refresh_interval=1000,
+        refresh_duration=50,
+    )
+    defaults.update(kw)
+    return DramConfig(**defaults)
+
+
+def test_first_access_is_a_row_miss():
+    d = Dram(cfg())
+    # Issue at t=100 to dodge the refresh window at t in [0, 50).
+    done = d.access(0, at=100.0, size=16)
+    assert done == 100 + 10 + 20 + 1
+    assert d.row_hits == 0
+
+
+def test_second_access_same_row_hits():
+    d = Dram(cfg())
+    t = d.access(0, at=100.0, size=16)
+    done = d.access(16, at=t, size=16)
+    assert done == t + 10 + 1
+    assert d.row_hits == 1
+
+
+def test_bank_conflict_queues():
+    d = Dram(cfg())
+    # Same bank (same row region), issued simultaneously: second queues.
+    first = d.access(0, at=100.0, size=16)
+    second = d.access(0, at=100.0, size=16)
+    assert second > first
+
+
+def test_different_banks_overlap():
+    d = Dram(cfg())
+    a = d.access(0, at=100.0, size=16)  # bank 0
+    b = d.access(1024, at=100.0, size=16)  # bank 1
+    assert a == b  # identical timing, no queueing
+
+
+def test_refresh_window_delays_start():
+    d = Dram(cfg())
+    # t=1010 falls inside the refresh window [1000, 1050).
+    done = d.access(0, at=1010.0, size=16)
+    assert done >= 1050 + 10 + 20 + 1
+
+
+def test_burst_beats_rounds_up():
+    c = cfg()
+    assert c.burst_beats(1) == 1
+    assert c.burst_beats(16) == 1
+    assert c.burst_beats(17) == 2
+
+
+def test_read_span_crosses_rows():
+    d = Dram(cfg())
+    t_one_row = Dram(cfg()).read_span(0, 100.0, 512)
+    t_two_rows = d.read_span(512, 100.0, 1024)  # crosses a row boundary
+    assert d.accesses == 2
+    assert t_two_rows > t_one_row
+
+
+def test_expected_latency_tracks_hit_ratio():
+    c = cfg()
+    assert c.expected_latency(hit_ratio=1.0) < c.expected_latency(hit_ratio=0.0)
+
+
+def test_mean_latency_statistic():
+    d = Dram(cfg())
+    d.access(0, at=100.0)
+    d.access(4096, at=100.0)
+    assert d.mean_latency > 0
+    assert d.accesses == 2
+
+
+def test_invalid_access_rejected():
+    d = Dram(cfg())
+    with pytest.raises(ValueError):
+        d.access(-1, 0.0)
+    with pytest.raises(ValueError):
+        d.access(0, 0.0, size=0)
+
+
+def test_reset_clears_state():
+    d = Dram(cfg())
+    d.access(0, at=100.0)
+    d.reset()
+    assert d.accesses == 0
+    assert d.access(0, at=100.0) == 100 + 10 + 20 + 4  # miss again, 64B burst

@@ -1,0 +1,71 @@
+"""Tests for the shared-interconnect model and its component interface."""
+
+import pytest
+
+from repro.hw.noc import BusConfig, SharedBus, expected_bus_delay
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BusConfig(background_utilization=0.95)
+    with pytest.raises(ValueError):
+        BusConfig(bytes_per_cycle=0)
+
+
+def test_idle_bus_costs_service_only():
+    bus = SharedBus(BusConfig())
+    done = bus.request(at=100.0, size=64)
+    assert done == 100.0 + 4 + 64 / 16
+    assert bus.mean_wait == 0.0
+
+
+def test_back_to_back_requests_queue():
+    bus = SharedBus(BusConfig())
+    first = bus.request(at=0.0, size=160)
+    second = bus.request(at=0.0, size=16)
+    assert second == first + 4 + 1
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        SharedBus().request(0.0, 0)
+
+
+def test_background_traffic_adds_waiting():
+    idle = SharedBus(BusConfig())
+    busy = SharedBus(BusConfig(background_utilization=0.6))
+    t_idle = t_busy = 0.0
+    for k in range(200):
+        at = k * 100.0
+        t_idle += idle.request(at, 64) - at
+        t_busy += busy.request(at, 64) - at
+    assert t_busy > t_idle
+    assert busy.mean_wait > 0
+
+
+def test_background_deterministic_given_seed():
+    a = SharedBus(BusConfig(background_utilization=0.5, seed=3))
+    b = SharedBus(BusConfig(background_utilization=0.5, seed=3))
+    times_a = [a.request(k * 50.0, 64) for k in range(50)]
+    times_b = [b.request(k * 50.0, 64) for k in range(50)]
+    assert times_a == times_b
+
+
+def test_expected_delay_matches_simulation():
+    # The M/D/1 component interface must track the simulated mean.
+    cfg = BusConfig(background_utilization=0.5)
+    bus = SharedBus(cfg)
+    total = 0.0
+    n = 3000
+    for k in range(n):
+        at = k * 120.0  # sparse foreground: samples steady-state waiting
+        total += bus.request(at, 64) - at
+    simulated = total / n
+    predicted = expected_bus_delay(64, cfg)
+    assert abs(predicted - simulated) / simulated < 0.15
+
+
+def test_expected_delay_grows_with_utilization():
+    low = expected_bus_delay(64, BusConfig(background_utilization=0.1))
+    high = expected_bus_delay(64, BusConfig(background_utilization=0.8))
+    assert high > low

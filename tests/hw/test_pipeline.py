@@ -1,0 +1,99 @@
+"""Unit tests for the analytical pipeline recurrence."""
+
+import pytest
+
+from repro.hw import LinePipeline, SimError, StageSpec
+
+
+def const(c):
+    return StageSpec(name=f"c{c}", cost=lambda _item, c=c: c)
+
+
+def test_single_stage_serial():
+    pipe = LinePipeline([const(4)])
+    sched = pipe.schedule([None] * 3)
+    assert sched.completion_times() == [4.0, 8.0, 12.0]
+    assert sched.latencies() == [4.0, 8.0, 12.0]
+
+
+def test_two_stage_overlap():
+    # Classic pipelining: stages of 3 and 5; steady-state II = 5.
+    pipe = LinePipeline([const(3), const(5)])
+    sched = pipe.schedule([None] * 4)
+    assert sched.completion_times() == [8.0, 13.0, 18.0, 23.0]
+
+
+def test_throughput_is_bottleneck_rate():
+    pipe = LinePipeline([const(3), const(5), const(2)])
+    sched = pipe.schedule([None] * 200)
+    assert sched.throughput() == pytest.approx(1 / 5, rel=0.05)
+
+
+def test_backpressure_with_tiny_fifo():
+    # Slow consumer with capacity-1 fifo stalls the producer.
+    pipe = LinePipeline([const(1), const(10)], fifo_capacity=1)
+    sched = pipe.schedule([None] * 3)
+    assert sched.completion_times() == [11.0, 21.0, 31.0]
+
+
+def test_larger_fifo_decouples_jitter():
+    # Alternating slow/fast first stage; a big fifo lets stage 2 keep busy.
+    costs = [9, 1, 9, 1, 9, 1]
+    items = list(range(6))
+    pipe_small = LinePipeline(
+        [StageSpec("a", lambda i: costs[i]), StageSpec("b", lambda i: 5)],
+        fifo_capacity=1,
+    )
+    pipe_big = LinePipeline(
+        [StageSpec("a", lambda i: costs[i]), StageSpec("b", lambda i: 5)],
+        fifo_capacity=8,
+    )
+    assert pipe_big.schedule(items).makespan() <= pipe_small.schedule(items).makespan()
+
+
+def test_arrivals_gap_open_loop():
+    pipe = LinePipeline([const(2)])
+    sched = pipe.schedule([None] * 3, arrivals=[0, 10, 20])
+    assert sched.latencies() == [2.0, 2.0, 2.0]
+
+
+def test_arrivals_must_be_sorted():
+    pipe = LinePipeline([const(2)])
+    with pytest.raises(SimError, match="non-decreasing"):
+        pipe.schedule([None, None], arrivals=[5, 1])
+
+
+def test_arrivals_length_mismatch():
+    pipe = LinePipeline([const(2)])
+    with pytest.raises(SimError, match="length"):
+        pipe.schedule([None], arrivals=[0, 1])
+
+
+def test_negative_cost_rejected():
+    pipe = LinePipeline([StageSpec("bad", lambda _i: -1)])
+    with pytest.raises(SimError, match="negative cost"):
+        pipe.schedule([None])
+
+
+def test_empty_pipeline_rejected():
+    with pytest.raises(SimError, match="at least one stage"):
+        LinePipeline([])
+
+
+def test_fifo_capacity_list_validated():
+    with pytest.raises(SimError, match="capacities"):
+        LinePipeline([const(1), const(1)], fifo_capacity=[1, 2])
+
+
+def test_stage_busy_accounts_blocking():
+    pipe = LinePipeline([const(1), const(10)], fifo_capacity=1)
+    sched = pipe.schedule([None] * 3)
+    # Stage 0 spends most of its life blocked on the fifo.
+    assert sched.stage_busy(0) > 3 * 1
+
+
+def test_empty_run():
+    pipe = LinePipeline([const(1)])
+    sched = pipe.schedule([])
+    assert sched.makespan() == 0.0
+    assert sched.throughput() == 0.0

@@ -1,0 +1,133 @@
+"""Tests for the generator-process layer (repro.hw.proc)."""
+
+import pytest
+
+from repro.hw import EventSim
+from repro.hw.kernel import SimError
+from repro.hw.proc import Delay, Get, ProcQueue, Put, spawn
+
+
+def run_procs(*gens):
+    sim = EventSim()
+    statuses = [spawn(sim, g(sim)) for g in gens]
+    sim.run()
+    return sim, statuses
+
+
+def test_delay_advances_time():
+    def proc(sim):
+        yield Delay(5)
+        yield Delay(7)
+
+    sim, (status,) = run_procs(proc)
+    assert status["done"]
+    assert status["end"] == 12.0
+
+
+def test_negative_delay_rejected():
+    def proc(sim):
+        yield Delay(-1)
+
+    sim = EventSim()
+    spawn(sim, proc(sim))
+    with pytest.raises(SimError, match="negative delay"):
+        sim.run()
+
+
+def test_queue_transfers_items_in_order():
+    sim = EventSim()
+    q = ProcQueue(sim)
+    received = []
+
+    def producer(sim):
+        for k in range(3):
+            yield Delay(10)
+            yield Put(q, k)
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield Get(q)
+            received.append((item, sim.now))
+
+    spawn(sim, producer(sim))
+    spawn(sim, consumer(sim))
+    sim.run()
+    assert [r[0] for r in received] == [0, 1, 2]
+    assert [r[1] for r in received] == [10.0, 20.0, 30.0]
+
+
+def test_get_blocks_until_put():
+    sim = EventSim()
+    q = ProcQueue(sim)
+    times = {}
+
+    def consumer(sim):
+        item = yield Get(q)
+        times["got"] = (sim.now, item)
+
+    def producer(sim):
+        yield Delay(42)
+        yield Put(q, "x")
+
+    spawn(sim, consumer(sim))
+    spawn(sim, producer(sim))
+    sim.run()
+    assert times["got"] == (42.0, "x")
+
+
+def test_bounded_queue_blocks_putter():
+    sim = EventSim()
+    q = ProcQueue(sim, capacity=1)
+    log = []
+
+    def producer(sim):
+        yield Put(q, 1)
+        yield Put(q, 2)  # blocks until consumer pops
+        log.append(("put2", sim.now))
+
+    def consumer(sim):
+        yield Delay(100)
+        yield Get(q)
+        yield Get(q)
+
+    spawn(sim, producer(sim))
+    spawn(sim, consumer(sim))
+    sim.run()
+    assert log[0][1] == 100.0
+
+
+def test_capacity_validation():
+    sim = EventSim()
+    with pytest.raises(SimError):
+        ProcQueue(sim, capacity=0)
+
+
+def test_unfinished_process_reports_not_done():
+    sim = EventSim()
+    q = ProcQueue(sim)
+
+    def stuck(sim):
+        yield Get(q)  # never satisfied
+
+    status = spawn(sim, stuck(sim))
+    sim.run()
+    assert not status["done"]
+
+
+def test_statistics():
+    sim = EventSim()
+    q = ProcQueue(sim)
+
+    def producer(sim):
+        yield Put(q, 1)
+        yield Put(q, 2)
+
+    def consumer(sim):
+        yield Get(q)
+
+    spawn(sim, producer(sim))
+    spawn(sim, consumer(sim))
+    sim.run()
+    assert q.puts == 2
+    assert q.gets == 1
+    assert len(q) == 1

@@ -1,0 +1,62 @@
+"""Tests for the TLB model (§5 extension substrate)."""
+
+import pytest
+
+from repro.hw.tlb import Tlb, TlbConfig
+
+
+def cfg(**kw):
+    defaults = dict(entries=8, ways=2, page_bits=12, hit_cycles=1, walk_cycles=100)
+    defaults.update(kw)
+    return TlbConfig(**defaults)
+
+
+def test_geometry_validated():
+    with pytest.raises(ValueError):
+        TlbConfig(entries=10, ways=4)
+
+
+def test_first_access_misses_then_hits():
+    tlb = Tlb(cfg())
+    assert tlb.translate(0x1000, at=0.0) == 101.0
+    assert tlb.translate(0x1FFF, at=0.0) == 1.0  # same page
+    assert tlb.miss_ratio == 0.5
+
+
+def test_different_pages_miss_separately():
+    tlb = Tlb(cfg())
+    tlb.translate(0x0000, 0.0)
+    assert tlb.translate(0x2000, 0.0) == 101.0
+
+
+def test_lru_eviction_within_set():
+    tlb = Tlb(cfg(entries=2, ways=2))  # one set, two ways
+    tlb.translate(0x0000, 0.0)  # page 0
+    tlb.translate(0x1000, 0.0)  # page 1
+    tlb.translate(0x0000, 0.0)  # touch page 0 (now MRU)
+    tlb.translate(0x2000, 0.0)  # page 2 evicts page 1 (LRU)
+    assert tlb.translate(0x0000, 0.0) == 1.0   # page 0 still resident
+    assert tlb.translate(0x1000, 0.0) == 101.0  # page 1 evicted
+
+
+def test_set_indexing_isolates_pages():
+    tlb = Tlb(cfg(entries=8, ways=2))  # 4 sets
+    # Pages 0 and 4 map to set 0; pages 1 and 5 to set 1 — filling set 0
+    # never evicts set 1 residents.
+    for page in (0, 4, 8, 12):  # all set 0, overflows 2 ways
+        tlb.translate(page << 12, 0.0)
+    tlb.translate(1 << 12, 0.0)
+    assert tlb.translate(1 << 12, 0.0) == 1.0
+
+
+def test_reset():
+    tlb = Tlb(cfg())
+    tlb.translate(0x0, 0.0)
+    tlb.reset()
+    assert tlb.lookups == 0
+    assert tlb.translate(0x0, 0.0) == 101.0
+
+
+def test_negative_vaddr_rejected():
+    with pytest.raises(ValueError):
+        Tlb(cfg()).translate(-1, 0.0)

@@ -1,0 +1,97 @@
+"""Cross-substrate property: the Petri-net engine and the pipeline
+recurrence implement the same timing semantics.
+
+A linear chain of serial transitions with unbounded intermediate places
+is exactly the unbounded-FIFO pipeline recurrence: item i enters stage
+s when the stage frees and the item arrives; no backpressure exists.
+The two implementations were written independently (event-driven
+colored nets vs an analytic recurrence), so their agreement on random
+workloads is strong evidence both are right.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import LinePipeline, StageSpec
+from repro.petri import PetriNet, chain, run_workload
+
+
+@st.composite
+def chain_case(draw):
+    n_stages = draw(st.integers(min_value=1, max_value=4))
+    n_items = draw(st.integers(min_value=1, max_value=10))
+    costs = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=12),
+                min_size=n_stages,
+                max_size=n_stages,
+            ),
+            min_size=n_items,
+            max_size=n_items,
+        )
+    )
+    return costs
+
+
+@given(chain_case())
+@settings(max_examples=80, deadline=None)
+def test_unbounded_chain_matches_recurrence(costs):
+    n_stages = len(costs[0])
+
+    net = PetriNet("chain")
+    chain(
+        net,
+        [
+            (
+                f"s{s}",
+                lambda consumed, s=s: consumed[
+                    "in" if s == 0 else f"q_s{s-1}"
+                ][0].payload[s],
+            )
+            for s in range(n_stages)
+        ],
+        capacity=None,
+    )
+    net_result = run_workload(net, costs)
+
+    pipe = LinePipeline(
+        [StageSpec(f"s{s}", lambda item, s=s: item[s]) for s in range(n_stages)],
+        fifo_capacity=max(len(costs), 1),  # effectively unbounded
+    )
+    sched = pipe.schedule(costs)
+
+    assert sorted(c.time for c in net_result.sink()) == sorted(
+        sched.completion_times()
+    )
+
+
+@given(chain_case())
+@settings(max_examples=40, deadline=None)
+def test_chain_conserves_tokens(costs):
+    n_stages = len(costs[0])
+    net = PetriNet("chain")
+    chain(net, [(f"s{s}", 1) for s in range(n_stages)], capacity=2)
+    result = run_workload(net, costs)
+    assert len(result.sink()) == len(costs)
+    assert result.residual_tokens == 0
+    for s in range(n_stages):
+        assert result.fired[f"s{s}"] == len(costs)
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=30, deadline=None)
+def test_more_servers_never_slower(servers, items):
+    def build(k):
+        net = PetriNet("srv")
+        net.add_place("in")
+        net.add_place("out")
+        net.add_transition("t", ["in"], ["out"], delay=7, servers=k)
+        return net
+
+    slow = run_workload(build(servers), [None] * items)
+    fast = run_workload(build(servers + 1), [None] * items)
+    assert fast.makespan() <= slow.makespan()

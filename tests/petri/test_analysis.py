@@ -1,0 +1,99 @@
+"""Tests for structural analysis of performance-IR nets."""
+
+import numpy as np
+
+from repro.petri import (
+    PetriNet,
+    analyze_structure,
+    bottleneck_estimate,
+    find_cycles,
+    incidence_matrix,
+    p_invariants,
+    run_workload,
+)
+
+
+def pipeline_net():
+    net = PetriNet("pipe")
+    net.add_place("in")
+    net.add_place("q", capacity=2)
+    net.add_place("out")
+    net.add_transition("a", ["in"], ["q"], delay=1)
+    net.add_transition("b", ["q"], ["out"], delay=3)
+    return net
+
+
+def test_incidence_matrix_shape_and_values():
+    c, places, transitions = incidence_matrix(pipeline_net())
+    assert places == ["in", "out", "q"]
+    assert transitions == ["a", "b"]
+    # a: in -1, q +1 ; b: q -1, out +1
+    expected = np.array([[-1, 0], [0, 1], [1, -1]])
+    assert (c == expected).all()
+
+
+def test_pipeline_is_conservative():
+    report = analyze_structure(pipeline_net())
+    # Token count in+q+out is invariant: y = (1,1,1) is a P-invariant.
+    assert report.conservative
+    assert report.source_places == ["in"]
+    assert report.sink_places == ["out"]
+
+
+def test_weighted_fork_is_still_conservative():
+    # in -> 2x out admits the invariant y = (2, 1): weighted token mass
+    # is conserved, which is the standard definition.
+    net = PetriNet("fork")
+    net.add_place("in")
+    net.add_place("out")
+    net.add_transition("f", ["in"], [("out", 2)], delay=1)
+    assert analyze_structure(net).conservative
+
+
+def test_nonconservative_net_detected():
+    # Two routes from in to out with inconsistent weights admit no
+    # nonzero invariant: -y1 + y2 = 0 and -y1 + 2*y2 = 0 force y = 0.
+    net = PetriNet("noncons")
+    net.add_place("in")
+    net.add_place("out")
+    net.add_transition("t1", ["in"], ["out"], delay=1)
+    net.add_transition("t2", ["in"], [("out", 2)], delay=1)
+    assert not analyze_structure(net).conservative
+
+
+def test_p_invariants_annihilate_incidence():
+    c, _, _ = incidence_matrix(pipeline_net())
+    inv = p_invariants(c)
+    assert inv.shape[0] >= 1
+    assert np.allclose(inv @ c, 0, atol=1e-8)
+
+
+def test_find_cycles_on_credit_loop():
+    net = PetriNet("credit")
+    net.add_place("in")
+    net.add_place("credits")
+    net.add_place("out")
+    net.add_transition("use", ["in", "credits"], ["out", "credits"], delay=1)
+    cycles = find_cycles(net)
+    assert any("credits" in cyc and "use" in cyc for cyc in cycles)
+
+
+def test_acyclic_pipeline_has_no_cycles():
+    assert find_cycles(pipeline_net()) == []
+
+
+def test_bottleneck_estimate_identifies_slow_stage():
+    net = pipeline_net()
+    run_workload(net, [None] * 10)
+    busy = bottleneck_estimate(net)
+    assert busy["b"] > busy["a"]
+
+
+def test_summary_mentions_warnings():
+    net = PetriNet("warn")
+    net.add_place("in")
+    net.add_place("orphan")
+    net.add_place("out")
+    net.add_transition("t", ["in"], ["out"], delay=1)
+    text = analyze_structure(net).summary()
+    assert "orphan" in text

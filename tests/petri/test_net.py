@@ -1,0 +1,143 @@
+"""Structural tests for repro.petri.net."""
+
+import pytest
+
+from repro.petri import Arc, DefinitionError, PetriNet, Token, chain
+from repro.petri.errors import CapacityError
+
+
+def test_add_place_rejects_duplicates():
+    net = PetriNet("n")
+    net.add_place("a")
+    with pytest.raises(DefinitionError, match="duplicate place"):
+        net.add_place("a")
+
+
+def test_add_place_rejects_zero_capacity():
+    net = PetriNet("n")
+    with pytest.raises(DefinitionError, match="capacity"):
+        net.add_place("a", capacity=0)
+
+
+def test_transition_requires_inputs():
+    net = PetriNet("n")
+    net.add_place("out")
+    with pytest.raises(DefinitionError, match="no input arcs"):
+        net.add_transition("t", [], ["out"])
+
+
+def test_transition_rejects_unknown_place():
+    net = PetriNet("n")
+    net.add_place("in")
+    with pytest.raises(DefinitionError, match="unknown place"):
+        net.add_transition("t", ["in"], ["nowhere"])
+
+
+def test_transition_rejects_duplicate_name():
+    net = PetriNet("n")
+    net.add_place("in")
+    net.add_place("out")
+    net.add_transition("t", ["in"], ["out"])
+    with pytest.raises(DefinitionError, match="duplicate transition"):
+        net.add_transition("t", ["in"], ["out"])
+
+
+def test_arc_specs_accept_strings_tuples_and_arcs():
+    net = PetriNet("n")
+    for p in ("a", "b", "c", "out"):
+        net.add_place(p)
+    t = net.add_transition("t", ["a", ("b", 2), Arc("c", 3)], ["out"])
+    assert [(a.place, a.weight) for a in t.inputs] == [("a", 1), ("b", 2), ("c", 3)]
+
+
+def test_arc_weight_must_be_positive():
+    with pytest.raises(DefinitionError, match="weight"):
+        Arc("p", 0)
+
+
+def test_place_take_is_fifo():
+    net = PetriNet("n")
+    p = net.add_place("p")
+    t1, t2 = Token(payload=1), Token(payload=2)
+    p.put(t1)
+    p.put(t2)
+    assert [t.payload for t in p.take(2)] == [1, 2]
+
+
+def test_place_capacity_enforced_on_put():
+    net = PetriNet("n")
+    p = net.add_place("p", capacity=1)
+    p.put(Token())
+    with pytest.raises(CapacityError):
+        p.put(Token())
+
+
+def test_place_free_slots_counts_reservations():
+    net = PetriNet("n")
+    p = net.add_place("p", capacity=3)
+    p.put(Token())
+    p.reserved = 1
+    assert p.free_slots() == 1
+
+
+def test_negative_delay_rejected_at_fire_time():
+    net = PetriNet("n")
+    net.add_place("in")
+    net.add_place("out")
+    t = net.add_transition("t", ["in"], ["out"], delay=lambda c: -1)
+    net.places["in"].put(Token())
+    consumed = {"in": net.places["in"].peek(1)}
+    with pytest.raises(DefinitionError, match="negative delay"):
+        t.compute_delay(consumed)
+
+
+def test_validate_flags_impossible_output_capacity():
+    net = PetriNet("n")
+    net.add_place("in")
+    net.add_place("out", capacity=1)
+    net.add_transition("t", ["in"], [("out", 2)])
+    warnings = net.validate()
+    assert any("can never fire" in w for w in warnings)
+
+
+def test_validate_flags_disconnected_place():
+    net = PetriNet("n")
+    net.add_place("in")
+    net.add_place("orphan")
+    net.add_place("out")
+    net.add_transition("t", ["in"], ["out"])
+    assert any("disconnected" in w for w in net.validate())
+
+
+def test_marking_and_reset():
+    net = PetriNet("n")
+    net.add_place("a")
+    net.places["a"].put(Token())
+    assert net.marking() == {"a": 1}
+    assert net.total_tokens() == 1
+    net.reset()
+    assert net.total_tokens() == 0
+
+
+def test_ordered_transitions_sorts_by_priority_then_name():
+    net = PetriNet("n")
+    net.add_place("in")
+    net.add_place("out")
+    net.add_transition("b", ["in"], ["out"], priority=0)
+    net.add_transition("a", ["in"], ["out"], priority=1)
+    net.add_transition("c", ["in"], ["out"], priority=0)
+    assert [t.name for t in net.ordered_transitions()] == ["b", "c", "a"]
+
+
+def test_chain_builds_linear_pipeline():
+    net = PetriNet("n")
+    chain(net, [("s1", 2), ("s2", 3)], capacity=4)
+    assert set(net.places) == {"in", "q_s1", "out"}
+    assert net.places["q_s1"].capacity == 4
+    assert net.input_places_of("s2") == ["q_s1"]
+    assert net.output_places_of("s2") == ["out"]
+
+
+def test_chain_rejects_empty_stage_list():
+    with pytest.raises(DefinitionError):
+        chain(PetriNet("n"), [])

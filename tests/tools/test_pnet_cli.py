@@ -1,0 +1,112 @@
+"""Tests for the .pnet CLI."""
+
+import pytest
+
+from repro.accel.jpeg import JPEG_PNET
+from repro.tools.pnet import main
+
+GOOD = """
+net demo
+place in
+place out
+transition t
+  consume in
+  produce out
+  delay 3
+"""
+
+DEADLOCKING = """
+net dl
+place in
+place never
+place out
+transition t
+  consume in never
+  produce out
+  delay 1
+"""
+
+
+@pytest.fixture
+def pnet_file(tmp_path):
+    def write(text, name="net.pnet"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+class TestValidate:
+    def test_clean_net(self, pnet_file, capsys):
+        assert main(["validate", pnet_file(GOOD)]) == 0
+        out = capsys.readouterr().out
+        assert "net 'demo'" in out
+
+    def test_parse_error_exit_code(self, pnet_file, capsys):
+        assert main(["validate", pnet_file("net x\nbogus\n")]) == 1
+        assert "parse error" in capsys.readouterr().err
+
+    def test_shipped_jpeg_interface_validates(self, pnet_file):
+        assert main(["validate", pnet_file(JPEG_PNET)]) == 0
+
+    def test_warning_net_fails(self, pnet_file, capsys):
+        text = GOOD + "place orphan\n"
+        # 'place' after a transition is fine; orphan produces a warning.
+        assert main(["validate", pnet_file(text)]) == 1
+
+
+class TestDot:
+    def test_emits_digraph(self, pnet_file, capsys):
+        assert main(["dot", pnet_file(GOOD)]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestSimulate:
+    def test_basic_run(self, pnet_file, capsys):
+        rc = main(["simulate", pnet_file(GOOD), "--items", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "completions: 5" in out
+        assert "throughput" in out
+
+    def test_payload_drives_delays(self, pnet_file, capsys):
+        text = """
+net p
+place in
+place out
+transition t
+  consume in
+  produce out
+  delay expr: tok["n"] * 2
+"""
+        rc = main(
+            ["simulate", pnet_file(text), "--items", "1", "--payload", '{"n": 21}']
+        )
+        assert rc == 0
+        assert "mean=42.000" in capsys.readouterr().out
+
+    def test_deadlock_reported(self, pnet_file, capsys):
+        rc = main(["simulate", pnet_file(DEADLOCKING), "--items", "2"])
+        assert rc == 1
+        assert "DEADLOCK" in capsys.readouterr().err
+
+    def test_unknown_entry_rejected(self, pnet_file, capsys):
+        rc = main(["simulate", pnet_file(GOOD), "--entry", "nope"])
+        assert rc == 1
+        assert "entry place" in capsys.readouterr().err
+
+    def test_jpeg_interface_simulates_from_cli(self, pnet_file, capsys):
+        payload = '{"i": 0, "bytes": 16, "nnz": 12, "wr": true}'
+        rc = main(
+            [
+                "simulate",
+                pnet_file(JPEG_PNET),
+                "--items",
+                "8",
+                "--payload",
+                payload,
+            ]
+        )
+        assert rc == 0
+        assert "completions: 8" in capsys.readouterr().out

@@ -1,0 +1,64 @@
+"""Tests for the RPC workload mixes."""
+
+import numpy as np
+import pytest
+
+from repro.accel.protoacc import Message, decode
+from repro.workloads import (
+    ALL_MIXES,
+    ANALYTICS_MIX,
+    ENTERPRISE_MIX,
+    STORAGE_MIX,
+    sized_message,
+)
+
+
+class TestSizedMessage:
+    def test_payload_size_respected(self):
+        rng = np.random.default_rng(0)
+        msg = sized_message(300, rng)
+        assert msg.blob_bytes == 300
+        # Encoded size = payload + tags/header scalars.
+        assert 300 < msg.encoded_size() < 340
+
+    def test_nested_variant_wraps(self):
+        rng = np.random.default_rng(0)
+        msg = sized_message(64, rng, nested=True)
+        assert msg.nesting_depth == 1
+
+    def test_wire_format_round_trips(self):
+        rng = np.random.default_rng(5)
+        msg = sized_message(48, rng)
+        back = decode(msg.encode())
+        assert back.num_fields == msg.num_fields
+
+
+class TestMixes:
+    def test_reproducible(self):
+        a = ENTERPRISE_MIX.sample(seed=4, count=10)
+        b = ENTERPRISE_MIX.sample(seed=4, count=10)
+        assert [m.encode() for m in a] == [m.encode() for m in b]
+
+    def test_mix_size_profiles_differ(self):
+        ent = ENTERPRISE_MIX.sample(seed=1, count=200)
+        sto = STORAGE_MIX.sample(seed=1, count=200)
+        mean_ent = np.mean([m.encoded_size() for m in ent])
+        mean_sto = np.mean([m.encoded_size() for m in sto])
+        assert mean_sto > 10 * mean_ent  # storage is bulk, enterprise small
+
+    def test_enterprise_mostly_small(self):
+        msgs = ENTERPRISE_MIX.sample(seed=2, count=300)
+        median = np.median([m.encoded_size() for m in msgs])
+        assert median < 200
+
+    def test_analytics_is_field_heavy(self):
+        msgs = ANALYTICS_MIX.sample(seed=3, count=50)
+        assert np.mean([m.num_fields for m in msgs]) > 15
+        assert all(m.blob_bytes == 0 for m in msgs)
+
+    def test_all_mixes_yield_messages(self):
+        for mix in ALL_MIXES:
+            msgs = mix.sample(seed=0, count=5)
+            assert len(msgs) == 5
+            assert all(isinstance(m, Message) for m in msgs)
+            assert all(m.encoded_size() > 0 for m in msgs)
