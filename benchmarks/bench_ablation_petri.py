@@ -10,7 +10,6 @@ deciding what to abstract.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.accel.jpeg import (
     JpegDecoderModel,

@@ -24,7 +24,7 @@ from repro.accel.protoacc import (
 )
 from repro.accel.protoacc.interfaces import tput_protoacc_ser_tlb
 from repro.hw.stats import ErrorReport
-from repro.hw.tlb import Tlb, TlbConfig
+from repro.hw.tlb import TlbConfig
 
 MISS_RATIO_ESTIMATE = 0.85  # the platform vendor's quote for a 2 MiB arena
 

@@ -8,7 +8,6 @@ part the paper does by construction: the sentences must be *true*).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.accel import bitcoin, jpeg, protoacc
 from repro.accel.bitcoin import VALID_LOOPS, BitcoinMinerModel, area_miner

@@ -10,7 +10,6 @@ against actually running the application on the ground-truth model.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.accel.cpu import CpuSerializerModel, offload_overhead
 from repro.accel.protoacc import PROGRAM, ProtoaccSerializerModel

@@ -32,7 +32,6 @@ from repro.accel import vta as vta_pkg
 from repro.accel.jpeg import JPEG_PNET, JpegDecoderModel, random_images
 from repro.accel.vta import VtaModel, random_programs
 from repro.core import interface_complexity, validate_interface
-from repro.core.complexity import loc_of_text
 from repro.core.validation import accuracy_gain
 
 JPEG_N = 50

@@ -11,7 +11,6 @@ profiling each candidate.  Compare three profilers on the same search:
     python examples/autotune_vta.py
 """
 
-import numpy as np
 
 from repro.accel.vta import GemmWorkload, legal_tilings, random_programs
 from repro.autotune import (

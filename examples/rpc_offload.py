@@ -12,7 +12,6 @@ porting, evaluate their *interfaces* on your actual message mixes:
 """
 
 from repro.accel.cpu import CpuSerializerModel, offload_overhead
-from repro.accel.optimusprime import OptimusPrimeModel
 from repro.accel.protoacc import PROGRAM as PROTOACC_PROGRAM
 from repro.core import (
     Candidate,

@@ -10,7 +10,6 @@ deliberately abstracts detail: see DESIGN.md §6 for what each omits.
 
 from __future__ import annotations
 
-from repro.core.interface import PerformanceInterface
 from repro.core.nl import EnglishInterface, PerformanceStatement, Relation
 from repro.core.petrinet import Injection, PetriNetInterface
 from repro.core.program import ProgramInterface

@@ -15,7 +15,7 @@ varint ints, fixed 32/64-bit scalars, bytes/strings, and nested
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Union
 
 _MASK64 = (1 << 64) - 1

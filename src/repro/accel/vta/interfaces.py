@@ -16,14 +16,13 @@ use it as a cheap third profiler tier.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 
 from repro.core.nl import EnglishInterface, PerformanceStatement, Relation
 from repro.core.petrinet import Injection, PetriNetInterface
 from repro.core.program import ProgramInterface
 from repro.petri import PetriNet
 
-from .isa import Buffer, Instruction, Module, Opcode, Program
+from .isa import Instruction, Module, Opcode, Program
 from .model import VtaConfig
 
 # ----------------------------------------------------------------------

@@ -16,7 +16,7 @@ cost is O(cycles), which is the property the E6 benchmark needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.hw import Dram

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.accel.vta import Module, Opcode, Program
+from repro.accel.vta import Opcode, Program
 
 FEATURE_NAMES = (
     "total_macs",

@@ -13,6 +13,7 @@ from .complexity import (
     loc_of_module,
     loc_of_text,
 )
+from .errors import OffloadError, ReplayDivergence
 from .interface import BoundsOnlyInterface, LatencyBounds, PerformanceInterface
 from .nl import EnglishInterface, PerformanceStatement, Relation
 from .offload import (
@@ -20,7 +21,6 @@ from .offload import (
     OffloadEstimator,
     RecordingDevice,
     ReplayDevice,
-    ReplayDivergence,
     VirtualDevice,
 )
 from .petrinet import Injection, PetriNetInterface
@@ -41,6 +41,7 @@ from .validation import (
     InterfaceReport,
     accuracy_gain,
     compare_representations,
+    online_drift,
     validate_interface,
 )
 
@@ -54,6 +55,7 @@ __all__ = [
     "Injection",
     "InterfaceReport",
     "LatencyBounds",
+    "OffloadError",
     "OffloadEstimate",
     "OffloadEstimator",
     "PerformanceInterface",
@@ -73,6 +75,7 @@ __all__ = [
     "loc_of_text",
     "mean_workload_latency",
     "offload_speedup",
+    "online_drift",
     "pareto_frontier",
     "pick_under_area_budget",
     "rank_by_latency",

@@ -1,0 +1,33 @@
+"""Exceptions raised by the offload estimation and serving tooling."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class OffloadError(RuntimeError):
+    """Base class for record/replay offload errors."""
+
+
+class ReplayDivergence(OffloadError):
+    """The replayed application did not follow the recorded path.
+
+    Attributes:
+        call: 1-based index of the diverging call.
+        expected: the recorded request at that position (``None`` when
+            the tape was already exhausted).
+        actual: the request the application actually issued.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        call: int | None = None,
+        expected: Any = None,
+        actual: Any = None,
+    ):
+        super().__init__(message)
+        self.call = call
+        self.expected = expected
+        self.actual = actual

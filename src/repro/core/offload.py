@@ -19,9 +19,10 @@ phases; the host application interacts with a tiny `call()` API.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generic, TypeVar
 
+from .errors import ReplayDivergence
 from .interface import PerformanceInterface
 
 RequestT = TypeVar("RequestT")
@@ -92,25 +93,37 @@ class ReplayDevice(VirtualDevice[RequestT, ResponseT]):
         self.invocation_overhead = invocation_overhead
 
     def call(self, request: RequestT) -> ResponseT:
+        index = self.calls + 1  # divergence reports are 1-based
         if self.calls >= len(self.tape):
             raise ReplayDivergence(
-                f"application issued call #{self.calls + 1} but the tape has "
-                f"only {len(self.tape)} entries"
+                f"application issued call #{index} but the tape has "
+                f"only {len(self.tape)} entries",
+                call=index,
+                actual=request,
             )
         recorded_request, response = self.tape[self.calls]
         if recorded_request != request:
             raise ReplayDivergence(
-                f"call #{self.calls} diverged from the recorded run"
+                f"call #{index} diverged from the recorded run",
+                call=index,
+                expected=recorded_request,
+                actual=request,
             )
         self.calls += 1
-        self.clock += self.interface.latency(request)
-        if self.invocation_overhead is not None:
-            self.clock += self.invocation_overhead(request)
+        self.clock += self._charge(index, request)
         return response
 
+    def _charge(self, index: int, request: RequestT) -> float:
+        """Virtual cycles to bill for (1-based) call ``index``.
 
-class ReplayDivergence(RuntimeError):
-    """The replayed application did not follow the recorded path."""
+        Subclasses (e.g. the fault-aware replay in
+        :mod:`repro.runtime.tape`) override this to charge recorded
+        rather than predicted latency.
+        """
+        cycles = self.interface.latency(request)
+        if self.invocation_overhead is not None:
+            cycles += self.invocation_overhead(request)
+        return cycles
 
 
 @dataclass(frozen=True)

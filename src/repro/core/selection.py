@@ -12,7 +12,7 @@ workload descriptions are needed:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generic, Sequence, TypeVar
 
 from .interface import PerformanceInterface

@@ -20,7 +20,7 @@ All parameters are in core clock cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
@@ -69,17 +69,51 @@ class Dram:
         self.config = config or DramConfig()
         self._banks = [_Bank() for _ in range(self.config.banks)]
         self._stream_available = 0.0
+        self._stall_windows: list[tuple[float, float]] = []
         #: Cumulative statistics.
         self.accesses = 0
         self.row_hits = 0
         self.total_latency = 0.0
 
     def reset(self) -> None:
+        """Clear dynamic state (banks, stream port, statistics).
+
+        Injected stall windows survive a reset: they model externally
+        imposed conditions, not controller state.  Use
+        :meth:`clear_stall_windows` to remove them.
+        """
         self._banks = [_Bank() for _ in range(self.config.banks)]
         self._stream_available = 0.0
         self.accesses = 0
         self.row_hits = 0
         self.total_latency = 0.0
+
+    # ------------------------------------------------------------------
+    # Fault-injection hook (used by repro.runtime.faults)
+    # ------------------------------------------------------------------
+    def add_stall_window(self, start: float, duration: float) -> None:
+        """Declare ``[start, start + duration)`` as a window in which the
+        controller issues nothing — a refresh storm, thermal throttle, or
+        calibration pass.  Accesses and streams wanting to start inside
+        the window are deferred to its end; in-flight transfers ride
+        through (the storm gates *issue*, not completion)."""
+        if start < 0 or duration <= 0:
+            raise ValueError("stall window needs start >= 0 and duration > 0")
+        self._stall_windows.append((start, start + duration))
+        self._stall_windows.sort()
+
+    def clear_stall_windows(self) -> None:
+        self._stall_windows.clear()
+
+    @property
+    def stall_windows(self) -> tuple[tuple[float, float], ...]:
+        return tuple(self._stall_windows)
+
+    def _after_stalls(self, t: float) -> float:
+        for start, end in self._stall_windows:
+            if start <= t < end:
+                t = end
+        return t
 
     def _bank_and_row(self, addr: int) -> tuple[int, int]:
         cfg = self.config
@@ -98,6 +132,14 @@ class Dram:
             return t + (cfg.refresh_duration - phase)
         return t
 
+    def _issue_time(self, t: float) -> float:
+        """Earliest instant >= ``t`` outside refresh and stall windows."""
+        while True:
+            t2 = self._after_refresh(self._after_stalls(t))
+            if t2 == t:
+                return t
+            t = t2
+
     def access(self, addr: int, at: float, size: int = 64) -> float:
         """Issue one burst; returns the completion time."""
         if addr < 0 or size < 1:
@@ -105,7 +147,7 @@ class Dram:
         cfg = self.config
         bank_idx, row = self._bank_and_row(addr)
         bank = self._banks[bank_idx]
-        start = self._after_refresh(max(at, bank.available))
+        start = self._issue_time(max(at, bank.available))
         hit = bank.open_row == row
         service = cfg.cas_latency + (0 if hit else cfg.row_miss_penalty)
         service += cfg.burst_beats(size)
@@ -142,7 +184,7 @@ class Dram:
         if addr < 0 or size < 1:
             raise ValueError("addr must be >= 0 and size >= 1")
         cfg = self.config
-        start = self._after_refresh(max(at, self._stream_available))
+        start = self._issue_time(max(at, self._stream_available))
         rows = (addr + size - 1) // cfg.row_size - addr // cfg.row_size
         duration = (
             cfg.cas_latency

@@ -31,12 +31,29 @@ item ``i - cap[s]`` *starts* in stage ``s+1`` (is popped from the FIFO).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from .fifo import Fifo
 from .kernel import SimError
 
 CostFn = Callable[[Any], float]
+
+#: Fault-injection hook: extra service cycles per ``(item_index,
+#: stage_index)``, on top of the stage's cost function.  Produced by
+#: :func:`repro.runtime.faults.pipeline_stalls` to model a stuck stage;
+#: absent keys mean no stall.
+StallMap = Mapping[tuple[int, int], float]
+
+
+def _stalled_costs(costs: list[list[float]], stalls: StallMap | None) -> list[list[float]]:
+    if not stalls:
+        return costs
+    for (i, s), extra in stalls.items():
+        if extra < 0:
+            raise SimError(f"negative stall {extra} (item {i}, stage {s})")
+        if 0 <= i < len(costs) and 0 <= s < len(costs[i]):
+            costs[i][s] += extra
+    return costs
 
 
 @dataclass
@@ -118,12 +135,17 @@ class LinePipeline:
         self.caps = caps
 
     def schedule(
-        self, items: Sequence[Any], arrivals: Sequence[float] | None = None
+        self,
+        items: Sequence[Any],
+        arrivals: Sequence[float] | None = None,
+        stalls: StallMap | None = None,
     ) -> PipelineSchedule:
         """Compute the exact schedule for ``items``.
 
         ``arrivals`` defaults to all-zero (batch at time 0 = saturated
-        throughput measurement); it must be non-decreasing.
+        throughput measurement); it must be non-decreasing.  ``stalls``
+        injects extra service cycles per ``(item, stage)`` — the
+        stuck-pipeline fault hook.
         """
         n = len(items)
         s_count = len(self.stages)
@@ -145,6 +167,7 @@ class LinePipeline:
             for s, c in enumerate(row):
                 if c < 0:
                     raise SimError(f"negative cost {c} (item {i}, stage {s})")
+        costs = _stalled_costs(costs, stalls)
 
         for i in range(n):
             for s in range(s_count):
@@ -180,7 +203,10 @@ class TickPipeline:
         self.caps = self._line.caps
 
     def schedule(
-        self, items: Sequence[Any], arrivals: Sequence[float] | None = None
+        self,
+        items: Sequence[Any],
+        arrivals: Sequence[float] | None = None,
+        stalls: StallMap | None = None,
     ) -> PipelineSchedule:
         n = len(items)
         s_count = len(self.stages)
@@ -189,6 +215,12 @@ class TickPipeline:
         for row in costs:
             if any(c < 0 for c in row):
                 raise SimError("negative cost")
+        if stalls:
+            for (i, s), extra in stalls.items():
+                if extra < 0:
+                    raise SimError(f"negative stall {extra} (item {i}, stage {s})")
+                if 0 <= i < n and 0 <= s < s_count:
+                    costs[i][s] += int(extra)
 
         begin = [[0.0] * s_count for _ in range(n)]
         done_t = [[0.0] * s_count for _ in range(n)]

@@ -39,6 +39,7 @@ from .dot import to_dot
 from .dsl import parse, to_pnet
 from .errors import (
     CapacityError,
+    DeadlineError,
     DeadlockError,
     DefinitionError,
     DslError,
@@ -53,6 +54,7 @@ __all__ = [
     "Arc",
     "CapacityError",
     "Completion",
+    "DeadlineError",
     "DeadlockError",
     "DefinitionError",
     "DslError",

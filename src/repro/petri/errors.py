@@ -21,6 +21,20 @@ class DeadlockError(SimulationError):
     """
 
 
+class DeadlineError(SimulationError):
+    """The run exceeded its ``max_time`` watchdog budget.
+
+    Raised only when the caller asked :class:`repro.petri.simulate.Simulator`
+    to treat the deadline as an error (``on_deadline="raise"``).  The
+    partial :class:`~repro.petri.simulate.SimResult` accumulated up to
+    the deadline is attached as :attr:`result`.
+    """
+
+    def __init__(self, message: str, result=None):
+        super().__init__(message)
+        self.result = result
+
+
 class CapacityError(PetriError):
     """A token was forced into a place beyond its declared capacity."""
 

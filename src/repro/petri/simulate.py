@@ -27,9 +27,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Literal, Mapping, Sequence
+from typing import Any, Callable, Iterable, Literal, Sequence
 
-from .errors import DeadlockError, SimulationError
+from .errors import DeadlineError, DeadlockError, SimulationError
 from .net import PetriNet, Transition
 from .token import Token
 
@@ -63,6 +63,9 @@ class SimResult:
     fired: dict[str, int]
     deadlocked: bool = False
     residual_tokens: int = 0
+    #: True when the run stopped at its ``max_time`` watchdog with events
+    #: still pending — completions/fired counts are partial progress.
+    deadline_exceeded: bool = False
 
     def sink(self, name: str | None = None) -> list[Completion]:
         """Completions for ``name``, or for the only sink when omitted."""
@@ -154,9 +157,19 @@ class Simulator:
         self,
         *,
         until: float | None = None,
+        max_time: float | None = None,
         on_deadlock: Literal["stop", "raise"] = "stop",
+        on_deadline: Literal["stop", "raise"] = "stop",
     ) -> SimResult:
-        """Execute until quiescence (or ``until``), returning the result."""
+        """Execute until quiescence (or ``until``), returning the result.
+
+        ``max_time`` is a watchdog budget: a run that would simulate past
+        it stops at the deadline and reports partial progress
+        (``deadline_exceeded=True``) instead of spinning — or raises
+        :class:`~repro.petri.errors.DeadlineError` (carrying the partial
+        result) when ``on_deadline="raise"``.  Unlike ``until``, which is
+        a planned observation horizon, ``max_time`` flags the truncation.
+        """
         net = self.net
         net.reset()
         self._events.clear()
@@ -188,10 +201,15 @@ class Simulator:
             self._schedule(at, self._make_inject(place, token, sinkset, completions))
         self._pending.clear()
 
+        deadline_exceeded = False
         while self._events:
             # Pop every event scheduled for the next instant, apply them,
             # then fire enabled transitions to fixpoint at that instant.
             t = self._events[0].time
+            if max_time is not None and t > max_time:
+                self._now = max_time
+                deadline_exceeded = True
+                break
             if until is not None and t > until:
                 self._now = until
                 break
@@ -210,13 +228,22 @@ class Simulator:
                     f"net {net.name!r} starved with {residual} resident tokens: "
                     f"marking={net.marking()}"
                 )
-        return SimResult(
+        result = SimResult(
             end_time=self._now,
             completions=completions,
             fired={name: t.fire_count for name, t in net.transitions.items()},
             deadlocked=deadlocked,
             residual_tokens=residual,
+            deadline_exceeded=deadline_exceeded,
         )
+        if deadline_exceeded and on_deadline == "raise":
+            done = sum(len(c) for c in completions.values())
+            raise DeadlineError(
+                f"net {net.name!r} exceeded max_time={max_time} with "
+                f"{len(self._events)} events pending ({done} completions so far)",
+                result=result,
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Internals
@@ -299,8 +326,8 @@ class Simulator:
                         break
                     self._fire(t, sinkset, completions)
         raise SimulationError(
-            f"net {net.name!r}: more than {self.MAX_FIRINGS_PER_INSTANT} firings at "
-            f"t={self._now}; likely a zero-delay loop"
+            f"net {self.net.name!r}: more than {self.MAX_FIRINGS_PER_INSTANT} "
+            f"firings at t={self._now}; likely a zero-delay loop"
         )
 
     def _fire(
@@ -368,6 +395,8 @@ def run_workload(
     gap: float = 0.0,
     start: float = 0.0,
     until: float | None = None,
+    max_time: float | None = None,
+    on_deadline: Literal["stop", "raise"] = "stop",
 ) -> SimResult:
     """One-shot helper: inject ``payloads`` into ``entry`` and run.
 
@@ -377,4 +406,4 @@ def run_workload(
     """
     sim = Simulator(net, sinks=sinks)
     sim.inject_stream(entry, payloads, start=start, gap=gap)
-    return sim.run(until=until)
+    return sim.run(until=until, max_time=max_time, on_deadline=on_deadline)

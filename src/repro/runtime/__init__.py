@@ -1,0 +1,62 @@
+"""Fault-tolerant offload runtime: serving accelerators that misbehave.
+
+The paper's workflows assume the accelerator answers every request on
+time.  This package is the serving layer a production offload stack
+needs when it does not: deterministic fault injection
+(:mod:`.faults`), virtual-clock watchdog deadlines (:mod:`.watchdog`),
+retry with capped exponential backoff (:mod:`.retry`), a circuit
+breaker that trips on hard failures *or* on performance-interface drift
+(:mod:`.breaker`, :mod:`.degrade`), graceful degradation to the CPU
+software path, and record/replay integration so the §5 estimator can
+price application runs that include faulted calls (:mod:`.tape`).
+
+Entry point: :class:`~repro.runtime.device.ResilientDevice`, which
+wraps any ``AcceleratorModel`` + ``PerformanceInterface`` pair as a
+served endpoint on a virtual clock.  ``docs/robustness.md`` documents
+the fault model and the breaker state machine.
+"""
+
+from .breaker import BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker
+from .degrade import CpuFallback, DriftDetector, rpc_cpu_fallback
+from .device import CallRecord, ResilientDevice
+from .faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ScriptedFaultPlan,
+    dram_storm_latency,
+    pipeline_stalls,
+)
+from .retry import RetryPolicy
+from .tape import (
+    ResilientOffloadEstimate,
+    ResilientOffloadEstimator,
+    ResilientReplayDevice,
+)
+from .watchdog import Watchdog, WatchdogTimeout
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "BreakerTransition",
+    "CallRecord",
+    "CircuitBreaker",
+    "CpuFallback",
+    "DriftDetector",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "ResilientDevice",
+    "ResilientOffloadEstimate",
+    "ResilientOffloadEstimator",
+    "ResilientReplayDevice",
+    "RetryPolicy",
+    "ScriptedFaultPlan",
+    "Watchdog",
+    "WatchdogTimeout",
+    "dram_storm_latency",
+    "pipeline_stalls",
+    "rpc_cpu_fallback",
+]

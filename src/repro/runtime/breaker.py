@@ -1,0 +1,118 @@
+"""Circuit breaker over the accelerator path, on the virtual clock.
+
+Standard three-state breaker, with one accelerator-specific twist: it
+trips not only on consecutive *hard* failures (watchdog timeouts,
+dropped or corrupted responses) but also on *soft* failure of the
+performance interface itself — when online drift detection
+(:class:`repro.runtime.degrade.DriftDetector`) reports that predictions
+no longer track observed latency.  An interface that has drifted off its
+calibrated envelope can no longer be trusted for admission or capacity
+decisions, which is itself a reason to stop offloading.
+
+States::
+
+    CLOSED ──(threshold consecutive failures | drift)──▶ OPEN
+    OPEN ──(recovery_cycles elapse)──▶ HALF_OPEN
+    HALF_OPEN ──(probe_successes successes)──▶ CLOSED
+    HALF_OPEN ──(any failure)──▶ OPEN
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class BreakerState(str, Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    #: Consecutive hard failures that trip the breaker.
+    failure_threshold: int = 5
+    #: Virtual cycles the breaker stays open before probing.
+    recovery_cycles: float = 100_000.0
+    #: Half-open successes required to close again.
+    probe_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.recovery_cycles <= 0:
+            raise ValueError("recovery_cycles must be positive")
+        if self.probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One state change, for post-mortem timelines."""
+
+    time: float
+    state: BreakerState
+    reason: str
+
+
+class CircuitBreaker:
+    """Mutable breaker state machine.  All times are virtual cycles."""
+
+    def __init__(self, config: BreakerConfig | None = None):
+        self.config = config or BreakerConfig()
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.probe_streak = 0
+        self.opened_at = 0.0
+        self.transitions: list[BreakerTransition] = []
+
+    def allow(self, now: float) -> bool:
+        """May a call use the accelerator path at virtual time ``now``?
+
+        While OPEN, the first query after the recovery window moves the
+        breaker to HALF_OPEN and admits the call as a probe.
+        """
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at >= self.config.recovery_cycles:
+                self._move(BreakerState.HALF_OPEN, now, "recovery window elapsed")
+                return True
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self.probe_streak += 1
+            if self.probe_streak >= self.config.probe_successes:
+                self._move(
+                    BreakerState.CLOSED,
+                    now,
+                    f"{self.probe_streak} healthy probes",
+                )
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float, reason: str = "failure") -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self.trip(now, f"probe failed: {reason}")
+            return
+        self.consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.config.failure_threshold
+        ):
+            self.trip(now, f"{self.consecutive_failures} consecutive failures")
+
+    def trip(self, now: float, reason: str) -> None:
+        """Force the breaker open (hard-failure streak or drift)."""
+        if self.state is BreakerState.OPEN:
+            return
+        self._move(BreakerState.OPEN, now, reason)
+
+    def _move(self, state: BreakerState, now: float, reason: str) -> None:
+        self.state = state
+        if state is BreakerState.OPEN:
+            self.opened_at = now
+        if state is not BreakerState.HALF_OPEN:
+            self.probe_streak = 0
+        self.consecutive_failures = 0
+        self.transitions.append(BreakerTransition(time=now, state=state, reason=reason))

@@ -1,0 +1,118 @@
+"""Graceful degradation: drift detection and the CPU fallback path.
+
+Two pieces:
+
+* :class:`DriftDetector` — an online sliding window over
+  (interface-predicted, model-observed) latency pairs, scored with the
+  same relative-error machinery the offline validation harness uses
+  (:func:`repro.core.validation.online_drift`).  When the windowed
+  average relative error crosses the threshold, the interface has
+  drifted off its calibrated envelope and the breaker should stop
+  trusting the accelerator path.
+
+* :class:`CpuFallback` — the degraded-mode service: a functional
+  software implementation plus its latency model (typically the
+  :mod:`repro.accel.cpu` Xeon baseline).  Slower, but it always answers,
+  which is what bounds the tail when the accelerator does not.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+from repro.core.validation import online_drift
+from repro.hw.stats import ErrorReport
+
+RequestT = TypeVar("RequestT")
+ResponseT = TypeVar("ResponseT")
+
+
+class DriftDetector:
+    """Sliding-window relative-error monitor for a performance interface.
+
+    The drift signal is the windowed average of the *symmetric* relative
+    error ``|p - o| / min(p, o)`` — unlike the offline harness's
+    ``|p - o| / o``, it does not saturate at 1 when the device runs far
+    slower than predicted, which is exactly the regime drift detection
+    exists for.  The plain :class:`~repro.hw.stats.ErrorReport` from the
+    validation machinery is still computed for diagnostics
+    (:attr:`last_report`).
+
+    Args:
+        window: number of recent (predicted, observed) pairs scored.
+        threshold: windowed average symmetric relative error that counts
+            as drift.  Set it above the interface's validated offline
+            error (an interface that is 10% off in calibration should
+            not trip a 10% threshold on the first sample).
+        min_samples: pairs required before drift can be reported at all.
+    """
+
+    def __init__(
+        self, *, window: int = 32, threshold: float = 0.5, min_samples: int = 8
+    ):
+        if window < 1 or min_samples < 1 or min_samples > window:
+            raise ValueError("need 1 <= min_samples <= window")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self._predicted: deque[float] = deque(maxlen=window)
+        self._observed: deque[float] = deque(maxlen=window)
+        self.last_report: ErrorReport | None = None
+        self.last_score: float | None = None
+
+    @property
+    def samples(self) -> int:
+        return len(self._predicted)
+
+    @staticmethod
+    def symmetric_error(predicted: float, observed: float) -> float:
+        floor = min(abs(predicted), abs(observed))
+        if floor == 0:
+            return 0.0 if predicted == observed else float("inf")
+        return abs(predicted - observed) / floor
+
+    def update(self, predicted: float, observed: float) -> bool:
+        """Record one pair; return True when the window is in drift."""
+        self._predicted.append(predicted)
+        self._observed.append(observed)
+        if self.samples < self.min_samples:
+            return False
+        self.last_report = online_drift(list(self._predicted), list(self._observed))
+        self.last_score = sum(
+            self.symmetric_error(p, o)
+            for p, o in zip(self._predicted, self._observed)
+        ) / self.samples
+        return self.last_score > self.threshold
+
+    def reset(self) -> None:
+        """Forget the window (e.g. after the breaker closes again)."""
+        self._predicted.clear()
+        self._observed.clear()
+        self.last_report = None
+        self.last_score = None
+
+
+@dataclass(frozen=True)
+class CpuFallback(Generic[RequestT, ResponseT]):
+    """The degraded-mode path: software answer plus software cycles."""
+
+    software_fn: Callable[[RequestT], ResponseT]
+    latency_fn: Callable[[RequestT], float]
+
+    def call(self, request: RequestT) -> tuple[ResponseT, float]:
+        return self.software_fn(request), self.latency_fn(request)
+
+
+def rpc_cpu_fallback() -> "CpuFallback":
+    """The standard fallback for the RPC serialization scenario: encode
+    on the Xeon software path at its modeled cost."""
+    from repro.accel.cpu import CpuSerializerModel
+
+    cpu = CpuSerializerModel()
+    return CpuFallback(
+        software_fn=lambda msg: msg.encode(),
+        latency_fn=cpu.measure_latency,
+    )

@@ -1,0 +1,261 @@
+"""The fault-tolerant served device.
+
+:class:`ResilientDevice` wraps any ``AcceleratorModel`` +
+``PerformanceInterface`` pair as a served endpoint on a virtual clock —
+the production counterpart of the paper's §5 offload devices.  Each call
+runs the full serving loop:
+
+1. admission through the :class:`~repro.runtime.breaker.CircuitBreaker`
+   (OPEN ⇒ straight to the CPU fallback, no accelerator cycles burned);
+2. an accelerator attempt whose *observed* latency comes from the
+   ground-truth model, perturbed by the
+   :class:`~repro.runtime.faults.FaultPlan` for this invocation;
+3. a :class:`~repro.runtime.watchdog.Watchdog` deadline (hangs and
+   drops cost exactly the budget — the time spent waiting);
+4. retry with capped exponential backoff and seeded jitter on failure;
+5. on success, online drift detection comparing the *interface's*
+   predicted latency to the observed one — sustained mispredictions trip
+   the breaker just like hard failures do;
+6. on exhaustion (or an open breaker), graceful degradation to the
+   CPU software path, which always answers.
+
+Every call appends a :class:`CallRecord` to :attr:`ResilientDevice.records`;
+that tape replays through :mod:`repro.runtime.tape` so the §5
+record/replay estimator can price an application run that includes
+faulted calls.
+
+Everything is deterministic: same seeds, same workload ⇒ byte-identical
+records and clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+from repro.accel.base import AcceleratorModel
+from repro.core.interface import PerformanceInterface
+from repro.core.offload import VirtualDevice
+from repro.hw.stats import Summary
+
+from .breaker import BreakerState, CircuitBreaker
+from .degrade import CpuFallback, DriftDetector
+from .faults import FaultEvent, FaultKind
+from .retry import RetryPolicy
+from .watchdog import Watchdog
+
+RequestT = TypeVar("RequestT")
+ResponseT = TypeVar("ResponseT")
+
+
+@dataclass(frozen=True)
+class CallRecord(Generic[RequestT, ResponseT]):
+    """One served call, as recorded on the tape."""
+
+    index: int  # 1-based logical call number
+    request: RequestT
+    response: ResponseT
+    cycles: float  # total virtual cycles the call cost, end to end
+    path: str  # "accel" or "cpu"
+    attempts: int  # accelerator invocations made (0 = breaker short-circuit)
+    faults: tuple[FaultKind, ...]  # faults encountered across attempts
+    breaker_state: BreakerState | None  # state at admission, if a breaker ran
+
+
+@dataclass(frozen=True)
+class _Attempt:
+    """Outcome of one accelerator invocation."""
+
+    ok: bool
+    charge: float  # cycles this attempt cost
+    observed: float | None  # device-side latency, when one was observed
+    reason: str  # failure label for breaker/timeline bookkeeping
+
+
+class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, ResponseT]):
+    """A served accelerator endpoint with faults, retries, a breaker,
+    drift detection, and CPU graceful degradation.
+
+    Args:
+        model: ground-truth accelerator (observed latency).
+        interface: the vendor's performance interface (predicted
+            latency — used for drift detection and clean replay).
+        fallback: the degraded-mode software path; also supplies the
+            functional response for successful accelerator calls unless
+            ``respond`` overrides it (accelerator and software agree
+            functionally — the §5 record/replay premise).
+        fault_plan: anything with ``.at(invocation) -> FaultEvent | None``;
+            ``None`` serves faultlessly.
+        watchdog: per-invocation deadline (default 100k cycles).
+        retry: backoff policy (default 3 attempts).
+        breaker: circuit breaker; ``None`` degrades per call only, with
+            no admission control — every call pays its own timeouts.
+        drift: online drift detector; requires a breaker to act on it.
+        invocation_overhead: host-side cycles per accelerator invocation
+            (descriptor setup + DMA), e.g.
+            :func:`repro.accel.cpu.offload_overhead`.
+        storm_latency: hook ``f(request, event) -> cycles`` resolving a
+            REFRESH_STORM through a real memory model
+            (:func:`repro.runtime.faults.dram_storm_latency`); the
+            default approximation adds the storm duration.
+    """
+
+    def __init__(
+        self,
+        model: AcceleratorModel[RequestT],
+        interface: PerformanceInterface[RequestT],
+        fallback: CpuFallback[RequestT, ResponseT],
+        *,
+        respond: Callable[[RequestT], ResponseT] | None = None,
+        fault_plan=None,
+        watchdog: Watchdog | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        drift: DriftDetector | None = None,
+        invocation_overhead: Callable[[RequestT], float] | None = None,
+        storm_latency: Callable[[RequestT, FaultEvent], float] | None = None,
+    ):
+        super().__init__()
+        self.model = model
+        self.interface = interface
+        self.fallback = fallback
+        self.respond = respond or fallback.software_fn
+        self.fault_plan = fault_plan
+        self.watchdog = watchdog or Watchdog(budget=100_000.0)
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker
+        self.drift = drift
+        self.invocation_overhead = invocation_overhead
+        self.storm_latency = storm_latency
+        self.records: list[CallRecord[RequestT, ResponseT]] = []
+        self._invocations = 0  # monotone accelerator-invocation counter
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def call(self, request: RequestT) -> ResponseT:
+        index = self.calls + 1
+        start = self.clock
+        faults: list[FaultKind] = []
+        attempts = 0
+        response: ResponseT | None = None
+        path = "cpu"
+        admission_state = self.breaker.state if self.breaker else None
+        admitted = self.breaker is None or self.breaker.allow(self.clock)
+
+        if admitted:
+            for attempt in range(1, self.retry.max_attempts + 1):
+                invocation = self._invocations
+                self._invocations += 1
+                attempts += 1
+                event = self.fault_plan.at(invocation) if self.fault_plan else None
+                if event is not None:
+                    faults.append(event.kind)
+                outcome = self._attempt(request, event)
+                self.clock += outcome.charge
+                if outcome.ok:
+                    response = self.respond(request)
+                    path = "accel"
+                    self._record_success(request, outcome)
+                    break
+                if self.breaker is not None:
+                    self.breaker.record_failure(self.clock, reason=outcome.reason)
+                    if self.breaker.state is BreakerState.OPEN:
+                        break  # the circuit just opened: stop burning retries
+                if attempt < self.retry.max_attempts:
+                    self.clock += self.retry.backoff(index, attempt)
+
+        if response is None:
+            response, cycles = self.fallback.call(request)
+            self.clock += cycles
+            path = "cpu"
+
+        self.calls += 1
+        self.records.append(
+            CallRecord(
+                index=index,
+                request=request,
+                response=response,
+                cycles=self.clock - start,
+                path=path,
+                attempts=attempts,
+                faults=tuple(faults),
+                breaker_state=admission_state,
+            )
+        )
+        return response
+
+    def _attempt(self, request: RequestT, event: FaultEvent | None) -> _Attempt:
+        """One accelerator invocation under ``event`` (or none)."""
+        observed = self.model.measure_latency(request)
+        kind = event.kind if event is not None else None
+        if kind is FaultKind.LATENCY_SPIKE:
+            observed *= event.magnitude
+        elif kind is FaultKind.REFRESH_STORM:
+            if self.storm_latency is not None:
+                observed = self.storm_latency(request, event)
+            else:
+                observed += event.magnitude
+        elif kind is FaultKind.HANG:
+            observed = float("inf")
+
+        overhead = (
+            self.invocation_overhead(request) if self.invocation_overhead else 0.0
+        )
+        budget = self.watchdog.budget
+        if observed > budget:
+            # Hang or pathological slowdown: the watchdog fires at the
+            # deadline, so the caller paid exactly the budget.
+            return _Attempt(False, budget + overhead, None, "watchdog timeout")
+        if kind is FaultKind.DROP:
+            # The device finished but the response never arrived; the
+            # only detector is, again, the watchdog deadline.
+            return _Attempt(False, budget + overhead, None, "response dropped")
+        if kind is FaultKind.CORRUPT:
+            # Arrived on time, failed the integrity check on arrival.
+            return _Attempt(False, observed + overhead, None, "response corrupted")
+        return _Attempt(True, observed + overhead, observed, "ok")
+
+    def _record_success(self, request: RequestT, outcome: _Attempt) -> None:
+        if self.breaker is not None:
+            was_half_open = self.breaker.state is BreakerState.HALF_OPEN
+            self.breaker.record_success(self.clock)
+            if was_half_open and self.breaker.state is BreakerState.CLOSED:
+                if self.drift is not None:
+                    self.drift.reset()  # a recovered device starts a fresh window
+        if self.drift is not None and outcome.observed is not None:
+            predicted = self.interface.latency(request)
+            drifted = self.drift.update(predicted, outcome.observed)
+            if (
+                drifted
+                and self.breaker is not None
+                and self.breaker.state is BreakerState.CLOSED
+            ):
+                self.breaker.trip(
+                    self.clock,
+                    f"interface drift: avg symmetric error "
+                    f"{self.drift.last_score:.0%} over {self.drift.samples} calls",
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tape(self) -> list[CallRecord[RequestT, ResponseT]]:
+        """The recorded calls, for replay via :mod:`repro.runtime.tape`."""
+        return self.records
+
+    def latencies(self) -> list[float]:
+        """Per-call end-to-end virtual cycles."""
+        return [r.cycles for r in self.records]
+
+    def fallback_fraction(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.path == "cpu" for r in self.records) / len(self.records)
+
+    def fault_count(self) -> int:
+        return sum(len(r.faults) for r in self.records)
+
+    def summary(self) -> Summary:
+        return Summary.of(self.latencies())

@@ -1,0 +1,242 @@
+"""Deterministic fault injection for served accelerator offload.
+
+A production offload stack cannot assume the accelerator answers every
+request on time: devices hang, DRAM controllers stall in refresh storms,
+DMA responses get dropped or corrupted, and fitted performance models
+drift off their calibrated envelope.  This module provides the *fault
+schedule*: a seeded, random-access plan that decides, per accelerator
+invocation, whether (and how) that invocation misbehaves.
+
+Determinism is the design contract.  :meth:`FaultPlan.at` is a pure
+function of ``(seed, invocation index)`` — two runs with the same seed
+produce byte-identical schedules (see :meth:`FaultPlan.digest`), so a
+benchmark with faults enabled is exactly as reproducible as one without.
+Retries advance the invocation counter, so a retried call faces fresh,
+but still deterministic, fault draws.
+
+The physical fault mechanisms hook into the hardware substrate:
+
+* refresh storms become :meth:`repro.hw.memory.Dram.add_stall_window`
+  windows (see :func:`dram_storm_latency`);
+* stuck pipeline stages become per-``(item, stage)`` stall cycles fed to
+  :meth:`repro.hw.pipeline.LinePipeline.schedule` (see
+  :func:`pipeline_stalls`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+from math import log
+from typing import Mapping
+
+import numpy as np
+
+from repro.hw.memory import Dram
+
+
+class FaultKind(str, Enum):
+    """What goes wrong with one accelerator invocation."""
+
+    #: Transient slowdown: observed latency is multiplied by ``magnitude``.
+    LATENCY_SPIKE = "latency-spike"
+    #: The DRAM controller stalls for ``magnitude`` cycles (refresh storm).
+    REFRESH_STORM = "refresh-storm"
+    #: The device never answers; only a watchdog recovers the caller.
+    HANG = "hang"
+    #: The device computes but the response is lost in transit.
+    DROP = "drop"
+    #: The response arrives on time but fails its integrity check.
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: which invocation, what kind, how bad."""
+
+    invocation: int
+    kind: FaultKind
+    #: Spike: latency multiplier (> 1).  Storm: stall cycles.  Hang:
+    #: ``inf``.  Drop/corrupt: 0 (binary faults).
+    magnitude: float
+
+    def encode(self) -> bytes:
+        """Canonical byte form, used by :meth:`FaultPlan.digest`."""
+        return f"{self.invocation}:{self.kind.value}:{self.magnitude!r}".encode()
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-invocation fault probabilities and magnitudes.
+
+    Rates are per accelerator invocation and mutually exclusive (one
+    uniform draw is partitioned among the kinds), so they must sum to
+    at most 1.
+    """
+
+    spike_rate: float = 0.0
+    #: Mean latency multiplier of a spike (log-normal around this mean).
+    spike_scale: float = 4.0
+    storm_rate: float = 0.0
+    #: Duration of one refresh-storm stall window, in cycles.
+    storm_cycles: float = 5_000.0
+    hang_rate: float = 0.0
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.spike_rate,
+            self.storm_rate,
+            self.hang_rate,
+            self.drop_rate,
+            self.corrupt_rate,
+        )
+        if any(r < 0 or r > 1 for r in rates):
+            raise ValueError("fault rates must lie in [0, 1]")
+        if sum(rates) > 1.0:
+            raise ValueError(f"fault rates sum to {sum(rates)} > 1")
+        if self.spike_scale <= 1.0:
+            raise ValueError("spike_scale must exceed 1 (it multiplies latency)")
+        if self.storm_cycles <= 0:
+            raise ValueError("storm_cycles must be positive")
+
+    @property
+    def total_rate(self) -> float:
+        return (
+            self.spike_rate
+            + self.storm_rate
+            + self.hang_rate
+            + self.drop_rate
+            + self.corrupt_rate
+        )
+
+
+class FaultPlan:
+    """Seeded, random-access fault schedule.
+
+    ``plan.at(i)`` derives its randomness from ``(seed, i)`` alone, so
+    any invocation's fault is reproducible without replaying the ones
+    before it, and two plans with equal seed and spec are byte-identical
+    over any prefix.
+    """
+
+    def __init__(self, seed: int, spec: FaultSpec):
+        if seed < 0:
+            raise ValueError("seed must be >= 0")
+        self.seed = int(seed)
+        self.spec = spec
+
+    def at(self, invocation: int) -> FaultEvent | None:
+        """The fault striking accelerator invocation ``invocation``, if any."""
+        if invocation < 0:
+            raise ValueError("invocation index must be >= 0")
+        spec = self.spec
+        if spec.total_rate == 0.0:
+            return None
+        rng = np.random.default_rng((self.seed, invocation))
+        u = rng.random()
+        edge = spec.spike_rate
+        if u < edge:
+            mult = 1.0 + rng.lognormal(mean=log(spec.spike_scale - 1.0), sigma=0.5)
+            return FaultEvent(invocation, FaultKind.LATENCY_SPIKE, float(mult))
+        edge += spec.storm_rate
+        if u < edge:
+            return FaultEvent(invocation, FaultKind.REFRESH_STORM, spec.storm_cycles)
+        edge += spec.hang_rate
+        if u < edge:
+            return FaultEvent(invocation, FaultKind.HANG, float("inf"))
+        edge += spec.drop_rate
+        if u < edge:
+            return FaultEvent(invocation, FaultKind.DROP, 0.0)
+        edge += spec.corrupt_rate
+        if u < edge:
+            return FaultEvent(invocation, FaultKind.CORRUPT, 0.0)
+        return None
+
+    def schedule(self, n: int) -> tuple[FaultEvent | None, ...]:
+        """The first ``n`` invocations' faults (``None`` = healthy)."""
+        return tuple(self.at(i) for i in range(n))
+
+    def digest(self, n: int) -> str:
+        """SHA-256 over the canonical encoding of the first ``n`` slots.
+
+        Two plans are byte-identical over a prefix iff their digests
+        match — the determinism assertion the benchmarks rely on.
+        """
+        h = hashlib.sha256()
+        for event in self.schedule(n):
+            h.update(event.encode() if event is not None else b"-")
+            h.update(b"|")
+        return h.hexdigest()
+
+
+class ScriptedFaultPlan:
+    """An explicit invocation→fault map, for tests and reproductions of
+    observed incidents.  API-compatible with :class:`FaultPlan`."""
+
+    def __init__(self, events: Mapping[int, FaultEvent]):
+        self.events = dict(events)
+
+    def at(self, invocation: int) -> FaultEvent | None:
+        return self.events.get(invocation)
+
+    def schedule(self, n: int) -> tuple[FaultEvent | None, ...]:
+        return tuple(self.at(i) for i in range(n))
+
+    def digest(self, n: int) -> str:
+        h = hashlib.sha256()
+        for event in self.schedule(n):
+            h.update(event.encode() if event is not None else b"-")
+            h.update(b"|")
+        return h.hexdigest()
+
+
+def pipeline_stalls(
+    plan, n_items: int, stage: int = 0, hang_cycles: float = 100_000.0
+) -> Mapping[tuple[int, int], float]:
+    """Project a fault plan onto a pipeline run: item ``i`` maps to
+    invocation ``i``.  Hangs become ``hang_cycles`` of extra service
+    time in ``stage`` (a stuck-then-reset stage, not a permanent wedge —
+    the recurrence cannot express "never finishes") and refresh storms
+    stall the stage for their duration.  Spikes are multiplicative on a
+    base cost the stall hook cannot see, so they are not projected here.
+
+    The result feeds :meth:`repro.hw.pipeline.LinePipeline.schedule`'s
+    ``stalls`` parameter.
+    """
+    stalls: dict[tuple[int, int], float] = {}
+    for i in range(n_items):
+        event = plan.at(i)
+        if event is None:
+            continue
+        if event.kind is FaultKind.HANG:
+            stalls[(i, stage)] = hang_cycles
+        elif event.kind is FaultKind.REFRESH_STORM:
+            stalls[(i, stage)] = event.magnitude
+    return stalls
+
+
+def dram_storm_latency(model):
+    """Build a storm-latency hook for a DRAM-backed accelerator model.
+
+    Returns ``f(item, event) -> cycles``: the model's latency for
+    ``item`` when a refresh storm of ``event.magnitude`` cycles opens at
+    the start of the invocation, resolved through the *real* DRAM timing
+    model (:meth:`repro.hw.memory.Dram.add_stall_window`) rather than an
+    additive approximation.  The model must expose ``serialize_timing``
+    accepting a ``dram=`` keyword (the Protoacc models do).
+    """
+    if not hasattr(model, "serialize_timing"):
+        raise TypeError(
+            f"{type(model).__name__} has no serialize_timing(dram=...) hook; "
+            "use the additive storm approximation instead"
+        )
+
+    def storm_latency(item, event: FaultEvent) -> float:
+        dram = Dram(model.dram_config)
+        dram.add_stall_window(0.0, event.magnitude)
+        return model.serialize_timing(item, dram=dram).latency
+
+    return storm_latency

@@ -1,0 +1,54 @@
+"""Retry with capped exponential backoff and seeded jitter.
+
+Backoff delays are charged to the virtual clock between accelerator
+attempts.  Jitter is derived from ``(seed, call index, attempt)``, so a
+retry schedule — like everything else in the runtime — is a pure
+function of its seeds: two runs of the same workload back off by
+byte-identical amounts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff: attempt ``k`` (1-based) waits
+    ``min(cap, base_delay * multiplier**(k-1))`` cycles, scaled by a
+    seeded jitter factor uniform in ``[1 - jitter, 1 + jitter]``."""
+
+    max_attempts: int = 3
+    base_delay: float = 200.0
+    multiplier: float = 2.0
+    cap: float = 10_000.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.cap < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must lie in [0, 1)")
+
+    def backoff(self, call: int, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based) of logical call
+        ``call`` — deterministic in ``(seed, call, attempt)``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.cap, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        rng = np.random.default_rng((self.seed, call, attempt))
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+    def delays(self, call: int) -> tuple[float, ...]:
+        """All backoff delays call ``call`` would pay if every attempt
+        failed (one fewer than ``max_attempts``: no wait after the last)."""
+        return tuple(self.backoff(call, a) for a in range(1, self.max_attempts))

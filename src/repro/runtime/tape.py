@@ -1,0 +1,110 @@
+"""Replay a faulted serving tape through the §5 record/replay machinery.
+
+The paper's :class:`~repro.core.offload.OffloadEstimator` answers "what
+end-to-end time would my application see if I offloaded?" under ideal
+serving.  This module asks the production follow-up: *what does it see
+when the accelerator misbehaves?*  A :class:`~repro.runtime.device.ResilientDevice`
+run leaves a tape of :class:`~repro.runtime.device.CallRecord`s whose
+``cycles`` already include fault penalties, watchdog waits, backoff, and
+CPU-fallback time; replaying that tape charges those recorded costs
+instead of the clean interface prediction, and the gap between the two
+replays is the availability overhead of the fault environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.core.interface import PerformanceInterface
+from repro.core.offload import Application, ReplayDevice
+
+from .device import CallRecord, ResilientDevice
+
+RequestT = TypeVar("RequestT")
+ResponseT = TypeVar("ResponseT")
+
+
+class ResilientReplayDevice(ReplayDevice[RequestT, ResponseT]):
+    """Phase-2 replay of a faulted tape: responses come from the
+    records, and every call charges its *recorded* cycles — faults,
+    retries, backoff, and fallback included — instead of the clean
+    interface prediction.  Divergence detection is inherited from
+    :class:`~repro.core.offload.ReplayDevice`.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[CallRecord[RequestT, ResponseT]],
+        interface: PerformanceInterface[RequestT],
+    ):
+        super().__init__([(r.request, r.response) for r in records], interface)
+        self.records = list(records)
+
+    def _charge(self, index: int, request: RequestT) -> float:
+        return self.records[index - 1].cycles
+
+
+@dataclass(frozen=True)
+class ResilientOffloadEstimate:
+    """Outcome of the three-phase faulted estimation."""
+
+    clean_cycles: float  # replay under fault-free interface predictions
+    faulted_cycles: float  # replay under the recorded faulted serving
+    calls: int
+    fallback_calls: int  # calls that degraded to the CPU path
+    faults: int  # fault events encountered while recording
+
+    @property
+    def availability_overhead(self) -> float:
+        """How much slower the faulted run is, end to end (>= ~1)."""
+        if self.clean_cycles == 0:
+            return float("inf")
+        return self.faulted_cycles / self.clean_cycles
+
+
+class ResilientOffloadEstimator(Generic[RequestT, ResponseT]):
+    """Record once on a fault-injected served device, then replay twice.
+
+    Phase 1 drives the application against a fresh
+    :class:`ResilientDevice` (built by ``device_factory`` so repeated
+    estimates start from cold breaker/drift state).  Phase 2 replays the
+    tape charging recorded faulted cycles; phase 3 replays it charging
+    the clean interface prediction plus ``invocation_overhead``.  Because
+    accelerator invocations are pure, all three runs follow the same
+    path — the §5 record/replay premise — even though some recorded
+    calls were served by the CPU fallback.
+    """
+
+    def __init__(
+        self,
+        device_factory: Callable[[], ResilientDevice[RequestT, ResponseT]],
+        interface: PerformanceInterface[RequestT],
+        invocation_overhead: Callable[[RequestT], float] | None = None,
+    ):
+        self.device_factory = device_factory
+        self.interface = interface
+        self.invocation_overhead = invocation_overhead
+
+    def estimate(self, application: Application) -> ResilientOffloadEstimate:
+        device = self.device_factory()
+        application(device)
+        records = device.records
+
+        faulted = ResilientReplayDevice(records, self.interface)
+        application(faulted)
+
+        clean: ReplayDevice[RequestT, ResponseT] = ReplayDevice(
+            [(r.request, r.response) for r in records],
+            self.interface,
+            self.invocation_overhead,
+        )
+        application(clean)
+
+        return ResilientOffloadEstimate(
+            clean_cycles=clean.clock,
+            faulted_cycles=faulted.clock,
+            calls=len(records),
+            fallback_calls=sum(r.path == "cpu" for r in records),
+            faults=sum(len(r.faults) for r in records),
+        )

@@ -1,0 +1,58 @@
+"""Virtual-clock watchdog for accelerator invocations.
+
+A hung accelerator (or a dropped response) produces no completion event
+at all; the only way a serving layer notices is a deadline.  The
+watchdog here lives on the same virtual clock as the offload devices in
+:mod:`repro.core.offload`: an invocation whose (simulated) latency
+exceeds the budget costs the caller exactly ``budget`` cycles — the
+watchdog fires at the deadline, not after it — and surfaces as a
+:class:`WatchdogTimeout` the retry/breaker machinery can act on.
+
+The Petri-net counterpart is :meth:`repro.petri.simulate.Simulator.run`'s
+``max_time`` option, which stops an interface net that would simulate
+past its deadline and reports partial progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class WatchdogTimeout(RuntimeError):
+    """An invocation exceeded its watchdog budget.
+
+    Attributes:
+        budget: cycles the watchdog allowed.
+        observed: cycles the invocation would actually have taken
+            (``inf`` for a hang).
+    """
+
+    def __init__(self, message: str, *, budget: float, observed: float):
+        super().__init__(message)
+        self.budget = budget
+        self.observed = observed
+
+
+@dataclass(frozen=True)
+class Watchdog:
+    """A per-invocation deadline, in virtual cycles."""
+
+    budget: float
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError("watchdog budget must be positive")
+
+    def admit(self, latency: float) -> float:
+        """Return ``latency`` unchanged when it meets the deadline;
+        otherwise raise :class:`WatchdogTimeout`.  On timeout the caller
+        charges :attr:`budget` cycles — the time actually spent waiting.
+        """
+        if latency > self.budget:
+            raise WatchdogTimeout(
+                f"invocation needed {latency:.0f} cycles; watchdog budget "
+                f"is {self.budget:.0f}",
+                budget=self.budget,
+                observed=latency,
+            )
+        return latency

@@ -43,6 +43,20 @@ class RpcMix:
         rng = np.random.default_rng(seed)
         return [self.sampler(rng) for _ in range(count)]
 
+    def sample_open(
+        self, seed: int, count: int, mean_gap: float
+    ) -> tuple[list[Message], list[float]]:
+        """Sample ``count`` messages plus Poisson arrival offsets with the
+        given mean inter-arrival gap (cycles) — the open-loop form the
+        serving-runtime benchmarks drive, where tail latency depends on
+        when requests land, not just what they are."""
+        if mean_gap <= 0:
+            raise ValueError("mean_gap must be positive")
+        msgs = self.sample(seed, count)
+        rng = np.random.default_rng((seed, 0xA5))
+        arrivals = np.cumsum(rng.exponential(mean_gap, size=count))
+        return msgs, [float(a) for a in arrivals]
+
 
 def _enterprise(rng: np.random.Generator) -> Message:
     # Mostly small control-plane messages, occasional medium payloads:

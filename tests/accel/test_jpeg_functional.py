@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.accel.jpeg.functional import (
     BitReader,
     BitWriter,
-    CodedImage,
     decode_block,
     decode_pixels,
     encode_block,

@@ -1,6 +1,5 @@
 """Tests for the JPEG decoder ground-truth model."""
 
-import numpy as np
 import pytest
 
 from repro.accel.jpeg import JpegDecoderModel, random_images

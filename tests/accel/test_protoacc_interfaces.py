@@ -1,6 +1,5 @@
 """Tests for the Protoacc interfaces (paper Fig. 3 + Fig. 1)."""
 
-import numpy as np
 import pytest
 
 from repro.accel.protoacc import (

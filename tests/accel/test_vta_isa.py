@@ -1,10 +1,8 @@
 """Tests for the VTA ISA, assembler, and workload generator."""
 
-import numpy as np
 import pytest
 
 from repro.accel.vta import (
-    AluOp,
     AssemblyError,
     Buffer,
     GemmWorkload,

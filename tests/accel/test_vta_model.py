@@ -9,7 +9,6 @@ from repro.accel.vta import (
     Opcode,
     Program,
     Tiling,
-    VtaConfig,
     VtaModel,
     latency_vta_roofline,
     petri_interface,

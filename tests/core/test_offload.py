@@ -73,6 +73,40 @@ class TestReplay:
         with pytest.raises(ReplayDivergence, match="tape has"):
             chatty(replayer)
 
+    def test_divergence_indices_are_one_based_in_both_branches(self):
+        # Mismatch on the very first call reports call #1, and a call
+        # past a 2-entry tape reports call #3 — the same 1-based
+        # numbering in both divergence branches.
+        mismatch = ReplayDevice([(1, 2), (2, 4)], TenXInterface())
+        with pytest.raises(ReplayDivergence, match="call #1 "):
+            mismatch.call(99)
+
+        overrun = ReplayDevice([(1, 2), (2, 4)], TenXInterface())
+        overrun.call(1)
+        overrun.call(2)
+        with pytest.raises(ReplayDivergence, match="call #3 "):
+            overrun.call(1)
+
+    def test_divergence_carries_structured_context(self):
+        replayer = ReplayDevice([(1, 2)], TenXInterface())
+        with pytest.raises(ReplayDivergence) as exc:
+            replayer.call(99)
+        assert exc.value.call == 1
+        assert exc.value.expected == 1
+        assert exc.value.actual == 99
+
+        exhausted = ReplayDevice([], TenXInterface())
+        with pytest.raises(ReplayDivergence) as exc:
+            exhausted.call(5)
+        assert exc.value.call == 1
+        assert exc.value.expected is None
+        assert exc.value.actual == 5
+
+    def test_divergence_is_an_offload_error(self):
+        from repro.core import OffloadError
+
+        assert issubclass(ReplayDivergence, OffloadError)
+
     def test_invocation_overhead_charged(self):
         recorder = RecordingDevice(software_fn, software_latency)
         app(recorder)

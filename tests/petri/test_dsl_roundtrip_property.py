@@ -8,7 +8,7 @@ and requires identical structure and identical simulated behavior.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.petri import PetriNet, parse, run_workload, to_pnet
+from repro.petri import parse, run_workload, to_pnet
 from repro.petri.dsl import _compile_expr
 
 

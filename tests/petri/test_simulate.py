@@ -3,6 +3,7 @@
 import pytest
 
 from repro.petri import (
+    DeadlineError,
     DeadlockError,
     PetriNet,
     Simulator,
@@ -259,3 +260,82 @@ def test_sink_requires_name_when_ambiguous():
     with pytest.raises(ValueError, match="sinks"):
         res.sink()
     assert len(res.sink("o1")) == 1
+
+
+# ---------------------------------------------------------------------------
+# Watchdog deadline (max_time) — the Petri-net counterpart of
+# repro.runtime.watchdog.
+# ---------------------------------------------------------------------------
+
+
+def test_max_time_stops_with_partial_progress():
+    net = single_stage_net(delay=5)
+    sim = Simulator(net, sinks=["out"])
+    sim.inject_stream("in", [None] * 10)  # quiescence would be t=50
+    res = sim.run(max_time=12.0)
+    assert res.deadline_exceeded
+    assert res.end_time == 12.0
+    assert [c.time for c in res.sink()] == [5.0, 10.0]
+    assert res.residual_tokens > 0  # truncated, not drained
+
+
+def test_max_time_not_hit_leaves_flag_clear():
+    res = run_workload(single_stage_net(delay=5), [None] * 2, max_time=100.0)
+    assert not res.deadline_exceeded
+    assert res.end_time == 10.0
+
+
+def test_max_time_raise_carries_partial_result():
+    net = single_stage_net(delay=5)
+    sim = Simulator(net, sinks=["out"])
+    sim.inject_stream("in", [None] * 10)
+    with pytest.raises(DeadlineError, match="max_time") as exc:
+        sim.run(max_time=12.0, on_deadline="raise")
+    partial = exc.value.result
+    assert partial is not None
+    assert partial.deadline_exceeded
+    assert len(partial.sink()) == 2
+
+
+def test_max_time_through_run_workload():
+    with pytest.raises(DeadlineError):
+        run_workload(
+            single_stage_net(delay=5), [None] * 10, max_time=1.0, on_deadline="raise"
+        )
+
+
+def test_deadline_differs_from_until():
+    # ``until`` is a planned horizon: same truncation, no flag, no raise.
+    net = single_stage_net(delay=5)
+    sim = Simulator(net, sinks=["out"])
+    sim.inject_stream("in", [None] * 10)
+    res = sim.run(until=12.0, on_deadline="raise")
+    assert not res.deadline_exceeded
+    assert res.end_time == 12.0
+
+
+def test_deadlock_error_reports_marking():
+    net = PetriNet("dl")
+    net.add_place("in")
+    net.add_place("never")
+    net.add_place("out")
+    net.add_transition("t", ["in", "never"], ["out"], delay=1)
+    sim = Simulator(net, sinks=["out"])
+    sim.inject("in")
+    with pytest.raises(DeadlockError, match="1 resident tokens"):
+        sim.run(on_deadlock="raise")
+
+
+def test_deadlock_and_deadline_can_coexist():
+    # A net that deadlocks *before* the deadline reports the deadlock,
+    # not a deadline truncation.
+    net = PetriNet("dl")
+    net.add_place("in")
+    net.add_place("never")
+    net.add_place("out")
+    net.add_transition("t", ["in", "never"], ["out"], delay=1)
+    sim = Simulator(net, sinks=["out"])
+    sim.inject("in")
+    res = sim.run(max_time=100.0)
+    assert res.deadlocked
+    assert not res.deadline_exceeded

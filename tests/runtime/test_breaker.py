@@ -1,0 +1,107 @@
+"""Circuit-breaker state machine on the virtual clock."""
+
+import pytest
+
+from repro.runtime import BreakerConfig, BreakerState, CircuitBreaker
+
+
+def make(threshold=3, recovery=1000.0, probes=2):
+    return CircuitBreaker(
+        BreakerConfig(
+            failure_threshold=threshold,
+            recovery_cycles=recovery,
+            probe_successes=probes,
+        )
+    )
+
+
+class TestClosed:
+    def test_starts_closed_and_admits(self):
+        breaker = make()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(0.0)
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = make(threshold=3)
+        breaker.record_failure(10.0)
+        breaker.record_failure(20.0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(30.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == 30.0
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make(threshold=2)
+        breaker.record_failure(1.0)
+        breaker.record_success(2.0)
+        breaker.record_failure(3.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_explicit_trip_records_reason(self):
+        breaker = make()
+        breaker.trip(5.0, "interface drift: avg symmetric error 120%")
+        assert breaker.state is BreakerState.OPEN
+        assert "drift" in breaker.transitions[-1].reason
+
+    def test_trip_is_idempotent_while_open(self):
+        breaker = make()
+        breaker.trip(5.0, "first")
+        breaker.trip(9.0, "second")
+        assert len(breaker.transitions) == 1
+        assert breaker.opened_at == 5.0
+
+
+class TestOpen:
+    def test_blocks_until_recovery_window(self):
+        breaker = make(recovery=1000.0)
+        breaker.trip(0.0, "test")
+        assert not breaker.allow(999.0)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_first_call_after_window_probes_half_open(self):
+        breaker = make(recovery=1000.0)
+        breaker.trip(0.0, "test")
+        assert breaker.allow(1000.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestHalfOpen:
+    def test_closes_after_enough_probe_successes(self):
+        breaker = make(recovery=100.0, probes=2)
+        breaker.trip(0.0, "test")
+        breaker.allow(100.0)
+        breaker.record_success(110.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(120.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_any_probe_failure_reopens(self):
+        breaker = make(recovery=100.0, probes=2)
+        breaker.trip(0.0, "test")
+        breaker.allow(100.0)
+        breaker.record_failure(110.0, reason="watchdog timeout")
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == 110.0
+        assert "probe failed" in breaker.transitions[-1].reason
+
+    def test_full_timeline_is_recorded(self):
+        breaker = make(threshold=1, recovery=100.0, probes=1)
+        breaker.record_failure(10.0, reason="hang")
+        breaker.allow(200.0)
+        breaker.record_success(210.0)
+        states = [t.state for t in breaker.transitions]
+        assert states == [
+            BreakerState.OPEN,
+            BreakerState.HALF_OPEN,
+            BreakerState.CLOSED,
+        ]
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(recovery_cycles=0.0)
+        with pytest.raises(ValueError):
+            BreakerConfig(probe_successes=0)

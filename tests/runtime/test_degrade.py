@@ -1,0 +1,88 @@
+"""Drift detection and the CPU fallback path."""
+
+import pytest
+
+from repro.hw.stats import ErrorReport
+from repro.runtime import CpuFallback, DriftDetector, rpc_cpu_fallback
+from repro.workloads.rpc import ENTERPRISE_MIX
+
+
+class TestSymmetricError:
+    def test_symmetric_in_its_arguments(self):
+        assert DriftDetector.symmetric_error(100.0, 600.0) == pytest.approx(5.0)
+        assert DriftDetector.symmetric_error(600.0, 100.0) == pytest.approx(5.0)
+
+    def test_does_not_saturate_when_observed_dwarfs_predicted(self):
+        # Plain |p-o|/o tends to 1 as o grows; the symmetric form keeps
+        # growing, which is what lets a 6x latency spike trip a 50%
+        # threshold.
+        plain = abs(100.0 - 600.0) / 600.0
+        assert plain < 1.0
+        assert DriftDetector.symmetric_error(100.0, 600.0) > 1.0
+
+    def test_zero_handling(self):
+        assert DriftDetector.symmetric_error(0.0, 0.0) == 0.0
+        assert DriftDetector.symmetric_error(0.0, 5.0) == float("inf")
+
+
+class TestDriftDetector:
+    def test_silent_before_min_samples(self):
+        det = DriftDetector(window=8, threshold=0.1, min_samples=4)
+        for _ in range(3):
+            assert not det.update(100.0, 1000.0)
+        assert det.last_score is None
+
+    def test_trips_on_sustained_mispredict(self):
+        det = DriftDetector(window=8, threshold=0.5, min_samples=4)
+        results = [det.update(100.0, 600.0) for _ in range(4)]
+        assert results == [False, False, False, True]
+        assert det.last_score == pytest.approx(5.0)
+
+    def test_accurate_predictions_never_trip(self):
+        det = DriftDetector(window=8, threshold=0.5, min_samples=4)
+        assert not any(det.update(100.0, 105.0) for _ in range(20))
+
+    def test_window_forgets_old_samples(self):
+        det = DriftDetector(window=4, threshold=0.5, min_samples=4)
+        for _ in range(4):
+            det.update(100.0, 600.0)
+        # Four healthy samples push the bad ones out of the window.
+        healthy = [det.update(100.0, 100.0) for _ in range(4)]
+        assert healthy[-1] is False
+        assert det.last_score == pytest.approx(0.0)
+
+    def test_last_report_uses_validation_machinery(self):
+        det = DriftDetector(window=8, threshold=0.5, min_samples=2)
+        det.update(100.0, 200.0)
+        det.update(100.0, 200.0)
+        assert isinstance(det.last_report, ErrorReport)
+
+    def test_reset_clears_window(self):
+        det = DriftDetector(window=8, threshold=0.5, min_samples=2)
+        det.update(100.0, 600.0)
+        det.update(100.0, 600.0)
+        det.reset()
+        assert det.samples == 0
+        assert det.last_score is None
+        assert not det.update(100.0, 600.0)  # min_samples applies afresh
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(window=0)
+        with pytest.raises(ValueError):
+            DriftDetector(window=4, min_samples=5)
+        with pytest.raises(ValueError):
+            DriftDetector(threshold=0.0)
+
+
+class TestCpuFallback:
+    def test_call_returns_response_and_cycles(self):
+        fb = CpuFallback(software_fn=lambda x: x * 2, latency_fn=lambda x: 500.0)
+        assert fb.call(21) == (42, 500.0)
+
+    def test_rpc_fallback_encodes_at_modeled_cost(self):
+        fb = rpc_cpu_fallback()
+        msg = ENTERPRISE_MIX.sample(seed=1, count=1)[0]
+        response, cycles = fb.call(msg)
+        assert response == msg.encode()
+        assert cycles > 0

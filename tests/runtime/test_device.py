@@ -1,0 +1,242 @@
+"""End-to-end serving loop of the ResilientDevice."""
+
+from repro.accel.base import AcceleratorModel
+from repro.core.interface import PerformanceInterface
+from repro.runtime import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    CpuFallback,
+    DriftDetector,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ResilientDevice,
+    RetryPolicy,
+    ScriptedFaultPlan,
+    Watchdog,
+)
+
+ACCEL_CYCLES = 100.0
+CPU_CYCLES = 500.0
+
+
+class StubModel(AcceleratorModel[int]):
+    name = "stub"
+
+    def __init__(self, latency: float = ACCEL_CYCLES):
+        self._latency = latency
+
+    def measure_latency(self, item: int) -> float:
+        return self._latency
+
+
+class StubInterface(PerformanceInterface[int]):
+    accelerator = "stub"
+    representation = "program"
+
+    def __init__(self, latency: float = ACCEL_CYCLES):
+        self._latency = latency
+
+    def latency(self, item: int) -> float:
+        return self._latency
+
+
+FALLBACK = CpuFallback(software_fn=lambda x: -x, latency_fn=lambda x: CPU_CYCLES)
+
+HANG = FaultEvent(0, FaultKind.HANG, float("inf"))
+
+
+def make_device(**kwargs):
+    defaults = dict(
+        model=StubModel(),
+        interface=StubInterface(),
+        fallback=FALLBACK,
+        watchdog=Watchdog(1000.0),
+        retry=RetryPolicy(max_attempts=1),
+    )
+    defaults.update(kwargs)
+    return ResilientDevice(**defaults)
+
+
+class TestCleanServing:
+    def test_accel_path_charges_model_latency(self):
+        device = make_device()
+        assert device.call(7) == -7
+        assert device.clock == ACCEL_CYCLES
+        record = device.records[0]
+        assert record.index == 1
+        assert record.path == "accel"
+        assert record.attempts == 1
+        assert record.faults == ()
+
+    def test_invocation_overhead_is_charged(self):
+        device = make_device(invocation_overhead=lambda _: 50.0)
+        device.call(7)
+        assert device.clock == ACCEL_CYCLES + 50.0
+
+    def test_respond_override(self):
+        device = make_device(respond=lambda x: x + 1)
+        assert device.call(7) == 8
+
+
+class TestFaultedServing:
+    def test_hang_times_out_then_falls_back(self):
+        plan = ScriptedFaultPlan({0: HANG, 1: HANG, 2: HANG})
+        device = make_device(
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=3, jitter=0.0),
+        )
+        assert device.call(7) == -7  # fallback still answers
+        record = device.records[0]
+        assert record.path == "cpu"
+        assert record.attempts == 3
+        assert record.faults == (FaultKind.HANG,) * 3
+        # 3 watchdog budgets + 2 backoffs (200, 400) + CPU fallback.
+        assert device.clock == 3 * 1000.0 + 200.0 + 400.0 + CPU_CYCLES
+
+    def test_retry_faces_fresh_fault_draws(self):
+        # Hang only on the first invocation: attempt 2 succeeds.
+        plan = ScriptedFaultPlan({0: HANG})
+        device = make_device(
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2, jitter=0.0),
+        )
+        assert device.call(7) == -7
+        record = device.records[0]
+        assert record.path == "accel"
+        assert record.attempts == 2
+        assert device.clock == 1000.0 + 200.0 + ACCEL_CYCLES
+
+    def test_drop_costs_the_watchdog_budget(self):
+        plan = ScriptedFaultPlan({0: FaultEvent(0, FaultKind.DROP, 0.0)})
+        device = make_device(fault_plan=plan)
+        device.call(7)
+        assert device.clock == 1000.0 + CPU_CYCLES  # timeout, then fallback
+
+    def test_corrupt_costs_only_observed_latency(self):
+        plan = ScriptedFaultPlan({0: FaultEvent(0, FaultKind.CORRUPT, 0.0)})
+        device = make_device(fault_plan=plan)
+        device.call(7)
+        assert device.clock == ACCEL_CYCLES + CPU_CYCLES
+
+    def test_spike_multiplies_observed_latency(self):
+        plan = ScriptedFaultPlan({0: FaultEvent(0, FaultKind.LATENCY_SPIKE, 3.0)})
+        device = make_device(fault_plan=plan)
+        device.call(7)
+        assert device.records[0].path == "accel"
+        assert device.clock == 3 * ACCEL_CYCLES
+
+    def test_storm_defaults_to_additive_approximation(self):
+        plan = ScriptedFaultPlan({0: FaultEvent(0, FaultKind.REFRESH_STORM, 250.0)})
+        device = make_device(fault_plan=plan)
+        device.call(7)
+        assert device.clock == ACCEL_CYCLES + 250.0
+
+    def test_storm_latency_hook_overrides(self):
+        plan = ScriptedFaultPlan({0: FaultEvent(0, FaultKind.REFRESH_STORM, 250.0)})
+        device = make_device(
+            fault_plan=plan,
+            storm_latency=lambda request, event: 777.0,
+        )
+        device.call(7)
+        assert device.clock == 777.0
+
+
+class TestBreaker:
+    def test_open_breaker_short_circuits_to_cpu(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=1))
+        plan = ScriptedFaultPlan({0: HANG})
+        device = make_device(fault_plan=plan, breaker=breaker)
+        device.call(1)  # hang -> failure -> breaker opens
+        assert breaker.state is BreakerState.OPEN
+        clock_before = device.clock
+        device.call(2)
+        record = device.records[1]
+        assert record.path == "cpu"
+        assert record.attempts == 0  # no accelerator cycles burned
+        assert record.breaker_state is BreakerState.OPEN
+        assert device.clock == clock_before + CPU_CYCLES
+
+    def test_opening_breaker_stops_the_retry_loop(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=2))
+        plan = ScriptedFaultPlan({0: HANG, 1: HANG, 2: HANG})
+        device = make_device(
+            fault_plan=plan,
+            breaker=breaker,
+            retry=RetryPolicy(max_attempts=3, jitter=0.0),
+        )
+        device.call(1)
+        assert device.records[0].attempts == 2  # third retry never ran
+
+    def test_half_open_probe_recovers(self):
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, recovery_cycles=1000.0, probe_successes=1)
+        )
+        plan = ScriptedFaultPlan({0: HANG})
+        device = make_device(fault_plan=plan, breaker=breaker)
+        device.call(1)  # opens at clock 1000
+        device.call(2)  # blocked (clock 1500 -> 2000)
+        assert device.records[1].path == "cpu"
+        device.call(3)  # clock 2000: recovery window elapsed -> probe
+        assert device.records[2].path == "accel"
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestDrift:
+    def test_sustained_mispredict_trips_the_breaker(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=100))
+        drift = DriftDetector(window=8, threshold=0.5, min_samples=4)
+        device = make_device(
+            model=StubModel(latency=1000.0),  # device really takes 1000
+            interface=StubInterface(latency=100.0),  # interface claims 100
+            breaker=breaker,
+            drift=drift,
+        )
+        for i in range(4):
+            device.call(i)
+        assert breaker.state is BreakerState.OPEN
+        assert "drift" in breaker.transitions[-1].reason
+        device.call(99)
+        assert device.records[-1].path == "cpu"
+
+    def test_accurate_interface_never_trips(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=100))
+        drift = DriftDetector(window=8, threshold=0.5, min_samples=4)
+        device = make_device(breaker=breaker, drift=drift)
+        for i in range(20):
+            device.call(i)
+        assert breaker.state is BreakerState.CLOSED
+        assert device.fallback_fraction() == 0.0
+
+
+class TestDeterminism:
+    SPEC = FaultSpec(
+        spike_rate=0.1, storm_rate=0.05, hang_rate=0.1, drop_rate=0.05, corrupt_rate=0.05
+    )
+
+    def run_device(self):
+        device = make_device(
+            fault_plan=FaultPlan(13, self.SPEC),
+            retry=RetryPolicy(max_attempts=3, seed=13),
+            breaker=CircuitBreaker(BreakerConfig(failure_threshold=3)),
+            drift=DriftDetector(window=16, threshold=0.5, min_samples=8),
+        )
+        for i in range(150):
+            device.call(i)
+        return device
+
+    def test_same_seeds_byte_identical_run(self):
+        a, b = self.run_device(), self.run_device()
+        assert a.latencies() == b.latencies()
+        assert a.clock == b.clock
+        assert [r.path for r in a.records] == [r.path for r in b.records]
+        assert [r.faults for r in a.records] == [r.faults for r in b.records]
+
+    def test_introspection_coheres(self):
+        device = self.run_device()
+        assert len(device.tape) == 150
+        assert device.fault_count() >= 1
+        assert 0.0 < device.fallback_fraction() < 1.0
+        assert device.summary().p50 > 0

@@ -1,0 +1,132 @@
+"""Determinism and hardware hooks of the fault-injection plan."""
+
+import pytest
+
+from repro.hw import Dram, DramConfig, LinePipeline, StageSpec
+from repro.runtime import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ScriptedFaultPlan,
+    pipeline_stalls,
+)
+
+BUSY_SPEC = FaultSpec(
+    spike_rate=0.1,
+    storm_rate=0.1,
+    hang_rate=0.1,
+    drop_rate=0.1,
+    corrupt_rate=0.1,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(42, BUSY_SPEC)
+        b = FaultPlan(42, BUSY_SPEC)
+        assert a.schedule(500) == b.schedule(500)
+
+    def test_digest_is_byte_identical_across_plans(self):
+        assert FaultPlan(7, BUSY_SPEC).digest(300) == FaultPlan(7, BUSY_SPEC).digest(300)
+
+    def test_different_seed_differs(self):
+        assert FaultPlan(1, BUSY_SPEC).digest(300) != FaultPlan(2, BUSY_SPEC).digest(300)
+
+    def test_random_access_matches_sequential(self):
+        plan = FaultPlan(9, BUSY_SPEC)
+        sched = plan.schedule(100)
+        # Querying out of order must not perturb anything.
+        assert plan.at(57) == sched[57]
+        assert plan.at(3) == sched[3]
+        assert plan.schedule(100) == sched
+
+
+class TestSpec:
+    def test_zero_rates_mean_no_faults(self):
+        plan = FaultPlan(0, FaultSpec())
+        assert all(e is None for e in plan.schedule(200))
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="sum"):
+            FaultSpec(spike_rate=0.6, hang_rate=0.6)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            FaultSpec(drop_rate=-0.1)
+        with pytest.raises(ValueError, match="spike_scale"):
+            FaultSpec(spike_rate=0.1, spike_scale=1.0)
+
+    def test_all_kinds_reachable_and_magnitudes_sane(self):
+        plan = FaultPlan(5, BUSY_SPEC)
+        events = [e for e in plan.schedule(2000) if e is not None]
+        kinds = {e.kind for e in events}
+        assert kinds == set(FaultKind)
+        for e in events:
+            if e.kind is FaultKind.LATENCY_SPIKE:
+                assert e.magnitude > 1.0
+            elif e.kind is FaultKind.REFRESH_STORM:
+                assert e.magnitude == BUSY_SPEC.storm_cycles
+            elif e.kind is FaultKind.HANG:
+                assert e.magnitude == float("inf")
+
+    def test_fault_rate_approximated(self):
+        plan = FaultPlan(11, BUSY_SPEC)
+        hits = sum(e is not None for e in plan.schedule(4000))
+        assert 0.4 < hits / 4000 < 0.6  # spec says 50%
+
+
+class TestScriptedPlan:
+    def test_explicit_events(self):
+        ev = FaultEvent(2, FaultKind.HANG, float("inf"))
+        plan = ScriptedFaultPlan({2: ev})
+        assert plan.at(0) is None
+        assert plan.at(2) is ev
+        assert plan.schedule(4) == (None, None, ev, None)
+
+
+class TestDramStormHook:
+    def test_stall_window_defers_access(self):
+        clean = Dram(DramConfig())
+        stormy = Dram(DramConfig())
+        stormy.add_stall_window(0.0, 5_000.0)
+        assert stormy.access(0, 0.0) == pytest.approx(clean.access(0, 0.0) + 5_000.0)
+
+    def test_access_after_window_unaffected(self):
+        clean = Dram(DramConfig())
+        stormy = Dram(DramConfig())
+        stormy.add_stall_window(0.0, 100.0)
+        assert stormy.access(0, 200.0) == clean.access(0, 200.0)
+
+    def test_stream_start_deferred(self):
+        clean = Dram(DramConfig())
+        stormy = Dram(DramConfig())
+        stormy.add_stall_window(0.0, 1_000.0)
+        assert stormy.stream(0, 0.0, 4096) == pytest.approx(
+            clean.stream(0, 1_000.0, 4096), abs=1e-9
+        )
+
+    def test_window_validation(self):
+        dram = Dram(DramConfig())
+        with pytest.raises(ValueError):
+            dram.add_stall_window(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            dram.add_stall_window(0.0, 0.0)
+
+    def test_clear_windows(self):
+        dram = Dram(DramConfig())
+        dram.add_stall_window(0.0, 100.0)
+        dram.clear_stall_windows()
+        assert dram.stall_windows == ()
+        assert dram.access(0, 0.0) == Dram(DramConfig()).access(0, 0.0)
+
+
+class TestPipelineStallHook:
+    def test_hang_projected_as_stage_stall(self):
+        plan = ScriptedFaultPlan({1: FaultEvent(1, FaultKind.HANG, float("inf"))})
+        stalls = pipeline_stalls(plan, 3, stage=0, hang_cycles=500.0)
+        assert stalls == {(1, 0): 500.0}
+
+    def test_stalls_delay_schedule(self):
+        pipe = LinePipeline([StageSpec("s", lambda _: 10.0)])
+        base = pipe.schedule([None] * 3).makespan()
+        stalled = pipe.schedule([None] * 3, stalls={(1, 0): 500.0}).makespan()
+        assert stalled == base + 500.0

@@ -1,0 +1,57 @@
+"""Backoff schedule: deterministic, capped, jittered."""
+
+import pytest
+
+from repro.runtime import RetryPolicy
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=100.0, multiplier=2.0, jitter=0.0)
+        assert policy.backoff(1, 1) == 100.0
+        assert policy.backoff(1, 2) == 200.0
+        assert policy.backoff(1, 3) == 400.0
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=100.0, multiplier=10.0, cap=500.0, jitter=0.0
+        )
+        assert policy.backoff(1, 5) == 500.0
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=100.0, jitter=0.25, seed=3)
+        for call in range(20):
+            delay = policy.backoff(call, 1)
+            assert 75.0 <= delay <= 125.0
+
+    def test_deterministic_in_seed_call_attempt(self):
+        a = RetryPolicy(jitter=0.3, seed=11)
+        b = RetryPolicy(jitter=0.3, seed=11)
+        assert [a.backoff(c, 2) for c in range(50)] == [
+            b.backoff(c, 2) for c in range(50)
+        ]
+
+    def test_different_calls_jitter_differently(self):
+        policy = RetryPolicy(jitter=0.3, seed=11)
+        delays = {policy.backoff(c, 1) for c in range(20)}
+        assert len(delays) > 1
+
+    def test_delays_enumerates_all_waits(self):
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        assert policy.delays(1) == (200.0, 400.0)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().backoff(1, 0)
+
+
+class TestValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)

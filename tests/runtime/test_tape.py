@@ -1,0 +1,116 @@
+"""Replaying faulted serving tapes through the record/replay estimator."""
+
+import pytest
+
+from repro.core import ReplayDivergence
+from repro.runtime import (
+    FaultEvent,
+    FaultKind,
+    ResilientDevice,
+    ResilientOffloadEstimator,
+    ResilientReplayDevice,
+    RetryPolicy,
+    ScriptedFaultPlan,
+    Watchdog,
+)
+
+from .test_device import ACCEL_CYCLES, CPU_CYCLES, FALLBACK, HANG, StubInterface, StubModel
+
+REQUESTS = [3, 1, 4, 1, 5]
+
+
+def record_tape(fault_plan=None):
+    device = ResilientDevice(
+        model=StubModel(),
+        interface=StubInterface(),
+        fallback=FALLBACK,
+        watchdog=Watchdog(1000.0),
+        retry=RetryPolicy(max_attempts=1),
+        fault_plan=fault_plan,
+    )
+    for r in REQUESTS:
+        device.call(r)
+    return device
+
+
+class TestResilientReplay:
+    def test_replay_charges_recorded_cycles(self):
+        device = record_tape(ScriptedFaultPlan({1: HANG}))
+        replay = ResilientReplayDevice(device.records, StubInterface())
+        for r in REQUESTS:
+            replay.call(r)
+        assert replay.clock == pytest.approx(sum(device.latencies()))
+        assert replay.clock == pytest.approx(device.clock)
+
+    def test_replay_returns_recorded_responses(self):
+        device = record_tape()
+        replay = ResilientReplayDevice(device.records, StubInterface())
+        assert [replay.call(r) for r in REQUESTS] == [-r for r in REQUESTS]
+
+    def test_divergent_request_raises_with_context(self):
+        device = record_tape()
+        replay = ResilientReplayDevice(device.records, StubInterface())
+        replay.call(REQUESTS[0])
+        with pytest.raises(ReplayDivergence) as exc:
+            replay.call(999)
+        assert exc.value.call == 2
+        assert exc.value.expected == REQUESTS[1]
+        assert exc.value.actual == 999
+
+    def test_exhausted_tape_raises_with_context(self):
+        device = record_tape()
+        replay = ResilientReplayDevice(device.records, StubInterface())
+        for r in REQUESTS:
+            replay.call(r)
+        with pytest.raises(ReplayDivergence) as exc:
+            replay.call(0)
+        assert exc.value.call == len(REQUESTS) + 1
+
+
+class TestEstimator:
+    @staticmethod
+    def app(device):
+        for r in REQUESTS:
+            device.call(r)
+        device.host_work(50.0)
+
+    def make_estimator(self, fault_plan):
+        def factory():
+            return ResilientDevice(
+                model=StubModel(),
+                interface=StubInterface(),
+                fallback=FALLBACK,
+                watchdog=Watchdog(1000.0),
+                retry=RetryPolicy(max_attempts=1),
+                fault_plan=fault_plan,
+            )
+
+        return ResilientOffloadEstimator(factory, StubInterface())
+
+    def test_fault_free_estimate_matches_clean_replay(self):
+        estimate = self.make_estimator(None).estimate(self.app)
+        expected = len(REQUESTS) * ACCEL_CYCLES + 50.0
+        assert estimate.clean_cycles == pytest.approx(expected)
+        assert estimate.faulted_cycles == pytest.approx(expected)
+        assert estimate.availability_overhead == pytest.approx(1.0)
+        assert estimate.fallback_calls == 0
+        assert estimate.faults == 0
+
+    def test_faults_show_up_as_availability_overhead(self):
+        # Call 2 hangs (single attempt): watchdog budget + CPU fallback.
+        estimate = self.make_estimator(ScriptedFaultPlan({1: HANG})).estimate(self.app)
+        assert estimate.calls == len(REQUESTS)
+        assert estimate.fallback_calls == 1
+        assert estimate.faults == 1
+        penalty = 1000.0 + CPU_CYCLES - ACCEL_CYCLES
+        assert estimate.faulted_cycles == pytest.approx(estimate.clean_cycles + penalty)
+        assert estimate.availability_overhead > 1.0
+
+    def test_corrupt_response_still_replays(self):
+        # The §5 premise holds even for calls whose accelerator response
+        # was corrupted: the recorded (fallback-served) response is
+        # functionally correct, so the replay follows the same path.
+        plan = ScriptedFaultPlan({0: FaultEvent(0, FaultKind.CORRUPT, 0.0)})
+        estimate = self.make_estimator(plan).estimate(self.app)
+        assert estimate.fallback_calls == 1
+        assert estimate.availability_overhead > 1.0

@@ -1,0 +1,28 @@
+"""Watchdog deadline semantics on the virtual clock."""
+
+import pytest
+
+from repro.runtime import Watchdog, WatchdogTimeout
+
+
+class TestWatchdog:
+    def test_admits_within_budget(self):
+        assert Watchdog(1000.0).admit(999.0) == 999.0
+        assert Watchdog(1000.0).admit(1000.0) == 1000.0
+
+    def test_timeout_carries_budget_and_observed(self):
+        with pytest.raises(WatchdogTimeout) as exc:
+            Watchdog(1000.0).admit(2500.0)
+        assert exc.value.budget == 1000.0
+        assert exc.value.observed == 2500.0
+
+    def test_hang_is_inf_observed(self):
+        with pytest.raises(WatchdogTimeout) as exc:
+            Watchdog(1000.0).admit(float("inf"))
+        assert exc.value.observed == float("inf")
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Watchdog(0.0)
+        with pytest.raises(ValueError):
+            Watchdog(-5.0)

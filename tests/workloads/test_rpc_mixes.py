@@ -1,7 +1,6 @@
 """Tests for the RPC workload mixes."""
 
 import numpy as np
-import pytest
 
 from repro.accel.protoacc import Message, decode
 from repro.workloads import (
