@@ -17,7 +17,8 @@ model:
 from __future__ import annotations
 
 import abc
-from typing import Any, Generic, Sequence, TypeVar
+from collections.abc import Sequence
+from typing import Any, Generic, TypeVar
 
 ItemT = TypeVar("ItemT")
 

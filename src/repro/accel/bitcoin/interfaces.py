@@ -26,11 +26,15 @@ ENGLISH = EnglishInterface(
             metric="Latency (cycles)",
             relation=Relation.EQUALS_PARAM,
             quantity="Loop",
+            # The property lives in the *configuration*, not the
+            # workload item: the accessor reads the Loop parameter.
+            accessor=lambda loop: float(loop),
         ),
         PerformanceStatement(
             metric="However, the area occupied by the accelerator",
             relation=Relation.INVERSELY_PROPORTIONAL,
             quantity="Loop",
+            accessor=lambda loop: float(loop),
         ),
     ),
 )
@@ -85,6 +89,8 @@ place in
 place mid capacity 1
 place out
 
+inject in
+
 transition hash1
   consume in
   produce mid
@@ -115,6 +121,29 @@ def all_interfaces(loop: int = 8) -> dict[str, object]:
         "program": program_interface(loop),
         "petri-net": petri_interface(loop),
     }
+
+
+def perflint_bundle(loop: int = 8):
+    """Everything the perf-lint toolchain audits for this accelerator
+    (``python -m repro.tools.perflint bitcoin``).  The miner is
+    configuration-sensitive, so the audited net is one representative
+    synthesis point; the program functions cover every Loop."""
+    from repro.lint import InterfaceBundle
+
+    return InterfaceBundle(
+        accelerator="bitcoin-miner",
+        english=ENGLISH,
+        program=program_interface(loop),
+        program_fns={
+            "latency": latency_miner,
+            "attempt-latency": latency_attempt,
+            "throughput": tput_miner,
+            "area": area_miner,
+            "mining-cycles": mining_cycles,
+        },
+        pnet_text=MINER_PNET_TEMPLATE.format(loop=loop),
+        pnet_file="src/repro/accel/bitcoin/interfaces.py#MINER_PNET_TEMPLATE",
+    )
 
 
 def area_latency_frontier() -> list[dict[str, float]]:

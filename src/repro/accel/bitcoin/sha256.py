@@ -9,7 +9,7 @@ executes per cycle for a given unroll factor.
 from __future__ import annotations
 
 import struct
-from typing import Iterable
+from collections.abc import Iterable
 
 _K = [
     0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
@@ -61,7 +61,7 @@ def compress(state: tuple[int, ...], block: bytes) -> tuple[int, ...]:
         maj = (a & b) ^ (a & c) ^ (b & c)
         t2 = (s0 + maj) & _MASK
         a, b, c, d, e, f, g, h = (t1 + t2) & _MASK, a, b, c, (d + t1) & _MASK, e, f, g
-    return tuple((x + y) & _MASK for x, y in zip(state, (a, b, c, d, e, f, g, h)))
+    return tuple((x + y) & _MASK for x, y in zip(state, (a, b, c, d, e, f, g, h), strict=True))
 
 
 def padding(length: int) -> bytes:

@@ -88,6 +88,8 @@ place q_idct capacity 4
 place q_out capacity 4
 place out
 
+inject in fields i bytes nnz wr
+
 transition huffman
   consume in
   produce q_idct
@@ -142,3 +144,29 @@ def petri_interface() -> PetriNetInterface[JpegImage]:
 def all_interfaces() -> dict[str, object]:
     """The vendor's full interface bundle, keyed by representation."""
     return {"english": ENGLISH, "program": PROGRAM, "petri-net": petri_interface()}
+
+
+def perflint_bundle():
+    """Everything the perf-lint toolchain audits for this accelerator
+    (``python -m repro.tools.perflint jpeg``)."""
+    from repro.lint import InterfaceBundle
+
+    from .workload import random_images
+
+    # Fixed-size images varying only in compression rate, so the
+    # cross-checks sweep the named property without confounders.
+    samples = random_images(seed=2024, count=10, min_dim=64, max_dim=64)
+    return InterfaceBundle(
+        accelerator="jpeg-decoder",
+        english=ENGLISH,
+        program=PROGRAM,
+        program_fns={
+            "latency": latency_jpeg_decode,
+            "throughput": tput_jpeg_decode,
+        },
+        workload_type=JpegImage,
+        pnet_text=JPEG_PNET,
+        pnet_file="src/repro/accel/jpeg/interfaces.py#JPEG_PNET",
+        samples=samples,
+        petri_latency_fn=petri_interface().latency,
+    )

@@ -1,0 +1,100 @@
+"""Performance interfaces for Optimus Prime, the in-place transformer.
+
+The paper's example #2 pits Protoacc against Optimus Prime and argues a
+designer choosing between them needs *interfaces*, not papers: Optimus
+Prime wins on small objects (descriptor cache, no pointer chasing) and
+loses on large ones (modest parser-array streaming rate).  These are
+the interfaces that make that comparison mechanical — an English
+summary and an executable program, both derived from the constants of
+:mod:`repro.accel.optimusprime.model`.
+
+No Petri net ships for this accelerator (as in the paper, which only
+built nets for JPEG/VTA-class pipelines); the lint bundle therefore
+audits the two representations that do exist.
+"""
+
+from __future__ import annotations
+
+from repro.accel.protoacc.message import Message
+from repro.core.nl import EnglishInterface, PerformanceStatement, Relation
+from repro.core.program import ProgramInterface
+
+from .model import (
+    BYTES_PER_CYCLE,
+    DESCRIPTOR_MISS_CYCLES,
+    PER_FIELD_CYCLES,
+    PER_MESSAGE_CYCLES,
+)
+
+# ----------------------------------------------------------------------
+# Representation 1: English
+# ----------------------------------------------------------------------
+ENGLISH = EnglishInterface(
+    accelerator="optimus-prime",
+    statements=(
+        PerformanceStatement(
+            metric="Latency",
+            relation=Relation.INCREASES_WITH,
+            quantity="the message's encoded size",
+            accessor=lambda msg: float(msg.encoded_size()),
+        ),
+        PerformanceStatement(
+            metric="Throughput",
+            relation=Relation.DECREASES_WITH,
+            quantity="the message's encoded size",
+            accessor=lambda msg: float(msg.encoded_size()),
+        ),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Representation 2: executable Python program
+# ----------------------------------------------------------------------
+def latency_optimusprime(msg: Message, descriptor_cache_hit: bool = True) -> float:
+    """Transform latency in cycles: pipeline restart, one parser-array
+    step per field, streaming at the array's fixed rate, plus a schema
+    fetch per (sub)message when the descriptor cache misses."""
+    cycles = PER_MESSAGE_CYCLES
+    cycles += PER_FIELD_CYCLES * msg.total_fields
+    cycles += msg.encoded_size() / BYTES_PER_CYCLE
+    if not descriptor_cache_hit:
+        cycles += DESCRIPTOR_MISS_CYCLES * msg.total_messages
+    return cycles
+
+
+def tput_optimusprime(msg: Message) -> float:
+    """Messages/cycle: the parser array is a single non-overlapping
+    pipeline, so throughput is the reciprocal of latency."""
+    return 1.0 / latency_optimusprime(msg)
+
+
+PROGRAM = ProgramInterface(
+    "optimus-prime",
+    latency_fn=latency_optimusprime,
+    throughput_fn=tput_optimusprime,
+)
+
+
+def all_interfaces() -> dict[str, object]:
+    return {"english": ENGLISH, "program": PROGRAM}
+
+
+def perflint_bundle():
+    """Everything the perf-lint toolchain audits for this accelerator
+    (``python -m repro.tools.perflint optimusprime``)."""
+    from repro.lint import InterfaceBundle
+
+    from repro.accel.protoacc.formats import instances
+
+    return InterfaceBundle(
+        accelerator="optimus-prime",
+        english=ENGLISH,
+        program=PROGRAM,
+        program_fns={
+            "latency": latency_optimusprime,
+            "throughput": tput_optimusprime,
+        },
+        workload_type=Message,
+        samples=list(instances(seed=5).values()),
+    )

@@ -130,6 +130,32 @@ def all_interfaces() -> dict[str, object]:
     return {"english": ENGLISH, "program": PROGRAM}
 
 
+def perflint_bundle():
+    """Everything the perf-lint toolchain audits for this accelerator
+    (``python -m repro.tools.perflint protoacc``).  Protoacc ships no
+    Petri net, so the audit covers the program and English
+    representations plus their cross-checks."""
+    from repro.lint import InterfaceBundle
+
+    from .formats import instances
+
+    return InterfaceBundle(
+        accelerator="protoacc-ser",
+        english=ENGLISH,
+        program=PROGRAM,
+        program_fns={
+            "read-cost": read_cost,
+            "write-cost": write_cost,
+            "throughput": tput_protoacc_ser,
+            "min-latency": min_latency_protoacc_ser,
+            "max-latency": max_latency_protoacc_ser,
+            "deser-latency": latency_protoacc_deser,
+        },
+        workload_type=Message,
+        samples=list(instances(seed=3).values()),
+    )
+
+
 # ----------------------------------------------------------------------
 # §5 extension: composing with an environment (TLB) component interface
 # ----------------------------------------------------------------------

@@ -15,8 +15,9 @@ varint ints, fixed 32/64-bit scalars, bytes/strings, and nested
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator, Union
+from typing import TypeAlias
 
 _MASK64 = (1 << 64) - 1
 
@@ -38,7 +39,7 @@ _WIRE_TYPE = {
     FieldKind.FIXED32: 5,
 }
 
-FieldValue = Union[int, bytes, "Message"]
+FieldValue: TypeAlias = "int | bytes | Message"
 
 
 def encode_varint(value: int) -> bytes:
@@ -118,7 +119,7 @@ class Message:
         """Fields directly in this message (not recursive)."""
         return len(self.fields)
 
-    def submessages(self) -> Iterator["Message"]:
+    def submessages(self) -> Iterator[Message]:
         for f in self.fields:
             if f.kind is FieldKind.MESSAGE:
                 yield f.value  # type: ignore[misc]
@@ -218,7 +219,7 @@ def decode(data: bytes, schema_name: str = "decoded") -> Message:
     return Message(fields=tuple(fields), schema_name=schema_name)
 
 
-def decode_with_kinds(data: bytes, schema: "Message") -> Message:
+def decode_with_kinds(data: bytes, schema: Message) -> Message:
     """Schema-guided decode: recovers submessages recursively by looking
     up each field number's kind in a template instance."""
     kind_of = {f.number: f.kind for f in schema.fields}

@@ -142,7 +142,7 @@ def build_vta_net(
         # (see tokenize_program) rather than re-deriving flags: this is
         # the hot path of the whole IR.
         for combo in itertools.product((False, True), repeat=len(pop_flags)):
-            setting = dict(zip(pop_flags, combo))
+            setting = dict(zip(pop_flags, combo, strict=True))
             inputs = [cmd_place, f"free_{module.value}"]
             inputs += [_POP_QUEUE[(module, f)] for f, on in setting.items() if on]
             want = _full_pops(setting)
@@ -163,7 +163,7 @@ def build_vta_net(
 
         # --- DMA, stage 2: the stream itself (module and port held).
         for combo in itertools.product((False, True), repeat=len(push_flags)):
-            setting = dict(zip(push_flags, combo))
+            setting = dict(zip(push_flags, combo, strict=True))
             outputs = [f"free_{module.value}", "out"]
             if model_port:
                 outputs.insert(1, "dram_port")
@@ -188,7 +188,7 @@ def build_vta_net(
         if module is Module.COMPUTE:
             flags = _MODULE_FLAGS[module]
             for combo in itertools.product((False, True), repeat=len(flags)):
-                setting = dict(zip(flags, combo))
+                setting = dict(zip(flags, combo, strict=True))
                 inputs = [cmd_place, f"free_{module.value}"]
                 outputs = [f"free_{module.value}", "out"]
                 for flag, on in setting.items():
@@ -354,3 +354,40 @@ ENGLISH = EnglishInterface(
         ),
     ),
 )
+
+
+#: Injection points of the programmatic net (it carries no ``inject``
+#: clauses): command queues take the workload, the free/port places
+#: take the resident bookkeeping tokens.
+VTA_INJECTED = {
+    **{f"cmd_{m.value}": None for m in Module},
+    **{f"free_{m.value}": None for m in Module},
+    "dram_port": None,
+}
+
+
+def perflint_bundle():
+    """Everything the perf-lint toolchain audits for this accelerator
+    (``python -m repro.tools.perflint vta``)."""
+    from repro.lint import InterfaceBundle
+
+    from .workload import GemmWorkload, legal_tilings, tiled_gemm_program
+
+    # A sweep where only the problem size varies, so the cross-checks
+    # see the named property move without confounders.
+    samples = []
+    for dim in (2, 4, 6, 8, 12):
+        work = GemmWorkload(m=dim, k=dim, n=dim)
+        samples.append(tiled_gemm_program(work, legal_tilings(work)[0]))
+    return InterfaceBundle(
+        accelerator="vta",
+        english=ENGLISH,
+        program=PROGRAM,
+        program_fns={"latency": latency_vta_roofline},
+        workload_type=Program,
+        net_factory=build_vta_net,
+        pnet_file="src/repro/accel/vta/interfaces.py#build_vta_net",
+        injected=VTA_INJECTED,
+        samples=samples,
+        petri_latency_fn=petri_interface().latency,
+    )

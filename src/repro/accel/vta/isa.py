@@ -117,7 +117,8 @@ class Instruction:
         flags = "".join(
             ch if on else "-"
             for ch, on in zip(
-                "PNpn", (self.pop_prev, self.pop_next, self.push_prev, self.push_next)
+                "PNpn", (self.pop_prev, self.pop_next, self.push_prev, self.push_next),
+                strict=True,
             )
         )
         if self.op is Opcode.LOAD:
@@ -145,7 +146,7 @@ class Program:
 
     instructions: tuple[Instruction, ...]
     name: str = "program"
-    warm_variant: "Program | None" = field(default=None, compare=False, repr=False)
+    warm_variant: Program | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.instructions:
@@ -172,7 +173,7 @@ class Program:
             f"{k:4d}  {insn.describe()}" for k, insn in enumerate(self.instructions)
         )
 
-    def streamed(self, copies: int) -> "Program":
+    def streamed(self, copies: int) -> Program:
         """Concatenate ``copies`` back-to-back iterations: the first is
         this (cold-start) program, the rest use the warm variant when
         one is attached, so double-buffering credits carry across

@@ -116,7 +116,7 @@ class VtaModel(AcceleratorModel[Program]):
         insn_end = [0.0] * len(program)
         busy = {m.value: 0.0 for m in Module}
 
-        def fetch() -> "ProcGen":  # noqa: F821 - doc type only
+        def fetch() -> ProcGen:  # noqa: F821 - doc type only
             for idx, insn in enumerate(program.instructions):
                 yield Delay(cfg.dispatch_cycles)
                 yield Put(cmd[insn.module], (idx, insn))

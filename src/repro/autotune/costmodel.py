@@ -63,7 +63,7 @@ class LinearCostModel:
     weights: np.ndarray | None = None
     intercept: float = 0.0
 
-    def fit(self, programs: list[Program], cycles: list[float]) -> "LinearCostModel":
+    def fit(self, programs: list[Program], cycles: list[float]) -> LinearCostModel:
         if len(programs) != len(cycles) or len(programs) < 2:
             raise ValueError("need >= 2 (program, cycles) samples of equal length")
         x = np.stack([features(p) for p in programs])
@@ -82,6 +82,6 @@ class LinearCostModel:
     def score(self, programs: list[Program], cycles: list[float]) -> float:
         """Mean relative error on a held-out set."""
         errors = [
-            abs(self.predict(p) - c) / c for p, c in zip(programs, cycles) if c > 0
+            abs(self.predict(p) - c) / c for p, c in zip(programs, cycles, strict=True) if c > 0
         ]
         return sum(errors) / len(errors)

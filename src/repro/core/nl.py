@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import enum
 import math
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any
 
 
 class Relation(enum.Enum):

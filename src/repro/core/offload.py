@@ -19,8 +19,9 @@ phases; the host application interacts with a tiny `call()` API.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Callable, Generic, TypeVar
+from typing import Any, Generic, TypeVar
 
 from .errors import ReplayDivergence
 from .interface import PerformanceInterface

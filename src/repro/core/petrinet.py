@@ -12,8 +12,9 @@ metric) or as a programmatic factory.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Any, Callable, Generic, Sequence, TypeVar
+from typing import Any, Generic, TypeVar
 
 from repro.petri import PetriNet, SimResult, Simulator
 

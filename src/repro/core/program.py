@@ -14,7 +14,8 @@ functions themselves importable and readable — the readable function
 
 from __future__ import annotations
 
-from typing import Callable, Generic, TypeVar
+from collections.abc import Callable
+from typing import Generic, TypeVar
 
 from .interface import LatencyBounds, PerformanceInterface
 

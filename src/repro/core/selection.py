@@ -12,8 +12,9 @@ workload descriptions are needed:
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Generic, Sequence, TypeVar
+from typing import Generic, TypeVar
 
 from .interface import PerformanceInterface
 

@@ -9,8 +9,9 @@ points (Protoacc's latency).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Generic, Sequence, TypeVar
+from typing import Generic, TypeVar
 
 from repro.accel.base import AcceleratorModel
 from repro.hw.stats import ErrorReport
@@ -89,7 +90,7 @@ def validate_interface(
             violations = 0
             worst = None
             worst_excess = 0.0
-            for idx, (item, actual) in enumerate(zip(workload, actual_lat)):
+            for idx, (item, actual) in enumerate(zip(workload, actual_lat, strict=True)):
                 bounds = interface.latency_bounds(item)
                 if not bounds.contains(actual):
                     violations += 1

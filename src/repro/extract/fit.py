@@ -16,8 +16,9 @@ per-feature rates plus a constant.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
-from typing import Callable, Generic, Mapping, Sequence, TypeVar
+from typing import Generic, TypeVar
 
 import numpy as np
 from scipy.optimize import nnls
@@ -68,7 +69,7 @@ class ExtractedInterface(PerformanceInterface[ItemT], Generic[ItemT]):
     def latency(self, item: ItemT) -> float:
         feats = self._feature_fn(item)
         total = self._intercept
-        for name, w in zip(self._names, self._weights):
+        for name, w in zip(self._names, self._weights, strict=True):
             total += w * float(feats[name])
         return total
 
@@ -76,7 +77,7 @@ class ExtractedInterface(PerformanceInterface[ItemT], Generic[ItemT]):
         """The learned cost model, printed like a hand-written interface."""
         terms = [
             f"{w:.4g}*{name}"
-            for name, w in zip(self._names, self._weights)
+            for name, w in zip(self._names, self._weights, strict=True)
             if w > 1e-9
         ]
         terms.append(f"{self._intercept:.4g}")

@@ -30,8 +30,9 @@ item ``i - cap[s]`` *starts* in stage ``s+1`` (is popped from the FIFO).
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any
 
 from .fifo import Fifo
 from .kernel import SimError
@@ -87,7 +88,7 @@ class PipelineSchedule:
 
     def latencies(self) -> list[float]:
         """Per-item end-to-end latency (exit minus arrival)."""
-        return [row[-1] - a for row, a in zip(self.exit, self.arrivals)]
+        return [row[-1] - a for row, a in zip(self.exit, self.arrivals, strict=True)]
 
     def makespan(self) -> float:
         """Completion time of the last item (0 for an empty run)."""
@@ -103,7 +104,7 @@ class PipelineSchedule:
 
     def stage_busy(self, s: int) -> float:
         """Total busy time (compute + blocked) of stage ``s``."""
-        return sum(e[s] - b[s] for b, e in zip(self.begin, self.exit))
+        return sum(e[s] - b[s] for b, e in zip(self.begin, self.exit, strict=True))
 
 
 class LinePipeline:
@@ -155,7 +156,7 @@ class LinePipeline:
             arr = [float(a) for a in arrivals]
             if len(arr) != n:
                 raise SimError("arrivals length must match items")
-            if any(b < a for a, b in zip(arr, arr[1:])):
+            if any(b < a for a, b in zip(arr, arr[1:], strict=False)):
                 raise SimError("arrivals must be non-decreasing")
 
         begin = [[0.0] * s_count for _ in range(n)]

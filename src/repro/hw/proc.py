@@ -19,8 +19,9 @@ interleave identically.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable, Generator
 from dataclasses import dataclass
-from typing import Any, Callable, Generator
+from typing import Any
 
 from .kernel import EventSim, SimError
 
@@ -32,12 +33,12 @@ class Delay:
 
 @dataclass(frozen=True)
 class Get:
-    queue: "ProcQueue"
+    queue: ProcQueue
 
 
 @dataclass(frozen=True)
 class Put:
-    queue: "ProcQueue"
+    queue: ProcQueue
     item: Any = None
 
 

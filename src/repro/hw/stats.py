@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
@@ -21,7 +21,7 @@ class Summary:
     p99: float
 
     @classmethod
-    def of(cls, values: Sequence[float]) -> "Summary":
+    def of(cls, values: Sequence[float]) -> Summary:
         if len(values) == 0:
             raise ValueError("cannot summarize an empty sample")
         arr = np.asarray(values, dtype=float)
@@ -74,7 +74,7 @@ class ErrorReport:
     count: int
 
     @classmethod
-    def of(cls, predicted: Sequence[float], actual: Sequence[float]) -> "ErrorReport":
+    def of(cls, predicted: Sequence[float], actual: Sequence[float]) -> ErrorReport:
         errs = relative_errors(predicted, actual)
         return cls(avg=float(errs.mean()), max=float(errs.max()), count=int(errs.size))
 

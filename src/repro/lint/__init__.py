@@ -1,0 +1,53 @@
+"""perf-lint: static analysis for performance interfaces.
+
+The paper's bet is that performance interfaces become artifacts that
+consumers *ingest and trust* — simulate against, provision from.  This
+package is the toolchain that makes the trust earned: a rule-based
+static analyzer over all three interface representations.
+
+* **net rules** (``PL0xx``, :mod:`repro.lint.netrules`) audit a parsed
+  Petri net: empty siphons and starved transitions, capacity
+  violations, token-field dataflow against declared injection points,
+  negative/suspicious delay expressions, fault-arc well-formedness.
+* **program rules** (``PG0xx``, :mod:`repro.lint.programrules`) audit
+  executable interface functions via :mod:`ast`: purity, determinism,
+  termination, workload-feature existence.
+* **cross rules** (``XR0xx``, :mod:`repro.lint.crossrules`) reconcile
+  the representations of one accelerator against each other.
+
+Entry points: ``python -m repro.tools.pnet lint file.pnet`` for one
+document, ``python -m repro.tools.perflint`` to sweep every shipped
+accelerator bundle (that is what CI gates on).  The rule catalog with
+minimal failing examples is ``docs/perf-lint.md``.
+"""
+
+from .bundle import (
+    InterfaceBundle,
+    lint_bundle,
+    lint_net,
+    lint_pnet_text,
+    lint_program_fn,
+)
+from .crossrules import BundleLintContext
+from .diagnostics import Diagnostic, LintReport, Severity, SourceLocation
+from .netrules import NetLintContext
+from .programrules import ProgramLintContext
+from .registry import DEFAULT_REGISTRY, Rule, RuleRegistry
+
+__all__ = [
+    "BundleLintContext",
+    "DEFAULT_REGISTRY",
+    "Diagnostic",
+    "InterfaceBundle",
+    "LintReport",
+    "NetLintContext",
+    "ProgramLintContext",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "SourceLocation",
+    "lint_bundle",
+    "lint_net",
+    "lint_pnet_text",
+    "lint_program_fn",
+]

@@ -1,0 +1,223 @@
+"""Bundles: how an accelerator package hands its interfaces to the linter.
+
+An :class:`InterfaceBundle` collects everything one accelerator ships —
+the English statements, the executable program functions, the ``.pnet``
+text (or a factory for programmatically built nets), the declared
+injection points, and a few representative workload samples for the
+cross-representation checks.  Accelerator packages expose a
+``perflint_bundle()`` returning one of these; ``repro.tools.perflint``
+discovers and audits them all.
+
+Vendors extend the linter by attaching :class:`~repro.lint.registry.Rule`
+objects to ``extra_rules`` — they run through the same registry,
+reporting, and CI gating as the built-ins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.nl import EnglishInterface
+from repro.core.program import ProgramInterface
+from repro.petri.dsl import parse
+from repro.petri.net import PetriNet
+
+from .crossrules import BundleLintContext
+from .diagnostics import Diagnostic, LintReport, Severity, SourceLocation
+from .netrules import NetLintContext
+from .programrules import ProgramLintContext
+from .registry import DEFAULT_REGISTRY, Rule, RuleRegistry
+
+
+@dataclass
+class InterfaceBundle:
+    """One accelerator's performance interfaces, ready for audit.
+
+    Attributes:
+        accelerator: Canonical accelerator name.
+        english: The NL representation, if shipped.
+        program: The program representation, if shipped.
+        program_fns: The raw interface functions by role
+            (``{"latency": fn, "throughput": fn}``) — linted individually
+            so diagnostics point into their source.
+        workload_type: Dataclass the program functions take; powers the
+            unknown-feature check (PG005).
+        pnet_text: The ``.pnet`` document, when the net ships as text.
+        pnet_env: Extra names the document's expressions may reference.
+        pnet_file: Path the text came from, for diagnostics.
+        net_factory: Builder for programmatically constructed nets
+            (used instead of ``pnet_text``).
+        injected: Injection declarations for nets that cannot carry
+            ``inject`` clauses (programmatic ones); merged over the
+            net's own declarations.
+        samples: Representative workload items for cross checks.
+        petri_latency_fn: Optional per-item latency according to the
+            net (usually a tiny simulation), enabling XR005.
+        extra_rules: Vendor rules to run alongside the built-ins.
+    """
+
+    accelerator: str
+    english: EnglishInterface | None = None
+    program: ProgramInterface | None = None
+    program_fns: Mapping[str, Callable[..., Any]] = field(default_factory=dict)
+    workload_type: type | None = None
+    pnet_text: str | None = None
+    pnet_env: Mapping[str, Any] | None = None
+    pnet_file: str | None = None
+    net_factory: Callable[[], PetriNet] | None = None
+    injected: Mapping[str, frozenset[str] | None] = field(default_factory=dict)
+    samples: Sequence[Any] = ()
+    petri_latency_fn: Callable[[Any], float] | None = None
+    extra_rules: Sequence[Rule] = ()
+
+    def build_net(self) -> tuple[PetriNet | None, str | None]:
+        """Materialize the net plus the filename diagnostics should cite."""
+        if self.net_factory is not None:
+            return self.net_factory(), self.pnet_file or f"<{self.accelerator}>"
+        if self.pnet_text is not None:
+            net = parse(self.pnet_text, env=dict(self.pnet_env or {}))
+            return net, self.pnet_file or f"<{self.accelerator}.pnet>"
+        return None, None
+
+
+def _registry_for(
+    bundle: InterfaceBundle | None, registry: RuleRegistry | None
+) -> RuleRegistry:
+    base = registry or DEFAULT_REGISTRY
+    if bundle is not None and bundle.extra_rules:
+        base = base.copy()
+        for extra in bundle.extra_rules:
+            base.register(extra)
+    return base
+
+
+def lint_pnet_text(
+    text: str,
+    *,
+    env: Mapping[str, Any] | None = None,
+    filename: str | None = None,
+    extra_injections: Mapping[str, frozenset[str] | None] | None = None,
+    registry: RuleRegistry | None = None,
+) -> LintReport:
+    """Lint a ``.pnet`` document.  Parse errors become a diagnostic
+    (rule ``PL000``) rather than an exception, so CLIs report uniformly."""
+    from repro.petri.errors import DslError
+
+    report = LintReport()
+    try:
+        net = parse(text, env=dict(env or {}))
+    except DslError as exc:
+        report.extend(
+            [
+                Diagnostic(
+                    rule_id="PL000",
+                    severity=Severity.ERROR,
+                    message=f"document does not parse: {exc}",
+                    location=SourceLocation(file=filename, line=exc.line),
+                )
+            ]
+        )
+        return report
+    return lint_net(
+        net,
+        filename=filename,
+        extra_injections=extra_injections,
+        registry=registry,
+    )
+
+
+def lint_net(
+    net: PetriNet,
+    *,
+    filename: str | None = None,
+    extra_injections: Mapping[str, frozenset[str] | None] | None = None,
+    registry: RuleRegistry | None = None,
+) -> LintReport:
+    """Lint an already-built net with the net-family rules."""
+    reg = registry or DEFAULT_REGISTRY
+    ctx = NetLintContext(
+        net=net,
+        filename=filename,
+        extra_injections=dict(extra_injections or {}),
+    )
+    report = LintReport()
+    report.extend(reg.run_family("net", ctx))
+    return report
+
+
+def lint_program_fn(
+    fn: Callable[..., Any],
+    *,
+    role: str = "latency",
+    workload_type: type | None = None,
+    accelerator: str | None = None,
+    registry: RuleRegistry | None = None,
+) -> LintReport:
+    """Lint one interface function with the program-family rules."""
+    reg = registry or DEFAULT_REGISTRY
+    ctx = ProgramLintContext(
+        fn=fn,
+        role=role,
+        workload_type=workload_type,
+        accelerator=accelerator,
+    )
+    report = LintReport()
+    report.extend(reg.run_family("program", ctx))
+    return report
+
+
+def lint_bundle(
+    bundle: InterfaceBundle,
+    *,
+    registry: RuleRegistry | None = None,
+) -> LintReport:
+    """Audit one accelerator's full bundle: net, programs, and cross checks."""
+    reg = _registry_for(bundle, registry)
+    report = LintReport()
+
+    from repro.petri.errors import DslError
+
+    net: PetriNet | None = None
+    net_file: str | None = None
+    try:
+        net, net_file = bundle.build_net()
+    except DslError as exc:
+        report.extend(
+            [
+                Diagnostic(
+                    rule_id="PL000",
+                    severity=Severity.ERROR,
+                    message=f"document does not parse: {exc}",
+                    location=SourceLocation(
+                        file=bundle.pnet_file or f"<{bundle.accelerator}.pnet>",
+                        line=exc.line,
+                    ),
+                )
+            ]
+        )
+    if net is not None:
+        report.extend(
+            lint_net(
+                net,
+                filename=net_file,
+                extra_injections=bundle.injected,
+                registry=reg,
+            )
+        )
+
+    for role, fn in bundle.program_fns.items():
+        report.extend(
+            lint_program_fn(
+                fn,
+                role=role,
+                workload_type=bundle.workload_type,
+                accelerator=bundle.accelerator,
+                registry=reg,
+            )
+        )
+
+    ctx = BundleLintContext(bundle=bundle, net=net, net_filename=net_file)
+    report.extend(reg.run_family("cross", ctx))
+    return report

@@ -1,0 +1,273 @@
+"""Cross-representation lint passes.
+
+The paper ships the *same* accelerator's performance interface at
+three fidelities — English statements, an executable program, and a
+timed Petri net.  A consumer reading all three should never find them
+contradicting each other.  These passes reconcile the bundle: names
+must agree, every declared workload field should earn its keep, every
+English claim should be checkable and — where samples are available —
+actually hold against the executable model.
+
+Monotonicity reconciliation (XR004) is deliberately direction-only:
+"inversely proportional" is checked as "decreases as the property
+grows" rather than as strict ratio constancy, because real models
+plateau (e.g. a compute-bound stage stops caring about compression
+rate) without invalidating the qualitative claim.
+
+Rule ids are ``XR0xx``; the catalog lives in ``docs/perf-lint.md``.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.nl import Relation, _spread
+
+from .diagnostics import Diagnostic, Severity, SourceLocation
+from .netrules import expr_ast, tok_fields
+from .registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.petri.net import PetriNet
+
+    from .bundle import InterfaceBundle
+
+
+def _normalize(name: str) -> str:
+    return re.sub(r"[-_\s]+", "", name).lower()
+
+
+@dataclass
+class BundleLintContext:
+    """A whole accelerator bundle plus its (already built) net."""
+
+    bundle: InterfaceBundle
+    net: PetriNet | None = None
+    net_filename: str | None = None
+
+    def loc(self) -> SourceLocation:
+        return SourceLocation(file=self.net_filename)
+
+    def diag(
+        self,
+        rule_id: str,
+        severity: Severity,
+        message: str,
+        *,
+        hint: str | None = None,
+        subject: str | None = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            rule_id=rule_id,
+            severity=severity,
+            message=message,
+            location=self.loc(),
+            subject=subject or self.bundle.accelerator,
+            hint=hint,
+        )
+
+
+@rule("XR001", "cross", "Representations disagree about which accelerator they describe")
+def check_accelerator_names(ctx: BundleLintContext) -> Iterator[Diagnostic]:
+    b = ctx.bundle
+    claimed: list[tuple[str, str]] = [("bundle", b.accelerator)]
+    if b.english is not None:
+        claimed.append(("english", b.english.accelerator))
+    if b.program is not None:
+        claimed.append(("program", b.program.accelerator))
+    if ctx.net is not None:
+        claimed.append(("petri net", ctx.net.name))
+    reference = _normalize(b.accelerator)
+    for rep, name in claimed[1:]:
+        got = _normalize(name)
+        if reference not in got and got not in reference:
+            yield ctx.diag(
+                "XR001",
+                Severity.WARNING,
+                f"the {rep} representation says it describes {name!r}, but "
+                f"the bundle is for {b.accelerator!r}",
+                hint="a consumer composing interfaces by name would pick up "
+                "the wrong model; align the accelerator names",
+            )
+
+
+@rule("XR002", "cross", "Injected token field is never read by the net")
+def check_injected_fields_used(ctx: BundleLintContext) -> Iterator[Diagnostic]:
+    if ctx.net is None:
+        return
+    injections = dict(getattr(ctx.net, "injections", {}))
+    injections.update(ctx.bundle.injected)
+    declared: set[str] = set()
+    for fields in injections.values():
+        if fields:
+            declared.update(fields)
+    if not declared:
+        return
+    read: set[str] = set()
+    for t in ctx.net.transitions.values():
+        for attr, src in (
+            (t.delay, getattr(t, "delay_src", None)),
+            (t.guard, getattr(t, "guard_src", None)),
+        ):
+            tree = expr_ast(src)
+            if tree is not None:
+                read.update(tok_fields(tree))
+            elif callable(attr):
+                # An opaque Python callable (``fn:`` or programmatic)
+                # may read any field; nothing can be proven unread.
+                return
+    for name in sorted(declared - read):
+        yield ctx.diag(
+            "XR002",
+            Severity.INFO,
+            f"injected token field {name!r} is declared but no delay or "
+            f"guard expression reads it",
+            hint="bookkeeping fields (indices, ids) are fine; otherwise drop "
+            "the field from the inject declaration",
+        )
+
+
+@rule("XR003", "cross", "English statement cannot be validated automatically")
+def check_statements_verifiable(ctx: BundleLintContext) -> Iterator[Diagnostic]:
+    english = ctx.bundle.english
+    if english is None:
+        return
+    for stmt in english.statements:
+        if stmt.accessor is None:
+            yield ctx.diag(
+                "XR003",
+                Severity.WARNING,
+                f"statement {stmt.render()!r} has no accessor: nothing can "
+                f"check it against the executable representations",
+                hint="attach an accessor extracting the named property from "
+                "a workload item (or a config), so the claim is testable",
+            )
+
+
+def _direction(relation: Relation) -> int | None:
+    if relation in (Relation.PROPORTIONAL, Relation.INCREASES_WITH):
+        return +1
+    if relation in (Relation.INVERSELY_PROPORTIONAL, Relation.DECREASES_WITH):
+        return -1
+    return None
+
+
+def _concordance(pairs: list[tuple[float, float]], sign: int) -> float | None:
+    concordant = discordant = 0
+    n = len(pairs)
+    for i in range(n):
+        for j in range(i + 1, n):
+            xi, yi = pairs[i]
+            xj, yj = pairs[j]
+            if xi == xj or yi == yj:
+                continue
+            agree = (yj - yi) * (xj - xi) * sign > 0
+            concordant += int(agree)
+            discordant += int(not agree)
+    total = concordant + discordant
+    if total == 0:
+        return None
+    return concordant / total
+
+
+@rule("XR004", "cross", "English claim contradicts the executable model")
+def check_monotonicity(ctx: BundleLintContext) -> Iterator[Diagnostic]:
+    b = ctx.bundle
+    if b.english is None or b.program is None or not b.samples:
+        return
+    for stmt in b.english.statements:
+        if stmt.accessor is None or not stmt.metric.lower().startswith("latency"):
+            continue
+        try:
+            pairs = [
+                (float(stmt.accessor(item)), float(b.program.latency(item)))
+                for item in b.samples
+            ]
+        except Exception:
+            continue  # accessor targets a config, not a workload item
+        if len({x for x, _ in pairs}) < 2:
+            continue
+        if stmt.relation is Relation.CONSTANT:
+            if _spread([y for _, y in pairs]) > 0.3:
+                yield ctx.diag(
+                    "XR004",
+                    Severity.ERROR,
+                    f"the English interface claims {stmt.render()!r}, but "
+                    f"the program interface's latency varies with it over "
+                    f"the bundle's samples",
+                    hint="one of the two representations is wrong; a "
+                    "consumer trusting the English one would misprovision",
+                )
+            continue
+        sign = _direction(stmt.relation)
+        if sign is None:
+            continue
+        score = _concordance(pairs, sign)
+        if score is None:
+            continue
+        if score < 0.5:
+            yield ctx.diag(
+                "XR004",
+                Severity.ERROR,
+                f"the English interface claims {stmt.render()!r}, but the "
+                f"program interface moves the *other* way over the bundle's "
+                f"samples (concordance {score:.0%})",
+                hint="one of the two representations is wrong; fix whichever "
+                "misstates the hardware",
+            )
+        elif score < 0.9:
+            yield ctx.diag(
+                "XR004",
+                Severity.WARNING,
+                f"the English interface claims {stmt.render()!r}, but the "
+                f"program interface only weakly agrees over the bundle's "
+                f"samples (concordance {score:.0%})",
+                hint="the claim may hold only on part of the workload space; "
+                "consider qualifying the English statement",
+            )
+
+
+@rule("XR005", "cross", "Program and Petri-net representations diverge")
+def check_representation_divergence(ctx: BundleLintContext) -> Iterator[Diagnostic]:
+    b = ctx.bundle
+    if b.program is None or b.petri_latency_fn is None or not b.samples:
+        return
+    rel_errors: list[float] = []
+    for item in b.samples:
+        try:
+            prog = float(b.program.latency(item))
+            petri = float(b.petri_latency_fn(item))
+        except Exception:
+            return  # the executable checks belong to the test suite
+        if prog <= 0:
+            continue
+        rel_errors.append(abs(petri - prog) / prog)
+    if not rel_errors:
+        return
+    worst = max(rel_errors)
+    if worst > 0.5:
+        yield ctx.diag(
+            "XR005",
+            Severity.WARNING,
+            f"program and Petri-net latencies diverge by up to "
+            f"{worst:.0%} over the bundle's samples",
+            hint="the two representations model different hardware "
+            "behavior; a consumer switching fidelity would see a jump",
+        )
+
+
+def lint_cross(
+    bundle: InterfaceBundle,
+    net: PetriNet | None = None,
+    *,
+    net_filename: str | None = None,
+    registry=None,
+) -> list[Diagnostic]:
+    """Run every cross-family rule over an accelerator bundle."""
+    from .registry import DEFAULT_REGISTRY
+
+    ctx = BundleLintContext(bundle=bundle, net=net, net_filename=net_filename)
+    return (registry or DEFAULT_REGISTRY).run_family("cross", ctx)

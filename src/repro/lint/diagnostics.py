@@ -1,0 +1,164 @@
+"""Structured diagnostics for the performance-interface linter.
+
+A performance interface is an artifact a *consumer* ingests and then
+trusts — simulates against, provisions from, routes traffic by.  The
+linter's job is to make that trust earned, and its currency is the
+:class:`Diagnostic`: one finding, with a stable rule id, a severity, a
+source location (pointing into the ``.pnet`` text or the Python module
+that defines the interface), and a fix hint.  Everything renders both
+as compiler-style text (``file:line:col: error[PL007] ...``) and as
+JSON for downstream tools.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering matters (ERROR > WARNING > INFO)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> Severity:
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {label!r}; expected one of "
+                f"{[s.label for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where a finding points: a file (or pseudo-file) plus line/col.
+
+    ``file`` may be a real path, a module name, or ``None`` when the
+    artifact was built programmatically and has no text to point into.
+    """
+
+    file: str | None = None
+    line: int | None = None
+    col: int | None = None
+
+    def render(self) -> str:
+        parts = [self.file or "<net>"]
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.col is not None:
+                parts.append(str(self.col))
+        return ":".join(parts)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding.
+
+    Attributes:
+        rule_id: Stable identifier (``PL007``); the catalog in
+            ``docs/perf-lint.md`` documents every id.
+        severity: ERROR findings gate ingestion; WARNINGs deserve a
+            look; INFOs describe structure.
+        message: Human-readable statement of the problem.
+        location: Source position the finding anchors to.
+        subject: The net/transition/place/function the finding is about.
+        hint: Actionable fix suggestion, when one exists.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+    subject: str | None = None
+    hint: str | None = None
+
+    def render(self) -> str:
+        text = (
+            f"{self.location.render()}: {self.severity.label}"
+            f"[{self.rule_id}] {self.message}"
+        )
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.label,
+            "message": self.message,
+            "file": self.location.file,
+            "line": self.location.line,
+            "col": self.location.col,
+            "subject": self.subject,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class LintReport:
+    """An ordered collection of diagnostics with gating helpers."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def extend(self, more: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(more)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def at_least(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def rule_ids(self) -> set[str]:
+        return {d.rule_id for d in self.diagnostics}
+
+    def sorted(self) -> list[Diagnostic]:
+        """Severity-major, then source order — stable for CLI output."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                -int(d.severity),
+                d.location.file or "",
+                d.location.line or 0,
+                d.location.col or 0,
+                d.rule_id,
+            ),
+        )
+
+    def render(self, *, min_severity: Severity = Severity.INFO) -> str:
+        return "\n".join(
+            d.render() for d in self.sorted() if d.severity >= min_severity
+        )
+
+    def summary(self) -> str:
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        n_info = len(self.diagnostics) - n_err - n_warn
+        return f"{n_err} error(s), {n_warn} warning(s), {n_info} info"
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code for CLI gates: nonzero iff errors exist."""
+        return 1 if self.errors else 0

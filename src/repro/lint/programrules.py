@@ -1,0 +1,344 @@
+"""Program-family lint passes: audits of executable interface functions.
+
+A program interface (``repro.core.program.ProgramInterface``) is a
+small Python function a consumer runs to predict latency.  Before
+running vendor code in a design loop, the consumer wants static
+assurance that the function is a *model* and not a program with
+side effects: pure, deterministic, terminating, and only reading
+workload features that actually exist.
+
+These passes analyze the function's source via :mod:`ast`.  Functions
+whose source cannot be recovered (builtins, C extensions, lambdas
+defined in a REPL) are skipped rather than guessed at.
+
+Rule ids are ``PG0xx``; the catalog lives in ``docs/perf-lint.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import inspect
+import textwrap
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from .diagnostics import Diagnostic, Severity, SourceLocation
+from .registry import rule
+
+#: Bare calls that do I/O — a performance model has no business doing any.
+IO_CALLS = frozenset({"open", "print", "input", "breakpoint"})
+
+#: Module roots whose use means the function touches the outside world.
+IO_MODULES = frozenset(
+    {"os", "sys", "subprocess", "socket", "shutil", "pathlib", "io", "requests"}
+)
+
+#: Module roots whose use makes two evaluations disagree.
+NONDET_MODULES = frozenset({"random", "secrets", "uuid", "time", "datetime"})
+
+
+@dataclass
+class ProgramLintContext:
+    """Everything a program-family rule may look at."""
+
+    fn: Callable[..., Any]
+    role: str = "latency"
+    workload_type: type | None = None
+    accelerator: str | None = None
+
+    def __post_init__(self) -> None:
+        self.name = getattr(self.fn, "__name__", repr(self.fn))
+        self.filename: str | None = None
+        self.tree: ast.FunctionDef | None = None
+        self.param: str | None = None
+        try:
+            src = textwrap.dedent(inspect.getsource(self.fn))
+            module = ast.parse(src)
+        except (OSError, TypeError, SyntaxError):
+            return
+        fndefs = [
+            n
+            for n in module.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        if not fndefs:
+            return
+        tree = fndefs[0]
+        code = getattr(self.fn, "__code__", None)
+        if code is not None:
+            ast.increment_lineno(module, code.co_firstlineno - tree.lineno)
+            self.filename = code.co_filename
+        self.tree = tree
+        if tree.args.args:
+            self.param = tree.args.args[0].arg
+
+    # ------------------------------------------------------------------
+    def features(self) -> frozenset[str] | None:
+        """Legal attribute names on the workload item, or None if unknown."""
+        wt = self.workload_type
+        if wt is None:
+            return None
+        names: set[str] = set()
+        if dataclasses.is_dataclass(wt):
+            names.update(f.name for f in dataclasses.fields(wt))
+        names.update(n for n in dir(wt) if not n.startswith("_"))
+        return frozenset(names)
+
+    def loc(self, node: ast.AST | None = None) -> SourceLocation:
+        if node is not None and hasattr(node, "lineno"):
+            return SourceLocation(
+                file=self.filename, line=node.lineno, col=node.col_offset + 1
+            )
+        if self.tree is not None:
+            return SourceLocation(file=self.filename, line=self.tree.lineno, col=1)
+        return SourceLocation(file=self.filename)
+
+    def diag(
+        self,
+        rule_id: str,
+        severity: Severity,
+        message: str,
+        *,
+        node: ast.AST | None = None,
+        hint: str | None = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            rule_id=rule_id,
+            severity=severity,
+            message=message,
+            location=self.loc(node),
+            subject=self.name,
+            hint=hint,
+        )
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """Leftmost Name of a dotted chain: ``np.random.rand`` -> ``np``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _dotted(node: ast.expr) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@rule("PG001", "program", "Interface function performs I/O")
+def check_purity_io(ctx: ProgramLintContext) -> Iterator[Diagnostic]:
+    if ctx.tree is None:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id in IO_CALLS:
+            yield ctx.diag(
+                "PG001",
+                Severity.ERROR,
+                f"interface function {ctx.name!r} calls {node.func.id}(): a "
+                f"performance model must not perform I/O",
+                node=node,
+                hint="return the value instead of printing/reading it",
+            )
+        elif isinstance(node.func, ast.Attribute):
+            root = _root_name(node.func)
+            if root in IO_MODULES:
+                yield ctx.diag(
+                    "PG001",
+                    Severity.ERROR,
+                    f"interface function {ctx.name!r} calls "
+                    f"{_dotted(node.func)}(): a performance model must not "
+                    f"touch the environment",
+                    node=node,
+                    hint="compute from the workload item only",
+                )
+
+
+@rule("PG002", "program", "Interface function is nondeterministic")
+def check_determinism(ctx: ProgramLintContext) -> Iterator[Diagnostic]:
+    if ctx.tree is None:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = None
+        if isinstance(node.func, ast.Attribute):
+            root = _root_name(node.func)
+            chain = _dotted(node.func)
+            if root in NONDET_MODULES or ".random." in f".{chain}.":
+                dotted = chain
+        elif isinstance(node.func, ast.Name) and node.func.id in ("vars", "id"):
+            dotted = node.func.id
+        if dotted is not None:
+            yield ctx.diag(
+                "PG002",
+                Severity.ERROR,
+                f"interface function {ctx.name!r} calls {dotted}(): two "
+                f"evaluations on the same workload would disagree",
+                node=node,
+                hint="a performance interface must be a deterministic "
+                "function of the workload item",
+            )
+
+
+@rule("PG003", "program", "Interface function mutates global state")
+def check_global_mutation(ctx: ProgramLintContext) -> Iterator[Diagnostic]:
+    if ctx.tree is None:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            kind = "global" if isinstance(node, ast.Global) else "nonlocal"
+            yield ctx.diag(
+                "PG003",
+                Severity.ERROR,
+                f"interface function {ctx.name!r} declares "
+                f"{kind} {', '.join(node.names)}: evaluating the model "
+                f"changes state outside it",
+                node=node,
+                hint="thread the value through parameters and return values",
+            )
+
+
+@rule("PG004", "program", "Loop has no statically visible termination")
+def check_loop_termination(ctx: ProgramLintContext) -> Iterator[Diagnostic]:
+    if ctx.tree is None:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.While):
+            continue
+        has_break = any(
+            isinstance(inner, ast.Break)
+            for stmt in node.body
+            for inner in ast.walk(stmt)
+        )
+        is_const_true = isinstance(node.test, ast.Constant) and bool(node.test.value)
+        if is_const_true and not has_break:
+            yield ctx.diag(
+                "PG004",
+                Severity.ERROR,
+                f"interface function {ctx.name!r} contains 'while True' with "
+                f"no break: it cannot terminate",
+                node=node,
+                hint="bound the loop by a workload feature",
+            )
+            continue
+        if has_break or is_const_true:
+            continue
+        cond_names = {
+            n.id for n in ast.walk(node.test) if isinstance(n, ast.Name)
+        }
+        assigned: set[str] = set()
+        for stmt in node.body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, ast.Name) and isinstance(
+                    inner.ctx, ast.Store
+                ):
+                    assigned.add(inner.id)
+        if cond_names and not (cond_names & assigned):
+            yield ctx.diag(
+                "PG004",
+                Severity.WARNING,
+                f"while-loop condition in {ctx.name!r} reads "
+                f"{sorted(cond_names)}, none of which the loop body assigns: "
+                f"termination is not statically visible",
+                node=node,
+                hint="update the condition variable in the body, or add a "
+                "bounded counter",
+            )
+
+
+@rule("PG005", "program", "Function reads a workload feature that does not exist")
+def check_workload_features(ctx: ProgramLintContext) -> Iterator[Diagnostic]:
+    if ctx.tree is None or ctx.param is None:
+        return
+    features = ctx.features()
+    if features is None:
+        return
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == ctx.param
+            and not node.attr.startswith("_")
+            and node.attr not in features
+        ):
+            yield ctx.diag(
+                "PG005",
+                Severity.ERROR,
+                f"interface function {ctx.name!r} reads "
+                f"{ctx.param}.{node.attr}, but "
+                f"{ctx.workload_type.__name__} has no such feature "
+                f"(has: {sorted(features)})",
+                node=node,
+                hint="fix the feature name or extend the workload dataclass",
+            )
+
+
+@rule("PG006", "program", "Interface function never returns a value")
+def check_returns_value(ctx: ProgramLintContext) -> Iterator[Diagnostic]:
+    if ctx.tree is None:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return  # generators are judged elsewhere
+        if isinstance(node, ast.Return) and node.value is not None:
+            if not (
+                isinstance(node.value, ast.Constant) and node.value.value is None
+            ):
+                return
+    yield ctx.diag(
+        "PG006",
+        Severity.ERROR,
+        f"interface function {ctx.name!r} never returns a value: it cannot "
+        f"predict anything",
+        hint="return the predicted metric (cycles, items/cycle, ...)",
+    )
+
+
+@rule("PG007", "program", "Interface function recurses")
+def check_recursion(ctx: ProgramLintContext) -> Iterator[Diagnostic]:
+    if ctx.tree is None:
+        return
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == ctx.name
+        ):
+            yield ctx.diag(
+                "PG007",
+                Severity.INFO,
+                f"interface function {ctx.name!r} calls itself: fine for "
+                f"structural recursion over the workload item, but "
+                f"termination rests on the item being finite",
+                node=node,
+                hint="ensure the recursion follows a shrinking structure",
+            )
+            return
+
+
+def lint_program_fn(
+    fn: Callable[..., Any],
+    *,
+    role: str = "latency",
+    workload_type: type | None = None,
+    accelerator: str | None = None,
+    registry=None,
+) -> list[Diagnostic]:
+    """Run every program-family rule over one interface function."""
+    from .registry import DEFAULT_REGISTRY
+
+    ctx = ProgramLintContext(
+        fn=fn,
+        role=role,
+        workload_type=workload_type,
+        accelerator=accelerator,
+    )
+    return (registry or DEFAULT_REGISTRY).run_family("program", ctx)

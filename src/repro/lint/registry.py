@@ -1,0 +1,97 @@
+"""Rule registry: how lint passes are named, grouped, and extended.
+
+Every check is a :class:`Rule` — a stable id, a family ("net",
+"program", or "cross"), a one-line summary for the catalog, and the
+pass function itself.  The default registry holds the built-in rules;
+accelerator packages can ship their own by attaching extra rules to
+their lint bundle (see :mod:`repro.lint.bundle`) or by registering
+into a copied registry — vendor rules ride through the same reporting
+and gating machinery as built-ins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from .diagnostics import Diagnostic
+
+#: A pass function: takes a family-specific context, yields diagnostics.
+RuleFn = Callable[[Any], Iterable[Diagnostic]]
+
+FAMILIES = ("net", "program", "cross")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint pass."""
+
+    id: str
+    family: str
+    title: str
+    fn: RuleFn = field(repr=False)
+
+    def run(self, ctx: Any) -> list[Diagnostic]:
+        return list(self.fn(ctx))
+
+
+class RuleRegistry:
+    """Holds rules, keyed by id, grouped by family."""
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self._rules: dict[str, Rule] = {}
+        for r in rules:
+            self.register(r)
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.family not in FAMILIES:
+            raise ValueError(
+                f"rule {rule.id}: family must be one of {FAMILIES}, not {rule.family!r}"
+            )
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.id}")
+        self._rules[rule.id] = rule
+        return rule
+
+    def rule(self, id: str, family: str, title: str) -> Callable[[RuleFn], RuleFn]:
+        """Decorator: register ``fn`` as rule ``id`` and return it unchanged."""
+
+        def deco(fn: RuleFn) -> RuleFn:
+            self.register(Rule(id=id, family=family, title=title, fn=fn))
+            return fn
+
+        return deco
+
+    def family(self, family: str) -> list[Rule]:
+        return [r for r in self._rules.values() if r.family == family]
+
+    def copy(self) -> RuleRegistry:
+        """Independent registry with the same rules — the extension
+        point for consumers that want built-ins plus their own checks."""
+        return RuleRegistry(self._rules.values())
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __getitem__(self, rule_id: str) -> Rule:
+        return self._rules[rule_id]
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def run_family(self, family: str, ctx: Any) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for rule in self.family(family):
+            out.extend(rule.run(ctx))
+        return out
+
+
+#: The built-in rules; importing the rule modules populates it.
+DEFAULT_REGISTRY = RuleRegistry()
+
+#: Decorator bound to the default registry, used by the built-in passes.
+rule = DEFAULT_REGISTRY.rule

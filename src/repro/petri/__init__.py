@@ -28,16 +28,21 @@ from .components import (
     mutex_injections,
 )
 from .analysis import (
+    CycleList,
     StructureReport,
     analyze_structure,
     bottleneck_estimate,
+    covers_all_positive,
     find_cycles,
     incidence_matrix,
+    maximal_siphon,
     p_invariants,
+    t_invariants,
 )
 from .dot import to_dot
 from .dsl import parse, to_pnet
 from .errors import (
+    AnalysisError,
     CapacityError,
     DeadlineError,
     DeadlockError,
@@ -51,9 +56,11 @@ from .simulate import Completion, SimResult, Simulator, run_workload
 from .token import Token
 
 __all__ = [
+    "AnalysisError",
     "Arc",
     "CapacityError",
     "Completion",
+    "CycleList",
     "DeadlineError",
     "DeadlockError",
     "DefinitionError",
@@ -73,11 +80,14 @@ __all__ = [
     "analyze_structure",
     "bottleneck_estimate",
     "chain",
+    "covers_all_positive",
     "find_cycles",
     "incidence_matrix",
+    "maximal_siphon",
     "mutex_injections",
     "p_invariants",
     "parse",
+    "t_invariants",
     "run_workload",
     "to_dot",
     "to_pnet",

@@ -9,10 +9,12 @@ units?  This module provides the checks the paper's vision implies a
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .errors import AnalysisError
 from .net import PetriNet
 
 
@@ -75,6 +77,71 @@ def p_invariants(incidence: np.ndarray, tol: float = 1e-9) -> np.ndarray:
     return vt[rank:]
 
 
+def t_invariants(incidence: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    """Right-nullspace basis of the incidence matrix (real-valued).
+
+    Vectors x with C @ x == 0 are transition invariants: firing every
+    transition x[t] times returns the net to its starting marking.  A
+    feed-forward pipeline (inject -> ... -> sink) has none; cyclic nets
+    whose cycles can actually repeat do.
+    """
+    if incidence.size == 0:
+        return np.zeros((0, incidence.shape[1] if incidence.ndim == 2 else 0))
+    _, s, vt = np.linalg.svd(incidence.astype(float))
+    rank = int(np.sum(s > tol)) if s.size else 0
+    return vt[rank:]
+
+
+def covers_all_positive(invariants: np.ndarray, tol: float = 1e-9) -> bool:
+    """True when some basis row is strictly one-signed on every entry.
+
+    SVD returns basis vectors with arbitrary overall sign, so an
+    all-negative row is the same invariant as its all-positive mirror;
+    either proves a positive P-invariant covering all places exists.
+    """
+    for row in invariants:
+        if np.all(row > tol) or np.all(row < -tol):
+            return True
+    return False
+
+
+def maximal_siphon(net: PetriNet, excluded: Iterable[str] = ()) -> set[str]:
+    """Largest siphon of ``net`` disjoint from the ``excluded`` places.
+
+    A *siphon* is a place set S such that every transition producing
+    into S also consumes from S — once S is empty it stays empty
+    forever.  Since nets here start empty and gain tokens only through
+    external injection, the maximal siphon avoiding the injection
+    places is exactly the set of places that can never hold a token;
+    any transition consuming from it is structurally dead.
+
+    Fault arcs count as production: a transition's timeout place can
+    receive tokens even though no ordinary arc points at it.
+
+    Uses the standard fixpoint: start from all non-excluded places and
+    discard any place one of whose producers takes no input from the
+    remaining set.  Runs in O(places * arcs).
+    """
+    siphon = set(net.places) - set(excluded)
+    producers: dict[str, list[set[str]]] = {p: [] for p in net.places}
+    for t in net.transitions.values():
+        inputs = {a.place for a in t.inputs}
+        for arc in t.outputs:
+            producers[arc.place].append(inputs)
+        if t.timeout is not None:
+            producers[t.timeout[1]].append(inputs)
+    changed = True
+    while changed:
+        changed = False
+        for place in sorted(siphon):
+            for inputs in producers[place]:
+                if not inputs & siphon:
+                    siphon.discard(place)
+                    changed = True
+                    break
+    return siphon
+
+
 def analyze_structure(net: PetriNet) -> StructureReport:
     """Run all static checks and return a consolidated report."""
     c, places, transitions = incidence_matrix(net)
@@ -89,12 +156,7 @@ def analyze_structure(net: PetriNet) -> StructureReport:
     sinks = sorted(p for p in net.places if p not in consumed)
 
     inv = p_invariants(c) if c.size else None
-    conservative = False
-    if inv is not None and inv.shape[0] > 0:
-        for row in inv:
-            if np.all(row > 1e-9) or np.all(row < -1e-9):
-                conservative = True
-                break
+    conservative = inv is not None and covers_all_positive(inv)
 
     return StructureReport(
         place_order=places,
@@ -108,13 +170,37 @@ def analyze_structure(net: PetriNet) -> StructureReport:
     )
 
 
-def find_cycles(net: PetriNet) -> list[list[str]]:
+class CycleList(list):
+    """``find_cycles`` result: a plain list of cycles, plus a
+    ``truncated`` flag that is True when the depth bound cut the search
+    short (cycles longer than the bound may exist but are not listed)."""
+
+    def __init__(self, cycles: Iterable[list[str]] = (), truncated: bool = False):
+        super().__init__(cycles)
+        self.truncated = truncated
+
+
+def find_cycles(
+    net: PetriNet,
+    *,
+    max_depth: int = 64,
+    on_truncate: str = "mark",
+) -> CycleList:
     """Enumerate simple cycles in the place/transition bipartite graph.
 
     Cycles are legitimate (they model credit/ring buffers) but a cycle
     with no initial tokens and no external injection point deadlocks, so
     interface authors want to see them listed.
+
+    The DFS bounds its path length at ``max_depth`` nodes to stay
+    polynomial on pathological nets.  When the bound actually prunes a
+    path, the result's ``truncated`` attribute is set — or, with
+    ``on_truncate="raise"``, :class:`~repro.petri.errors.AnalysisError`
+    is raised — so callers can no longer mistake a truncated listing
+    for a complete one.
     """
+    if on_truncate not in ("mark", "raise"):
+        raise ValueError(f"on_truncate must be 'mark' or 'raise', not {on_truncate!r}")
     graph: dict[str, set[str]] = {}
     for t in net.transitions.values():
         tnode = f"t:{t.name}"
@@ -127,8 +213,10 @@ def find_cycles(net: PetriNet) -> list[list[str]]:
 
     cycles: list[list[str]] = []
     seen_cycles: set[tuple[str, ...]] = set()
+    truncated = False
 
     def dfs(node: str, path: list[str], on_path: set[str]) -> None:
+        nonlocal truncated
         for nxt in sorted(graph.get(node, ())):
             if nxt in on_path:
                 idx = path.index(nxt)
@@ -137,16 +225,23 @@ def find_cycles(net: PetriNet) -> list[list[str]]:
                 if key not in seen_cycles:
                     seen_cycles.add(key)
                     cycles.append([n.split(":", 1)[1] for n in cyc])
-            elif len(path) < 64:
+            elif len(path) < max_depth:
                 path.append(nxt)
                 on_path.add(nxt)
                 dfs(nxt, path, on_path)
                 on_path.discard(nxt)
                 path.pop()
+            else:
+                truncated = True
 
     for start in sorted(graph):
         dfs(start, [start], {start})
-    return cycles
+    if truncated and on_truncate == "raise":
+        raise AnalysisError(
+            f"cycle search on net {net.name!r} truncated at depth {max_depth}; "
+            f"{len(cycles)} cycles found before the bound"
+        )
+    return CycleList(cycles, truncated=truncated)
 
 
 def _canonical(cycle: list[str]) -> tuple[str, ...]:

@@ -14,7 +14,7 @@ the component needs at simulation time.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from .errors import DefinitionError
 from .net import DelaySpec, PetriNet

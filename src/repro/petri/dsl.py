@@ -40,9 +40,10 @@ Delay/guard forms:
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
-from .errors import DslError
+from .errors import DefinitionError, DslError
 from .net import Arc, PetriNet
 from .token import Token
 
@@ -57,6 +58,10 @@ _SAFE_GLOBALS: dict[str, Any] = {
     "abs": abs,
     "len": len,
 }
+
+
+#: Names an ``expr:`` clause may reference (besides ``tok``/``toks``).
+EXPR_NAMES = frozenset(n for n in _SAFE_GLOBALS if n != "__builtins__")
 
 
 def _compile_expr(src: str, line_no: int, kind: str) -> Callable[[Mapping[str, Sequence[Token]]], Any]:
@@ -77,6 +82,7 @@ def _compile_expr(src: str, line_no: int, kind: str) -> Callable[[Mapping[str, S
         return eval(code, scope)  # noqa: S307 - restricted scope, trusted input
 
     evaluate.src = src  # type: ignore[attr-defined]
+    evaluate.line = line_no  # type: ignore[attr-defined]
     return evaluate
 
 
@@ -106,6 +112,7 @@ def parse(text: str, env: Mapping[str, Callable] | None = None) -> PetriNet:
     env = env or {}
     net: PetriNet | None = None
     pending: dict[str, Any] | None = None
+    injects: list[tuple[str, frozenset[str] | None, int, int]] = []
 
     def flush(line_no: int) -> None:
         nonlocal pending
@@ -115,17 +122,32 @@ def parse(text: str, env: Mapping[str, Callable] | None = None) -> PetriNet:
             raise DslError("transition before net declaration", line_no)
         if "consume" not in pending:
             raise DslError(f"transition {pending['name']!r} has no consume clause", line_no)
-        t = net.add_transition(
-            pending["name"],
-            pending["consume"],
-            pending.get("produce", []),
-            delay=pending.get("delay", 0.0),
-            guard=pending.get("guard"),
-            servers=pending.get("servers", 1),
-            priority=pending.get("priority", 0),
-        )
+        try:
+            t = net.add_transition(
+                pending["name"],
+                pending["consume"],
+                pending.get("produce", []),
+                delay=pending.get("delay", 0.0),
+                guard=pending.get("guard"),
+                servers=pending.get("servers", 1),
+                priority=pending.get("priority", 0),
+                timeout=pending.get("timeout"),
+            )
+        except DefinitionError as exc:
+            t_line = pending.get("transition_span", (line_no, 1))[0]
+            raise DslError(str(exc), t_line) from exc
         t.delay_src = pending.get("delay_src")  # type: ignore[attr-defined]
+        t.guard_src = pending.get("guard_src")  # type: ignore[attr-defined]
+        name = pending["name"]
+        for kind in ("transition", "delay", "guard", "timeout"):
+            span = pending.get(f"{kind}_span")
+            if span is not None:
+                net.source_map[(kind, name)] = span
         pending = None
+
+    def col_of(raw: str, needle: str) -> int:
+        pos = raw.find(needle)
+        return pos + 1 if pos >= 0 else 1
 
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -153,19 +175,40 @@ def parse(text: str, env: Mapping[str, Callable] | None = None) -> PetriNet:
                     raise DslError(f"bad capacity {fields[3]!r}", line_no) from exc
             else:
                 raise DslError("usage: place NAME [capacity N]", line_no)
+            net.source_map[("place", fields[1])] = (line_no, col_of(raw, fields[1]))
+        elif keyword == "inject":
+            flush(line_no)
+            if net is None:
+                raise DslError("inject before net declaration", line_no)
+            if len(fields) == 2:
+                injects.append((fields[1], None, line_no, col_of(raw, fields[1])))
+            elif len(fields) >= 4 and fields[2] == "fields":
+                injects.append(
+                    (fields[1], frozenset(fields[3:]), line_no, col_of(raw, fields[1]))
+                )
+            else:
+                raise DslError("usage: inject PLACE [fields NAME...]", line_no)
         elif keyword == "transition":
             flush(line_no)
             if len(fields) != 2:
                 raise DslError("usage: transition NAME", line_no)
-            pending = {"name": fields[1]}
+            pending = {
+                "name": fields[1],
+                "transition_span": (line_no, col_of(raw, fields[1])),
+            }
         elif pending is not None:
-            _parse_clause(pending, keyword, line, fields, line_no, env)
+            _parse_clause(pending, keyword, line, fields, line_no, env, raw)
         else:
             raise DslError(f"unexpected keyword {keyword!r}", line_no)
 
     flush(len(text.splitlines()))
     if net is None:
         raise DslError("document contains no net declaration")
+    for place, decl_fields, line_no, col in injects:
+        if place not in net.places:
+            raise DslError(f"inject references unknown place {place!r}", line_no)
+        net.declare_injection(place, decl_fields)
+        net.source_map[("inject", place)] = (line_no, col)
     return net
 
 
@@ -176,7 +219,12 @@ def _parse_clause(
     fields: list[str],
     line_no: int,
     env: Mapping[str, Callable],
+    raw: str = "",
 ) -> None:
+    def span_of(needle: str) -> tuple[int, int]:
+        pos = raw.find(needle) if needle else -1
+        return (line_no, pos + 1 if pos >= 0 else 1)
+
     if keyword == "consume":
         pending["consume"] = _parse_arcs(fields[1:], line_no)
     elif keyword == "produce":
@@ -187,30 +235,47 @@ def _parse_clause(
             src = rest[len("expr:"):].strip()
             pending["delay"] = _compile_expr(src, line_no, "delay")
             pending["delay_src"] = f"expr: {src}"
+            pending["delay_span"] = span_of(src)
         elif rest.startswith("fn:"):
             name = rest[len("fn:"):].strip()
             if name not in env:
                 raise DslError(f"unknown delay function {name!r}", line_no)
             pending["delay"] = env[name]
             pending["delay_src"] = f"fn: {name}"
+            pending["delay_span"] = span_of(name)
         else:
             try:
                 pending["delay"] = float(rest)
             except ValueError as exc:
                 raise DslError(f"bad delay {rest!r}", line_no) from exc
             pending["delay_src"] = rest
+            pending["delay_span"] = span_of(rest)
     elif keyword == "guard":
         rest = line[len("guard"):].strip()
         if rest.startswith("expr:"):
-            expr = _compile_expr(rest[len("expr:"):].strip(), line_no, "guard")
+            src = rest[len("expr:"):].strip()
+            expr = _compile_expr(src, line_no, "guard")
             pending["guard"] = lambda consumed: bool(expr(consumed))
+            pending["guard_src"] = f"expr: {src}"
+            pending["guard_span"] = span_of(src)
         elif rest.startswith("fn:"):
             name = rest[len("fn:"):].strip()
             if name not in env:
                 raise DslError(f"unknown guard function {name!r}", line_no)
             pending["guard"] = env[name]
+            pending["guard_src"] = f"fn: {name}"
+            pending["guard_span"] = span_of(name)
         else:
             raise DslError("guard requires expr: or fn:", line_no)
+    elif keyword == "timeout":
+        if len(fields) != 3:
+            raise DslError("usage: timeout AFTER PLACE", line_no)
+        try:
+            after = float(fields[1])
+        except ValueError as exc:
+            raise DslError(f"bad timeout {fields[1]!r}", line_no) from exc
+        pending["timeout"] = (after, fields[2])
+        pending["timeout_span"] = span_of(fields[2])
     elif keyword == "servers":
         if len(fields) != 2:
             raise DslError("usage: servers N|inf", line_no)
@@ -238,6 +303,11 @@ def to_pnet(net: PetriNet) -> str:
             lines.append(f"place {name}")
         else:
             lines.append(f"place {name} capacity {place.capacity}")
+    for place, decl in getattr(net, "injections", {}).items():
+        if decl is None:
+            lines.append(f"inject {place}")
+        else:
+            lines.append(f"inject {place} fields " + " ".join(sorted(decl)))
     for t in net.ordered_transitions():
         lines.append("")
         lines.append(f"transition {t.name}")
@@ -251,6 +321,14 @@ def to_pnet(net: PetriNet) -> str:
             lines.append(f"  delay fn: {t.delay.__name__}")
         else:
             lines.append(f"  delay {float(t.delay)}")
+        guard_src = getattr(t, "guard_src", None)
+        if guard_src is not None:
+            lines.append(f"  guard {guard_src}")
+        elif t.guard is not None:
+            lines.append(f"  guard fn: {getattr(t.guard, '__name__', 'guard')}")
+        if t.timeout is not None:
+            after, fault_place = t.timeout
+            lines.append(f"  timeout {after} {fault_place}")
         if t.servers != 1:
             lines.append(f"  servers {'inf' if t.servers is None else t.servers}")
         if t.priority != 0:

@@ -35,6 +35,11 @@ class DeadlineError(SimulationError):
         self.result = result
 
 
+class AnalysisError(PetriError):
+    """A static-analysis pass could not produce a trustworthy result
+    (e.g. a bounded cycle search was truncated with ``on_truncate="raise"``)."""
+
+
 class CapacityError(PetriError):
     """A token was forced into a place beyond its declared capacity."""
 

@@ -26,8 +26,9 @@ module is purely structural so that nets can be analyzed (see
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any
 
 from .errors import CapacityError, DefinitionError
 from .token import Token
@@ -135,6 +136,13 @@ class Transition:
         servers: Maximum concurrent firings (``None`` = unbounded).
         priority: Tie-break order when several transitions are enabled
             at the same instant; lower fires first, then name order.
+        timeout: Optional fault arc ``(after, place)``: a firing whose
+            computed delay exceeds ``after`` *fails* — at ``after``
+            cycles the consumed work is dropped, output reservations are
+            released, and one fault token (a child of the first consumed
+            token) is deposited into ``place`` instead.  This lets a net
+            *be* the degradation policy: timeout places model error
+            queues the surrounding system drains.
     """
 
     def __init__(
@@ -147,6 +155,7 @@ class Transition:
         produce: ProduceFn | None = None,
         servers: int | None = 1,
         priority: int = 0,
+        timeout: tuple[float, str] | None = None,
     ):
         if not inputs:
             raise DefinitionError(
@@ -155,6 +164,8 @@ class Transition:
             )
         if servers is not None and servers < 1:
             raise DefinitionError(f"transition {name!r}: servers must be >= 1 or None")
+        if timeout is not None and timeout[0] <= 0:
+            raise DefinitionError(f"transition {name!r}: timeout must be > 0")
         self.name = name
         self.inputs = list(inputs)
         self.outputs = list(outputs)
@@ -163,6 +174,7 @@ class Transition:
         self.produce = produce
         self.servers = servers
         self.priority = priority
+        self.timeout = timeout
         #: Deterministic ordering key used by the simulator.
         self.sort_key = (priority, name)
         #: Simulation state: number of currently in-flight firings.
@@ -217,6 +229,16 @@ class PetriNet:
         self.name = name
         self.places: dict[str, Place] = {}
         self.transitions: dict[str, Transition] = {}
+        #: Declared external injection points: place -> declared payload
+        #: fields (``None`` = payload shape unknown/opaque).  Filled by
+        #: the DSL's ``inject`` clause or :meth:`declare_injection`; the
+        #: linter uses it to tell workload sources from starved places.
+        self.injections: dict[str, frozenset[str] | None] = {}
+        #: Source spans for nets parsed from ``.pnet`` text:
+        #: ``(kind, name) -> (line, col)`` with kind in {"place",
+        #: "transition", "delay", "guard", "inject", "timeout"}.
+        #: Empty for programmatically built nets.
+        self.source_map: dict[tuple[str, str], tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     # Construction API
@@ -251,8 +273,26 @@ class PetriNet:
                 raise DefinitionError(
                     f"transition {name!r} references unknown place {arc.place!r}"
                 )
+        if t.timeout is not None and t.timeout[1] not in self.places:
+            raise DefinitionError(
+                f"transition {name!r} timeout references unknown place {t.timeout[1]!r}"
+            )
         self.transitions[name] = t
         return t
+
+    def declare_injection(
+        self, place: str, fields: Iterable[str] | None = None
+    ) -> None:
+        """Declare ``place`` as an external injection point.
+
+        ``fields`` names the payload keys injected tokens carry; pass
+        ``None`` when the payload is opaque.  The declaration does not
+        affect simulation — it documents the workload contract so static
+        analysis can check token-field dataflow and starvation.
+        """
+        if place not in self.places:
+            raise DefinitionError(f"injection into unknown place {place!r}")
+        self.injections[place] = None if fields is None else frozenset(fields)
 
     @staticmethod
     def _arc(spec: Arc | str | tuple[str, int]) -> Arc:

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Literal, Sequence
+from typing import Any, Literal
 
 from .errors import DeadlineError, DeadlockError, SimulationError
 from .net import PetriNet, Transition
@@ -350,8 +351,43 @@ class Simulator:
         delay = t.compute_delay(consumed)
         t.busy += 1
         t.fire_count += 1
-        t.busy_time += delay
         fire_time = self._now
+
+        if t.timeout is not None and delay > t.timeout[0]:
+            # Fault arc: the firing exceeds its declared budget.  At the
+            # deadline the work is abandoned — output reservations are
+            # released and one fault token lands in the timeout place
+            # (which may itself be a sink).  If the timeout place is
+            # bounded and full this raises CapacityError; the linter
+            # flags bounded timeout places for exactly that reason.
+            after, fault_place = t.timeout
+            t.busy_time += after
+
+            def fail() -> None:
+                for name, place, _weight in t.out_arcs:
+                    place.reserved -= _weight
+                    self._dirty.update(self._producers[name])
+                first: Token | None = None
+                for arc in t.inputs:
+                    toks = consumed.get(arc.place)
+                    if toks:
+                        first = toks[0]
+                        break
+                fault_token = first.child() if first is not None else Token()
+                if self.trace:
+                    if fault_token.trace is None:
+                        fault_token.trace = []
+                    fault_token.trace.append((f"{t.name}!timeout", self._now))
+                self._deposit(
+                    fault_place, fault_token, sinkset, completions, from_reservation=False
+                )
+                t.busy -= 1
+                self._dirty.add(t)
+
+            self._schedule(fire_time + after, fail)
+            return
+
+        t.busy_time += delay
 
         def complete() -> None:
             produced = (

@@ -46,7 +46,7 @@ class Token:
             raise ValueError("token was never injected into a net")
         return now - self.born
 
-    def child(self, payload: Any = None) -> "Token":
+    def child(self, payload: Any = None) -> Token:
         """Create a derived token inheriting this token's birth time.
 
         Transitions that split one data unit into several (e.g. an image

@@ -19,8 +19,9 @@ Two pieces:
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Generic, TypeVar
+from typing import Generic, TypeVar
 
 from repro.core.validation import online_drift
 from repro.hw.stats import ErrorReport
@@ -83,7 +84,7 @@ class DriftDetector:
         self.last_report = online_drift(list(self._predicted), list(self._observed))
         self.last_score = sum(
             self.symmetric_error(p, o)
-            for p, o in zip(self._predicted, self._observed)
+            for p, o in zip(self._predicted, self._observed, strict=True)
         ) / self.samples
         return self.last_score > self.threshold
 
@@ -106,7 +107,7 @@ class CpuFallback(Generic[RequestT, ResponseT]):
         return self.software_fn(request), self.latency_fn(request)
 
 
-def rpc_cpu_fallback() -> "CpuFallback":
+def rpc_cpu_fallback() -> CpuFallback:
     """The standard fallback for the RPC serialization scenario: encode
     on the Xeon software path at its modeled cost."""
     from repro.accel.cpu import CpuSerializerModel

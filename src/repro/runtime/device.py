@@ -30,8 +30,9 @@ records and clock.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Generic, TypeVar
+from typing import Generic, TypeVar
 
 from repro.accel.base import AcceleratorModel
 from repro.core.interface import PerformanceInterface

@@ -26,10 +26,10 @@ The physical fault mechanisms hook into the hardware substrate:
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Mapping
 from dataclasses import dataclass
 from enum import Enum
 from math import log
-from typing import Mapping
 
 import numpy as np
 

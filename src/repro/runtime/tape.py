@@ -13,8 +13,9 @@ replays is the availability overhead of the fault environment.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Generic, Sequence, TypeVar
+from typing import Generic, TypeVar
 
 from repro.core.interface import PerformanceInterface
 from repro.core.offload import Application, ReplayDevice

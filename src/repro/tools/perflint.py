@@ -1,0 +1,116 @@
+"""``python -m repro.tools.perflint`` — audit every shipped interface.
+
+Discovers all accelerator packages under :mod:`repro.accel`, asks each
+for its lint bundle (a module-level ``perflint_bundle()`` in the
+package's ``interfaces`` module), and runs the full perf-lint rule set
+— net, program, and cross-representation families — over each one.
+
+This is the repo's self-audit: CI runs it and fails on any
+error-severity finding, so the interfaces we ship stay as trustworthy
+as the ones we would demand from a vendor.
+
+Examples::
+
+    python -m repro.tools.perflint                 # audit everything
+    python -m repro.tools.perflint jpeg vta        # only these accels
+    python -m repro.tools.perflint --json          # machine-readable
+    python -m repro.tools.perflint --min-severity warning
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import pkgutil
+import sys
+from collections.abc import Iterator
+
+from repro.lint import InterfaceBundle, LintReport, Severity, lint_bundle
+
+
+def discover_bundles(
+    only: list[str] | None = None,
+) -> Iterator[tuple[str, InterfaceBundle]]:
+    """Yield ``(package_name, bundle)`` for every accelerator package
+    that ships a ``perflint_bundle()``."""
+    import repro.accel
+
+    for info in sorted(pkgutil.iter_modules(repro.accel.__path__), key=lambda m: m.name):
+        if not info.ispkg:
+            continue
+        if only and info.name not in only:
+            continue
+        try:
+            module = importlib.import_module(f"repro.accel.{info.name}.interfaces")
+        except ModuleNotFoundError:
+            continue
+        factory = getattr(module, "perflint_bundle", None)
+        if factory is None:
+            continue
+        yield info.name, factory()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.perflint",
+        description="Audit the performance interfaces of all shipped accelerators",
+    )
+    parser.add_argument(
+        "accels",
+        nargs="*",
+        help="accelerator package names to audit (default: all)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    parser.add_argument(
+        "--min-severity",
+        default="info",
+        choices=["info", "warning", "error"],
+        help="hide findings below this severity (exit code still gates "
+        "on errors only)",
+    )
+    args = parser.parse_args(argv)
+
+    bundles = list(discover_bundles(args.accels or None))
+    if args.accels:
+        found = {name for name, _ in bundles}
+        missing = [a for a in args.accels if a not in found]
+        if missing:
+            print(f"error: no lint bundle for {missing}", file=sys.stderr)
+            return 2
+    if not bundles:
+        print("error: no accelerator bundles discovered", file=sys.stderr)
+        return 2
+
+    min_sev = Severity.from_label(args.min_severity)
+    combined = LintReport()
+    payload = []
+    for _, bundle in bundles:
+        report = lint_bundle(bundle)
+        combined.extend(report)
+        if args.json:
+            payload.append(
+                {
+                    "accelerator": bundle.accelerator,
+                    "diagnostics": [d.to_json() for d in report.sorted()],
+                    "summary": report.summary(),
+                }
+            )
+            continue
+        print(f"== {bundle.accelerator} ==")
+        rendered = report.render(min_severity=min_sev)
+        if rendered:
+            print(rendered)
+        print(report.summary())
+        print()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"total: {len(bundles)} bundle(s), {combined.summary()}")
+    return combined.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

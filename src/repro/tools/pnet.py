@@ -5,6 +5,9 @@ then need tooling to inspect and run what they received.  Subcommands:
 
 * ``validate FILE`` — parse and statically analyze a ``.pnet`` document
   (structure report, warnings, cycles).
+* ``lint FILE`` — run the perf-lint rules (see :mod:`repro.lint`) and
+  print compiler-style diagnostics with line numbers; exits nonzero on
+  error-severity findings.
 * ``dot FILE`` — emit Graphviz DOT for rendering.
 * ``simulate FILE --items N [--payload JSON] [--gap G]`` — inject a
   workload and report latency/throughput statistics.
@@ -12,6 +15,7 @@ then need tooling to inspect and run what they received.  Subcommands:
 Examples::
 
     python -m repro.tools.pnet validate iface.pnet
+    python -m repro.tools.pnet lint iface.pnet --json
     python -m repro.tools.pnet dot iface.pnet > iface.dot
     python -m repro.tools.pnet simulate iface.pnet --items 100 \
         --payload '{"bytes": 32, "nnz": 10, "i": 0, "wr": true}'
@@ -55,6 +59,26 @@ def cmd_validate(args: argparse.Namespace) -> int:
             print("  " + " -> ".join(cyc))
     hard = [w for w in report.warnings if "sink" not in w]
     return 1 if hard else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import Severity, lint_pnet_text
+
+    text = Path(args.file).read_text()
+    extra: dict[str, frozenset[str] | None] = {}
+    for decl in args.inject or []:
+        place, _, fields = decl.partition(":")
+        extra[place] = frozenset(fields.split(",")) if fields else None
+    report = lint_pnet_text(text, filename=args.file, extra_injections=extra)
+    if args.json:
+        print(json.dumps([d.to_json() for d in report.sorted()], indent=2))
+    else:
+        min_sev = Severity.from_label(args.min_severity)
+        rendered = report.render(min_severity=min_sev)
+        if rendered:
+            print(rendered)
+        print(report.summary())
+    return report.exit_code
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
@@ -103,6 +127,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_val = sub.add_parser("validate", help="parse + static analysis")
     p_val.add_argument("file")
     p_val.set_defaults(fn=cmd_validate)
+
+    p_lint = sub.add_parser("lint", help="run perf-lint rules")
+    p_lint.add_argument("file")
+    p_lint.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    p_lint.add_argument(
+        "--min-severity",
+        default="info",
+        choices=["info", "warning", "error"],
+        help="hide findings below this severity (exit code still gates "
+        "on errors only)",
+    )
+    p_lint.add_argument(
+        "--inject",
+        action="append",
+        metavar="PLACE[:f1,f2]",
+        help="declare an injection point (repeatable); overrides/extends "
+        "the document's own inject clauses",
+    )
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_dot = sub.add_parser("dot", help="emit Graphviz DOT")
     p_dot.add_argument("file")

@@ -8,8 +8,8 @@ crossover benchmark (E7) and the selection examples.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 

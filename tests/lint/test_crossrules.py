@@ -1,0 +1,176 @@
+"""Tests for the cross-representation lint rules (XR0xx)."""
+
+from dataclasses import dataclass
+
+from repro.core.nl import EnglishInterface, PerformanceStatement, Relation
+from repro.core.program import ProgramInterface
+from repro.lint import InterfaceBundle, Severity, lint_bundle
+
+
+@dataclass(frozen=True)
+class Item:
+    size: int
+
+
+PNET = """\
+net widget
+place in
+place out
+inject in fields size idx
+transition t
+  consume in
+  produce out
+  delay expr: 10 + tok["size"]
+"""
+
+
+def _english(relation=Relation.INCREASES_WITH, metric="Latency"):
+    return EnglishInterface(
+        accelerator="widget",
+        statements=(
+            PerformanceStatement(
+                metric=metric,
+                relation=relation,
+                quantity="the item's size",
+                accessor=lambda item: float(item.size),
+            ),
+        ),
+    )
+
+
+def _program(slope=2.0):
+    return ProgramInterface(
+        "widget", latency_fn=lambda item: 10.0 + slope * item.size
+    )
+
+
+def _bundle(**kw):
+    defaults = dict(
+        accelerator="widget",
+        english=_english(),
+        program=_program(),
+        pnet_text=PNET,
+        samples=[Item(s) for s in (1, 2, 4, 8, 16)],
+    )
+    defaults.update(kw)
+    return InterfaceBundle(**defaults)
+
+
+def by_rule(report, rule_id):
+    return [d for d in report.diagnostics if d.rule_id == rule_id]
+
+
+class TestNameReconciliation:
+    def test_consistent_names_are_clean(self):
+        assert not by_rule(lint_bundle(_bundle()), "XR001")
+
+    def test_xr001_program_name_mismatch(self):
+        bundle = _bundle(
+            program=ProgramInterface("gadget", latency_fn=lambda i: 1.0)
+        )
+        (diag,) = by_rule(lint_bundle(bundle), "XR001")
+        assert "gadget" in diag.message
+
+    def test_normalization_tolerates_separators(self):
+        bundle = _bundle(
+            program=ProgramInterface("wid-get", latency_fn=lambda i: 1.0)
+        )
+        assert not by_rule(lint_bundle(bundle), "XR001")
+
+
+class TestInjectedFields:
+    def test_xr002_unread_field(self):
+        # `idx` is declared but no expression reads it.
+        (diag,) = by_rule(lint_bundle(_bundle()), "XR002")
+        assert "idx" in diag.message
+        assert diag.severity is Severity.INFO
+
+    def test_all_fields_read_is_clean(self):
+        text = PNET.replace(
+            'delay expr: 10 + tok["size"]',
+            'delay expr: 10 + tok["size"] + tok["idx"]',
+        )
+        assert not by_rule(lint_bundle(_bundle(pnet_text=text)), "XR002")
+
+
+class TestStatementChecks:
+    def test_xr003_accessorless_statement(self):
+        english = EnglishInterface(
+            accelerator="widget",
+            statements=(
+                PerformanceStatement(
+                    metric="Latency",
+                    relation=Relation.INCREASES_WITH,
+                    quantity="the phase of the moon",
+                ),
+            ),
+        )
+        (diag,) = by_rule(lint_bundle(_bundle(english=english)), "XR003")
+        assert diag.severity is Severity.WARNING
+
+    def test_xr004_contradicted_claim_is_error(self):
+        bundle = _bundle(english=_english(Relation.DECREASES_WITH))
+        (diag,) = by_rule(lint_bundle(bundle), "XR004")
+        assert diag.severity is Severity.ERROR
+        assert "other" in diag.message
+
+    def test_xr004_agreeing_claim_is_clean(self):
+        assert not by_rule(lint_bundle(_bundle()), "XR004")
+
+    def test_xr004_constant_claim_violated(self):
+        bundle = _bundle(english=_english(Relation.CONSTANT))
+        (diag,) = by_rule(lint_bundle(bundle), "XR004")
+        assert diag.severity is Severity.ERROR
+
+    def test_non_latency_metrics_skipped(self):
+        bundle = _bundle(
+            english=_english(Relation.DECREASES_WITH, metric="Area")
+        )
+        assert not by_rule(lint_bundle(bundle), "XR004")
+
+
+class TestDivergence:
+    def test_xr005_diverging_representations(self):
+        bundle = _bundle(
+            petri_latency_fn=lambda item: 1000.0 + item.size
+        )
+        (diag,) = by_rule(lint_bundle(bundle), "XR005")
+        assert diag.severity is Severity.WARNING
+
+    def test_agreeing_representations_clean(self):
+        bundle = _bundle(
+            petri_latency_fn=lambda item: 10.0 + 2.0 * item.size
+        )
+        assert not by_rule(lint_bundle(bundle), "XR005")
+
+
+class TestVendorExtension:
+    def test_extra_rules_run_through_the_same_machinery(self):
+        from repro.lint import Diagnostic, Rule
+
+        def long_place_names(ctx):
+            for name in ctx.net.places if ctx.net else []:
+                if len(name) < 3:
+                    yield Diagnostic(
+                        "VN001",
+                        Severity.WARNING,
+                        f"place name {name!r} is too terse for our style guide",
+                        subject=name,
+                    )
+
+        bundle = _bundle(
+            extra_rules=[
+                Rule(
+                    id="VN001",
+                    family="cross",
+                    title="vendor naming rule",
+                    fn=long_place_names,
+                )
+            ]
+        )
+        report = lint_bundle(bundle)
+        assert by_rule(report, "VN001")
+        # The default registry must not have been polluted.
+        from repro.lint import DEFAULT_REGISTRY
+
+        assert "VN001" not in DEFAULT_REGISTRY

@@ -1,0 +1,118 @@
+"""Tests for the diagnostic data model (severity, locations, reports)."""
+
+import json
+
+import pytest
+
+from repro.lint import Diagnostic, LintReport, Severity, SourceLocation
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_labels_roundtrip(self):
+        for sev in Severity:
+            assert Severity.from_label(sev.label) is sev
+
+    def test_from_label_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.from_label("fatal")
+
+
+class TestSourceLocation:
+    def test_render_full(self):
+        assert SourceLocation("a.pnet", 3, 7).render() == "a.pnet:3:7"
+
+    def test_render_line_only(self):
+        assert SourceLocation("a.pnet", 3).render() == "a.pnet:3"
+
+    def test_render_no_file(self):
+        assert SourceLocation().render() == "<net>"
+
+
+class TestDiagnostic:
+    def _diag(self, **kw):
+        defaults = dict(
+            rule_id="PL007",
+            severity=Severity.ERROR,
+            message="delay is negative",
+            location=SourceLocation("x.pnet", 12, 3),
+            subject="t1",
+            hint="clamp it",
+        )
+        defaults.update(kw)
+        return Diagnostic(**defaults)
+
+    def test_render_is_compiler_style(self):
+        text = self._diag().render()
+        assert text.startswith("x.pnet:12:3: error[PL007] delay is negative")
+        assert "(hint: clamp it)" in text
+
+    def test_render_without_hint(self):
+        assert "hint" not in self._diag(hint=None).render()
+
+    def test_to_json_is_serializable(self):
+        payload = self._diag().to_json()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["rule"] == "PL007"
+        assert payload["severity"] == "error"
+        assert payload["line"] == 12
+
+
+class TestLintReport:
+    def _report(self):
+        report = LintReport()
+        report.extend(
+            [
+                Diagnostic("PL005", Severity.INFO, "sink"),
+                Diagnostic(
+                    "PL007",
+                    Severity.ERROR,
+                    "neg",
+                    location=SourceLocation("a", 9, 1),
+                ),
+                Diagnostic(
+                    "PL008",
+                    Severity.WARNING,
+                    "sub",
+                    location=SourceLocation("a", 2, 1),
+                ),
+            ]
+        )
+        return report
+
+    def test_errors_and_warnings_split(self):
+        report = self._report()
+        assert [d.rule_id for d in report.errors] == ["PL007"]
+        assert [d.rule_id for d in report.warnings] == ["PL008"]
+
+    def test_at_least_filters(self):
+        report = self._report()
+        assert {d.rule_id for d in report.at_least(Severity.WARNING)} == {
+            "PL007",
+            "PL008",
+        }
+
+    def test_sorted_is_severity_major(self):
+        assert [d.rule_id for d in self._report().sorted()] == [
+            "PL007",
+            "PL008",
+            "PL005",
+        ]
+
+    def test_render_respects_min_severity(self):
+        text = self._report().render(min_severity=Severity.ERROR)
+        assert "PL007" in text and "PL005" not in text
+
+    def test_exit_code_gates_on_errors_only(self):
+        assert self._report().exit_code == 1
+        clean = LintReport()
+        clean.extend([Diagnostic("PL005", Severity.INFO, "sink")])
+        assert clean.exit_code == 0
+
+    def test_summary_counts(self):
+        assert self._report().summary() == "1 error(s), 1 warning(s), 1 info"
+
+    def test_rule_ids(self):
+        assert self._report().rule_ids() == {"PL005", "PL007", "PL008"}

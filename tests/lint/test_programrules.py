@@ -1,0 +1,172 @@
+"""Tests for the program-family lint rules (PG0xx)."""
+
+from dataclasses import dataclass
+
+from repro.lint import Severity, lint_program_fn
+
+
+@dataclass(frozen=True)
+class Workload:
+    size: int
+    depth: int
+
+    @property
+    def blocks(self) -> int:
+        return self.size // 64
+
+
+def ids(report):
+    return report.rule_ids()
+
+
+def by_rule(report, rule_id):
+    return [d for d in report.diagnostics if d.rule_id == rule_id]
+
+
+class TestPurity:
+    def test_pg001_print(self):
+        def latency(w):
+            print("debug", w.size)
+            return 1.0 * w.size
+
+        (diag,) = by_rule(lint_program_fn(latency), "PG001")
+        assert diag.severity is Severity.ERROR
+        assert "print" in diag.message
+        assert diag.location.line is not None
+
+    def test_pg001_module_io(self):
+        def latency(w):
+            import os
+
+            return float(os.environ.get("X", 1)) * w.size
+
+        assert by_rule(lint_program_fn(latency), "PG001")
+
+    def test_pg002_random(self):
+        def latency(w):
+            import random
+
+            return w.size * random.random()
+
+        (diag,) = by_rule(lint_program_fn(latency), "PG002")
+        assert "random" in diag.message
+
+    def test_pg002_time(self):
+        def latency(w):
+            import time
+
+            return w.size + time.time()
+
+        assert by_rule(lint_program_fn(latency), "PG002")
+
+    def test_pg003_global_mutation(self):
+        def latency(w):
+            global _CACHE  # noqa: PLW0603
+            _CACHE = w.size
+            return float(w.size)
+
+        (diag,) = by_rule(lint_program_fn(latency), "PG003")
+        assert "_CACHE" in diag.message
+
+    def test_clean_function_has_no_findings(self):
+        def latency(w):
+            return 10.0 + 2.5 * w.size
+
+        report = lint_program_fn(latency, workload_type=Workload)
+        assert report.exit_code == 0
+        assert not report.diagnostics
+
+
+class TestTermination:
+    def test_pg004_while_true_without_break(self):
+        def latency(w):
+            total = 0.0
+            while True:
+                total += w.size
+            return total
+
+        (diag,) = by_rule(lint_program_fn(latency), "PG004")
+        assert diag.severity is Severity.ERROR
+
+    def test_pg004_condition_never_updated(self):
+        def latency(w):
+            remaining = w.size
+            total = 0.0
+            while remaining > 0:
+                total += 1.0
+            return total
+
+        (diag,) = by_rule(lint_program_fn(latency), "PG004")
+        assert diag.severity is Severity.WARNING
+        assert "remaining" in diag.message
+
+    def test_decrementing_loop_is_clean(self):
+        def latency(w):
+            remaining = w.size
+            total = 0.0
+            while remaining > 0:
+                total += 2.0
+                remaining -= 64
+            return total
+
+        assert not by_rule(lint_program_fn(latency), "PG004")
+
+    def test_loop_with_break_is_clean(self):
+        def latency(w):
+            total = 0.0
+            while True:
+                total += w.size
+                if total > 100:
+                    break
+            return total
+
+        assert not by_rule(lint_program_fn(latency), "PG004")
+
+
+class TestWorkloadFeatures:
+    def test_pg005_unknown_feature(self):
+        def latency(w):
+            return 1.0 * w.n_blocks  # Workload calls it `blocks`
+
+        (diag,) = by_rule(
+            lint_program_fn(latency, workload_type=Workload), "PG005"
+        )
+        assert "n_blocks" in diag.message
+        assert "blocks" in diag.message  # the hint lists real features
+
+    def test_properties_count_as_features(self):
+        def latency(w):
+            return 1.0 * w.blocks + w.depth
+
+        assert not by_rule(
+            lint_program_fn(latency, workload_type=Workload), "PG005"
+        )
+
+    def test_no_workload_type_skips_check(self):
+        def latency(w):
+            return 1.0 * w.anything_at_all
+
+        assert not by_rule(lint_program_fn(latency), "PG005")
+
+
+class TestShape:
+    def test_pg006_no_return(self):
+        def latency(w):
+            _ = 2.0 * w.size
+
+        (diag,) = by_rule(lint_program_fn(latency), "PG006")
+        assert diag.severity is Severity.ERROR
+
+    def test_pg007_recursion_is_info(self):
+        def cost(msg):
+            total = 1.0
+            for sub in msg.children:
+                total += cost(sub)
+            return total
+
+        (diag,) = by_rule(lint_program_fn(cost), "PG007")
+        assert diag.severity is Severity.INFO
+
+    def test_unsourceable_function_is_skipped(self):
+        report = lint_program_fn(len)
+        assert not report.diagnostics

@@ -1,0 +1,79 @@
+"""Tests for the rule registry and its vendor-extension contract."""
+
+import pytest
+
+from repro.lint import DEFAULT_REGISTRY, Diagnostic, Rule, RuleRegistry, Severity
+
+
+def _noop_rule(id="XX001", family="net"):
+    return Rule(id=id, family=family, title="noop", fn=lambda ctx: [])
+
+
+class TestRuleRegistry:
+    def test_register_and_lookup(self):
+        reg = RuleRegistry()
+        rule = reg.register(_noop_rule())
+        assert "XX001" in reg
+        assert reg["XX001"] is rule
+        assert len(reg) == 1
+
+    def test_duplicate_id_rejected(self):
+        reg = RuleRegistry()
+        reg.register(_noop_rule())
+        with pytest.raises(ValueError, match="duplicate rule id"):
+            reg.register(_noop_rule())
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="family"):
+            RuleRegistry().register(_noop_rule(family="cosmic"))
+
+    def test_decorator_registers_and_returns_fn(self):
+        reg = RuleRegistry()
+
+        @reg.rule("XX002", "program", "decorated")
+        def my_rule(ctx):
+            yield Diagnostic("XX002", Severity.INFO, "hello")
+
+        assert "XX002" in reg
+        assert list(my_rule(None))[0].message == "hello"
+
+    def test_family_grouping(self):
+        reg = RuleRegistry()
+        reg.register(_noop_rule("A1", "net"))
+        reg.register(_noop_rule("A2", "cross"))
+        assert [r.id for r in reg.family("net")] == ["A1"]
+        assert [r.id for r in reg.family("cross")] == ["A2"]
+
+    def test_copy_is_independent(self):
+        reg = RuleRegistry()
+        reg.register(_noop_rule("A1"))
+        clone = reg.copy()
+        clone.register(_noop_rule("A2"))
+        assert "A2" in clone and "A2" not in reg
+
+    def test_run_family_collects_diagnostics(self):
+        reg = RuleRegistry()
+        reg.register(
+            Rule(
+                id="A1",
+                family="net",
+                title="t",
+                fn=lambda ctx: [Diagnostic("A1", Severity.WARNING, str(ctx))],
+            )
+        )
+        out = reg.run_family("net", "ctx-value")
+        assert len(out) == 1 and out[0].message == "ctx-value"
+
+
+class TestDefaultRegistry:
+    def test_builtin_rules_present(self):
+        # The tentpole promise: a meaningful catalog in every family.
+        ids = {r.id for r in DEFAULT_REGISTRY}
+        assert len([i for i in ids if i.startswith("PL")]) >= 10
+        assert len([i for i in ids if i.startswith("PG")]) >= 5
+        assert len([i for i in ids if i.startswith("XR")]) >= 3
+
+    def test_every_rule_has_title_and_valid_family(self):
+        for rule in DEFAULT_REGISTRY:
+            assert rule.title
+            assert rule.family in ("net", "program", "cross")

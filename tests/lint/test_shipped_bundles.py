@@ -1,0 +1,47 @@
+"""The repo's self-audit: every shipped accelerator bundle lints clean.
+
+This is the executable form of the tentpole's acceptance criterion —
+``perflint`` over all five accelerator packages reports zero
+error-severity findings — plus discovery-contract checks so a package
+that forgets its bundle (or ships a broken one) fails here first.
+"""
+
+import pytest
+
+from repro.lint import lint_bundle
+from repro.tools.perflint import discover_bundles
+
+EXPECTED_PACKAGES = {"bitcoin", "jpeg", "optimusprime", "protoacc", "vta"}
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    return dict(discover_bundles())
+
+
+class TestDiscovery:
+    def test_all_five_accelerators_ship_bundles(self, bundles):
+        assert EXPECTED_PACKAGES <= set(bundles)
+
+    def test_filtering_by_package_name(self):
+        only = dict(discover_bundles(["jpeg"]))
+        assert set(only) == {"jpeg"}
+
+
+class TestShippedInterfacesLintClean:
+    @pytest.mark.parametrize("package", sorted(EXPECTED_PACKAGES))
+    def test_no_error_severity_findings(self, bundles, package):
+        report = lint_bundle(bundles[package])
+        assert report.exit_code == 0, report.render()
+        assert not report.errors, report.render()
+
+    def test_expected_informational_findings(self, bundles):
+        # The audit is not vacuous: known-structural facts do surface.
+        protoacc = lint_bundle(bundles["protoacc"])
+        assert "PG007" in protoacc.rule_ids()  # read_cost recursion
+        vta = lint_bundle(bundles["vta"])
+        assert "PL009" in vta.rule_ids()  # elastic queues, documented
+
+    def test_jpeg_net_declares_its_injection_contract(self, bundles):
+        net, _ = bundles["jpeg"].build_net()
+        assert net.injections == {"in": frozenset({"i", "bytes", "nnz", "wr"})}

@@ -1,0 +1,128 @@
+"""Tests for the analysis additions behind perf-lint: T-invariants,
+siphon computation, invariant coverage, and honest cycle truncation."""
+
+import numpy as np
+import pytest
+
+from repro.petri import (
+    AnalysisError,
+    PetriNet,
+    chain,
+    covers_all_positive,
+    find_cycles,
+    incidence_matrix,
+    maximal_siphon,
+    p_invariants,
+    t_invariants,
+)
+
+
+def pipeline(name="pipe", stages=(("s1", 1.0), ("s2", 2.0))):
+    net = PetriNet(name)
+    chain(net, list(stages))
+    return net
+
+
+def credit_ring(n=3):
+    """n places in a ring, each transition moving the token onward —
+    a free-spinning cycle with a T-invariant."""
+    net = PetriNet("ring")
+    for i in range(n):
+        net.add_place(f"p{i}")
+    for i in range(n):
+        net.add_transition(f"t{i}", [f"p{i}"], [f"p{(i + 1) % n}"], delay=1)
+    return net
+
+
+class TestTInvariants:
+    def test_ring_has_the_all_ones_invariant(self):
+        c, _, _ = incidence_matrix(credit_ring())
+        inv = t_invariants(c)
+        assert inv.shape[0] == 1
+        # Firing every transition once returns to the initial marking.
+        ratio = inv[0] / inv[0][0]
+        assert np.allclose(ratio, 1.0)
+        assert np.allclose(c @ inv[0], 0.0)
+
+    def test_pipeline_has_no_t_invariant(self):
+        c, _, _ = incidence_matrix(pipeline())
+        assert t_invariants(c).shape[0] == 0
+
+
+class TestPInvariantEdgeCases:
+    def test_empty_incidence(self):
+        empty = np.zeros((0, 0))
+        assert p_invariants(empty).shape[0] == 0
+        assert not covers_all_positive(p_invariants(empty))
+
+    def test_rank_deficient_incidence(self):
+        # Two identical transitions: the incidence matrix has rank 1
+        # over 3 places, so the left-nullspace has dimension 2.
+        net = PetriNet("rankdef")
+        for p in ("a", "b", "c"):
+            net.add_place(p)
+        net.add_transition("t1", ["a"], ["b"], delay=1)
+        net.add_transition("t2", ["a"], ["b"], delay=1)
+        c, places, _ = incidence_matrix(net)
+        inv = p_invariants(c)
+        assert inv.shape[0] == 2
+        assert np.allclose(inv @ c, 0.0)
+
+    def test_covers_all_positive_accepts_negated_basis(self):
+        # SVD may hand back an invariant with every entry negative; the
+        # conservativeness test must treat it as its positive mirror.
+        assert covers_all_positive(np.array([[-0.5, -0.5, -0.7]]))
+
+    def test_mixed_sign_rows_do_not_cover(self):
+        assert not covers_all_positive(np.array([[0.7, -0.7, 0.1]]))
+
+    def test_zero_entry_means_uncovered_place(self):
+        assert not covers_all_positive(np.array([[0.7, 0.0, 0.7]]))
+
+
+class TestMaximalSiphon:
+    def test_clean_chain_has_empty_siphon(self):
+        assert maximal_siphon(pipeline(), excluded=["in"]) == set()
+
+    def test_unfed_cycle_is_a_siphon(self):
+        net = credit_ring()
+        # Nothing injects into the ring: every place is cyclically starved.
+        assert maximal_siphon(net) == {"p0", "p1", "p2"}
+
+    def test_injection_breaks_the_siphon(self):
+        net = credit_ring()
+        assert maximal_siphon(net, excluded=["p0"]) == set()
+
+    def test_timeout_arcs_count_as_producers(self):
+        net = PetriNet("n")
+        for p in ("in", "out", "fault"):
+            net.add_place(p)
+        net.add_place("recovered")
+        net.add_transition("t", ["in"], ["out"], delay=100, timeout=(5.0, "fault"))
+        net.add_transition("r", ["fault"], ["recovered"], delay=1)
+        # `fault` is fed (by the fault arc), so only nothing is starved.
+        assert maximal_siphon(net, excluded=["in"]) == set()
+
+
+class TestFindCyclesTruncation:
+    def _deep_ring(self, n=80):
+        return credit_ring(n)
+
+    def test_truncation_is_reported_not_silent(self):
+        cycles = find_cycles(self._deep_ring(), max_depth=16)
+        assert cycles.truncated is True
+        assert cycles == []  # the only cycle is longer than the bound
+
+    def test_untruncated_search_finds_the_cycle(self):
+        cycles = find_cycles(self._deep_ring(40), max_depth=200)
+        assert cycles.truncated is False
+        assert len(cycles) == 1
+
+    def test_on_truncate_raise(self):
+        with pytest.raises(AnalysisError, match="truncated"):
+            find_cycles(self._deep_ring(), max_depth=16, on_truncate="raise")
+
+    def test_result_is_still_a_list(self):
+        cycles = find_cycles(pipeline())
+        assert isinstance(cycles, list)
+        assert cycles.truncated is False

@@ -1,0 +1,118 @@
+"""Tests for the perflint sweep CLI and the pnet lint subcommand."""
+
+import json
+
+import pytest
+
+from repro.tools.perflint import main as perflint_main
+from repro.tools.pnet import main as pnet_main
+
+BROKEN = """\
+net broken
+place in
+place out
+inject in fields a
+transition t
+  consume in
+  produce out
+  delay expr: tok["b"] - 5
+transition never
+  consume out
+  delay -1
+"""
+
+
+@pytest.fixture
+def pnet_file(tmp_path):
+    def write(text, name="net.pnet"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+class TestPnetLint:
+    def test_broken_file_exits_nonzero(self, pnet_file, capsys):
+        path = pnet_file(BROKEN)
+        assert pnet_main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        # Compiler-style diagnostics with file:line:col prefixes.
+        assert f"{path}:8" in out
+        assert "error[PL006]" in out
+        assert "error[PL007]" in out
+
+    def test_min_severity_filters_output_not_exit(self, pnet_file, capsys):
+        path = pnet_file(BROKEN)
+        code = pnet_main(["lint", path, "--min-severity", "error"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "error[" in out and "info[" not in out
+
+    def test_json_output(self, pnet_file, capsys):
+        path = pnet_file(BROKEN)
+        pnet_main(["lint", path, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        rules = {d["rule"] for d in payload}
+        assert {"PL006", "PL007"} <= rules
+        assert all("severity" in d and "line" in d for d in payload)
+
+    def test_clean_file_exits_zero(self, pnet_file, capsys):
+        text = """\
+net demo
+place in
+place out
+inject in
+transition t
+  consume in
+  produce out
+  delay 3
+"""
+        assert pnet_main(["lint", pnet_file(text)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_parse_error_is_a_diagnostic(self, pnet_file, capsys):
+        assert pnet_main(["lint", pnet_file("net x\nbogus clause\n")]) == 1
+        assert "PL000" in capsys.readouterr().out
+
+    def test_inject_flag_declares_injection(self, pnet_file, capsys):
+        # Without the flag the legacy net gets an implicit-injection
+        # info; with it, the declaration is explicit and field-checked.
+        text = """\
+net demo
+place in
+place out
+transition t
+  consume in
+  produce out
+  delay expr: tok["missing"]
+"""
+        path = pnet_file(text)
+        assert pnet_main(["lint", path]) == 0  # opaque implicit injection
+        assert pnet_main(["lint", path, "--inject", "in:x,y"]) == 1
+        assert "PL006" in capsys.readouterr().out
+
+
+class TestPerflintSweep:
+    def test_all_shipped_bundles_are_error_free(self, capsys):
+        assert perflint_main([]) == 0
+        out = capsys.readouterr().out
+        assert "5 bundle(s)" in out
+        assert "0 error(s)" in out.splitlines()[-1]
+
+    def test_single_accelerator_selection(self, capsys):
+        assert perflint_main(["jpeg"]) == 0
+        out = capsys.readouterr().out
+        assert "jpeg-decoder" in out and "vta" not in out
+
+    def test_unknown_accelerator_is_an_error(self, capsys):
+        assert perflint_main(["nonexistent"]) == 2
+        assert "no lint bundle" in capsys.readouterr().err
+
+    def test_json_output_per_accelerator(self, capsys):
+        assert perflint_main(["--json", "protoacc"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["accelerator"] == "protoacc-ser"
+        assert any(
+            d["rule"] == "PG007" for d in payload[0]["diagnostics"]
+        )
