@@ -25,6 +25,7 @@ from repro.accel.vta import GemmWorkload, Tiling, random_programs, tiled_gemm_pr
 from repro.autotune import (
     CycleAccurateProfiler,
     EventModelProfiler,
+    MemoizedProfiler,
     PetriProfiler,
     exhaustive_tune,
     profiling_speedups,
@@ -67,6 +68,20 @@ def test_autotune_profiling_speedup(benchmark, report):
         f"{worst.baseline_seconds * 1e3:.2f} ms -> {worst.candidate_seconds * 1e3:.2f} ms",
     ]
 
+    # Memoized tier: a tuner that re-visits candidates (restarts, epsilon-
+    # greedy) pays the simulation once — the cache serves every repeat.
+    memo = MemoizedProfiler(PetriProfiler())
+    for program in programs:
+        memo.profile(program)
+    first_pass = memo.wall_seconds
+    for program in programs:
+        memo.profile(program)
+    lines.append(
+        f"memoized petri profiler: {memo.cache_summary()}; "
+        f"re-sweep cost {memo.wall_seconds - first_pass:.3f}s vs "
+        f"{first_pass:.3f}s cold"
+    )
+
     # Search-outcome parity on one tuning task.
     work = GemmWorkload(8, 8, 8)
     by_sim = exhaustive_tune(work, EventModelProfiler())
@@ -86,3 +101,5 @@ def test_autotune_profiling_speedup(benchmark, report):
     assert np.median(speedups) > 2.0
     assert speedups.max() > 30.0
     assert check <= by_sim.best_cycles * 1.05
+    # The re-sweep must be served entirely from the cache.
+    assert memo.cache.stats.hits >= len(programs)

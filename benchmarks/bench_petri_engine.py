@@ -6,34 +6,38 @@ orders of magnitude faster than cycle-level simulation.  These
 benchmarks track the engine's firing throughput on the three structural
 idioms the accelerator nets use, so a regression here shows up before
 it silently erodes the E6 speedups.
+
+Two engines are measured: the reference interpreter and the compiled
+fast path (``repro.petri.compiled``).  The comparison table in
+``benchmarks/results/ENG_engine_compare.txt`` interleaves the two and
+takes best-of-N on CPU time, because wall-clock ratios on shared
+machines swing far more than the engines themselves do.
 """
 
 from __future__ import annotations
 
-from repro.petri import PetriNet, Simulator, chain
+import time
+
+from repro.petri import CompiledNet, PetriNet, chain, make_simulator
 
 
-def run_chain(n_stages: int, n_items: int) -> float:
+def build_chain(n_stages: int = 4, n_items: int = 200):
     net = PetriNet("chain")
     chain(net, [(f"s{k}", 3 + k) for k in range(n_stages)], capacity=4)
-    sim = Simulator(net, sinks=["out"])
-    sim.inject_stream("in", range(n_items))
-    return sim.run().makespan()
+    return net, ["out"], lambda sim: sim.inject_stream("in", range(n_items))
 
 
-def run_fanout(n_items: int) -> int:
+def build_fanout(n_items: int = 100):
     net = PetriNet("fan")
     net.add_place("in")
     net.add_place("mid")
     net.add_place("out")
     net.add_transition("split", ["in"], [("mid", 4)], delay=1, servers=None)
     net.add_transition("merge", [("mid", 4)], ["out"], delay=2, servers=2)
-    sim = Simulator(net, sinks=["out"])
-    sim.inject_stream("in", range(n_items))
-    return len(sim.run().sink())
+    return net, ["out"], lambda sim: sim.inject_stream("in", range(n_items))
 
 
-def run_guarded(n_items: int) -> int:
+def build_guarded(n_items: int = 200):
     net = PetriNet("guarded")
     net.add_place("in")
     net.add_place("small")
@@ -44,14 +48,43 @@ def run_guarded(n_items: int) -> int:
     net.add_transition(
         "hi", ["in"], ["big"], delay=2, guard=lambda c: c["in"][0].payload % 2 == 1
     )
-    sim = Simulator(net, sinks=["small", "big"])
-    sim.inject_stream("in", range(n_items))
+    return net, ["small", "big"], lambda sim: sim.inject_stream("in", range(n_items))
+
+
+IDIOMS = [("chain", build_chain), ("fanout", build_fanout), ("guard", build_guarded)]
+
+
+def run_once(build, engine: str):
+    """One simulation run; returns (SimResult, firings)."""
+    net, sinks, load = build()
+    sim = make_simulator(net, sinks=sinks, engine=engine)
+    load(sim)
     result = sim.run()
-    return len(result.completions["small"]) + len(result.completions["big"])
+    return result, sum(result.fired.values())
+
+
+def _time_run(build, engine: str, compiled: CompiledNet | None = None) -> tuple[int, int]:
+    """CPU nanoseconds for one ``run()`` (setup and injection excluded)."""
+    net, sinks, load = build()
+    if engine == "compiled":
+        sim = make_simulator(
+            net, sinks=sinks, engine=engine, compiled=CompiledNet(net)
+        )
+    else:
+        sim = make_simulator(net, sinks=sinks, engine=engine)
+    load(sim)
+    t0 = time.process_time_ns()
+    result = sim.run()
+    elapsed = time.process_time_ns() - t0
+    return elapsed, sum(result.fired.values())
 
 
 def test_engine_chain_throughput(benchmark, report):
-    makespan = benchmark(lambda: run_chain(n_stages=4, n_items=200))
+    def run():
+        result, _ = run_once(build_chain, "reference")
+        return result.makespan()
+
+    makespan = benchmark(run)
     report(
         "ENG_chain",
         f"4-stage chain, 200 items: makespan {makespan:.0f} cycles "
@@ -61,10 +94,56 @@ def test_engine_chain_throughput(benchmark, report):
 
 
 def test_engine_fanout(benchmark):
-    completed = benchmark(lambda: run_fanout(n_items=100))
+    completed = benchmark(lambda: len(run_once(build_fanout, "reference")[0].sink()))
     assert completed == 100  # 4-way split re-merged
 
 
 def test_engine_guard_dispatch(benchmark):
-    completed = benchmark(lambda: run_guarded(n_items=200))
-    assert completed == 200
+    def run():
+        result, _ = run_once(build_guarded, "reference")
+        return len(result.completions["small"]) + len(result.completions["big"])
+
+    assert benchmark(run) == 200
+
+
+def test_engine_compare(report):
+    """Reference vs compiled on every idiom: identical results, >=5x faster.
+
+    Interleaved best-of-N on process time; each row also reports firing
+    throughput (firings/sec), the engine-level figure of merit.
+    """
+    rows = [
+        f"{'idiom':8s} {'reference':>12s} {'compiled':>12s} {'speedup':>8s} "
+        f"{'ref fir/s':>12s} {'cmp fir/s':>12s}"
+    ]
+    speedups = {}
+    for name, build in IDIOMS:
+        ref_res = run_once(build, "reference")[0]
+        cmp_res = run_once(build, "compiled")[0]
+        assert ref_res.end_time == cmp_res.end_time, name
+        assert ref_res.fired == cmp_res.fired, name
+        assert [
+            (c.time, c.token.payload) for v in ref_res.completions.values() for c in v
+        ] == [
+            (c.time, c.token.payload) for v in cmp_res.completions.values() for c in v
+        ], name
+
+        ref_ns = cmp_ns = float("inf")
+        firings = 0
+        for _ in range(40):  # interleave so CPU-state drift hits both engines
+            ns, firings = _time_run(build, "reference")
+            ref_ns = min(ref_ns, ns)
+            ns, _ = _time_run(build, "compiled")
+            cmp_ns = min(cmp_ns, ns)
+        speedups[name] = ref_ns / cmp_ns
+        rows.append(
+            f"{name:8s} {ref_ns / 1e6:10.3f}ms {cmp_ns / 1e6:10.3f}ms "
+            f"{speedups[name]:7.2f}x {firings * 1e9 / ref_ns:12.0f} "
+            f"{firings * 1e9 / cmp_ns:12.0f}"
+        )
+    rows.append(
+        "(best-of-40 CPU time per run; injections and net lowering excluded)"
+    )
+    report("ENG_engine_compare", "\n".join(rows))
+    for name, speedup in speedups.items():
+        assert speedup >= 5.0, f"{name}: compiled only {speedup:.2f}x faster"

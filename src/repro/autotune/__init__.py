@@ -10,6 +10,7 @@ from .costmodel import FEATURE_NAMES, LinearCostModel, features
 from .profilers import (
     CycleAccurateProfiler,
     EventModelProfiler,
+    MemoizedProfiler,
     PetriProfiler,
     Profiler,
     RooflineProfiler,
@@ -24,6 +25,7 @@ __all__ = [
     "CycleAccurateProfiler",
     "EventModelProfiler",
     "LinearCostModel",
+    "MemoizedProfiler",
     "PetriProfiler",
     "Profiler",
     "RooflineProfiler",

@@ -20,6 +20,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.accel.vta import (
     Program,
@@ -29,6 +30,9 @@ from repro.accel.vta import (
     petri_interface,
 )
 from repro.accel.vta.ticksim import TickVtaSimulator
+
+if TYPE_CHECKING:
+    from repro.perf import EvalCache
 
 
 class Profiler(abc.ABC):
@@ -95,6 +99,36 @@ class PetriProfiler(Profiler):
 
     def _profile(self, program: Program) -> float:
         return self._iface.latency(program)
+
+
+class MemoizedProfiler(Profiler):
+    """Never profile the same candidate twice (Jung et al.'s "PR" idea).
+
+    Wraps any profiler tier with a content-addressed
+    :class:`repro.perf.EvalCache`: candidates are keyed by their program
+    content, so re-visited points in a tuning sweep cost a dictionary
+    lookup instead of a simulation.  Wall-clock accounting still runs, so
+    ``profiling_speedups`` sees the (near-zero) cost of cache hits.
+    """
+
+    def __init__(self, inner: Profiler, cache: "EvalCache | None" = None):
+        from repro.perf import EvalCache
+
+        super().__init__()
+        self.inner = inner
+        self.cache = cache if cache is not None else EvalCache()
+        self.name = f"memoized({inner.name})"
+
+    def _profile(self, program: Program) -> float:
+        return self.cache.get_or_compute(
+            f"profiler:{self.inner.name}",
+            program,
+            lambda: self.inner._profile(program),
+        )
+
+    def cache_summary(self) -> str:
+        """Hit/miss accounting for reports (e.g. the E6 table)."""
+        return self.cache.stats.summary()
 
 
 class RooflineProfiler(Profiler):

@@ -14,11 +14,14 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Any, Generic, TypeVar
+from typing import TYPE_CHECKING, Any, Generic, TypeVar
 
-from repro.petri import PetriNet, SimResult, Simulator
+from repro.petri import PetriNet, SimResult, make_simulator
 
 from .interface import PerformanceInterface
+
+if TYPE_CHECKING:
+    from repro.perf import EvalCache
 
 ItemT = TypeVar("ItemT")
 
@@ -47,6 +50,14 @@ class PetriNetInterface(PerformanceInterface[ItemT], Generic[ItemT]):
             produce.  Defaults to the number of injected tokens; nets
             with resident bookkeeping tokens (mutexes, credits) override
             this, since those legitimately remain after quiescence.
+        engine: Simulation engine — ``"auto"`` (compiled when supported,
+            with a documented fallback), ``"reference"``, or
+            ``"compiled"``.  ``None`` defers to the
+            ``REPRO_PETRI_ENGINE`` environment variable / the default.
+        cache: Optional :class:`repro.perf.EvalCache`: identical
+            (net, injections) evaluations are served from the cache
+            instead of re-simulated.  May also be attached later by
+            assigning to ``self.cache``.
     """
 
     representation = "petri-net"
@@ -61,6 +72,8 @@ class PetriNetInterface(PerformanceInterface[ItemT], Generic[ItemT]):
         epilogue: float = 0.0,
         pnet_text: str | None = None,
         expected_completions: Callable[[ItemT], int] | None = None,
+        engine: str | None = None,
+        cache: "EvalCache | None" = None,
     ):
         self.accelerator = accelerator
         self.net = net_factory()
@@ -69,19 +82,27 @@ class PetriNetInterface(PerformanceInterface[ItemT], Generic[ItemT]):
         self.epilogue = epilogue
         self.pnet_text = pnet_text
         self._expected = expected_completions
+        self.engine = engine
+        self.cache = cache
 
     def _run(self, injections: Sequence[Injection], expected: int) -> SimResult:
-        sim = Simulator(self.net, sinks=[self.sink])
-        for inj in injections:
-            sim.inject(inj.place, inj.payload, at=inj.at)
-        result = sim.run()
-        done = len(result.completions[self.sink])
-        if done != expected:
-            raise RuntimeError(
-                f"net {self.net.name!r} completed {done}/{expected} tokens; "
-                f"stuck marking: { {p: n for p, n in self.net.marking().items() if n} }"
-            )
-        return result
+        def compute() -> SimResult:
+            sim = make_simulator(self.net, sinks=(self.sink,), engine=self.engine)
+            for inj in injections:
+                sim.inject(inj.place, inj.payload, at=inj.at)
+            result = sim.run()
+            done = len(result.completions[self.sink])
+            if done != expected:
+                raise RuntimeError(
+                    f"net {self.net.name!r} completed {done}/{expected} tokens; "
+                    f"stuck marking: { {p: n for p, n in self.net.marking().items() if n} }"
+                )
+            return result
+
+        if self.cache is None:
+            return compute()
+        features = (expected, [(i.place, i.payload, i.at) for i in injections])
+        return self.cache.get_or_compute(self.net, features, compute)
 
     def simulate(self, item: ItemT) -> SimResult:
         """Run the net on one item and return the raw result."""

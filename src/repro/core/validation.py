@@ -11,12 +11,15 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Generic, TypeVar
+from typing import TYPE_CHECKING, Generic, TypeVar
 
 from repro.accel.base import AcceleratorModel
 from repro.hw.stats import ErrorReport
 
 from .interface import PerformanceInterface
+
+if TYPE_CHECKING:
+    from repro.perf import EvalCache, SweepRunner
 
 ItemT = TypeVar("ItemT")
 
@@ -44,6 +47,9 @@ class InterfaceReport(Generic[ItemT]):
     latency: ErrorReport | None = None
     throughput: ErrorReport | None = None
     bounds: BoundsReport | None = None
+    #: Evaluation-cache accounting for this run (see repro.perf), e.g.
+    #: "cache: 40/50 hits (80%)".  None when no cache was used.
+    cache_stats: str | None = None
 
     def summary(self) -> str:
         parts = [f"{self.accelerator}/{self.representation} (n={self.items})"]
@@ -57,6 +63,8 @@ class InterfaceReport(Generic[ItemT]):
                 if self.bounds.all_within
                 else f"bounds: {self.bounds.violations}/{self.bounds.total} outside"
             )
+        if self.cache_stats is not None:
+            parts.append(self.cache_stats)
         return " | ".join(parts)
 
 
@@ -69,20 +77,39 @@ def validate_interface(
     check_throughput: bool = True,
     check_bounds: bool = False,
     throughput_repeat: int = 8,
+    cache: "EvalCache | None" = None,
+    runner: "SweepRunner | None" = None,
 ) -> InterfaceReport[ItemT]:
     """Measure the model and score the interface on ``workload``.
 
     ``check_bounds`` verifies measured latency lies within the
     interface's guaranteed interval for every item (instead of scoring
     a point latency prediction — use for bounds-style interfaces).
+
+    ``cache`` memoizes interface evaluations (attached to interfaces that
+    expose a ``cache`` attribute, e.g. :class:`~.petrinet.PetriNetInterface`);
+    the report's ``cache_stats`` records the hit rate this run contributed.
+    ``runner`` fans the independent ground-truth measurements across worker
+    processes (deterministic ordering; serial fallback when the model
+    cannot cross a process boundary).  Neither changes any reported error
+    number — only how fast (and how often) points are evaluated.
     """
     if not workload:
         raise ValueError("workload must not be empty")
 
+    if cache is not None and hasattr(interface, "cache"):
+        interface.cache = cache
+    stats0 = (cache.stats.hits, cache.stats.lookups) if cache is not None else None
+
+    def measure(fn, items):
+        if runner is not None:
+            return runner.map(fn, items)
+        return [fn(item) for item in items]
+
     latency_report = None
     bounds_report = None
     if check_latency or check_bounds:
-        actual_lat = [model.measure_latency(item) for item in workload]
+        actual_lat = measure(model.measure_latency, workload)
         if check_latency:
             predicted = [interface.latency(item) for item in workload]
             latency_report = ErrorReport.of(predicted, actual_lat)
@@ -104,12 +131,19 @@ def validate_interface(
 
     throughput_report = None
     if check_throughput:
-        actual_tp = [
-            model.measure_throughput(item, repeat=throughput_repeat)
-            for item in workload
-        ]
+        actual_tp = measure(
+            lambda item: model.measure_throughput(item, repeat=throughput_repeat),
+            workload,
+        )
         predicted_tp = [interface.throughput(item) for item in workload]
         throughput_report = ErrorReport.of(predicted_tp, actual_tp)
+
+    cache_stats = None
+    if cache is not None:
+        hits = cache.stats.hits - stats0[0]
+        lookups = cache.stats.lookups - stats0[1]
+        rate = hits / lookups if lookups else 0.0
+        cache_stats = f"cache: {hits}/{lookups} hits ({rate:.0%})"
 
     return InterfaceReport(
         accelerator=interface.accelerator,
@@ -118,6 +152,7 @@ def validate_interface(
         latency=latency_report,
         throughput=throughput_report,
         bounds=bounds_report,
+        cache_stats=cache_stats,
     )
 
 

@@ -1,0 +1,29 @@
+"""Evaluation layer: memoized, parallel simulation of performance interfaces.
+
+The paper's pitch is that performance interfaces are *cheap to evaluate*;
+this package makes sure we never pay even that cheap cost twice, and that
+independent evaluation points use all available cores:
+
+* :mod:`repro.perf.fingerprint` — stable, content-addressed identities for
+  nets and workload features (the cache key material).
+* :mod:`repro.perf.cache` — :class:`EvalCache`, an in-memory
+  content-addressed result store with hit/miss accounting.
+* :mod:`repro.perf.sweep` — :class:`SweepRunner`, which fans independent
+  simulation points across worker processes with deterministic result
+  ordering and a serial fallback.
+
+See ``docs/performance.md`` for key construction and invalidation rules.
+"""
+
+from .cache import CacheStats, EvalCache
+from .fingerprint import UncacheableError, net_fingerprint, workload_key
+from .sweep import SweepRunner
+
+__all__ = [
+    "CacheStats",
+    "EvalCache",
+    "SweepRunner",
+    "UncacheableError",
+    "net_fingerprint",
+    "workload_key",
+]

@@ -1,0 +1,104 @@
+"""Content-addressed result cache for interface evaluations.
+
+An :class:`EvalCache` maps ``(net fingerprint, workload features)`` to a
+previously computed result (a ``SimResult``, a latency, anything).  Keys
+are content hashes — see :mod:`repro.perf.fingerprint` — so two processes
+building the same net from the same source compute the *same* key, and
+mutating a net (a delay formula, an arc weight, a capacity) changes its
+fingerprint and silently invalidates every entry keyed under the old one.
+
+The cache never guesses: features it cannot encode stably are counted as
+``uncacheable`` and the computation runs uncached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.petri.net import PetriNet
+
+from .fingerprint import UncacheableError, net_fingerprint, workload_key
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, surfaced in validation and autotune reports."""
+
+    hits: int = 0
+    misses: int = 0
+    uncacheable: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cacheable lookups served from the cache."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def summary(self) -> str:
+        text = f"cache: {self.hits}/{self.lookups} hits ({self.hit_rate:.0%})"
+        if self.uncacheable:
+            text += f", {self.uncacheable} uncacheable"
+        return text
+
+
+class EvalCache:
+    """In-memory content-addressed store with hit/miss counters.
+
+    One cache may serve many nets — the net fingerprint namespaces the
+    keys.  Pass a string as ``net`` to namespace non-net computations
+    (e.g. ``"profiler:cycle-accurate"``).
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[str, Any] = {}
+        self.stats = CacheStats()
+
+    def key(self, net: PetriNet | str, features: Any) -> str:
+        """Content-addressed key; raises :class:`UncacheableError` when the
+        features cannot be encoded stably."""
+        namespace = net if isinstance(net, str) else net_fingerprint(net)
+        return hashlib.sha256(
+            f"{namespace}\n{workload_key(features)}".encode()
+        ).hexdigest()
+
+    def get_or_compute(
+        self,
+        net: PetriNet | str,
+        features: Any,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Return the cached result for ``(net, features)``, computing and
+        storing it on a miss.  Uncacheable features always compute."""
+        try:
+            key = self.key(net, features)
+        except UncacheableError:
+            self.stats.uncacheable += 1
+            return compute()
+        if key in self._store:
+            self.stats.hits += 1
+            return self._store[key]
+        self.stats.misses += 1
+        value = compute()
+        self._store[key] = value
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; use ``reset_stats`` too)."""
+        self._store.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store

@@ -39,6 +39,15 @@ from .analysis import (
     p_invariants,
     t_invariants,
 )
+from .compiled import (
+    ENGINES,
+    CompiledNet,
+    CompiledSimulator,
+    default_engine,
+    make_simulator,
+    supports,
+    unsupported_features,
+)
 from .dot import to_dot
 from .dsl import parse, to_pnet
 from .errors import (
@@ -56,10 +65,13 @@ from .simulate import Completion, SimResult, Simulator, run_workload
 from .token import Token
 
 __all__ = [
+    "ENGINES",
     "AnalysisError",
     "Arc",
     "CapacityError",
     "Completion",
+    "CompiledNet",
+    "CompiledSimulator",
     "CycleList",
     "DeadlineError",
     "DeadlockError",
@@ -81,14 +93,18 @@ __all__ = [
     "bottleneck_estimate",
     "chain",
     "covers_all_positive",
+    "default_engine",
     "find_cycles",
     "incidence_matrix",
+    "make_simulator",
     "maximal_siphon",
     "mutex_injections",
     "p_invariants",
     "parse",
-    "t_invariants",
     "run_workload",
+    "supports",
+    "t_invariants",
     "to_dot",
     "to_pnet",
+    "unsupported_features",
 ]

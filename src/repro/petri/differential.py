@@ -1,0 +1,334 @@
+"""Differential testing: reference ``Simulator`` vs ``CompiledSimulator``.
+
+The compiled engine (:mod:`repro.petri.compiled`) promises *bit-identical*
+``SimResult``s to the reference interpreter on every net it supports.  This
+module is the executable form of that promise: it runs the same net and
+workload through both engines and asserts that every observable — completion
+times and payloads, fired counts, deadlock/deadline flags, residual markings,
+per-transition statistics, and even the type and message of any raised
+error — matches exactly.
+
+Two case families are provided:
+
+* :func:`accel_cases` — the real accelerator nets shipped in
+  ``src/repro/accel/*/interfaces.py`` (JPEG decoder, VTA, bitcoin miner),
+  driven by their own ``tokenize`` functions over reproducible workloads.
+* :func:`random_cases` — seeded, randomly generated structural nets that
+  exercise the engine features accelerator nets may not (weighted arcs,
+  fan-out/merge, guard splits, timeouts, finite capacities, deadlocks).
+
+Run as a script for the CI parity smoke job::
+
+    PYTHONPATH=src python -m repro.petri.differential
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from .compiled import CompiledSimulator, unsupported_features
+from .errors import PetriError
+from .net import PetriNet
+from .simulate import SimResult, Simulator
+
+#: A loader primes a simulator with injections (same API on both engines).
+Loader = Callable[[Any], None]
+
+#: A builder returns a *fresh* (net, sinks, loader) triple on every call, so
+#: each engine simulates its own net object and token uids never collide.
+Builder = Callable[[], tuple[PetriNet, Sequence[str], Loader]]
+
+
+@dataclass
+class DiffCase:
+    """One differential scenario: a net builder plus ``run()`` kwargs."""
+
+    name: str
+    build: Builder
+    run_kwargs: dict[str, Any] = field(default_factory=dict)
+
+
+class EngineMismatch(AssertionError):
+    """The two engines disagreed on an observable."""
+
+
+def summarize(result: SimResult, net: PetriNet) -> tuple:
+    """Canonical, engine-independent digest of a run.
+
+    Token uids are deliberately excluded: they depend on a process-global
+    counter, so two runs of the *same* engine already differ in uids.
+    Everything else — times, payloads, birth times, counts, flags, final
+    marking, per-transition stats — must match bit-for-bit.
+    """
+    completions = {
+        sink: [(c.time, c.token.payload, c.token.born) for c in items]
+        for sink, items in result.completions.items()
+    }
+    stats = {
+        t.name: (t.busy, t.fire_count, t.busy_time)
+        for t in net.transitions.values()
+    }
+    return (
+        result.end_time,
+        completions,
+        result.fired,
+        result.deadlocked,
+        result.residual_tokens,
+        result.deadline_exceeded,
+        result.first_injection,
+        net.marking(),
+        stats,
+    )
+
+
+def _run_engine(engine: str, build: Builder, run_kwargs: dict[str, Any]) -> tuple:
+    """Run one engine over a fresh net; normalize errors into the digest."""
+    net, sinks, load = build()
+    if engine == "reference":
+        sim: Any = Simulator(net, sinks=list(sinks))
+    else:
+        sim = CompiledSimulator(net, sinks=list(sinks))
+    load(sim)
+    try:
+        result = sim.run(**run_kwargs)
+    except PetriError as exc:
+        return ("error", type(exc).__name__, str(exc))
+    return ("ok", summarize(result, net))
+
+
+def compare_engines(case: DiffCase) -> tuple:
+    """Run *case* through both engines; raise :class:`EngineMismatch` on any
+    observable difference.  Returns the (shared) digest on success."""
+    reasons = unsupported_features(case.build()[0])
+    if reasons:
+        raise EngineMismatch(
+            f"{case.name}: net not supported by compiled engine ({'; '.join(reasons)})"
+        )
+    ref = _run_engine("reference", case.build, case.run_kwargs)
+    com = _run_engine("compiled", case.build, case.run_kwargs)
+    if ref != com:
+        raise EngineMismatch(
+            f"{case.name}: engines disagree\n  reference: {ref!r}\n  compiled:  {com!r}"
+        )
+    return ref
+
+
+# ----------------------------------------------------------------------
+# Accelerator nets
+# ----------------------------------------------------------------------
+
+
+def _interface_case(name: str, make_iface: Callable[[], Any], item: Any) -> DiffCase:
+    """Differential case driving an accelerator's PetriNetInterface net
+    through its own tokenizer, exactly as ``PetriNetInterface._run`` does."""
+
+    def build() -> tuple[PetriNet, Sequence[str], Loader]:
+        iface = make_iface()  # fresh net per engine
+        injections = iface.tokenize(item)
+
+        def load(sim: Any) -> None:
+            for inj in injections:
+                sim.inject(inj.place, inj.payload, at=inj.at)
+
+        return iface.net, [iface.sink], load
+
+    return DiffCase(name, build)
+
+
+def accel_cases() -> list[DiffCase]:
+    """One case per accelerator net in ``src/repro/accel/*/interfaces.py``."""
+    from repro.accel.bitcoin import interfaces as btc
+    from repro.accel.bitcoin.workload import random_jobs
+    from repro.accel.jpeg import interfaces as jpeg
+    from repro.accel.jpeg.workload import random_images
+    from repro.accel.vta import interfaces as vta
+    from repro.accel.vta.workload import random_programs
+
+    cases = []
+    for i, img in enumerate(random_images(seed=7, count=2, min_dim=32, max_dim=96)):
+        cases.append(_interface_case(f"jpeg[{i}]", jpeg.petri_interface, img))
+    for i, prog in enumerate(random_programs(seed=11, count=2, max_dim=8)):
+        cases.append(_interface_case(f"vta[{i}]", vta.petri_interface, prog))
+    job = random_jobs(seed=3, count=1)[0]
+    for loop in (4, 16):
+        cases.append(
+            _interface_case(
+                f"bitcoin[loop={loop}]",
+                lambda loop=loop: btc.petri_interface(loop),
+                job,
+            )
+        )
+    return cases
+
+
+# ----------------------------------------------------------------------
+# Randomized structural nets
+# ----------------------------------------------------------------------
+
+
+def _parity_guard(place: str, want: int) -> Callable[[dict], bool]:
+    return lambda consumed: consumed[place][0].payload % 2 == want
+
+
+def _payload_delay(place: str, base: float, mod: int) -> Callable[[dict], float]:
+    return lambda consumed: base + consumed[place][0].payload % mod
+
+
+def random_net(seed: int) -> tuple[PetriNet, list[str], Loader]:
+    """Generate one random feed-forward net with a mix of engine features.
+
+    Each stage is drawn from four structural idioms (plain server, weighted
+    fan-out/merge, parity guard split, timeout), with random delays (constant
+    or payload-dependent), server counts, and place capacities.  Feed-forward
+    structure rules out zero-delay loops; weighted arcs and guards make
+    deadlock-by-starvation a legitimate (and tested) outcome.
+    """
+    rng = random.Random(seed)
+    net = PetriNet(f"rand{seed}")
+    net.add_place("in")
+    net.add_place("out")
+    sinks = ["out"]
+    prev = "in"
+    n_stages = rng.randint(1, 4)
+
+    def delay(stage: int) -> float | Callable[[dict], float]:
+        if rng.random() < 0.3:
+            return _payload_delay(prev, rng.choice([0.5, 1.0, 2.0]), rng.randint(2, 5))
+        return rng.choice([0.5, 1.0, 1.5, 3.0])
+
+    for s in range(n_stages):
+        nxt = "out" if s == n_stages - 1 else f"p{s}"
+        if nxt != "out":
+            capacity = rng.choice([None, None, 4, 8])
+            net.add_place(nxt, capacity=capacity)
+        servers = rng.choice([None, 1, 2, 3])
+        kind = rng.choice(["plain", "weighted", "guard", "timeout"])
+        if kind == "plain":
+            net.add_transition(
+                f"t{s}", [prev], [nxt], delay=delay(s), servers=servers
+            )
+        elif kind == "weighted":
+            w = rng.choice([2, 3, 4])
+            mid = f"m{s}"
+            net.add_place(mid)
+            net.add_transition(
+                f"t{s}a", [prev], [(mid, w)], delay=delay(s), servers=servers
+            )
+            net.add_transition(f"t{s}b", [(mid, w)], [nxt], delay=rng.choice([1.0, 2.0]))
+        elif kind == "guard":
+            net.add_transition(
+                f"t{s}lo", [prev], [nxt],
+                delay=rng.choice([1.0, 2.0]),
+                guard=_parity_guard(prev, 0),
+                servers=servers,
+            )
+            net.add_transition(
+                f"t{s}hi", [prev], [nxt],
+                delay=rng.choice([1.5, 2.5]),
+                guard=_parity_guard(prev, 1),
+            )
+        else:  # timeout
+            faults = f"faults{s}"
+            net.add_place(faults)
+            sinks.append(faults)
+            net.add_transition(
+                f"t{s}", [prev], [nxt],
+                delay=_payload_delay(prev, 1.0, 6),
+                timeout=(rng.choice([3.0, 4.0]), faults),
+                servers=servers,
+            )
+        prev = nxt
+
+    n_items = rng.randint(20, 60)
+    gap = rng.choice([0.0, 0.25, 1.0])
+    start = rng.choice([0.0, 0.0, 5.0])
+
+    def load(sim: Any) -> None:
+        sim.inject_stream("in", range(n_items), gap=gap, start=start)
+
+    return net, sinks, load
+
+
+def random_cases(seed: int = 0, count: int = 25) -> list[DiffCase]:
+    """*count* seeded random structural nets, reproducible across runs."""
+    cases = []
+    for k in range(count):
+        case_seed = seed * 10_000 + k
+        cases.append(
+            DiffCase(
+                f"rand[{case_seed}]",
+                lambda s=case_seed: random_net(s),
+            )
+        )
+    return cases
+
+
+def edge_cases() -> list[DiffCase]:
+    """Hand-picked scenarios where both engines must raise the *same* error
+    (type and message), plus early-stop deadline/until handling."""
+
+    def starved() -> tuple[PetriNet, list[str], Loader]:
+        net = PetriNet("starved")
+        net.add_place("in")
+        net.add_place("need")
+        net.add_place("out")
+        net.add_transition("t", ["in", "need"], ["out"], delay=1)
+        return net, ["out"], lambda sim: sim.inject_stream("in", range(5))
+
+    def slow_chain() -> tuple[PetriNet, list[str], Loader]:
+        net = PetriNet("slow")
+        net.add_place("in")
+        net.add_place("mid", capacity=2)
+        net.add_place("out")
+        net.add_transition("a", ["in"], ["mid"], delay=3)
+        net.add_transition("b", ["mid"], ["out"], delay=5, servers=1)
+        return net, ["out"], lambda sim: sim.inject_stream("in", range(50))
+
+    def bad_delay() -> tuple[PetriNet, list[str], Loader]:
+        net = PetriNet("bad")
+        net.add_place("in")
+        net.add_place("out")
+        net.add_transition("t", ["in"], ["out"], delay=lambda c: -1.0)
+        return net, ["out"], lambda sim: sim.inject("in", payload=0)
+
+    return [
+        DiffCase("deadlock-stop", starved),
+        DiffCase("deadlock-raise", starved, {"on_deadlock": "raise"}),
+        DiffCase("deadline-stop", slow_chain, {"max_time": 40.0}),
+        DiffCase("deadline-raise", slow_chain, {"max_time": 40.0, "on_deadline": "raise"}),
+        DiffCase("until", slow_chain, {"until": 25.0}),
+        DiffCase("negative-delay", bad_delay),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Harness entry points
+# ----------------------------------------------------------------------
+
+
+def run_differential(cases: Sequence[DiffCase]) -> dict[str, tuple]:
+    """Run every case through both engines; return ``{name: digest}``.
+
+    Raises :class:`EngineMismatch` on the first disagreement.
+    """
+    return {case.name: compare_engines(case) for case in cases}
+
+
+def main() -> int:
+    accel = accel_cases()
+    cases = accel + edge_cases() + random_cases(seed=0, count=25)
+    digests = run_differential(cases)
+    ok_errors = sum(1 for d in digests.values() if d[0] == "error")
+    print(
+        f"engine parity OK: {len(digests)} cases "
+        f"({len(accel)} accelerator, {len(cases) - len(accel)} structural; "
+        f"{ok_errors} raised identical errors in both engines)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

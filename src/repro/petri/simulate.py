@@ -67,6 +67,10 @@ class SimResult:
     #: True when the run stopped at its ``max_time`` watchdog with events
     #: still pending — completions/fired counts are partial progress.
     deadline_exceeded: bool = False
+    #: Time of the earliest workload injection (``None`` when the run had
+    #: no injections).  Throughput is measured from here, not from t=0,
+    #: so workloads injected with ``start > 0`` are not understated.
+    first_injection: float | None = None
 
     def sink(self, name: str | None = None) -> list[Completion]:
         """Completions for ``name``, or for the only sink when omitted."""
@@ -88,11 +92,13 @@ class SimResult:
         return max(times, default=0.0)
 
     def throughput(self, sink: str | None = None) -> float:
-        """Completions per unit time, measured over the full run."""
+        """Completions per unit time over the first-injection→end window."""
         comps = self.sink(sink)
-        if not comps or self.end_time <= 0:
+        start = self.first_injection if self.first_injection is not None else 0.0
+        span = self.end_time - start
+        if not comps or span <= 0:
             return 0.0
-        return len(comps) / self.end_time
+        return len(comps) / span
 
 
 class Simulator:
@@ -196,6 +202,7 @@ class Simulator:
                 self._producers[arc.place].append(t)
         self._dirty: set[Transition] = set()
 
+        first_injection = min((at for at, _, _ in self._pending), default=None)
         for at, place, token in sorted(
             self._pending, key=lambda item: (item[0], item[2].uid)
         ):
@@ -236,6 +243,7 @@ class Simulator:
             deadlocked=deadlocked,
             residual_tokens=residual,
             deadline_exceeded=deadline_exceeded,
+            first_injection=first_injection,
         )
         if deadline_exceeded and on_deadline == "raise":
             done = sum(len(c) for c in completions.values())
@@ -315,9 +323,9 @@ class Simulator:
     def _fire_all(
         self, sinkset: set[str], completions: dict[str, list[Completion]]
     ) -> None:
-        for _ in range(self.MAX_FIRINGS_PER_INSTANT):
-            if not self._dirty:
-                return
+        budget = self.MAX_FIRINGS_PER_INSTANT
+        fired = 0
+        while self._dirty:
             batch = sorted(self._dirty, key=lambda t: t.sort_key)
             self._dirty.clear()
             for t in batch:
@@ -325,11 +333,13 @@ class Simulator:
                     consumed = self._enabled_consumption(t)
                     if consumed is None:
                         break
+                    fired += 1
+                    if fired > budget:
+                        raise SimulationError(
+                            f"net {self.net.name!r}: more than {budget} "
+                            f"firings at t={self._now}; likely a zero-delay loop"
+                        )
                     self._fire(t, sinkset, completions)
-        raise SimulationError(
-            f"net {self.net.name!r}: more than {self.MAX_FIRINGS_PER_INSTANT} "
-            f"firings at t={self._now}; likely a zero-delay loop"
-        )
 
     def _fire(
         self,

@@ -9,8 +9,10 @@ then need tooling to inspect and run what they received.  Subcommands:
   print compiler-style diagnostics with line numbers; exits nonzero on
   error-severity findings.
 * ``dot FILE`` — emit Graphviz DOT for rendering.
-* ``simulate FILE --items N [--payload JSON] [--gap G]`` — inject a
-  workload and report latency/throughput statistics.
+* ``simulate FILE --items N [--payload JSON] [--gap G] [--engine E]``
+  (alias: ``run``) — inject a workload and report latency/throughput
+  statistics; ``--engine`` picks the compiled fast path, the reference
+  interpreter, or automatic selection (see ``docs/performance.md``).
 
 Examples::
 
@@ -30,10 +32,11 @@ from pathlib import Path
 
 from repro.hw.stats import Summary
 from repro.petri import (
+    ENGINES,
     DslError,
-    Simulator,
     analyze_structure,
     find_cycles,
+    make_simulator,
     parse,
     to_dot,
 )
@@ -95,7 +98,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.sink not in net.places:
         print(f"error: sink place {args.sink!r} not in net", file=sys.stderr)
         return 1
-    sim = Simulator(net, sinks=[args.sink])
+    sim = make_simulator(net, sinks=(args.sink,), engine=args.engine)
     sim.inject_stream(args.entry, [payload] * args.items, gap=args.gap)
     result = sim.run()
     if result.deadlocked:
@@ -153,16 +156,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_dot.add_argument("file")
     p_dot.set_defaults(fn=cmd_dot)
 
-    p_sim = sub.add_parser("simulate", help="run a workload through the net")
-    p_sim.add_argument("file")
-    p_sim.add_argument("--items", type=int, default=10, help="tokens to inject")
-    p_sim.add_argument(
-        "--payload", help="JSON payload for each token (delay exprs read it)"
-    )
-    p_sim.add_argument("--gap", type=float, default=0.0, help="inter-arrival gap")
-    p_sim.add_argument("--entry", default="in", help="injection place")
-    p_sim.add_argument("--sink", default="out", help="completion place")
-    p_sim.set_defaults(fn=cmd_simulate)
+    # "run" is an alias for "simulate" (matches the docs' `pnet run`).
+    for cmd in ("simulate", "run"):
+        p_sim = sub.add_parser(cmd, help="run a workload through the net")
+        p_sim.add_argument("file")
+        p_sim.add_argument("--items", type=int, default=10, help="tokens to inject")
+        p_sim.add_argument(
+            "--payload", help="JSON payload for each token (delay exprs read it)"
+        )
+        p_sim.add_argument("--gap", type=float, default=0.0, help="inter-arrival gap")
+        p_sim.add_argument("--entry", default="in", help="injection place")
+        p_sim.add_argument("--sink", default="out", help="completion place")
+        p_sim.add_argument(
+            "--engine",
+            default=None,
+            choices=list(ENGINES),
+            help="simulation engine (default: REPRO_PETRI_ENGINE or auto; "
+            "auto compiles when the net is supported, else falls back to "
+            "the reference interpreter)",
+        )
+        p_sim.set_defaults(fn=cmd_simulate)
     return parser
 
 

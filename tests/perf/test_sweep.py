@@ -1,0 +1,48 @@
+"""SweepRunner: deterministic ordering, parallel/serial mode selection."""
+
+import math
+
+from repro.perf import SweepRunner
+
+
+def square(x):
+    return x * x
+
+
+def test_serial_for_small_sweeps():
+    runner = SweepRunner(workers=4, min_parallel_items=100)
+    assert runner.map(square, range(10)) == [x * x for x in range(10)]
+    assert runner.last_mode == "serial"
+
+
+def test_workers_one_forces_serial():
+    runner = SweepRunner(workers=1, min_parallel_items=0)
+    assert runner.map(square, range(20)) == [x * x for x in range(20)]
+    assert runner.last_mode == "serial"
+
+
+def test_parallel_preserves_input_order():
+    runner = SweepRunner(workers=2, min_parallel_items=2)
+    points = list(range(40))
+    assert runner.map(math.sqrt, points) == [math.sqrt(x) for x in points]
+    assert runner.last_mode == "parallel"
+
+
+def test_unpicklable_work_falls_back_to_serial():
+    runner = SweepRunner(workers=2, min_parallel_items=2)
+    k = 3
+    out = runner.map(lambda x: x + k, range(12))
+    assert out == [x + 3 for x in range(12)]
+    assert runner.last_mode == "serial-fallback"
+
+
+def test_results_identical_across_modes():
+    points = list(range(30))
+    serial = SweepRunner(workers=1).map(square, points)
+    parallel = SweepRunner(workers=2, min_parallel_items=2).map(square, points)
+    assert serial == parallel
+
+
+def test_default_workers_is_cpu_count():
+    runner = SweepRunner()
+    assert runner.workers >= 1

@@ -6,6 +6,7 @@ from repro.petri import (
     DeadlineError,
     DeadlockError,
     PetriNet,
+    SimulationError,
     Simulator,
     Token,
     run_workload,
@@ -339,3 +340,47 @@ def test_deadlock_and_deadline_can_coexist():
     res = sim.run(max_time=100.0)
     assert res.deadlocked
     assert not res.deadline_exceeded
+
+
+def test_throughput_windows_on_first_injection():
+    # 10 items injected starting at t=100: throughput must be measured
+    # over the first-injection->end window, not from t=0 — otherwise a
+    # late-starting workload looks artificially slow.
+    sim = Simulator(single_stage_net(delay=2), sinks=["out"])
+    sim.inject_stream("in", [None] * 10, start=100.0)
+    res = sim.run()
+    assert res.first_injection == 100.0
+    assert res.end_time == 120.0
+    assert res.throughput() == pytest.approx(10 / 20)
+
+
+def test_throughput_default_window_without_injections_metadata():
+    res = run_workload(single_stage_net(delay=2), [None] * 10)
+    assert res.first_injection == 0.0
+    assert res.throughput() == pytest.approx(10 / 20)
+
+
+def test_firing_budget_counts_firings_not_batches(monkeypatch):
+    # 60 zero-delay firings all land in one _fire_all batch; a budget of
+    # 50 must still trip (the old accounting counted batches, so a single
+    # huge batch slipped through).
+    net = PetriNet("burst")
+    net.add_place("in")
+    net.add_place("out")
+    net.add_transition("t", ["in"], ["out"], delay=0, servers=None)
+    monkeypatch.setattr(Simulator, "MAX_FIRINGS_PER_INSTANT", 50)
+    sim = Simulator(net, sinks=["out"])
+    sim.inject_stream("in", range(60))
+    with pytest.raises(SimulationError, match="more than 50 firings at t=0.0"):
+        sim.run()
+
+
+def test_firing_budget_not_tripped_by_exact_limit(monkeypatch):
+    net = PetriNet("burst")
+    net.add_place("in")
+    net.add_place("out")
+    net.add_transition("t", ["in"], ["out"], delay=0, servers=None)
+    monkeypatch.setattr(Simulator, "MAX_FIRINGS_PER_INSTANT", 50)
+    sim = Simulator(net, sinks=["out"])
+    sim.inject_stream("in", range(50))
+    assert len(sim.run().sink()) == 50
