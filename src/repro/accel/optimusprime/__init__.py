@@ -1,5 +1,13 @@
 """Optimus Prime: the small-object RPC-transformation baseline."""
 
+from .interfaces import ENGLISH, PROGRAM, all_interfaces, petri_interface
 from .model import CLOCK_GHZ, OptimusPrimeModel
 
-__all__ = ["CLOCK_GHZ", "OptimusPrimeModel"]
+__all__ = [
+    "CLOCK_GHZ",
+    "ENGLISH",
+    "PROGRAM",
+    "OptimusPrimeModel",
+    "all_interfaces",
+    "petri_interface",
+]

@@ -8,9 +8,12 @@ the interfaces that make that comparison mechanical — an English
 summary and an executable program, both derived from the constants of
 :mod:`repro.accel.optimusprime.model`.
 
-No Petri net ships for this accelerator (as in the paper, which only
-built nets for JPEG/VTA-class pipelines); the lint bundle therefore
-audits the two representations that do exist.
+A Petri-net representation (one single-server transition) ships too,
+so the pool runtime's ``interface_predicted`` router can price this
+device through the compiled engine and a shared :class:`EvalCache`
+like every other pooled accelerator.  The lint bundle still audits
+the English/program pair; the net is linted separately in the accel
+test suite.
 """
 
 from __future__ import annotations
@@ -76,8 +79,60 @@ PROGRAM = ProgramInterface(
 )
 
 
+# ----------------------------------------------------------------------
+# Representation 3: Petri-net IR (serving-layer addition)
+# ----------------------------------------------------------------------
+#: Optimus Prime is a single non-overlapping parser-array pipeline, so
+#: its net is one single-server transition: restart + per-field dispatch
+#: + bandwidth-limited streaming, the same structure the model implements.
+#: Shipped so the pool runtime's ``interface_predicted`` router can
+#: price this device through the same compiled-engine + EvalCache path
+#: as every other pooled accelerator.
+OPTIMUS_PNET = """
+net optimus_prime
+
+place in
+place out
+
+inject in fields fields size
+
+transition transform
+  consume in
+  produce out
+  delay expr: 20 + 0.5 * tok["fields"] + tok["size"] / 2.0
+"""
+
+
+def tokenize_message(msg: Message):
+    """One token per message: the parser array does not overlap them."""
+    from repro.core.petrinet import Injection
+
+    return [
+        Injection(
+            place="in",
+            payload={"fields": msg.total_fields, "size": msg.encoded_size()},
+        )
+    ]
+
+
+def petri_interface(*, engine=None, cache=None):
+    """Build the Petri-net interface (fresh net, reusable across items)."""
+    from repro.core.petrinet import PetriNetInterface
+    from repro.petri import parse
+
+    return PetriNetInterface(
+        "optimus-prime",
+        net_factory=lambda: parse(OPTIMUS_PNET),
+        tokenize=tokenize_message,
+        sink="out",
+        pnet_text=OPTIMUS_PNET,
+        engine=engine,
+        cache=cache,
+    )
+
+
 def all_interfaces() -> dict[str, object]:
-    return {"english": ENGLISH, "program": PROGRAM}
+    return {"english": ENGLISH, "program": PROGRAM, "petri-net": petri_interface()}
 
 
 def perflint_bundle():

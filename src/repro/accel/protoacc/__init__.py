@@ -11,6 +11,7 @@ from .interfaces import (
     latency_bounds,
     max_latency_protoacc_ser,
     min_latency_protoacc_ser,
+    petri_interface,
     read_cost,
     tput_protoacc_ser,
     write_cost,
@@ -52,6 +53,7 @@ __all__ = [
     "latency_bounds",
     "max_latency_protoacc_ser",
     "min_latency_protoacc_ser",
+    "petri_interface",
     "read_cost",
     "tput_protoacc_ser",
     "write_cost",

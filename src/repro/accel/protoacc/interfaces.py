@@ -126,8 +126,107 @@ def bottleneck(msg: Message) -> str:
     return "read" if read_cost(msg) > write_cost(msg) else "write"
 
 
+# ----------------------------------------------------------------------
+# Representation 3: Petri-net IR (serving-layer addition)
+# ----------------------------------------------------------------------
+#: The paper shipped nets only for its JPEG/VTA-class pipelines; the
+#: pool runtime's ``interface_predicted`` router wants one for every
+#: device it prices, so this net models the serializer at routing
+#: granularity: one token per (sub)message, a single-server read stage
+#: (pointer chases serialize, paper Fig. 1) feeding a single-server
+#: write combiner through a small staging queue, so the write of one
+#: submessage overlaps the read of the next — the overlap the program
+#: interface can only bound.  Constants are the Fig. 3 vendor fits.
+PROTOACC_PNET = """
+net protoacc_ser
+
+place in
+place staged capacity 4
+place out
+
+inject in fields groups blob beats
+
+transition read
+  consume in
+  produce staged
+  delay expr: 6 + 85.8 + 46.9 * tok["groups"] + tok["blob"]
+
+transition write
+  consume staged
+  produce out
+  delay expr: 5 + tok["beats"]
+"""
+
+#: Fixed epilogue: final write-combiner flush handshake.
+PNET_EPILOGUE = 16.0
+
+
+def _flatten(msg: Message) -> list[Message]:
+    """Messages in pointer-chase order: parent before its submessages."""
+    out = [msg]
+    for sub in msg.submessages():
+        out.extend(_flatten(sub))
+    return out
+
+
+def tokenize_message(msg: Message):
+    """One token per (sub)message, in the order the read engine chases
+    them.  ``beats`` is the submessage's own encoded contribution (its
+    nested bodies are billed to their own tokens)."""
+    from repro.core.petrinet import Injection
+
+    injections = []
+    for part in _flatten(msg):
+        own_encoded = part.encoded_size() - sum(
+            s.encoded_size() for s in part.submessages()
+        )
+        injections.append(
+            Injection(
+                place="in",
+                payload={
+                    "groups": ceil(part.num_fields / 32),
+                    "blob": _blob_stream_cost_own(part),
+                    "beats": max(1, -(-own_encoded // 8)),
+                },
+            )
+        )
+    return injections
+
+
+def _blob_stream_cost_own(msg: Message) -> float:
+    """Non-recursive form of :func:`_blob_stream_cost` (per-token)."""
+    return sum(
+        STREAM_SETUP + ceil(len(f.value) / 16)  # type: ignore[arg-type]
+        for f in msg.fields
+        if f.kind is FieldKind.BYTES
+    )
+
+
+def petri_interface(*, engine=None, cache=None):
+    """Build the Petri-net interface (fresh net, reusable across items).
+
+    ``engine``/``cache`` pass through to
+    :class:`~repro.core.petrinet.PetriNetInterface` — the pool runtime
+    runs this net on the compiled engine with a shared
+    :class:`~repro.perf.EvalCache` so routing stays cheap.
+    """
+    from repro.core.petrinet import PetriNetInterface
+    from repro.petri import parse
+
+    return PetriNetInterface(
+        "protoacc-ser",
+        net_factory=lambda: parse(PROTOACC_PNET),
+        tokenize=tokenize_message,
+        sink="out",
+        epilogue=PNET_EPILOGUE,
+        pnet_text=PROTOACC_PNET,
+        engine=engine,
+        cache=cache,
+    )
+
+
 def all_interfaces() -> dict[str, object]:
-    return {"english": ENGLISH, "program": PROGRAM}
+    return {"english": ENGLISH, "program": PROGRAM, "petri-net": petri_interface()}
 
 
 def perflint_bundle():

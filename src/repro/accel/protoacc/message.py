@@ -208,6 +208,44 @@ class Message:
         )
 
 
+# ----------------------------------------------------------------------
+# JSON round-trip (for persisted serving tapes, repro.runtime.tape)
+# ----------------------------------------------------------------------
+def message_to_jsonable(msg: Message) -> dict:
+    """A JSON-serializable dict that :func:`message_from_jsonable`
+    rebuilds into an *equal* Message (bytes travel base64-encoded)."""
+    import base64
+
+    def enc_value(kind: FieldKind, value: FieldValue):
+        if kind is FieldKind.MESSAGE:
+            return message_to_jsonable(value)  # type: ignore[arg-type]
+        if kind is FieldKind.BYTES:
+            return base64.b64encode(value).decode("ascii")  # type: ignore[arg-type]
+        return value
+
+    return {
+        "schema": msg.schema_name,
+        "fields": [
+            [f.number, f.kind.value, enc_value(f.kind, f.value)] for f in msg.fields
+        ],
+    }
+
+
+def message_from_jsonable(obj: dict) -> Message:
+    """Inverse of :func:`message_to_jsonable`."""
+    import base64
+
+    fields = []
+    for number, kind_value, value in obj["fields"]:
+        kind = FieldKind(kind_value)
+        if kind is FieldKind.MESSAGE:
+            value = message_from_jsonable(value)
+        elif kind is FieldKind.BYTES:
+            value = base64.b64decode(value)
+        fields.append(Field(int(number), kind, value))
+    return Message(tuple(fields), schema_name=obj["schema"])
+
+
 def decode(data: bytes, schema_name: str = "decoded") -> Message:
     """Parse wire bytes back into a :class:`Message`.
 

@@ -67,16 +67,40 @@ def relative_errors(
 
 @dataclass(frozen=True)
 class ErrorReport:
-    """Average/max relative error between predictions and ground truth."""
+    """Average/max relative error between predictions and ground truth.
+
+    ``p50``/``p95``/``p99`` are quantiles of the per-item error
+    distribution; they are what downstream consumers that must set
+    *thresholds* on healthy error (e.g. the serving runtime's drift
+    detector, see :func:`repro.runtime.degrade.derive_drift_threshold`)
+    should read — the average hides the tail and the max is one outlier.
+    ``None`` on reports built before quantiles existed.
+    """
 
     avg: float
     max: float
     count: int
+    p50: float | None = None
+    p95: float | None = None
+    p99: float | None = None
 
     @classmethod
     def of(cls, predicted: Sequence[float], actual: Sequence[float]) -> ErrorReport:
         errs = relative_errors(predicted, actual)
-        return cls(avg=float(errs.mean()), max=float(errs.max()), count=int(errs.size))
+        finite = errs[np.isfinite(errs)]
+        quantiles = (
+            tuple(float(np.percentile(finite, q)) for q in (50, 95, 99))
+            if finite.size
+            else (None, None, None)
+        )
+        return cls(
+            avg=float(errs.mean()),
+            max=float(errs.max()),
+            count=int(errs.size),
+            p50=quantiles[0],
+            p95=quantiles[1],
+            p99=quantiles[2],
+        )
 
     def as_percent(self) -> str:
         return f"avg {self.avg * 100:.2f}% (max {self.max * 100:.2f}%) over n={self.count}"

@@ -12,12 +12,24 @@ price application runs that include faulted calls (:mod:`.tape`).
 
 Entry point: :class:`~repro.runtime.device.ResilientDevice`, which
 wraps any ``AcceleratorModel`` + ``PerformanceInterface`` pair as a
-served endpoint on a virtual clock.  ``docs/robustness.md`` documents
-the fault model and the breaker state machine.
+served endpoint on a virtual clock.  Above single devices,
+:class:`~repro.runtime.pool.DevicePool` routes across a heterogeneous
+fleet with breaker-aware failover (the ``interface_predicted`` policy
+prices devices through their performance interfaces), and
+:class:`~repro.runtime.serving.OpenLoopServer` drives the pool with
+Poisson arrivals through a bounded admission queue with deadline
+shedding.  ``docs/robustness.md`` documents the fault model, the
+breaker state machine, and the pool/serving architecture.
 """
 
 from .breaker import BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker
-from .degrade import CpuFallback, DriftDetector, rpc_cpu_fallback
+from .degrade import (
+    DEFAULT_DRIFT_THRESHOLD,
+    CpuFallback,
+    DriftDetector,
+    derive_drift_threshold,
+    rpc_cpu_fallback,
+)
 from .device import CallRecord, ResilientDevice
 from .faults import (
     FaultEvent,
@@ -28,35 +40,68 @@ from .faults import (
     dram_storm_latency,
     pipeline_stalls,
 )
+from .pool import (
+    ROUTING_POLICIES,
+    DevicePool,
+    PooledDevice,
+    PoolResult,
+    RoutingPolicy,
+    make_routing_policy,
+    rpc_pool,
+)
 from .retry import RetryPolicy
+from .serving import OpenLoopServer, Rejection, ServeResult
 from .tape import (
+    JSON_CODEC,
     ResilientOffloadEstimate,
     ResilientOffloadEstimator,
     ResilientReplayDevice,
+    TapeCodec,
+    load_tape,
+    protoacc_message_codec,
+    replay_saved_tape,
+    save_tape,
 )
 from .watchdog import Watchdog, WatchdogTimeout
 
 __all__ = [
+    "DEFAULT_DRIFT_THRESHOLD",
+    "JSON_CODEC",
+    "ROUTING_POLICIES",
     "BreakerConfig",
     "BreakerState",
     "BreakerTransition",
     "CallRecord",
     "CircuitBreaker",
     "CpuFallback",
+    "DevicePool",
     "DriftDetector",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
+    "OpenLoopServer",
+    "PoolResult",
+    "PooledDevice",
+    "Rejection",
     "ResilientDevice",
     "ResilientOffloadEstimate",
     "ResilientOffloadEstimator",
     "ResilientReplayDevice",
     "RetryPolicy",
+    "RoutingPolicy",
     "ScriptedFaultPlan",
+    "ServeResult",
+    "TapeCodec",
     "Watchdog",
     "WatchdogTimeout",
+    "derive_drift_threshold",
     "dram_storm_latency",
+    "load_tape",
+    "make_routing_policy",
     "pipeline_stalls",
+    "protoacc_message_codec",
+    "replay_saved_tape",
     "rpc_cpu_fallback",
+    "save_tape",
 ]

@@ -13,8 +13,15 @@ States::
 
     CLOSED ──(threshold consecutive failures | drift)──▶ OPEN
     OPEN ──(recovery_cycles elapse)──▶ HALF_OPEN
-    HALF_OPEN ──(probe_successes successes)──▶ CLOSED
-    HALF_OPEN ──(any failure)──▶ OPEN
+    HALF_OPEN ──(probe_successes probe successes)──▶ CLOSED
+    HALF_OPEN ──(any probe failure)──▶ OPEN
+
+Half-open probing is *accounted*: at most ``max_probes`` calls are
+admitted concurrently while HALF_OPEN (``allow`` answers False to the
+rest), and only successes attributable to an admitted probe advance the
+close streak.  Without that accounting, a pool of workers sharing one
+breaker could flood a still-broken device with "probes", or close the
+breaker on stale successes from calls admitted before the trip.
 """
 
 from __future__ import annotations
@@ -37,6 +44,8 @@ class BreakerConfig:
     recovery_cycles: float = 100_000.0
     #: Half-open successes required to close again.
     probe_successes: int = 2
+    #: Concurrent half-open probes admitted; ``None`` = ``probe_successes``.
+    max_probes: int | None = None
 
     def __post_init__(self) -> None:
         if self.failure_threshold < 1:
@@ -45,6 +54,12 @@ class BreakerConfig:
             raise ValueError("recovery_cycles must be positive")
         if self.probe_successes < 1:
             raise ValueError("probe_successes must be >= 1")
+        if self.max_probes is not None and self.max_probes < 1:
+            raise ValueError("max_probes must be >= 1 (or None)")
+
+    @property
+    def probe_limit(self) -> int:
+        return self.max_probes if self.max_probes is not None else self.probe_successes
 
 
 @dataclass(frozen=True)
@@ -64,6 +79,8 @@ class CircuitBreaker:
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.probe_streak = 0
+        #: Admitted half-open probes whose outcome has not been recorded.
+        self.probe_inflight = 0
         self.opened_at = 0.0
         self.transitions: list[BreakerTransition] = []
 
@@ -71,28 +88,56 @@ class CircuitBreaker:
         """May a call use the accelerator path at virtual time ``now``?
 
         While OPEN, the first query after the recovery window moves the
-        breaker to HALF_OPEN and admits the call as a probe.
+        breaker to HALF_OPEN and admits the call as a probe.  While
+        HALF_OPEN, at most ``config.probe_limit`` probes may be in
+        flight at once — further callers are rejected until a probe
+        reports back.
         """
         if self.state is BreakerState.OPEN:
             if now - self.opened_at >= self.config.recovery_cycles:
                 self._move(BreakerState.HALF_OPEN, now, "recovery window elapsed")
+                self.probe_inflight = 1
+                return True
+            return False
+        if self.state is BreakerState.HALF_OPEN:
+            if self.probe_inflight < self.config.probe_limit:
+                self.probe_inflight += 1
                 return True
             return False
         return True
 
+    def would_allow(self, now: float) -> bool:
+        """Non-mutating availability check, for routing decisions.
+
+        Unlike :meth:`allow`, this neither transitions OPEN→HALF_OPEN
+        nor reserves a probe slot, so a router may poll every device's
+        breaker without perturbing any of them.
+        """
+        if self.state is BreakerState.OPEN:
+            return now - self.opened_at >= self.config.recovery_cycles
+        if self.state is BreakerState.HALF_OPEN:
+            return self.probe_inflight < self.config.probe_limit
+        return True
+
     def record_success(self, now: float) -> None:
         if self.state is BreakerState.HALF_OPEN:
-            self.probe_streak += 1
-            if self.probe_streak >= self.config.probe_successes:
-                self._move(
-                    BreakerState.CLOSED,
-                    now,
-                    f"{self.probe_streak} healthy probes",
-                )
+            if self.probe_inflight > 0:
+                self.probe_inflight -= 1
+                self.probe_streak += 1
+                if self.probe_streak >= self.config.probe_successes:
+                    self._move(
+                        BreakerState.CLOSED,
+                        now,
+                        f"{self.probe_streak} healthy probes",
+                    )
+            # else: a stale success from a call admitted before the trip
+            # — it says nothing about the device *now*, so it must not
+            # advance the close streak (the double-close bug).
         self.consecutive_failures = 0
 
     def record_failure(self, now: float, reason: str = "failure") -> None:
         if self.state is BreakerState.HALF_OPEN:
+            self.probe_inflight = max(0, self.probe_inflight - 1)
             self.trip(now, f"probe failed: {reason}")
             return
         self.consecutive_failures += 1
@@ -114,5 +159,6 @@ class CircuitBreaker:
             self.opened_at = now
         if state is not BreakerState.HALF_OPEN:
             self.probe_streak = 0
+            self.probe_inflight = 0
         self.consecutive_failures = 0
         self.transitions.append(BreakerTransition(time=now, state=state, reason=reason))

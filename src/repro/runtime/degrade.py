@@ -30,6 +30,38 @@ RequestT = TypeVar("RequestT")
 ResponseT = TypeVar("ResponseT")
 
 
+#: Hand-chosen threshold used when no offline calibration is available.
+DEFAULT_DRIFT_THRESHOLD = 0.5
+
+
+def derive_drift_threshold(
+    report: ErrorReport | None,
+    *,
+    headroom: float = 3.0,
+    floor: float = 0.15,
+    fallback: float = DEFAULT_DRIFT_THRESHOLD,
+) -> float:
+    """Drift threshold fitted to an interface's *offline* error profile.
+
+    The validation harness (:func:`repro.core.validation.validate_interface`)
+    reports the interface's relative error on healthy traffic; drift
+    detection must not trip inside that envelope.  The threshold is
+    ``headroom ×`` the offline p95 error (p95, not max: one calibration
+    outlier should not deafen the detector), clamped below by ``floor``
+    so a near-perfect interface does not trip on modeling noise.  With
+    no report (or a pre-quantile report), the hand-chosen ``fallback``
+    (0.5) applies unchanged.
+    """
+    if headroom <= 1.0:
+        raise ValueError("headroom must exceed 1 (threshold sits above healthy error)")
+    if report is None:
+        return fallback
+    quantile = report.p95 if report.p95 is not None else None
+    if quantile is None:
+        return fallback
+    return max(floor, headroom * quantile)
+
+
 class DriftDetector:
     """Sliding-window relative-error monitor for a performance interface.
 
@@ -51,7 +83,11 @@ class DriftDetector:
     """
 
     def __init__(
-        self, *, window: int = 32, threshold: float = 0.5, min_samples: int = 8
+        self,
+        *,
+        window: int = 32,
+        threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        min_samples: int = 8,
     ):
         if window < 1 or min_samples < 1 or min_samples > window:
             raise ValueError("need 1 <= min_samples <= window")
@@ -63,6 +99,26 @@ class DriftDetector:
         self._observed: deque[float] = deque(maxlen=window)
         self.last_report: ErrorReport | None = None
         self.last_score: float | None = None
+
+    @classmethod
+    def from_error_report(
+        cls,
+        report: ErrorReport | None,
+        *,
+        window: int = 32,
+        min_samples: int = 8,
+        headroom: float = 3.0,
+        floor: float = 0.15,
+    ) -> DriftDetector:
+        """A detector whose threshold is refit from the offline
+        :class:`~repro.hw.stats.ErrorReport` the validation harness
+        produced for this interface (see :func:`derive_drift_threshold`).
+        Passing ``None`` keeps the hand-chosen default threshold."""
+        return cls(
+            window=window,
+            min_samples=min_samples,
+            threshold=derive_drift_threshold(report, headroom=headroom, floor=floor),
+        )
 
     @property
     def samples(self) -> int:

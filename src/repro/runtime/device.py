@@ -57,7 +57,7 @@ class CallRecord(Generic[RequestT, ResponseT]):
     request: RequestT
     response: ResponseT
     cycles: float  # total virtual cycles the call cost, end to end
-    path: str  # "accel" or "cpu"
+    path: str  # "accel", "cpu", or "failed" (pool mode, no degradation)
     attempts: int  # accelerator invocations made (0 = breaker short-circuit)
     faults: tuple[FaultKind, ...]  # faults encountered across attempts
     breaker_state: BreakerState | None  # state at admission, if a breaker ran
@@ -135,12 +135,32 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
     # Serving
     # ------------------------------------------------------------------
     def call(self, request: RequestT) -> ResponseT:
+        return self._serve(request, degrade=True).response
+
+    def offload(self, request: RequestT) -> CallRecord[RequestT, ResponseT]:
+        """Pool-facing serving: accelerator path only, no degradation.
+
+        Where :meth:`call` absorbs accelerator failure by answering on
+        the CPU fallback, a :class:`~repro.runtime.pool.DevicePool` wants
+        the failure surfaced so it can *re-route* — another device may
+        answer faster than this host's software path.  On exhaustion (or
+        an inadmissible breaker) the returned record has
+        ``path == "failed"`` and ``response is None``; the cycles charged
+        are the time genuinely burned here (attempts, backoff, watchdog
+        waits), which the pool accounts toward the request's end-to-end
+        latency before hedging it elsewhere.
+        """
+        return self._serve(request, degrade=False)
+
+    def _serve(
+        self, request: RequestT, *, degrade: bool
+    ) -> CallRecord[RequestT, ResponseT]:
         index = self.calls + 1
         start = self.clock
         faults: list[FaultKind] = []
         attempts = 0
         response: ResponseT | None = None
-        path = "cpu"
+        path = "failed"
         admission_state = self.breaker.state if self.breaker else None
         admitted = self.breaker is None or self.breaker.allow(self.clock)
 
@@ -166,25 +186,24 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
                 if attempt < self.retry.max_attempts:
                     self.clock += self.retry.backoff(index, attempt)
 
-        if response is None:
+        if response is None and degrade:
             response, cycles = self.fallback.call(request)
             self.clock += cycles
             path = "cpu"
 
         self.calls += 1
-        self.records.append(
-            CallRecord(
-                index=index,
-                request=request,
-                response=response,
-                cycles=self.clock - start,
-                path=path,
-                attempts=attempts,
-                faults=tuple(faults),
-                breaker_state=admission_state,
-            )
+        record = CallRecord(
+            index=index,
+            request=request,
+            response=response,
+            cycles=self.clock - start,
+            path=path,
+            attempts=attempts,
+            faults=tuple(faults),
+            breaker_state=admission_state,
         )
-        return response
+        self.records.append(record)
+        return record
 
     def _attempt(self, request: RequestT, event: FaultEvent | None) -> _Attempt:
         """One accelerator invocation under ``event`` (or none)."""
@@ -241,6 +260,11 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def available(self, now: float) -> bool:
+        """Would the breaker admit a call at ``now``?  Non-mutating —
+        safe for a router to poll across the whole pool."""
+        return self.breaker is None or self.breaker.would_allow(now)
+
     @property
     def tape(self) -> list[CallRecord[RequestT, ResponseT]]:
         """The recorded calls, for replay via :mod:`repro.runtime.tape`."""

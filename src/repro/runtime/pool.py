@@ -1,0 +1,432 @@
+"""Heterogeneous device pool: breaker-aware failover routing.
+
+One :class:`~repro.runtime.device.ResilientDevice` degrades to its own
+host's CPU when the accelerator misbehaves.  A serving fleet can do
+better: when Protoacc trips its breaker, the request is usually worth
+*re-routing* — to an Optimus Prime card, or to a software server — not
+worth absorbing locally.  :class:`DevicePool` is that layer: a front
+door over heterogeneous resilient devices, each with its own fault
+plan, circuit breaker, and retry policy, plus a pluggable router that
+only ever considers devices whose breakers would admit the call.
+
+Routing policies (:data:`ROUTING_POLICIES`):
+
+* ``round_robin`` — rotate over admitting devices; the classic
+  load-spreading baseline, blind to heterogeneity.
+* ``least_outstanding`` — pick the admitting device with the fewest
+  requests still in flight (join-the-shortest-queue).
+* ``interface_predicted`` — the headline policy: price each admitting
+  device as *backlog drain + interface-predicted service time +
+  invocation overhead*, using the device's own performance interface
+  (the Petri-net IR through the compiled engine, with a shared
+  :class:`~repro.perf.EvalCache` across devices), and pick the minimum.
+  This is the paper's thesis operationalized: performance interfaces
+  make placement decisions mechanical.
+
+When a device fails a dispatched request mid-flight (its breaker trips
+while the call retries, or attempts exhaust), the pool *hedges*: the
+failed call's burned cycles are charged to the request and it is
+re-dispatched at the failure time to the best remaining device, never
+returning to one it already failed on.
+
+Everything runs on the repo's virtual clocks — deterministic,
+replayable, and instant.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from repro.hw.stats import Summary
+
+from .device import CallRecord, ResilientDevice
+from .faults import FaultKind
+
+RequestT = TypeVar("RequestT")
+ResponseT = TypeVar("ResponseT")
+
+
+@dataclass(frozen=True)
+class PoolResult(Generic[RequestT]):
+    """One request's journey through the pool."""
+
+    request: RequestT
+    arrival: float  # when the pool accepted the request
+    completed: float  # when the final device answered (or gave up)
+    device: str  # device that produced the outcome ("" if none admitted)
+    path: str  # "accel", "cpu", or "failed"
+    hedges: int  # re-dispatches after a mid-flight device failure
+    devices_tried: tuple[str, ...]
+    faults: tuple[FaultKind, ...]
+
+    @property
+    def cycles(self) -> float:
+        """End-to-end latency: queueing + service + hedging, in cycles."""
+        return self.completed - self.arrival
+
+    @property
+    def ok(self) -> bool:
+        return self.path != "failed"
+
+
+class PooledDevice(Generic[RequestT, ResponseT]):
+    """A :class:`ResilientDevice` plus the pool-side bookkeeping the
+    router needs: a name, a pricing interface, and the in-flight ledger.
+
+    Args:
+        name: unique routing name within the pool.
+        device: the served endpoint (keeps its own breaker/faults/tape).
+        price_interface: interface used by ``interface_predicted``
+            routing; defaults to the device's own serving interface.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        device: ResilientDevice[RequestT, ResponseT],
+        *,
+        price_interface=None,
+    ):
+        self.name = name
+        self.device = device
+        self.price_interface = price_interface or device.interface
+        self.dispatched = 0
+        self._completions: list[float] = []  # sorted completion times
+
+    def available(self, now: float) -> bool:
+        """Would this device's breaker admit a call at ``now``?"""
+        return self.device.available(now)
+
+    def busy_until(self, now: float) -> float:
+        """When the device could *start* a request arriving at ``now``
+        (its FIFO backlog drains at ``device.clock``)."""
+        return max(self.device.clock, now)
+
+    def outstanding(self, now: float) -> int:
+        """Dispatched requests not yet completed at ``now``."""
+        done = bisect_right(self._completions, now)
+        if done:  # prune the settled prefix; queries move forward in time
+            del self._completions[:done]
+        return len(self._completions)
+
+    def price(self, request: RequestT, now: float) -> float:
+        """Predicted completion time of ``request`` on this device:
+        backlog drain + interface-predicted service + offload overhead."""
+        overhead = (
+            self.device.invocation_overhead(request)
+            if self.device.invocation_overhead is not None
+            else 0.0
+        )
+        return self.busy_until(now) + self.price_interface.latency(request) + overhead
+
+    def serve(self, request: RequestT, now: float) -> CallRecord[RequestT, ResponseT]:
+        """Run the request through the device's full serving loop,
+        starting no earlier than ``now`` (joins the device's FIFO)."""
+        self.device.clock = self.busy_until(now)
+        record = self.device.offload(request)
+        insort(self._completions, self.device.clock)
+        self.dispatched += 1
+        return record
+
+
+# ----------------------------------------------------------------------
+# Routing policies
+# ----------------------------------------------------------------------
+class RoutingPolicy:
+    """Picks one device among the breaker-admitting candidates.
+
+    The pool guarantees ``candidates`` is non-empty and every member is
+    ``available(now)``; a policy must return one of them (anything else
+    counts as a routing-invariant violation and is overridden)."""
+
+    name = "abstract"
+
+    def pick(
+        self,
+        candidates: Sequence[PooledDevice],
+        request,
+        now: float,
+    ) -> PooledDevice:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Rotate over the admitting devices, blind to load and size."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def pick(self, candidates, request, now):
+        choice = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return choice
+
+
+class LeastOutstandingPolicy(RoutingPolicy):
+    """Join the shortest queue: fewest in-flight requests wins, ties
+    broken by whoever frees up first."""
+
+    name = "least_outstanding"
+
+    def pick(self, candidates, request, now):
+        return min(candidates, key=lambda d: (d.outstanding(now), d.busy_until(now)))
+
+
+class InterfacePredictedPolicy(RoutingPolicy):
+    """Minimize the *interface-predicted* completion time.
+
+    The only policy that sees heterogeneity: a large pointer-heavy
+    message prices high on Optimus Prime and low on Protoacc, so it
+    lands where the hardware actually serves it fastest."""
+
+    name = "interface_predicted"
+
+    def pick(self, candidates, request, now):
+        return min(candidates, key=lambda d: d.price(request, now))
+
+
+ROUTING_POLICIES = {
+    policy.name: policy
+    for policy in (RoundRobinPolicy, LeastOutstandingPolicy, InterfacePredictedPolicy)
+}
+
+
+def make_routing_policy(spec: str | RoutingPolicy) -> RoutingPolicy:
+    """Resolve a policy name (or pass an instance through).  Policies
+    are stateful (round-robin keeps a cursor), so each pool gets a
+    fresh instance."""
+    if isinstance(spec, RoutingPolicy):
+        return spec
+    try:
+        return ROUTING_POLICIES[spec]()
+    except KeyError:
+        known = ", ".join(sorted(ROUTING_POLICIES))
+        raise ValueError(f"unknown routing policy {spec!r} (known: {known})") from None
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class DevicePool(Generic[RequestT, ResponseT]):
+    """Breaker-aware failover front door over heterogeneous devices.
+
+    Args:
+        devices: the pooled endpoints; names must be unique.  Include a
+            breaker-less CPU device to guarantee the pool always has an
+            admitting member.
+        policy: routing policy name or instance (see
+            :data:`ROUTING_POLICIES`).
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[PooledDevice[RequestT, ResponseT]],
+        policy: str | RoutingPolicy = "round_robin",
+    ):
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device names in pool: {names}")
+        if not devices:
+            raise ValueError("a pool needs at least one device")
+        self.devices = list(devices)
+        self.policy = make_routing_policy(policy)
+        self.results: list[PoolResult[RequestT]] = []
+        #: Routing-invariant breaches (policy picked outside the
+        #: admitting set, or an "admitting" device rejected at its
+        #: breaker).  A healthy pool keeps this at zero; CI asserts it.
+        self.invariant_violations = 0
+
+    def device(self, name: str) -> PooledDevice[RequestT, ResponseT]:
+        for d in self.devices:
+            if d.name == name:
+                return d
+        raise KeyError(name)
+
+    def available_devices(
+        self, now: float, *, exclude: Sequence[str] = ()
+    ) -> list[PooledDevice[RequestT, ResponseT]]:
+        """Devices whose breakers would admit a call at ``now``."""
+        return [
+            d for d in self.devices if d.name not in exclude and d.available(now)
+        ]
+
+    def dispatch(
+        self,
+        request: RequestT,
+        now: float,
+        *,
+        deadline: float | None = None,
+    ) -> PoolResult[RequestT]:
+        """Serve one request, hedging across devices on mid-flight
+        failure.  ``deadline`` (absolute cycles) stops hedging once the
+        request is already late — the pool reports it failed rather
+        than burn a healthy device on a dead request."""
+        tried: list[str] = []
+        faults: list[FaultKind] = []
+        hedges = 0
+        t = now
+        final_path = "failed"
+        final_device = ""
+
+        while True:
+            candidates = self.available_devices(t, exclude=tried)
+            if not candidates:
+                break  # nobody will admit it: pool-level failure
+            choice = self.policy.pick(candidates, request, t)
+            if choice not in candidates:
+                self.invariant_violations += 1
+                choice = candidates[0]
+            tried.append(choice.name)
+            record = choice.serve(request, t)
+            faults.extend(record.faults)
+            t = choice.device.clock  # completion (or give-up) time
+            if record.attempts == 0 and record.path == "failed":
+                # The router saw an admitting device but its breaker
+                # refused at serve time: the availability check and the
+                # breaker disagree.  Never expected; counted for CI.
+                self.invariant_violations += 1
+            if record.path != "failed":
+                final_path = record.path
+                final_device = choice.name
+                break
+            final_device = choice.name
+            if deadline is not None and t >= deadline:
+                break  # already late: don't hedge a dead request
+            hedges += 1
+
+        result = PoolResult(
+            request=request,
+            arrival=now,
+            completed=t,
+            device=final_device,
+            path=final_path,
+            hedges=hedges,
+            devices_tried=tuple(tried),
+            faults=tuple(faults),
+        )
+        self.results.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def device_loads(self) -> dict[str, int]:
+        """Requests dispatched per device (hedged retries included)."""
+        return {d.name: d.dispatched for d in self.devices}
+
+    def latencies(self) -> list[float]:
+        """End-to-end cycles of the *answered* requests."""
+        return [r.cycles for r in self.results if r.ok]
+
+    def failure_fraction(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(not r.ok for r in self.results) / len(self.results)
+
+    def hedge_count(self) -> int:
+        return sum(r.hedges for r in self.results)
+
+    def summary(self) -> Summary:
+        return Summary.of(self.latencies())
+
+
+# ----------------------------------------------------------------------
+# The standard RPC-serialization pool scenario
+# ----------------------------------------------------------------------
+def rpc_pool(
+    policy: str | RoutingPolicy = "interface_predicted",
+    *,
+    faults: str = "none",
+    seed: int = 17,
+    cache=None,
+) -> DevicePool:
+    """The benchmark/example fleet: Protoacc + Optimus Prime + a CPU
+    software server, each wrapped as a :class:`ResilientDevice` with
+    its own fault plan, breaker, and retry policy.
+
+    ``faults``:
+
+    * ``"none"`` — every device serves faultlessly (heterogeneity and
+      queueing still apply).
+    * ``"storm"`` — Protoacc takes a hang/drop/corrupt storm severe
+      enough to trip its breaker; Optimus Prime sees background latency
+      spikes; the CPU stays clean.  The pool must keep answering.
+
+    All accelerator devices are priced through their Petri-net
+    interfaces on the compiled engine, sharing one
+    :class:`~repro.perf.EvalCache` (pass ``cache`` to share it wider,
+    e.g. across the policies of a sweep).
+    """
+    from repro.accel.cpu import CpuSerializerModel, offload_overhead
+    from repro.accel.optimusprime import OptimusPrimeModel
+    from repro.accel.optimusprime import petri_interface as optimus_petri
+    from repro.accel.protoacc import ProtoaccSerializerModel
+    from repro.accel.protoacc import petri_interface as protoacc_petri
+    from repro.core.program import ProgramInterface
+    from repro.perf import EvalCache
+
+    from .breaker import BreakerConfig, CircuitBreaker
+    from .degrade import rpc_cpu_fallback
+    from .faults import FaultPlan, FaultSpec
+    from .retry import RetryPolicy
+    from .watchdog import Watchdog
+
+    if faults not in ("none", "storm"):
+        raise ValueError(f"faults must be 'none' or 'storm', got {faults!r}")
+    cache = cache if cache is not None else EvalCache()
+    fallback = rpc_cpu_fallback()
+
+    def breaker() -> CircuitBreaker:
+        return CircuitBreaker(
+            BreakerConfig(
+                failure_threshold=4,
+                recovery_cycles=200_000.0,
+                probe_successes=2,
+            )
+        )
+
+    storm_spec = FaultSpec(hang_rate=0.25, drop_rate=0.10, corrupt_rate=0.05)
+    background_spec = FaultSpec(spike_rate=0.02, spike_scale=3.0)
+
+    protoacc = ResilientDevice(
+        ProtoaccSerializerModel(),
+        protoacc_petri(engine="compiled", cache=cache),
+        fallback,
+        fault_plan=FaultPlan(seed, storm_spec) if faults == "storm" else None,
+        watchdog=Watchdog(budget=20_000.0),
+        retry=RetryPolicy(max_attempts=2, seed=seed),
+        breaker=breaker(),
+        invocation_overhead=offload_overhead,
+    )
+    optimus = ResilientDevice(
+        OptimusPrimeModel(),
+        optimus_petri(engine="compiled", cache=cache),
+        fallback,
+        fault_plan=FaultPlan(seed + 1, background_spec) if faults == "storm" else None,
+        watchdog=Watchdog(budget=20_000.0),
+        retry=RetryPolicy(max_attempts=2, seed=seed + 1),
+        breaker=breaker(),
+        invocation_overhead=offload_overhead,
+    )
+    cpu_model = CpuSerializerModel()
+    cpu = ResilientDevice(
+        cpu_model,
+        # Software is its own ground truth: a perfect interface.
+        ProgramInterface("xeon-sw", latency_fn=cpu_model.measure_latency),
+        fallback,
+        # No faults, no breaker: the software server always admits and
+        # always answers, so the pool is never without a device.
+    )
+    return DevicePool(
+        [
+            PooledDevice("protoacc", protoacc),
+            PooledDevice("optimus-prime", optimus),
+            PooledDevice("cpu", cpu),
+        ],
+        policy=policy,
+    )

@@ -1,0 +1,167 @@
+"""Open-loop serving on top of the device pool.
+
+The §5 estimators and the E14 degradation benchmark drive devices
+*closed-loop*: the next request starts when the previous one finishes,
+so overload is invisible.  Real RPC servers are open-loop — requests
+arrive when clients send them (Poisson arrivals,
+:meth:`~repro.workloads.rpc.RpcMix.sample_open`), and when the fleet
+cannot keep up the server must *drop* work, not pretend time stopped.
+
+:class:`OpenLoopServer` is that front end, simulated event-driven on
+the pool's virtual clocks:
+
+* a **bounded admission queue** — an arrival finding the queue full is
+  dropped on the floor immediately (``dropped``);
+* **deadline shedding** — a queued request whose age exceeds the
+  deadline by the time a dispatch slot frees is shed *without ever
+  touching a device* (``shed``), so a backlogged fleet spends its
+  cycles only on requests that can still make it;
+* a **dispatch width** — at most ``max_inflight`` requests
+  outstanding across the pool; freed slots pull from the queue in FIFO
+  order and route through the pool's policy
+  (:mod:`repro.runtime.pool`), hedging included.
+
+The output (:class:`ServeResult`) carries every admitted request's
+:class:`~repro.runtime.pool.PoolResult` plus the drop/shed ledger, so
+a rate sweep yields the drop-rate/latency tradeoff curves the E15
+benchmark tabulates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Generic, TypeVar
+
+from repro.hw.stats import Summary
+
+from .pool import DevicePool, PoolResult
+
+RequestT = TypeVar("RequestT")
+
+
+@dataclass(frozen=True)
+class Rejection(Generic[RequestT]):
+    """A request the server refused to serve."""
+
+    request: RequestT
+    arrival: float
+    time: float  # when the refusal happened
+    reason: str  # "queue full" or "deadline exceeded"
+
+
+@dataclass
+class ServeResult(Generic[RequestT]):
+    """One open-loop run: who was served, who was refused, and how."""
+
+    offered: int
+    served: list[PoolResult[RequestT]] = field(default_factory=list)
+    dropped: list[Rejection[RequestT]] = field(default_factory=list)  # queue full
+    shed: list[Rejection[RequestT]] = field(default_factory=list)  # too old
+
+    @property
+    def answered(self) -> list[PoolResult[RequestT]]:
+        return [r for r in self.served if r.ok]
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered requests that never got an answer
+        (queue-full drops, deadline sheds, and pool-level failures)."""
+        if self.offered == 0:
+            return 0.0
+        failed = sum(not r.ok for r in self.served)
+        return (len(self.dropped) + len(self.shed) + failed) / self.offered
+
+    def latency_summary(self) -> Summary:
+        return Summary.of([r.cycles for r in self.answered])
+
+    def hedge_count(self) -> int:
+        return sum(r.hedges for r in self.served)
+
+
+class OpenLoopServer(Generic[RequestT]):
+    """Poisson-arrival front end over a :class:`DevicePool`.
+
+    Args:
+        pool: the routing fleet; its policy and breakers do the rest.
+        queue_limit: admission-queue capacity; arrivals beyond it drop.
+        deadline: relative per-request deadline in cycles.  Checked at
+            dequeue (a request older than this is shed un-dispatched)
+            and passed through to the pool so hedging stops once a
+            request is already late.  ``None`` disables shedding.
+        max_inflight: dispatch width — outstanding requests across the
+            fleet.  Defaults to two per device, enough backlog for the
+            queue-aware policies to have something to see.
+    """
+
+    def __init__(
+        self,
+        pool: DevicePool,
+        *,
+        queue_limit: int = 64,
+        deadline: float | None = None,
+        max_inflight: int | None = None,
+    ):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        self.pool = pool
+        self.queue_limit = queue_limit
+        self.deadline = deadline
+        self.max_inflight = (
+            max_inflight if max_inflight is not None else 2 * len(pool.devices)
+        )
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+
+    def run(
+        self,
+        requests: list[RequestT],
+        arrivals: list[float],
+    ) -> ServeResult[RequestT]:
+        """Serve the open-loop trace (absolute Poisson arrival times,
+        e.g. from ``RpcMix.sample_open``) to completion."""
+        if len(requests) != len(arrivals):
+            raise ValueError("requests and arrivals must align")
+        result: ServeResult[RequestT] = ServeResult(offered=len(requests))
+        waiting: deque[tuple[float, RequestT]] = deque()
+        inflight: list[float] = []  # min-heap of completion times
+
+        def pump(now: float) -> None:
+            """Pull from the queue while dispatch slots are free."""
+            while waiting and len(inflight) < self.max_inflight:
+                arrived, request = waiting.popleft()
+                start = max(now, arrived)
+                if self.deadline is not None and start - arrived > self.deadline:
+                    result.shed.append(
+                        Rejection(request, arrived, start, "deadline exceeded")
+                    )
+                    continue
+                absolute = arrived + self.deadline if self.deadline else None
+                served = self.pool.dispatch(request, start, deadline=absolute)
+                result.served.append(served)
+                heappush(inflight, served.completed)
+
+        def retire(until: float) -> None:
+            """Free completed slots up to ``until``, pumping at each."""
+            while inflight and inflight[0] <= until:
+                pump(heappop(inflight))
+
+        for request, arrived in zip(requests, arrivals, strict=True):
+            retire(arrived)
+            if len(waiting) >= self.queue_limit:
+                result.dropped.append(
+                    Rejection(request, arrived, arrived, "queue full")
+                )
+                continue
+            waiting.append((arrived, request))
+            pump(arrived)
+
+        while inflight or waiting:  # drain: no more arrivals
+            if inflight:
+                pump(heappop(inflight))
+            else:  # every slot free: the rest of the queue pumps out
+                pump(waiting[0][0])
+        return result

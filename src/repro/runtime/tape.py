@@ -9,18 +9,31 @@ run leaves a tape of :class:`~repro.runtime.device.CallRecord`s whose
 CPU-fallback time; replaying that tape charges those recorded costs
 instead of the clean interface prediction, and the gap between the two
 replays is the availability overhead of the fault environment.
+
+Tapes also *persist*: :func:`save_tape` / :func:`load_tape` serialize a
+record list to gzipped JSONL so a faulted incident recorded in one
+process replays in another (``python -m repro.runtime.tape replay
+incident.jsonl.gz`` prices a saved tape from the command line).
+Requests/responses travel through a :class:`TapeCodec`; the stock codecs
+cover JSON-native payloads and Protoacc :class:`~repro.accel.protoacc.message.Message`
+traffic.
 """
 
 from __future__ import annotations
 
+import gzip
+import json
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Generic, TypeVar
+from pathlib import Path
+from typing import Any, Generic, TypeVar
 
 from repro.core.interface import PerformanceInterface
 from repro.core.offload import Application, ReplayDevice
 
+from .breaker import BreakerState
 from .device import CallRecord, ResilientDevice
+from .faults import FaultKind
 
 RequestT = TypeVar("RequestT")
 ResponseT = TypeVar("ResponseT")
@@ -109,3 +122,244 @@ class ResilientOffloadEstimator(Generic[RequestT, ResponseT]):
             fallback_calls=sum(r.path == "cpu" for r in records),
             faults=sum(len(r.faults) for r in records),
         )
+
+
+# ----------------------------------------------------------------------
+# Persistence: gzipped JSONL tapes that replay across processes
+# ----------------------------------------------------------------------
+#: On-disk format version; bump when the line schema changes.
+TAPE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TapeCodec:
+    """How request/response payloads cross the JSON boundary.
+
+    ``encode_*`` must produce JSON-serializable values whose ``decode_*``
+    inverse rebuilds an *equal* object — replay depends on request
+    equality (:class:`~repro.core.offload.ReplayDevice` matches requests
+    by value to detect divergence).  ``None`` responses (records with
+    ``path == "failed"``) bypass the codec.
+    """
+
+    name: str
+    encode_request: Callable[[Any], Any]
+    decode_request: Callable[[Any], Any]
+    encode_response: Callable[[Any], Any]
+    decode_response: Callable[[Any], Any]
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
+#: Payloads that are already JSON-native (ints, strings, lists, dicts).
+JSON_CODEC = TapeCodec("json", _identity, _identity, _identity, _identity)
+
+
+def protoacc_message_codec() -> TapeCodec:
+    """Codec for the RPC serving scenario: requests are Protoacc
+    :class:`~repro.accel.protoacc.message.Message` instances, responses
+    their encoded wire bytes."""
+    import base64
+
+    from repro.accel.protoacc.message import (
+        message_from_jsonable,
+        message_to_jsonable,
+    )
+
+    return TapeCodec(
+        name="protoacc-message",
+        encode_request=message_to_jsonable,
+        decode_request=message_from_jsonable,
+        encode_response=lambda b: base64.b64encode(b).decode("ascii"),
+        decode_response=base64.b64decode,
+    )
+
+
+def _codec_by_name(name: str) -> TapeCodec:
+    if name == JSON_CODEC.name:
+        return JSON_CODEC
+    if name == "protoacc-message":
+        return protoacc_message_codec()
+    raise ValueError(f"unknown tape codec {name!r}")
+
+
+def save_tape(
+    records: Sequence[CallRecord],
+    path: str | Path,
+    *,
+    codec: TapeCodec = JSON_CODEC,
+) -> Path:
+    """Serialize a serving tape to gzipped JSONL at ``path``.
+
+    Line 1 is a header (format version, codec name, record count); each
+    further line is one :class:`~repro.runtime.device.CallRecord`.  The
+    file is self-describing enough for :func:`load_tape` to refuse a
+    codec mismatch instead of resurrecting garbage.
+    """
+    path = Path(path)
+    header = {
+        "format": "repro-serving-tape",
+        "version": TAPE_FORMAT_VERSION,
+        "codec": codec.name,
+        "records": len(records),
+    }
+    with gzip.open(path, "wt", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for r in records:
+            line = {
+                "index": r.index,
+                "request": codec.encode_request(r.request),
+                "response": (
+                    None if r.response is None else codec.encode_response(r.response)
+                ),
+                "cycles": r.cycles,
+                "path": r.path,
+                "attempts": r.attempts,
+                "faults": [k.value for k in r.faults],
+                "breaker_state": (
+                    None if r.breaker_state is None else r.breaker_state.value
+                ),
+            }
+            fh.write(json.dumps(line) + "\n")
+    return path
+
+
+def load_tape(
+    path: str | Path,
+    *,
+    codec: TapeCodec | None = None,
+) -> list[CallRecord]:
+    """Load a tape written by :func:`save_tape`.
+
+    ``codec=None`` resolves the codec named in the header (stock codecs
+    only); passing one explicitly must match the header's name.
+    """
+    path = Path(path)
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != "repro-serving-tape":
+            raise ValueError(f"{path} is not a serving tape")
+        if header.get("version") != TAPE_FORMAT_VERSION:
+            raise ValueError(
+                f"tape version {header.get('version')} != {TAPE_FORMAT_VERSION}"
+            )
+        if codec is None:
+            codec = _codec_by_name(header["codec"])
+        elif codec.name != header["codec"]:
+            raise ValueError(
+                f"tape was written with codec {header['codec']!r}, "
+                f"not {codec.name!r}"
+            )
+        records = [
+            CallRecord(
+                index=line["index"],
+                request=codec.decode_request(line["request"]),
+                response=(
+                    None
+                    if line["response"] is None
+                    else codec.decode_response(line["response"])
+                ),
+                cycles=float(line["cycles"]),
+                path=line["path"],
+                attempts=line["attempts"],
+                faults=tuple(FaultKind(k) for k in line["faults"]),
+                breaker_state=(
+                    None
+                    if line["breaker_state"] is None
+                    else BreakerState(line["breaker_state"])
+                ),
+            )
+            for line in map(json.loads, fh)
+        ]
+    if len(records) != header["records"]:
+        raise ValueError(
+            f"tape truncated: header promises {header['records']} records, "
+            f"found {len(records)}"
+        )
+    return records
+
+
+def replay_saved_tape(path: str | Path) -> dict:
+    """Price a persisted incident tape: load it, replay it, and return
+    the faulted/clean cycle totals (the cross-process acceptance check —
+    a tape saved in one process must replay to identical numbers here).
+
+    Clean-replay cycles are only computed for the ``protoacc-message``
+    codec, whose traffic the stock Protoacc program interface can price;
+    other codecs report faulted cycles alone.
+    """
+    records = load_tape(path)
+    with gzip.open(Path(path), "rt", encoding="utf-8") as fh:
+        codec_name = json.loads(fh.readline())["codec"]
+
+    out: dict[str, Any] = {
+        "calls": len(records),
+        "faults": sum(len(r.faults) for r in records),
+        "fallback_calls": sum(r.path == "cpu" for r in records),
+        "failed_calls": sum(r.path == "failed" for r in records),
+    }
+
+    if codec_name == "protoacc-message":
+        from repro.accel.cpu import offload_overhead
+        from repro.accel.protoacc import PROGRAM
+
+        interface: PerformanceInterface = PROGRAM
+        overhead = offload_overhead
+    else:
+        interface = _RecordedLatencyInterface(records)
+        overhead = None
+
+    faulted = ResilientReplayDevice(records, interface)
+    for r in records:
+        faulted.call(r.request)
+    out["faulted_cycles"] = faulted.clock
+
+    if codec_name == "protoacc-message":
+        clean = ReplayDevice([(r.request, r.response) for r in records], interface, overhead)
+        for r in records:
+            clean.call(r.request)
+        out["clean_cycles"] = clean.clock
+        out["availability_overhead"] = (
+            faulted.clock / clean.clock if clean.clock else float("inf")
+        )
+    return out
+
+
+class _RecordedLatencyInterface(PerformanceInterface):
+    """Replay stand-in when no real interface is known for the payload
+    type: predicts each call at its recorded cost (in order)."""
+
+    accelerator = "recorded"
+    representation = "tape"
+
+    def __init__(self, records: Sequence[CallRecord]):
+        self._cycles = [r.cycles for r in records]
+        self._next = 0
+
+    def latency(self, item) -> float:
+        cycles = self._cycles[self._next % len(self._cycles)]
+        self._next += 1
+        return cycles
+
+
+def _main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.runtime.tape replay <tape.jsonl.gz>``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.tape",
+        description="Replay a persisted serving tape and print its estimate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    replay = sub.add_parser("replay", help="price a saved incident tape")
+    replay.add_argument("tape", help="path to a .jsonl.gz tape from save_tape()")
+    args = parser.parse_args(argv)
+
+    print(json.dumps(replay_saved_tape(args.tape), sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(_main())

@@ -72,6 +72,7 @@ class TestHalfOpen:
         breaker.allow(100.0)
         breaker.record_success(110.0)
         assert breaker.state is BreakerState.HALF_OPEN
+        breaker.allow(115.0)
         breaker.record_success(120.0)
         assert breaker.state is BreakerState.CLOSED
 
@@ -95,6 +96,66 @@ class TestHalfOpen:
             BreakerState.HALF_OPEN,
             BreakerState.CLOSED,
         ]
+
+
+class TestProbeAccounting:
+    """Regressions for the half-open double-close bug: concurrent pool
+    workers sharing one breaker must not flood a probing device, and
+    successes from calls admitted *before* the trip must not close it."""
+
+    def test_half_open_admits_at_most_probe_limit_concurrently(self):
+        breaker = make(recovery=100.0, probes=2)
+        breaker.trip(0.0, "test")
+        assert breaker.allow(100.0)  # OPEN -> HALF_OPEN, probe #1
+        assert breaker.allow(100.0)  # probe #2
+        assert not breaker.allow(100.0)  # third worker is rejected
+        assert breaker.probe_inflight == 2
+
+    def test_probe_slot_frees_when_outcome_is_recorded(self):
+        breaker = make(recovery=100.0, probes=1)
+        breaker.trip(0.0, "test")
+        assert breaker.allow(100.0)
+        assert not breaker.allow(100.0)
+        breaker.record_success(110.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_stale_successes_cannot_close_the_breaker(self):
+        # Two calls admitted while CLOSED are still in flight when a
+        # third worker's failures trip the breaker and the recovery
+        # window elapses.  Their successes land during HALF_OPEN but
+        # correspond to no admitted probe: the breaker must stay
+        # HALF_OPEN until a real probe reports back.
+        breaker = make(threshold=1, recovery=100.0, probes=2)
+        breaker.record_failure(50.0, reason="hang")
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.allow(200.0)  # the one real probe, in flight
+        # One slot is reserved: the first success drains it (streak 1);
+        # the second has no admitted probe behind it and is ignored.
+        breaker.record_success(201.0)
+        breaker.record_success(202.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.probe_streak == 1
+
+    def test_no_duplicate_closed_transitions(self):
+        breaker = make(recovery=100.0, probes=1)
+        breaker.trip(0.0, "test")
+        breaker.allow(100.0)
+        breaker.record_success(110.0)
+        breaker.record_success(111.0)  # post-close success: no-op
+        closed = [t for t in breaker.transitions if t.state is BreakerState.CLOSED]
+        assert len(closed) == 1
+
+    def test_would_allow_is_non_mutating(self):
+        breaker = make(recovery=100.0, probes=1)
+        breaker.trip(0.0, "test")
+        assert not breaker.would_allow(99.0)
+        assert breaker.would_allow(100.0)
+        assert breaker.state is BreakerState.OPEN  # no OPEN -> HALF_OPEN
+        assert breaker.probe_inflight == 0
+        assert breaker.allow(100.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.would_allow(100.0)  # slot taken, still honest
+        assert breaker.probe_inflight == 1
 
 
 class TestConfig:

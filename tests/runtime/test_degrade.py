@@ -86,3 +86,48 @@ class TestCpuFallback:
         response, cycles = fb.call(msg)
         assert response == msg.encode()
         assert cycles > 0
+
+
+class TestDerivedThreshold:
+    """Auto-refit of the drift threshold from offline validation error."""
+
+    def test_error_report_carries_quantiles(self):
+        rep = ErrorReport.of([110, 100, 130, 100], [100, 100, 100, 100])
+        assert rep.p50 is not None and rep.p95 is not None and rep.p99 is not None
+        assert rep.p50 <= rep.p95 <= rep.p99 <= rep.max
+
+    def test_quantiles_ignore_infinite_errors(self):
+        rep = ErrorReport.of([110, 5], [100, 0])  # second error is inf
+        assert rep.max == float("inf")
+        assert rep.p95 is not None and rep.p95 < float("inf")
+
+    def test_threshold_scales_with_offline_p95(self):
+        from repro.runtime.degrade import derive_drift_threshold
+
+        rep = ErrorReport.of([128, 72], [100, 100])  # 28% error everywhere
+        thr = derive_drift_threshold(rep, headroom=3.0)
+        assert thr == pytest.approx(3.0 * rep.p95)
+        # A near-perfect interface is clamped to the floor, not zero.
+        perfect = ErrorReport.of([100, 100], [100, 100])
+        assert derive_drift_threshold(perfect, floor=0.15) == pytest.approx(0.15)
+
+    def test_fallback_when_no_report(self):
+        from repro.runtime.degrade import DEFAULT_DRIFT_THRESHOLD, derive_drift_threshold
+
+        assert derive_drift_threshold(None) == DEFAULT_DRIFT_THRESHOLD
+        # Pre-quantile reports (hand-built, no p95) also fall back.
+        legacy = ErrorReport(avg=0.2, max=0.9, count=10)
+        assert derive_drift_threshold(legacy) == DEFAULT_DRIFT_THRESHOLD
+
+    def test_from_error_report_builds_a_detector(self):
+        rep = ErrorReport.of([128, 72], [100, 100])
+        det = DriftDetector.from_error_report(rep, window=16, min_samples=4)
+        assert det.threshold == pytest.approx(max(0.15, 3.0 * rep.p95))
+        none_det = DriftDetector.from_error_report(None)
+        assert none_det.threshold == pytest.approx(0.5)
+
+    def test_headroom_must_exceed_one(self):
+        from repro.runtime.degrade import derive_drift_threshold
+
+        with pytest.raises(ValueError):
+            derive_drift_threshold(None, headroom=1.0)

@@ -1,0 +1,144 @@
+"""DevicePool: breaker-aware routing and hedged failover."""
+
+import pytest
+
+from repro.runtime import FaultEvent, FaultKind, ScriptedFaultPlan
+from repro.runtime.pool import (
+    ROUTING_POLICIES,
+    DevicePool,
+    PooledDevice,
+    make_routing_policy,
+    rpc_pool,
+)
+from repro.workloads import ENTERPRISE_MIX
+
+
+def small_and_large():
+    msgs = sorted(ENTERPRISE_MIX.sample(seed=21, count=40), key=lambda m: m.encoded_size())
+    return msgs[0], msgs[-1]
+
+
+class TestPolicies:
+    def test_registry_names(self):
+        assert set(ROUTING_POLICIES) == {
+            "round_robin",
+            "least_outstanding",
+            "interface_predicted",
+        }
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            make_routing_policy("fastest_first")
+
+    def test_policy_instances_pass_through(self):
+        policy = make_routing_policy("round_robin")
+        assert make_routing_policy(policy) is policy
+
+    def test_round_robin_spreads_evenly_when_all_admit(self):
+        pool = rpc_pool("round_robin")
+        msgs = ENTERPRISE_MIX.sample(seed=1, count=30)
+        for i, msg in enumerate(msgs):
+            pool.dispatch(msg, float(i) * 10_000.0)
+        assert set(pool.device_loads().values()) == {10}
+
+    def test_interface_predicted_prices_by_message(self):
+        # A large message must not land on the CPU software server when
+        # an idle accelerator serves it an order of magnitude faster.
+        small, large = small_and_large()
+        pool = rpc_pool("interface_predicted")
+        r_large = pool.dispatch(large, 0.0)
+        assert r_large.device in ("protoacc", "optimus-prime")
+        cheapest = min(pool.devices, key=lambda d: d.price(small, 1e9))
+        r_small = pool.dispatch(small, 1e9)  # fresh arrival, empty queues
+        assert r_small.device == cheapest.name
+
+
+class TestBreakerAwareRouting:
+    def test_tripped_device_is_skipped_until_recovery(self):
+        pool = rpc_pool("round_robin")
+        protoacc = pool.device("protoacc")
+        protoacc.device.breaker.trip(0.0, "forced for test")
+        msgs = ENTERPRISE_MIX.sample(seed=2, count=20)
+        for i, msg in enumerate(msgs):
+            pool.dispatch(msg, float(i) * 1_000.0)  # all within recovery window
+        assert pool.device_loads()["protoacc"] == 0
+        assert all(r.ok for r in pool.results)
+        # After the recovery window the breaker probes and traffic returns.
+        late = ENTERPRISE_MIX.sample(seed=3, count=10)
+        for i, msg in enumerate(late):
+            pool.dispatch(msg, 300_000.0 + float(i) * 1_000.0)
+        assert pool.device_loads()["protoacc"] > 0
+
+    def test_available_devices_excludes_and_filters(self):
+        pool = rpc_pool()
+        pool.device("optimus-prime").device.breaker.trip(0.0, "forced")
+        names = [d.name for d in pool.available_devices(10.0, exclude=("cpu",))]
+        assert names == ["protoacc"]
+
+
+class TestHedging:
+    def test_midflight_failure_rolls_over_to_next_device(self):
+        pool = rpc_pool("round_robin", faults="none")
+        protoacc = pool.device("protoacc")
+        # Both attempts of the first dispatched call hang: the device
+        # exhausts its retries and surfaces a failed record.
+        protoacc.device.fault_plan = ScriptedFaultPlan(
+            {
+                0: FaultEvent(0, FaultKind.HANG, float("inf")),
+                1: FaultEvent(1, FaultKind.HANG, float("inf")),
+            }
+        )
+        small, _ = small_and_large()
+        result = pool.dispatch(small, 0.0)
+        assert result.ok
+        assert result.hedges == 1
+        assert result.devices_tried[0] == "protoacc"
+        assert result.devices_tried[1] != "protoacc"
+        assert FaultKind.HANG in result.faults
+        # The burned watchdog budget is charged to the request.
+        assert result.cycles > 2 * 20_000.0
+
+    def test_hedging_respects_deadline(self):
+        pool = rpc_pool("round_robin", faults="none")
+        pool.device("protoacc").device.fault_plan = ScriptedFaultPlan(
+            {
+                0: FaultEvent(0, FaultKind.HANG, float("inf")),
+                1: FaultEvent(1, FaultKind.HANG, float("inf")),
+            }
+        )
+        small, _ = small_and_large()
+        result = pool.dispatch(small, 0.0, deadline=10_000.0)
+        assert not result.ok
+        assert result.hedges == 0
+        assert result.devices_tried == ("protoacc",)
+
+    def test_never_rehedges_to_a_device_it_failed_on(self):
+        pool = rpc_pool("round_robin", faults="storm", seed=17)
+        msgs, arrivals = ENTERPRISE_MIX.sample_open(seed=5, count=200, mean_gap=2_000.0)
+        for msg, at in zip(msgs, arrivals, strict=True):
+            pool.dispatch(msg, at)
+        hedged = [r for r in pool.results if r.hedges > 0]
+        assert hedged, "storm run should hedge at least once"
+        for r in pool.results:
+            assert len(set(r.devices_tried)) == len(r.devices_tried)
+
+
+class TestInvariants:
+    def test_no_violations_under_storm_for_any_policy(self):
+        msgs, arrivals = ENTERPRISE_MIX.sample_open(seed=9, count=250, mean_gap=1_500.0)
+        for policy in ROUTING_POLICIES:
+            pool = rpc_pool(policy, faults="storm")
+            for msg, at in zip(msgs, arrivals, strict=True):
+                pool.dispatch(msg, at)
+            assert pool.invariant_violations == 0
+            assert pool.failure_fraction() == 0.0  # the CPU always answers
+
+    def test_duplicate_device_names_rejected(self):
+        pool = rpc_pool()
+        devs = [pool.devices[0], PooledDevice("protoacc", pool.devices[1].device)]
+        with pytest.raises(ValueError, match="duplicate device names"):
+            DevicePool(devs)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="at least one device"):
+            DevicePool([])

@@ -1,0 +1,109 @@
+"""Open-loop serving: admission, shedding, and overload behavior."""
+
+import pytest
+
+from repro.runtime.pool import rpc_pool
+from repro.runtime.serving import OpenLoopServer
+from repro.workloads import ENTERPRISE_MIX
+
+
+def run_at(mean_gap, *, faults="none", policy="interface_predicted", count=300, **kw):
+    pool = rpc_pool(policy, faults=faults)
+    server = OpenLoopServer(pool, **kw)
+    msgs, arrivals = ENTERPRISE_MIX.sample_open(seed=13, count=count, mean_gap=mean_gap)
+    return pool, server.run(msgs, arrivals)
+
+
+class TestAccounting:
+    def test_every_offered_request_is_accounted_for(self):
+        _, res = run_at(200.0, faults="storm", queue_limit=16, deadline=30_000.0)
+        assert len(res.served) + len(res.dropped) + len(res.shed) == res.offered
+
+    def test_unloaded_server_serves_everything(self):
+        _, res = run_at(50_000.0)
+        assert res.drop_rate == 0.0
+        assert len(res.answered) == res.offered
+        # No queueing at this rate: latency is pure service time.
+        assert res.latency_summary().p99 < 10_000.0
+
+    def test_misaligned_trace_rejected(self):
+        pool = rpc_pool()
+        with pytest.raises(ValueError, match="align"):
+            OpenLoopServer(pool).run([], [0.0])
+
+    def test_parameter_validation(self):
+        pool = rpc_pool()
+        with pytest.raises(ValueError):
+            OpenLoopServer(pool, queue_limit=0)
+        with pytest.raises(ValueError):
+            OpenLoopServer(pool, deadline=0.0)
+        with pytest.raises(ValueError):
+            OpenLoopServer(pool, max_inflight=0)
+
+
+class TestDropRateMonotonicity:
+    def test_drop_rate_rises_with_arrival_rate(self):
+        # Satellite: pushing the arrival rate up (mean gap down) through
+        # a faulted fleet must not *reduce* the drop rate.
+        rates = []
+        for mean_gap in (2_000.0, 400.0, 150.0, 60.0):
+            _, res = run_at(
+                mean_gap, faults="storm", queue_limit=16, deadline=40_000.0
+            )
+            rates.append(res.drop_rate)
+        assert rates == sorted(rates), rates
+        assert rates[-1] > 0.0, "overload must actually drop"
+
+    def test_queue_limit_bounds_waiting_room(self):
+        # A tighter queue drops more at the same offered load.
+        _, tight = run_at(100.0, faults="storm", queue_limit=4)
+        _, roomy = run_at(100.0, faults="storm", queue_limit=256)
+        assert len(tight.dropped) > len(roomy.dropped)
+
+
+class TestDeadlineShedding:
+    def test_aged_requests_are_shed_before_touching_a_device(self):
+        pool, res = run_at(
+            100.0, faults="storm", queue_limit=512, deadline=15_000.0, count=400
+        )
+        assert res.shed, "overload with a tight deadline must shed"
+        served_ids = {id(r.request) for r in res.served}
+        on_tape = {
+            id(rec.request) for d in pool.devices for rec in d.device.records
+        }
+        for rejection in res.shed + res.dropped:
+            assert id(rejection.request) not in served_ids
+            assert id(rejection.request) not in on_tape  # never dispatched
+        for rejection in res.shed:
+            assert rejection.time - rejection.arrival > 15_000.0
+
+    def test_shed_requests_never_reach_a_tripped_device(self):
+        # The router invariant, end to end: under a storm that trips
+        # Protoacc's breaker, no request — served, shed, or dropped —
+        # is ever dispatched to a device whose breaker refused it.
+        pool, res = run_at(
+            150.0, faults="storm", queue_limit=64, deadline=40_000.0, count=400
+        )
+        assert pool.invariant_violations == 0
+        from repro.runtime import BreakerState
+
+        protoacc = pool.device("protoacc").device
+        opened = [
+            t for t in protoacc.breaker.transitions if t.state is BreakerState.OPEN
+        ]
+        assert opened, "storm should trip the breaker"
+        # Every record on the tripped device's tape was admitted:
+        # either it ran attempts, or it predates any trip.
+        for rec in protoacc.records:
+            assert rec.attempts > 0
+
+
+class TestHedgingUnderLoad:
+    def test_storm_survival_without_hangs(self):
+        # The acceptance bar: a storm trips a device, the pool keeps
+        # answering (drops allowed), and the run terminates.
+        pool, res = run_at(400.0, faults="storm", queue_limit=32, deadline=60_000.0)
+        assert len(res.answered) > 0.5 * res.offered
+        hedged_and_answered = [r for r in res.served if r.hedges > 0 and r.ok]
+        assert hedged_and_answered, "a storm run should rescue some calls by hedging"
+        assert pool.invariant_violations == 0

@@ -1,0 +1,122 @@
+"""Persisted serving tapes: gzipped JSONL round-trip and cross-process replay."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.accel.cpu import offload_overhead
+from repro.accel.protoacc import PROGRAM, ProtoaccSerializerModel
+from repro.runtime import (
+    FaultPlan,
+    FaultSpec,
+    ResilientDevice,
+    ResilientReplayDevice,
+    RetryPolicy,
+    Watchdog,
+    rpc_cpu_fallback,
+)
+from repro.runtime.tape import (
+    JSON_CODEC,
+    load_tape,
+    protoacc_message_codec,
+    replay_saved_tape,
+    save_tape,
+)
+from repro.workloads import ENTERPRISE_MIX
+
+from .test_device import FALLBACK, StubInterface, StubModel
+
+
+def record_faulted_tape(n=20):
+    device = ResilientDevice(
+        model=ProtoaccSerializerModel(),
+        interface=PROGRAM,
+        fallback=rpc_cpu_fallback(),
+        fault_plan=FaultPlan(11, FaultSpec(hang_rate=0.2, corrupt_rate=0.1)),
+        watchdog=Watchdog(3_000.0),
+        retry=RetryPolicy(max_attempts=2, seed=11),
+        invocation_overhead=offload_overhead,
+    )
+    for msg in ENTERPRISE_MIX.sample(seed=5, count=n):
+        device.call(msg)
+    return device
+
+
+class TestRoundTrip:
+    def test_protoacc_tape_round_trips_to_equal_records(self, tmp_path):
+        device = record_faulted_tape()
+        path = save_tape(
+            device.records, tmp_path / "incident.jsonl.gz", codec=protoacc_message_codec()
+        )
+        loaded = load_tape(path)
+        assert loaded == device.records
+        assert sum(len(r.faults) for r in loaded) == device.fault_count()
+
+    def test_json_codec_round_trips_stub_payloads(self, tmp_path):
+        device = ResilientDevice(
+            model=StubModel(),
+            interface=StubInterface(),
+            fallback=FALLBACK,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        for r in [3, 1, 4]:
+            device.call(r)
+        path = save_tape(device.records, tmp_path / "t.jsonl.gz", codec=JSON_CODEC)
+        assert load_tape(path) == device.records
+
+    def test_loaded_tape_replays_divergence_free_to_same_cycles(self, tmp_path):
+        device = record_faulted_tape()
+        path = save_tape(
+            device.records, tmp_path / "t.jsonl.gz", codec=protoacc_message_codec()
+        )
+        loaded = load_tape(path)
+        original = ResilientReplayDevice(device.records, PROGRAM)
+        restored = ResilientReplayDevice(loaded, PROGRAM)
+        for r in device.records:
+            original.call(r.request)
+            restored.call(r.request)  # raises ReplayDivergence on any mismatch
+        assert restored.clock == original.clock
+
+    def test_codec_mismatch_is_refused(self, tmp_path):
+        device = record_faulted_tape(n=5)
+        path = save_tape(
+            device.records, tmp_path / "t.jsonl.gz", codec=protoacc_message_codec()
+        )
+        with pytest.raises(ValueError, match="codec"):
+            load_tape(path, codec=JSON_CODEC)
+
+    def test_non_tape_file_is_refused(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "not_a_tape.jsonl.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(ValueError, match="not a serving tape"):
+            load_tape(path)
+
+
+class TestFreshProcessReplay:
+    def test_subprocess_replay_matches_in_process_estimate(self, tmp_path):
+        device = record_faulted_tape()
+        path = save_tape(
+            device.records, tmp_path / "t.jsonl.gz", codec=protoacc_message_codec()
+        )
+        here = replay_saved_tape(path)
+
+        src = Path(__file__).resolve().parents[2] / "src"
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.runtime.tape", "replay", str(path)],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": str(src)},
+        )
+        fresh = json.loads(out.stdout)
+        assert fresh["calls"] == here["calls"] == len(device.records)
+        assert fresh["faulted_cycles"] == pytest.approx(here["faulted_cycles"])
+        assert fresh["clean_cycles"] == pytest.approx(here["clean_cycles"])
+        # The faulted replay charges the recorded serving cycles exactly.
+        assert here["faulted_cycles"] == pytest.approx(sum(device.latencies()))
