@@ -35,6 +35,7 @@ import subprocess
 import sys
 from pathlib import Path
 
+from repro.obs import Obs
 from repro.perf import EvalCache
 from repro.runtime import (
     BreakerState,
@@ -56,8 +57,8 @@ DEADLINE = 60_000.0
 SEED = 17
 
 
-def run_serving(policy, faults, msgs, arrivals, cache=None):
-    pool = rpc_pool(policy, faults=faults, seed=SEED, cache=cache)
+def run_serving(policy, faults, msgs, arrivals, cache=None, obs=None):
+    pool = rpc_pool(policy, faults=faults, seed=SEED, cache=cache, obs=obs)
     server = OpenLoopServer(pool, queue_limit=QUEUE_LIMIT, deadline=DEADLINE)
     return pool, server.run(msgs, arrivals)
 
@@ -128,6 +129,25 @@ def test_open_loop_pool(benchmark, report, tmp_path):
     )
     assert json.loads(fresh.stdout) == here
 
+    # Claim 5 (observability): the same storm, fully observed — one Obs
+    # bundle yields a valid Chrome trace with spans from all three
+    # layers (petri, hw, runtime), a drift-observatory verdict, and an
+    # exact latency breakdown, without perturbing the run.
+    obs = Obs.enabled()
+    obs_pool, obs_res = run_serving("round_robin", "storm", *traces[GAPS[-1]], obs=obs)
+    plain_res = runs[(GAPS[-1], "storm", "round_robin")][1]
+    assert [r.completed for r in obs_res.served] == [
+        r.completed for r in plain_res.served
+    ], "tracing perturbed the serving run"
+    trace_path = tmp_path / "e15_storm.trace.json"
+    obs.tracer.export_chrome_trace(trace_path)
+    events = json.loads(trace_path.read_text())["traceEvents"]
+    cats = {e.get("cat", "") for e in events}
+    for layer in ("petri.", "hw.", "runtime."):
+        assert any(c.startswith(layer) for c in cats), (layer, sorted(cats))
+    for b in obs_res.breakdowns:
+        assert abs(b.total - b.end_to_end) < 1e-6
+
     lines = [
         "E15 — open-loop serving: heterogeneous pool under fault storms",
         f"requests/run: {N_REQUESTS}   queue limit: {QUEUE_LIMIT}   "
@@ -158,6 +178,25 @@ def test_open_loop_pool(benchmark, report, tmp_path):
         f"availability_overhead={here['availability_overhead']:.2f}x "
         "(identical in-process and fresh-process replay)",
         f"shared eval cache across the sweep: {cache.stats.hits} hits / "
-        f"{cache.stats.misses} misses",
+        f"{cache.stats.misses} misses "
+        f"({cache.stats.hit_rate * 100:.1f}% hit rate, "
+        f"{cache.stats.uncacheable} uncacheable)",
+        "",
+        "obs — the worst storm under full observation (round_robin, "
+        f"gap={GAPS[-1]:.0f}):",
+        f"  chrome trace: {len(events)} events across "
+        f"{len([c for c in cats if c])} categories "
+        f"(petri + hw + runtime layers all present)",
     ]
+    waits = [b.queue_wait for b in obs_res.breakdowns]
+    services = [b.service for b in obs_res.breakdowns]
+    retries = [b.retry for b in obs_res.breakdowns]
+    n = max(1, len(obs_res.breakdowns))
+    lines.append(
+        f"  latency breakdown (means): queue_wait={sum(waits) / n:.0f}  "
+        f"device_queue={sum(b.device_queue for b in obs_res.breakdowns) / n:.0f}  "
+        f"service={sum(services) / n:.0f}  retry={sum(retries) / n:.0f} cycles "
+        "(components sum exactly to end-to-end)"
+    )
+    lines += ["  " + line for line in obs.observatory.report().splitlines()]
     report("E15_open_loop_pool", "\n".join(lines))

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 
+from repro.obs import Tracer
 from repro.petri import CompiledNet, PetriNet, chain, make_simulator
 
 
@@ -147,3 +148,43 @@ def test_engine_compare(report):
     report("ENG_engine_compare", "\n".join(rows))
     for name, speedup in speedups.items():
         assert speedup >= 5.0, f"{name}: compiled only {speedup:.2f}x faster"
+
+
+def _time_traced(build, tracer) -> int:
+    """Best-effort CPU ns for one compiled run with the given tracer."""
+    net, sinks, load = build()
+    sim = make_simulator(
+        net, sinks=sinks, engine="compiled", compiled=CompiledNet(net), tracer=tracer
+    )
+    load(sim)
+    if tracer is not None and tracer.enabled:
+        tracer.clear()
+    t0 = time.process_time_ns()
+    sim.run()
+    return time.process_time_ns() - t0
+
+
+def test_tracing_overhead(report):
+    """Observability must be pay-for-what-you-use on the hot engine.
+
+    A *disabled* tracer is normalized away at simulator construction,
+    so the run loop is byte-identical to the untraced one — the
+    benchmark pins that claim to < 3% on the chain idiom (the
+    firing-densest of the three).  The *enabled* cost is reported for
+    context but not asserted: it buys a full per-firing timeline.
+    """
+    disabled = Tracer(enabled=False)
+    base_ns = off_ns = on_ns = float("inf")
+    for _ in range(60):  # interleave to cancel CPU-state drift
+        base_ns = min(base_ns, _time_traced(build_chain, None))
+        off_ns = min(off_ns, _time_traced(build_chain, disabled))
+        on_ns = min(on_ns, _time_traced(build_chain, Tracer()))
+    overhead = off_ns / base_ns - 1.0
+    report(
+        "ENG_tracing_overhead",
+        "compiled engine, 4-stage chain x 200 items (best-of-60 CPU time):\n"
+        f"untraced {base_ns / 1e6:8.3f}ms   disabled tracer {off_ns / 1e6:8.3f}ms "
+        f"({overhead * 100:+.1f}%)   enabled tracer {on_ns / 1e6:8.3f}ms "
+        f"({(on_ns / base_ns - 1.0) * 100:+.1f}%)",
+    )
+    assert overhead < 0.03, f"disabled tracer costs {overhead * 100:.1f}%"

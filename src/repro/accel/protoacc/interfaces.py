@@ -202,13 +202,14 @@ def _blob_stream_cost_own(msg: Message) -> float:
     )
 
 
-def petri_interface(*, engine=None, cache=None):
+def petri_interface(*, engine=None, cache=None, tracer=None):
     """Build the Petri-net interface (fresh net, reusable across items).
 
-    ``engine``/``cache`` pass through to
+    ``engine``/``cache``/``tracer`` pass through to
     :class:`~repro.core.petrinet.PetriNetInterface` — the pool runtime
     runs this net on the compiled engine with a shared
-    :class:`~repro.perf.EvalCache` so routing stays cheap.
+    :class:`~repro.perf.EvalCache` so routing stays cheap; a tracer
+    makes each simulation's firings visible as ``petri.*`` spans.
     """
     from repro.core.petrinet import PetriNetInterface
     from repro.petri import parse
@@ -222,6 +223,7 @@ def petri_interface(*, engine=None, cache=None):
         pnet_text=PROTOACC_PNET,
         engine=engine,
         cache=cache,
+        tracer=tracer,
     )
 
 

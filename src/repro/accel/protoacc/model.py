@@ -86,6 +86,7 @@ class ProtoaccSerializerModel(AcceleratorModel[Message]):
         tlb_config: TlbConfig | None = None,
         heap_pages: int = 512,
         bus_config: BusConfig | None = None,
+        tracer=None,
     ):
         """``tlb_config`` enables the paper's §5 extension: the
         co-processor reaches memory through an IOMMU TLB and every
@@ -96,11 +97,31 @@ class ProtoaccSerializerModel(AcceleratorModel[Message]):
         ``bus_config`` inserts a shared SmartNIC interconnect between
         the accelerator and memory: every transaction arbitrates on the
         bus (against its background traffic) before DRAM sees it —
-        §5's other environment example."""
+        §5's other environment example.
+
+        ``tracer`` (see :class:`repro.obs.Tracer`) is threaded into the
+        DRAM the model instantiates per measurement, so memory activity
+        shows up as ``hw.dram`` spans.  ``trace_origin`` is a settable
+        attribute: models time each call on a local 0-based clock, and a
+        caller serving requests on its own timeline (e.g.
+        :class:`repro.runtime.device.ResilientDevice`) sets it before
+        each measurement so the spans land under the offload window."""
         self.dram_config = dram_config or DRAM_CONFIG
         self.tlb_config = tlb_config
         self.heap_pages = heap_pages
         self.bus_config = bus_config
+        self.tracer = (
+            tracer if tracer is not None and getattr(tracer, "enabled", True) else None
+        )
+        self.trace_origin = 0.0
+
+    def _dram(self) -> Dram:
+        return Dram(
+            self.dram_config,
+            tracer=self.tracer,
+            trace_origin=self.trace_origin,
+            trace_tid=f"{self.name}.dram",
+        )
 
     # ------------------------------------------------------------------
     def _addr_rng(self, msg: Message, salt: int = 0) -> np.random.Generator:
@@ -198,7 +219,7 @@ class ProtoaccSerializerModel(AcceleratorModel[Message]):
     def serialize_timing(
         self, msg: Message, *, dram: Dram | None = None, start: float = 0.0
     ) -> SerializeTiming:
-        dram = dram or Dram(self.dram_config)
+        dram = dram or self._dram()
         ops: list[_Op] = []
         rng = self._addr_rng(msg)
         tlb = Tlb(self.tlb_config) if self.tlb_config else None
@@ -219,7 +240,7 @@ class ProtoaccSerializerModel(AcceleratorModel[Message]):
         writes (read and write paths are distinct hardware)."""
         if repeat < 1:
             raise ValueError("repeat must be >= 1")
-        dram = Dram(self.dram_config)
+        dram = self._dram()
         tlb = Tlb(self.tlb_config) if self.tlb_config else None
         bus = SharedBus(self.bus_config) if self.bus_config else None
         read_t = 0.0

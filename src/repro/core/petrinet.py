@@ -58,6 +58,10 @@ class PetriNetInterface(PerformanceInterface[ItemT], Generic[ItemT]):
             (net, injections) evaluations are served from the cache
             instead of re-simulated.  May also be attached later by
             assigning to ``self.cache``.
+        tracer: Optional :class:`repro.obs.Tracer`: simulations emit
+            per-firing spans into it (see :mod:`repro.petri.simulate`).
+            Cache *hits* skip the simulation entirely and therefore
+            emit no spans — the trace shows work actually done.
     """
 
     representation = "petri-net"
@@ -74,6 +78,7 @@ class PetriNetInterface(PerformanceInterface[ItemT], Generic[ItemT]):
         expected_completions: Callable[[ItemT], int] | None = None,
         engine: str | None = None,
         cache: "EvalCache | None" = None,
+        tracer=None,
     ):
         self.accelerator = accelerator
         self.net = net_factory()
@@ -84,10 +89,13 @@ class PetriNetInterface(PerformanceInterface[ItemT], Generic[ItemT]):
         self._expected = expected_completions
         self.engine = engine
         self.cache = cache
+        self.tracer = tracer
 
     def _run(self, injections: Sequence[Injection], expected: int) -> SimResult:
         def compute() -> SimResult:
-            sim = make_simulator(self.net, sinks=(self.sink,), engine=self.engine)
+            sim = make_simulator(
+                self.net, sinks=(self.sink,), engine=self.engine, tracer=self.tracer
+            )
             for inj in injections:
                 sim.inject(inj.place, inj.payload, at=inj.at)
             result = sim.run()

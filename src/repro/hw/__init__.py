@@ -12,7 +12,7 @@ from .kernel import ClockedSim, EventSim, SimError
 from .memory import Dram, DramConfig
 from .noc import BusConfig, SharedBus, expected_bus_delay
 from .pipeline import LinePipeline, PipelineSchedule, StageSpec, TickPipeline
-from .stats import ErrorReport, Summary, relative_error, relative_errors
+from .stats import ErrorReport, Reservoir, Summary, relative_error, relative_errors
 from .tlb import Tlb, TlbConfig
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "Fifo",
     "LinePipeline",
     "PipelineSchedule",
+    "Reservoir",
     "SharedBus",
     "SimError",
     "StageSpec",

@@ -16,13 +16,24 @@ T = TypeVar("T")
 
 
 class Fifo(Generic[T]):
-    """A capacity-bounded queue with explicit full/empty checks."""
+    """A capacity-bounded queue with explicit full/empty checks.
 
-    def __init__(self, capacity: int, name: str = "fifo"):
+    A FIFO has no clock of its own (its users tick it), so ``tracer``
+    records occupancy as a counter track indexed by *operation number*
+    (pushes + pops so far) — a depth-over-activity profile that makes
+    high-water excursions visible in the trace viewer.  For sampled
+    gauges on a metrics registry instead, see
+    :func:`repro.obs.metrics.watch_fifo`.
+    """
+
+    def __init__(self, capacity: int, name: str = "fifo", *, tracer=None):
         if capacity < 1:
             raise ValueError("fifo capacity must be >= 1")
         self.capacity = capacity
         self.name = name
+        self.tracer = (
+            tracer if tracer is not None and getattr(tracer, "enabled", True) else None
+        )
         self._items: deque[T] = deque()
         #: Cumulative statistics.
         self.pushes = 0
@@ -41,12 +52,27 @@ class Fifo(Generic[T]):
         self._items.append(item)
         self.pushes += 1
         self.high_water = max(self.high_water, len(self._items))
+        if self.tracer is not None:
+            self.tracer.counter(
+                f"fifo.{self.name}.depth",
+                self.pushes + self.pops,
+                len(self._items),
+                tid=self.name,
+            )
 
     def pop(self) -> T:
         if not self._items:
             raise IndexError(f"fifo {self.name!r} empty")
         self.pops += 1
-        return self._items.popleft()
+        item = self._items.popleft()
+        if self.tracer is not None:
+            self.tracer.counter(
+                f"fifo.{self.name}.depth",
+                self.pushes + self.pops,
+                len(self._items),
+                tid=self.name,
+            )
+        return item
 
     def front(self) -> T:
         if not self._items:

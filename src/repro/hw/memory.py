@@ -63,10 +63,31 @@ class _Bank:
 class Dram:
     """Stateful DRAM: call :meth:`access` in non-decreasing time order
     per bank is not required — each access queues behind its bank.
+
+    ``tracer`` (see :class:`repro.obs.Tracer`) records each access and
+    stream as a span in category ``hw.dram``, with queueing/stall time
+    visible as the gap between the request time and the span start.
+    Models run their own 0-based local clock per call; ``trace_origin``
+    shifts emitted spans onto the caller's timeline (a
+    :class:`~repro.runtime.device.ResilientDevice` sets it to its
+    serving clock before each invocation), so DRAM activity lines up
+    under the offload that caused it.
     """
 
-    def __init__(self, config: DramConfig | None = None):
+    def __init__(
+        self,
+        config: DramConfig | None = None,
+        *,
+        tracer=None,
+        trace_origin: float = 0.0,
+        trace_tid: str = "dram",
+    ):
         self.config = config or DramConfig()
+        self.tracer = (
+            tracer if tracer is not None and getattr(tracer, "enabled", True) else None
+        )
+        self.trace_origin = trace_origin
+        self.trace_tid = trace_tid
         self._banks = [_Bank() for _ in range(self.config.banks)]
         self._stream_available = 0.0
         self._stall_windows: list[tuple[float, float]] = []
@@ -101,6 +122,16 @@ class Dram:
             raise ValueError("stall window needs start >= 0 and duration > 0")
         self._stall_windows.append((start, start + duration))
         self._stall_windows.sort()
+        if self.tracer is not None:
+            origin = self.trace_origin
+            self.tracer.add_span(
+                "dram.stall_window",
+                origin + start,
+                origin + start + duration,
+                cat="hw.dram",
+                tid=self.trace_tid,
+                args={"duration": duration},
+            )
 
     def clear_stall_windows(self) -> None:
         self._stall_windows.clear()
@@ -157,6 +188,16 @@ class Dram:
         self.accesses += 1
         self.row_hits += int(hit)
         self.total_latency += complete - at
+        if self.tracer is not None:
+            origin = self.trace_origin
+            self.tracer.add_span(
+                "dram.access",
+                origin + start,
+                origin + complete,
+                cat="hw.dram",
+                tid=self.trace_tid,
+                args={"bank": bank_idx, "hit": hit, "wait": start - at},
+            )
         return complete
 
     def read_span(self, addr: int, at: float, size: int) -> float:
@@ -200,6 +241,16 @@ class Dram:
         self._stream_available = end
         self.accesses += 1
         self.total_latency += end - at
+        if self.tracer is not None:
+            origin = self.trace_origin
+            self.tracer.add_span(
+                "dram.stream",
+                origin + start,
+                origin + end,
+                cat="hw.dram",
+                tid=self.trace_tid,
+                args={"bytes": size, "rows": rows, "wait": start - at},
+            )
         return end
 
     @property

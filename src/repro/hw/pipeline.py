@@ -106,6 +106,58 @@ class PipelineSchedule:
         """Total busy time (compute + blocked) of stage ``s``."""
         return sum(e[s] - b[s] for b, e in zip(self.begin, self.exit, strict=True))
 
+    def bubble_time(self, s: int) -> float:
+        """Total blocked-after-service time of stage ``s`` — cycles spent
+        holding finished items because downstream had no space."""
+        return sum(e[s] - d[s] for d, e in zip(self.done, self.exit, strict=True))
+
+    def trace(
+        self,
+        tracer,
+        stage_names: Sequence[str] | None = None,
+        *,
+        tid: str = "pipeline",
+        origin: float = 0.0,
+    ) -> None:
+        """Export the schedule into ``tracer`` post hoc (zero cost when
+        untraced — the schedule is already exact).
+
+        Each ``(item, stage)`` pair becomes a compute span (category
+        ``hw.stage``) from begin to done, plus a ``<stage>!blocked``
+        span (category ``hw.bubble``) over any blocked-after-service
+        window — the backpressure bubbles, directly visible as gaps.
+        ``origin`` shifts the schedule onto a caller's timeline.
+        """
+        if tracer is None or not getattr(tracer, "enabled", True):
+            return
+        names = (
+            list(stage_names)
+            if stage_names is not None
+            else [f"stage{s}" for s in range(self.stages)]
+        )
+        if len(names) != self.stages:
+            raise SimError(f"expected {self.stages} stage names, got {len(names)}")
+        for i in range(self.items):
+            for s, name in enumerate(names):
+                b, d, e = self.begin[i][s], self.done[i][s], self.exit[i][s]
+                tracer.add_span(
+                    name,
+                    origin + b,
+                    origin + d,
+                    cat="hw.stage",
+                    tid=tid,
+                    args={"item": i},
+                )
+                if e > d:
+                    tracer.add_span(
+                        f"{name}!blocked",
+                        origin + d,
+                        origin + e,
+                        cat="hw.bubble",
+                        tid=tid,
+                        args={"item": i},
+                    )
+
 
 class LinePipeline:
     """Analytical blocking-pipeline timing model.

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import random
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,12 +36,88 @@ class Summary:
             p99=float(np.percentile(arr, 99)),
         )
 
+    @classmethod
+    def merge(cls, *summaries: Summary) -> Summary:
+        """Fold summaries of disjoint windows into one.
+
+        ``count``/``mean``/``minimum``/``maximum`` merge *exactly*.
+        The quantiles are count-weighted averages of the inputs'
+        quantiles — exact when the windows are identically distributed,
+        an approximation otherwise (a drift observatory folding
+        per-window summaries accepts that; pair with a
+        :class:`Reservoir` when accurate tails matter).
+        """
+        if not summaries:
+            raise ValueError("cannot merge zero summaries")
+        total = sum(s.count for s in summaries)
+        if total == 0:
+            raise ValueError("cannot merge empty summaries")
+
+        def weighted(attr: str) -> float:
+            return sum(getattr(s, attr) * s.count for s in summaries) / total
+
+        return cls(
+            count=total,
+            mean=weighted("mean"),
+            minimum=min(s.minimum for s in summaries),
+            maximum=max(s.maximum for s in summaries),
+            p50=weighted("p50"),
+            p95=weighted("p95"),
+            p99=weighted("p99"),
+        )
+
     def __str__(self) -> str:
         return (
             f"n={self.count} mean={self.mean:.3f} min={self.minimum:.3f} "
             f"p50={self.p50:.3f} p95={self.p95:.3f} p99={self.p99:.3f} "
             f"max={self.maximum:.3f}"
         )
+
+
+class Reservoir:
+    """Seeded streaming uniform sample (Vitter's Algorithm R).
+
+    Keeps at most ``capacity`` of the values seen so far, each with
+    equal probability, in O(capacity) memory — the accurate-quantile
+    companion to :meth:`Summary.merge`'s approximate folding.
+    Deterministic for a given seed and input order.
+    """
+
+    __slots__ = ("capacity", "seen", "_values", "_rng")
+
+    def __init__(self, capacity: int = 256, *, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = capacity
+        self.seen = 0
+        self._values: list[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.seen += 1
+        if len(self._values) < self.capacity:
+            self._values.append(float(value))
+            return
+        j = self._rng.randrange(self.seen)
+        if j < self.capacity:
+            self._values[j] = float(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def values(self) -> list[float]:
+        """The current sample (a copy, in slot order)."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def summary(self) -> Summary:
+        """Summary of the *sample*; ``count`` reports the sample size,
+        :attr:`seen` has the stream size."""
+        return Summary.of(self._values)
 
 
 def relative_error(predicted: float, actual: float) -> float:
@@ -53,14 +130,21 @@ def relative_error(predicted: float, actual: float) -> float:
 def relative_errors(
     predicted: Sequence[float], actual: Sequence[float]
 ) -> np.ndarray:
-    """Vectorized relative errors; lengths must match."""
+    """Vectorized :func:`relative_error`; lengths must match.
+
+    Zero actuals follow the scalar guard (0 when the prediction is also
+    0, ``inf`` otherwise) instead of numpy's divide-by-zero path — no
+    ``nan``, no runtime warnings, element-for-element agreement with
+    the scalar.
+    """
     if len(predicted) != len(actual):
         raise ValueError("predicted and actual must have the same length")
     p = np.asarray(predicted, dtype=float)
     a = np.asarray(actual, dtype=float)
     out = np.empty_like(a)
     zero = a == 0
-    out[~zero] = np.abs(p[~zero] - a[~zero]) / np.abs(a[~zero])
+    nonzero = ~zero
+    out[nonzero] = np.abs(p[nonzero] - a[nonzero]) / np.abs(a[nonzero])
     out[zero] = np.where(p[zero] == 0, 0.0, np.inf)
     return out
 
@@ -75,6 +159,12 @@ class ErrorReport:
     detector, see :func:`repro.runtime.degrade.derive_drift_threshold`)
     should read — the average hides the tail and the max is one outlier.
     ``None`` on reports built before quantiles existed.
+
+    ``infinite`` counts items whose error is unbounded (a nonzero
+    prediction against a zero actual).  ``avg``/``max`` cover only the
+    *finite* errors, so one degenerate pair cannot silently turn the
+    whole report into ``inf`` — the degenerate pairs are reported by
+    count instead of by poisoning the aggregates.
     """
 
     avg: float
@@ -83,6 +173,7 @@ class ErrorReport:
     p50: float | None = None
     p95: float | None = None
     p99: float | None = None
+    infinite: int = 0
 
     @classmethod
     def of(cls, predicted: Sequence[float], actual: Sequence[float]) -> ErrorReport:
@@ -94,13 +185,17 @@ class ErrorReport:
             else (None, None, None)
         )
         return cls(
-            avg=float(errs.mean()),
-            max=float(errs.max()),
+            avg=float(finite.mean()) if finite.size else 0.0,
+            max=float(finite.max()) if finite.size else 0.0,
             count=int(errs.size),
             p50=quantiles[0],
             p95=quantiles[1],
             p99=quantiles[2],
+            infinite=int(errs.size - finite.size),
         )
 
     def as_percent(self) -> str:
-        return f"avg {self.avg * 100:.2f}% (max {self.max * 100:.2f}%) over n={self.count}"
+        text = f"avg {self.avg * 100:.2f}% (max {self.max * 100:.2f}%) over n={self.count}"
+        if self.infinite:
+            text += f" [{self.infinite} unbounded]"
+        return text

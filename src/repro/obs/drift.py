@@ -1,0 +1,237 @@
+"""The drift observatory: rolling predicted-vs-observed reconciliation.
+
+A performance interface earns trust by *continuously* matching the
+hardware, not by passing one offline validation.  The observatory is
+the live half of that loop: every successful pool offload reports
+``(device, request, predicted, observed)`` here, and per
+``(device, rpc-class)`` key it maintains
+
+* a seeded :class:`~repro.hw.stats.Reservoir` of relative errors
+  (accurate quantiles in bounded memory),
+* window-folded :class:`~repro.hw.stats.Summary` aggregates
+  (:meth:`~repro.hw.stats.Summary.merge` over fixed-size chunks, so
+  mean/min/max stay exact over millions of calls), and
+* a :class:`~repro.runtime.degrade.DriftDetector` whose verdict feeds
+  back to the caller (a drifting class is the operator's cue that the
+  interface no longer describes the hardware).
+
+``python -m repro.tools.perfscope report`` renders :meth:`DriftObservatory.report`
+after a serving scenario; the E15 benchmark appends it to its output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.hw.stats import Reservoir, Summary, relative_error
+
+
+def rpc_size_class(request: Any) -> str:
+    """Default request classifier: wire-size buckets for RPC messages
+    (anything exposing ``encoded_size()``), else the type name."""
+    sizer = getattr(request, "encoded_size", None)
+    if callable(sizer):
+        size = sizer()
+        if size <= 96:
+            return "small"
+        if size <= 1024:
+            return "medium"
+        return "large"
+    return type(request).__name__
+
+
+class _KeyState:
+    """Per-(device, rpc-class) rolling state."""
+
+    __slots__ = (
+        "samples",
+        "errors",
+        "chunk",
+        "merged",
+        "detector",
+        "drifting",
+        "last_at",
+    )
+
+    def __init__(self, reservoir_capacity: int, seed: int, detector):
+        self.samples = 0
+        self.errors = Reservoir(reservoir_capacity, seed=seed)
+        self.chunk: list[float] = []
+        self.merged: Summary | None = None
+        self.detector = detector
+        self.drifting = False
+        self.last_at = 0.0
+
+
+class DriftObservatory:
+    """Per-(device, rpc-class) predicted-vs-observed error tracking.
+
+    Args:
+        classifier: maps a request to its rpc-class label
+            (:func:`rpc_size_class` by default).
+        window: chunk size for :meth:`~repro.hw.stats.Summary.merge`
+            folding — errors are summarized per ``window`` samples and
+            folded, so memory stays O(window + reservoir) per key.
+        reservoir_capacity: per-key error sample size.
+        detector_factory: builds the per-key
+            :class:`~repro.runtime.degrade.DriftDetector`; ``None``
+            uses its defaults.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            receiving ``obs_drift_samples_total`` and
+            ``obs_drift_score`` per key.
+    """
+
+    def __init__(
+        self,
+        *,
+        classifier: Callable[[Any], str] = rpc_size_class,
+        window: int = 64,
+        reservoir_capacity: int = 256,
+        seed: int = 0,
+        detector_factory: Callable[[], Any] | None = None,
+        metrics=None,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.classifier = classifier
+        self.window = window
+        self.reservoir_capacity = reservoir_capacity
+        self.seed = seed
+        self._detector_factory = detector_factory
+        self.metrics = metrics
+        self._keys: dict[tuple[str, str], _KeyState] = {}
+
+    # ------------------------------------------------------------------
+    def _make_detector(self):
+        if self._detector_factory is not None:
+            return self._detector_factory()
+        # Imported lazily: repro.runtime.device feeds this observatory,
+        # so a module-level import would be a cycle.
+        from repro.runtime.degrade import DriftDetector
+
+        return DriftDetector()
+
+    def _state(self, key: tuple[str, str]) -> _KeyState:
+        state = self._keys.get(key)
+        if state is None:
+            state = self._keys[key] = _KeyState(
+                self.reservoir_capacity,
+                self.seed + len(self._keys),
+                self._make_detector(),
+            )
+        return state
+
+    def observe(
+        self,
+        device: str,
+        request: Any,
+        predicted: float,
+        observed: float,
+        *,
+        at: float = 0.0,
+    ) -> bool:
+        """Fold one successful call; returns True when this key's
+        detector currently reports drift."""
+        key = (device, self.classifier(request))
+        state = self._state(key)
+        err = relative_error(predicted, observed)
+        state.samples += 1
+        state.last_at = at
+        state.errors.add(err)
+        state.chunk.append(err)
+        if len(state.chunk) >= self.window:
+            folded = Summary.of(state.chunk)
+            state.merged = (
+                folded
+                if state.merged is None
+                else Summary.merge(state.merged, folded)
+            )
+            state.chunk.clear()
+        state.drifting = bool(state.detector.update(predicted, observed))
+        if self.metrics is not None:
+            device_label, rpc_class = key
+            self.metrics.counter(
+                "obs_drift_samples_total", device=device_label, rpc_class=rpc_class
+            ).inc()
+            score = state.detector.last_score
+            if score is not None:
+                self.metrics.gauge(
+                    "obs_drift_score", device=device_label, rpc_class=rpc_class
+                ).set(score)
+        return state.drifting
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def keys(self) -> list[tuple[str, str]]:
+        return sorted(self._keys)
+
+    def samples(self, device: str, rpc_class: str) -> int:
+        state = self._keys.get((device, rpc_class))
+        return state.samples if state is not None else 0
+
+    def error_summary(self, device: str, rpc_class: str) -> Summary | None:
+        """Folded relative-error summary for one key (``None`` until a
+        sample arrives).  Mean/min/max are exact; quantiles are the
+        documented merge approximation — see :meth:`error_quantiles`
+        for the reservoir's accurate tails."""
+        state = self._keys.get((device, rpc_class))
+        if state is None or state.samples == 0:
+            return None
+        parts = []
+        if state.merged is not None:
+            parts.append(state.merged)
+        if state.chunk:
+            parts.append(Summary.of(state.chunk))
+        return Summary.merge(*parts)
+
+    def error_quantiles(self, device: str, rpc_class: str) -> Summary | None:
+        """Reservoir-sampled error summary (accurate quantiles over a
+        uniform sample of the whole stream)."""
+        state = self._keys.get((device, rpc_class))
+        if state is None or len(state.errors) == 0:
+            return None
+        return state.errors.summary()
+
+    def drifting_keys(self) -> list[tuple[str, str]]:
+        return sorted(k for k, s in self._keys.items() if s.drifting)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Programmatic view, one entry per (device, rpc-class)."""
+        out: dict[str, Any] = {}
+        for (device, rpc_class), state in sorted(self._keys.items()):
+            quant = self.error_quantiles(device, rpc_class)
+            out[f"{device}/{rpc_class}"] = {
+                "samples": state.samples,
+                "drifting": state.drifting,
+                "score": state.detector.last_score,
+                "threshold": state.detector.threshold,
+                "err_mean": self.error_summary(device, rpc_class).mean,
+                "err_p50": quant.p50 if quant else None,
+                "err_p95": quant.p95 if quant else None,
+                "err_p99": quant.p99 if quant else None,
+                "last_at": state.last_at,
+            }
+        return out
+
+    def report(self) -> str:
+        """Operator-facing table: one row per (device, rpc-class)."""
+        if not self._keys:
+            return "drift observatory: no samples"
+        lines = [
+            f"{'device':14}  {'class':8}  {'n':>6}  {'err mean':>8}  "
+            f"{'p50':>7}  {'p95':>7}  {'p99':>7}  {'score':>7}  status"
+        ]
+        for (device, rpc_class), state in sorted(self._keys.items()):
+            summary = self.error_summary(device, rpc_class)
+            quant = self.error_quantiles(device, rpc_class)
+            score = state.detector.last_score
+            lines.append(
+                f"{device:14}  {rpc_class:8}  {state.samples:6d}  "
+                f"{summary.mean:8.1%}  "
+                f"{quant.p50:7.1%}  {quant.p95:7.1%}  {quant.p99:7.1%}  "
+                + (f"{score:7.1%}  " if score is not None else f"{'-':>7}  ")
+                + ("DRIFTING" if state.drifting else "ok")
+            )
+        return "\n".join(lines)

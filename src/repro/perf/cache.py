@@ -60,6 +60,18 @@ class EvalCache:
     def __init__(self) -> None:
         self._store: dict[str, Any] = {}
         self.stats = CacheStats()
+        self._m_hits = self._m_misses = self._m_uncacheable = None
+
+    def bind_metrics(self, registry, **labels) -> None:
+        """Mirror lookups into a :class:`repro.obs.MetricsRegistry` as
+        ``eval_cache_{hits,misses,uncacheable}_total`` counters (with
+        ``labels``).  Only lookups *after* binding are counted; rebinding
+        moves future counts to the new registry."""
+        self._m_hits = registry.counter("eval_cache_hits_total", **labels)
+        self._m_misses = registry.counter("eval_cache_misses_total", **labels)
+        self._m_uncacheable = registry.counter(
+            "eval_cache_uncacheable_total", **labels
+        )
 
     def key(self, net: PetriNet | str, features: Any) -> str:
         """Content-addressed key; raises :class:`UncacheableError` when the
@@ -81,11 +93,17 @@ class EvalCache:
             key = self.key(net, features)
         except UncacheableError:
             self.stats.uncacheable += 1
+            if self._m_uncacheable is not None:
+                self._m_uncacheable.inc()
             return compute()
         if key in self._store:
             self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             return self._store[key]
         self.stats.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
         value = compute()
         self._store[key] = value
         return value

@@ -37,14 +37,30 @@ class SweepRunner:
         last_mode: ``"parallel"``, ``"serial"``, or ``"serial-fallback"``
             after each :meth:`map` call — visible in reports so a sweep
             that silently degraded is noticeable.
+
+    ``obs`` (an :class:`repro.obs.Obs` bundle) times each :meth:`map`
+    as a wall-clock span (sweeps are host work, not simulated work) and
+    counts maps per execution mode, so a pipeline that keeps falling
+    back to serial shows up in the metrics.
     """
 
-    def __init__(self, workers: int | None = None, *, min_parallel_items: int = 8):
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        min_parallel_items: int = 8,
+        obs=None,
+    ):
         if workers is not None and workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.min_parallel_items = min_parallel_items
         self.last_mode: str | None = None
+        tracer = getattr(obs, "tracer", None)
+        self._tracer = (
+            tracer if tracer is not None and getattr(tracer, "enabled", True) else None
+        )
+        self._metrics = getattr(obs, "metrics", None)
 
     def map(
         self,
@@ -57,6 +73,25 @@ class SweepRunner:
         serial (``last_mode`` says which happened).
         """
         points: Sequence[ItemT] = list(items)
+        if self._tracer is not None:
+            with self._tracer.wall_span(
+                "sweep.map", cat="perf.sweep", args={"points": len(points)}
+            ):
+                results = self._map(fn, points)
+        else:
+            results = self._map(fn, points)
+        if self._metrics is not None:
+            self._metrics.counter("sweep_maps_total", mode=self.last_mode).inc()
+            self._metrics.counter("sweep_points_total", mode=self.last_mode).inc(
+                len(points)
+            )
+        return results
+
+    def _map(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        points: Sequence[ItemT],
+    ) -> list[ResultT]:
         if self.workers <= 1 or len(points) < self.min_parallel_items:
             self.last_mode = "serial"
             return [fn(x) for x in points]

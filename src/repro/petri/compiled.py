@@ -264,6 +264,13 @@ class CompiledSimulator:
     not support), same ``inject``/``inject_stream``/``run`` API, and —
     by differential test — the same results.  Pass a pre-built
     :class:`CompiledNet` to share one lowering across many simulators.
+
+    ``tracer`` (see :class:`repro.obs.Tracer`) emits the same firing
+    spans as the reference engine.  Spans are recorded when completion
+    events pop off the heap — the event tuples already carry the fire
+    time — so the inlined firing loops pay nothing, and a run without a
+    tracer pays one predictable branch per event (benchmarked < 3%
+    in ``benchmarks/bench_petri_engine.py``).
     """
 
     MAX_FIRINGS_PER_INSTANT = Simulator.MAX_FIRINGS_PER_INSTANT
@@ -274,6 +281,7 @@ class CompiledSimulator:
         sinks: Sequence[str] = ("out",),
         *,
         compiled: CompiledNet | None = None,
+        tracer=None,
     ):
         for s in sinks:
             if s not in net.places:
@@ -283,6 +291,9 @@ class CompiledSimulator:
         self.net = net
         self.sinks = list(sinks)
         self.compiled = compiled if compiled is not None else CompiledNet(net)
+        self.tracer = (
+            tracer if tracer is not None and getattr(tracer, "enabled", True) else None
+        )
         self._pending: list[tuple[float, str, Token]] = []
 
     # ------------------------------------------------------------------
@@ -377,6 +388,15 @@ class CompiledSimulator:
         new_token = Token.__new__
         new_comp = Completion.__new__
         next_uid = _token_ids.__next__
+        tracer = self.tracer
+        net_name = net.name
+        # Per-transition span categories, precomputed so the per-event
+        # trace branch allocates nothing (guard attribution included).
+        trace_cat = (
+            ["petri.guarded" if g is not None else "petri.fire" for g in t_guard]
+            if tracer is not None
+            else None
+        )
 
         # Combined wake mask applied when a single-output transition
         # completes: its own server frees up, plus either readers of the
@@ -676,6 +696,19 @@ class CompiledSimulator:
                     dirty |= consumers_mask[idx]
             while events and events[0][0] == t:
                 _, _, kind, idx, tok, t0 = heappop(events)
+                if tracer is not None:
+                    if kind == _COMPLETE:
+                        tracer.add_span(
+                            t_names[idx], t0, t, cat=trace_cat[idx], tid=net_name
+                        )
+                    else:
+                        tracer.add_span(
+                            f"{t_names[idx]}!timeout",
+                            t0,
+                            t,
+                            cat="petri.timeout",
+                            tid=net_name,
+                        )
                 if kind == _COMPLETE:
                     # Single output arc: the first child of the consumed
                     # token has the same payload/born/trace, so reuse
@@ -809,6 +842,7 @@ def make_simulator(
     trace: bool = False,
     engine: str | None = None,
     compiled: CompiledNet | None = None,
+    tracer=None,
 ) -> Simulator | CompiledSimulator:
     """Build the right engine for ``net``.
 
@@ -817,21 +851,23 @@ def make_simulator(
     :class:`SimulationError` naming the unsupported features when the
     net cannot be compiled).  ``None`` defers to
     ``$REPRO_PETRI_ENGINE``/auto.  ``compiled`` shares a pre-built
-    :class:`CompiledNet` across simulators in a sweep.
+    :class:`CompiledNet` across simulators in a sweep.  ``tracer``
+    (:class:`repro.obs.Tracer`) records per-firing spans on either
+    engine without affecting results.
     """
     if engine is None:
         engine = default_engine()
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}")
     if engine == "reference":
-        return Simulator(net, sinks, trace=trace)
+        return Simulator(net, sinks, trace=trace, tracer=tracer)
     reasons = unsupported_features(net, trace=trace)
     if engine == "compiled":
         if reasons:
             raise SimulationError(
                 f"engine='compiled' cannot run net {net.name!r}: " + "; ".join(reasons)
             )
-        return CompiledSimulator(net, sinks, compiled=compiled)
+        return CompiledSimulator(net, sinks, compiled=compiled, tracer=tracer)
     if reasons:
-        return Simulator(net, sinks, trace=trace)
-    return CompiledSimulator(net, sinks, compiled=compiled)
+        return Simulator(net, sinks, trace=trace, tracer=tracer)
+    return CompiledSimulator(net, sinks, compiled=compiled, tracer=tracer)

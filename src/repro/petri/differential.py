@@ -84,22 +84,42 @@ def summarize(result: SimResult, net: PetriNet) -> tuple:
     )
 
 
-def _run_engine(engine: str, build: Builder, run_kwargs: dict[str, Any]) -> tuple:
-    """Run one engine over a fresh net; normalize errors into the digest."""
+def _run_engine(
+    engine: str,
+    build: Builder,
+    run_kwargs: dict[str, Any],
+    *,
+    tracing: bool = False,
+) -> tuple:
+    """Run one engine over a fresh net; normalize errors into the digest.
+
+    With ``tracing=True`` a :class:`~repro.obs.Tracer` rides along and
+    its ordered span list ``(name, start, end, cat, tid)`` joins the
+    digest — proving instrumentation neither perturbs results nor
+    diverges between engines.
+    """
     net, sinks, load = build()
+    tracer = None
+    if tracing:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     if engine == "reference":
-        sim: Any = Simulator(net, sinks=list(sinks))
+        sim: Any = Simulator(net, sinks=list(sinks), tracer=tracer)
     else:
-        sim = CompiledSimulator(net, sinks=list(sinks))
+        sim = CompiledSimulator(net, sinks=list(sinks), tracer=tracer)
     load(sim)
     try:
         result = sim.run(**run_kwargs)
     except PetriError as exc:
         return ("error", type(exc).__name__, str(exc))
-    return ("ok", summarize(result, net))
+    digest = summarize(result, net)
+    if tracer is not None:
+        return ("ok", digest, tuple(tracer.spans()))
+    return ("ok", digest)
 
 
-def compare_engines(case: DiffCase) -> tuple:
+def compare_engines(case: DiffCase, *, tracing: bool = False) -> tuple:
     """Run *case* through both engines; raise :class:`EngineMismatch` on any
     observable difference.  Returns the (shared) digest on success."""
     reasons = unsupported_features(case.build()[0])
@@ -107,8 +127,8 @@ def compare_engines(case: DiffCase) -> tuple:
         raise EngineMismatch(
             f"{case.name}: net not supported by compiled engine ({'; '.join(reasons)})"
         )
-    ref = _run_engine("reference", case.build, case.run_kwargs)
-    com = _run_engine("compiled", case.build, case.run_kwargs)
+    ref = _run_engine("reference", case.build, case.run_kwargs, tracing=tracing)
+    com = _run_engine("compiled", case.build, case.run_kwargs, tracing=tracing)
     if ref != com:
         raise EngineMismatch(
             f"{case.name}: engines disagree\n  reference: {ref!r}\n  compiled:  {com!r}"
@@ -309,23 +329,55 @@ def edge_cases() -> list[DiffCase]:
 # ----------------------------------------------------------------------
 
 
-def run_differential(cases: Sequence[DiffCase]) -> dict[str, tuple]:
+def run_differential(
+    cases: Sequence[DiffCase], *, tracing: bool = False
+) -> dict[str, tuple]:
     """Run every case through both engines; return ``{name: digest}``.
 
-    Raises :class:`EngineMismatch` on the first disagreement.
+    Raises :class:`EngineMismatch` on the first disagreement.  With
+    ``tracing=True`` every case additionally runs with a tracer
+    attached on both engines, the span lists must match, and the traced
+    result digest must equal the untraced one (observation cannot
+    perturb the simulation).
     """
-    return {case.name: compare_engines(case) for case in cases}
+    digests = {}
+    for case in cases:
+        plain = compare_engines(case)
+        if tracing:
+            traced = compare_engines(case, tracing=True)
+            if traced[:2] != plain[:2]:
+                raise EngineMismatch(
+                    f"{case.name}: tracing perturbed the result\n"
+                    f"  untraced: {plain!r}\n  traced:   {traced[:2]!r}"
+                )
+        digests[case.name] = plain
+    return digests
 
 
-def main() -> int:
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.petri.differential",
+        description="Assert reference/compiled engine parity on every case family",
+    )
+    parser.add_argument(
+        "--tracing",
+        action="store_true",
+        help="also run every case with a Tracer attached on both engines and "
+        "assert identical span lists and unperturbed results",
+    )
+    args = parser.parse_args(argv)
+
     accel = accel_cases()
     cases = accel + edge_cases() + random_cases(seed=0, count=25)
-    digests = run_differential(cases)
+    digests = run_differential(cases, tracing=args.tracing)
     ok_errors = sum(1 for d in digests.values() if d[0] == "error")
+    suffix = "; tracing parity included" if args.tracing else ""
     print(
         f"engine parity OK: {len(digests)} cases "
         f"({len(accel)} accelerator, {len(cases) - len(accel)} structural; "
-        f"{ok_errors} raised identical errors in both engines)"
+        f"{ok_errors} raised identical errors in both engines{suffix})"
     )
     return 0
 

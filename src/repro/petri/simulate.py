@@ -112,6 +112,15 @@ class Simulator:
         trace: When true, every token records its ``(transition, time)``
             path — useful for debugging interface nets, costly for
             large workloads.
+        tracer: Optional span sink (anything with
+            ``add_span(name, start, end, *, cat, tid)`` — see
+            :class:`repro.obs.Tracer`).  Each firing emits one span
+            from fire time to completion, named after the transition
+            and categorized ``petri.fire``/``petri.guarded``
+            (``petri.timeout`` with a ``name!timeout`` suffix for fault
+            arcs).  Pure observation: tracing cannot change results,
+            and :mod:`repro.petri.differential` asserts both engines
+            emit identical spans.
     """
 
     #: Safety valve against zero-delay livelock.
@@ -123,6 +132,7 @@ class Simulator:
         sinks: Sequence[str] = ("out",),
         *,
         trace: bool = False,
+        tracer=None,
     ):
         for s in sinks:
             if s not in net.places:
@@ -130,6 +140,9 @@ class Simulator:
         self.net = net
         self.sinks = list(sinks)
         self.trace = trace
+        self.tracer = (
+            tracer if tracer is not None and getattr(tracer, "enabled", True) else None
+        )
         self._events: list[_Event] = []
         self._seq = itertools.count()
         self._now = 0.0
@@ -374,6 +387,14 @@ class Simulator:
             t.busy_time += after
 
             def fail() -> None:
+                if self.tracer is not None:
+                    self.tracer.add_span(
+                        f"{t.name}!timeout",
+                        fire_time,
+                        self._now,
+                        cat="petri.timeout",
+                        tid=self.net.name,
+                    )
                 for name, place, _weight in t.out_arcs:
                     place.reserved -= _weight
                     self._dirty.update(self._producers[name])
@@ -400,6 +421,14 @@ class Simulator:
         t.busy_time += delay
 
         def complete() -> None:
+            if self.tracer is not None:
+                self.tracer.add_span(
+                    t.name,
+                    fire_time,
+                    self._now,
+                    cat="petri.guarded" if t.guard is not None else "petri.fire",
+                    tid=self.net.name,
+                )
             produced = (
                 t.produce(consumed) if t.produce is not None else t.default_production(consumed)
             )

@@ -50,7 +50,7 @@ from .pool import (
     rpc_pool,
 )
 from .retry import RetryPolicy
-from .serving import OpenLoopServer, Rejection, ServeResult
+from .serving import OpenLoopServer, Rejection, RequestBreakdown, ServeResult
 from .tape import (
     JSON_CODEC,
     ResilientOffloadEstimate,
@@ -84,6 +84,7 @@ __all__ = [
     "PoolResult",
     "PooledDevice",
     "Rejection",
+    "RequestBreakdown",
     "ResilientDevice",
     "ResilientOffloadEstimate",
     "ResilientOffloadEstimator",

@@ -61,6 +61,11 @@ class CallRecord(Generic[RequestT, ResponseT]):
     attempts: int  # accelerator invocations made (0 = breaker short-circuit)
     faults: tuple[FaultKind, ...]  # faults encountered across attempts
     breaker_state: BreakerState | None  # state at admission, if a breaker ran
+    #: Cycles of *useful* service: the successful accelerator attempt
+    #: (or the CPU fallback computation).  ``cycles - service_cycles`` is
+    #: pure overhead — failed attempts, backoff, watchdog waits.  0 when
+    #: the call failed outright (pool mode).
+    service_cycles: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -115,7 +120,19 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
         drift: DriftDetector | None = None,
         invocation_overhead: Callable[[RequestT], float] | None = None,
         storm_latency: Callable[[RequestT, FaultEvent], float] | None = None,
+        name: str | None = None,
+        obs=None,
     ):
+        """``name`` labels this endpoint in traces/metrics (defaults to
+        the model's name; a pool with several devices of one model type
+        should pass distinct names).  ``obs`` is an
+        :class:`repro.obs.Obs` bundle (or anything with
+        ``tracer``/``metrics``/``observatory`` attributes, each
+        optional): the tracer gets per-call offload/attempt/backoff
+        spans on this device's serving clock, the metrics registry gets
+        call/fault/breaker counters and a latency histogram, and the
+        drift observatory receives every (predicted, observed) pair a
+        successful accelerator attempt yields."""
         super().__init__()
         self.model = model
         self.interface = interface
@@ -128,6 +145,15 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
         self.drift = drift
         self.invocation_overhead = invocation_overhead
         self.storm_latency = storm_latency
+        self.name = name or getattr(model, "name", type(model).__name__)
+        self.obs = obs
+        tracer = getattr(obs, "tracer", None)
+        self._tracer = (
+            tracer if tracer is not None and getattr(tracer, "enabled", True) else None
+        )
+        self._metrics = getattr(obs, "metrics", None)
+        self._observatory = getattr(obs, "observatory", None)
+        self._breaker_seen = len(breaker.transitions) if breaker is not None else 0
         self.records: list[CallRecord[RequestT, ResponseT]] = []
         self._invocations = 0  # monotone accelerator-invocation counter
 
@@ -157,10 +183,12 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
     ) -> CallRecord[RequestT, ResponseT]:
         index = self.calls + 1
         start = self.clock
+        tracer = self._tracer
         faults: list[FaultKind] = []
         attempts = 0
         response: ResponseT | None = None
         path = "failed"
+        service = 0.0
         admission_state = self.breaker.state if self.breaker else None
         admitted = self.breaker is None or self.breaker.allow(self.clock)
 
@@ -172,11 +200,27 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
                 event = self.fault_plan.at(invocation) if self.fault_plan else None
                 if event is not None:
                     faults.append(event.kind)
+                attempt_start = self.clock
                 outcome = self._attempt(request, event)
                 self.clock += outcome.charge
+                if tracer is not None:
+                    tracer.add_span(
+                        "attempt",
+                        attempt_start,
+                        self.clock,
+                        cat="runtime.attempt",
+                        tid=self.name,
+                        args={
+                            "n": attempt,
+                            "ok": outcome.ok,
+                            "reason": outcome.reason,
+                            "fault": event.kind.value if event is not None else None,
+                        },
+                    )
                 if outcome.ok:
                     response = self.respond(request)
                     path = "accel"
+                    service = outcome.charge
                     self._record_success(request, outcome)
                     break
                 if self.breaker is not None:
@@ -184,12 +228,32 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
                     if self.breaker.state is BreakerState.OPEN:
                         break  # the circuit just opened: stop burning retries
                 if attempt < self.retry.max_attempts:
-                    self.clock += self.retry.backoff(index, attempt)
+                    pause = self.retry.backoff(index, attempt)
+                    if tracer is not None:
+                        tracer.add_span(
+                            "backoff",
+                            self.clock,
+                            self.clock + pause,
+                            cat="runtime.backoff",
+                            tid=self.name,
+                            args={"after_attempt": attempt},
+                        )
+                    self.clock += pause
 
         if response is None and degrade:
             response, cycles = self.fallback.call(request)
+            if tracer is not None:
+                tracer.add_span(
+                    "fallback",
+                    self.clock,
+                    self.clock + cycles,
+                    cat="runtime.fallback",
+                    tid=self.name,
+                    args={"index": index},
+                )
             self.clock += cycles
             path = "cpu"
+            service = cycles
 
         self.calls += 1
         record = CallRecord(
@@ -201,12 +265,69 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
             attempts=attempts,
             faults=tuple(faults),
             breaker_state=admission_state,
+            service_cycles=service,
         )
         self.records.append(record)
+        if tracer is not None:
+            tracer.add_span(
+                "offload",
+                start,
+                self.clock,
+                cat="runtime.offload",
+                tid=self.name,
+                args={"index": index, "path": path, "attempts": attempts},
+            )
+        self._observe_call(record, faults)
         return record
+
+    def _observe_call(
+        self, record: CallRecord[RequestT, ResponseT], faults: list[FaultKind]
+    ) -> None:
+        """Publish one finished call to metrics + breaker timeline."""
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "device_calls_total", device=self.name, path=record.path
+            ).inc()
+            metrics.counter("device_attempts_total", device=self.name).inc(
+                record.attempts
+            )
+            metrics.histogram("device_call_cycles", device=self.name).observe(
+                record.cycles
+            )
+            for kind in faults:
+                metrics.counter(
+                    "device_faults_total", device=self.name, kind=kind.value
+                ).inc()
+        if self.breaker is not None and (
+            self._tracer is not None or metrics is not None
+        ):
+            transitions = self.breaker.transitions
+            for tr in transitions[self._breaker_seen :]:
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        f"breaker:{tr.state.value}",
+                        tr.time,
+                        cat="runtime.breaker",
+                        tid=self.name,
+                        args={"reason": tr.reason},
+                    )
+                if metrics is not None:
+                    metrics.counter(
+                        "breaker_transitions_total",
+                        device=self.name,
+                        to=tr.state.value,
+                    ).inc()
+            self._breaker_seen = len(transitions)
 
     def _attempt(self, request: RequestT, event: FaultEvent | None) -> _Attempt:
         """One accelerator invocation under ``event`` (or none)."""
+        if getattr(self.model, "tracer", None) is not None and hasattr(
+            self.model, "trace_origin"
+        ):
+            # Models time each call on a local 0-based clock; align their
+            # spans (DRAM bursts etc.) with this device's serving clock.
+            self.model.trace_origin = self.clock
         observed = self.model.measure_latency(request)
         kind = event.kind if event is not None else None
         if kind is FaultKind.LATENCY_SPIKE:
@@ -243,19 +364,27 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
             if was_half_open and self.breaker.state is BreakerState.CLOSED:
                 if self.drift is not None:
                     self.drift.reset()  # a recovered device starts a fresh window
-        if self.drift is not None and outcome.observed is not None:
+        observatory = self._observatory
+        if outcome.observed is not None and (
+            self.drift is not None or observatory is not None
+        ):
             predicted = self.interface.latency(request)
-            drifted = self.drift.update(predicted, outcome.observed)
-            if (
-                drifted
-                and self.breaker is not None
-                and self.breaker.state is BreakerState.CLOSED
-            ):
-                self.breaker.trip(
-                    self.clock,
-                    f"interface drift: avg symmetric error "
-                    f"{self.drift.last_score:.0%} over {self.drift.samples} calls",
+            if observatory is not None:
+                observatory.observe(
+                    self.name, request, predicted, outcome.observed, at=self.clock
                 )
+            if self.drift is not None:
+                drifted = self.drift.update(predicted, outcome.observed)
+                if (
+                    drifted
+                    and self.breaker is not None
+                    and self.breaker.state is BreakerState.CLOSED
+                ):
+                    self.breaker.trip(
+                        self.clock,
+                        f"interface drift: avg symmetric error "
+                        f"{self.drift.last_score:.0%} over {self.drift.samples} calls",
+                    )
 
     # ------------------------------------------------------------------
     # Introspection

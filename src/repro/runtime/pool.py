@@ -61,6 +61,11 @@ class PoolResult(Generic[RequestT]):
     hedges: int  # re-dispatches after a mid-flight device failure
     devices_tried: tuple[str, ...]
     faults: tuple[FaultKind, ...]
+    #: Where the cycles went.  Exact decomposition:
+    #: ``queue_cycles + service_cycles + retry_cycles == cycles``.
+    queue_cycles: float = 0.0  # waiting in device FIFOs before service
+    service_cycles: float = 0.0  # the successful attempt / fallback work
+    retry_cycles: float = 0.0  # failed attempts, backoff, watchdog waits
 
     @property
     def cycles(self) -> float:
@@ -221,12 +226,21 @@ class DevicePool(Generic[RequestT, ResponseT]):
             admitting member.
         policy: routing policy name or instance (see
             :data:`ROUTING_POLICIES`).
+        cache: the shared :class:`~repro.perf.EvalCache` the devices'
+            pricing interfaces use, if any — kept so :meth:`snapshot`
+            can report hit rates alongside serving health.
+        obs: an :class:`repro.obs.Obs` bundle; the pool emits dispatch
+            spans, per-hop queue-wait spans, hedge instants, and
+            request/hedge counters into it.
     """
 
     def __init__(
         self,
         devices: Sequence[PooledDevice[RequestT, ResponseT]],
         policy: str | RoutingPolicy = "round_robin",
+        *,
+        cache=None,
+        obs=None,
     ):
         names = [d.name for d in devices]
         if len(set(names)) != len(names):
@@ -235,6 +249,13 @@ class DevicePool(Generic[RequestT, ResponseT]):
             raise ValueError("a pool needs at least one device")
         self.devices = list(devices)
         self.policy = make_routing_policy(policy)
+        self.cache = cache
+        self.obs = obs
+        tracer = getattr(obs, "tracer", None)
+        self._tracer = (
+            tracer if tracer is not None and getattr(tracer, "enabled", True) else None
+        )
+        self._metrics = getattr(obs, "metrics", None)
         self.results: list[PoolResult[RequestT]] = []
         #: Routing-invariant breaches (policy picked outside the
         #: admitting set, or an "admitting" device rejected at its
@@ -266,12 +287,16 @@ class DevicePool(Generic[RequestT, ResponseT]):
         failure.  ``deadline`` (absolute cycles) stops hedging once the
         request is already late — the pool reports it failed rather
         than burn a healthy device on a dead request."""
+        tracer = self._tracer
         tried: list[str] = []
         faults: list[FaultKind] = []
         hedges = 0
         t = now
         final_path = "failed"
         final_device = ""
+        queue = 0.0
+        service = 0.0
+        retry = 0.0
 
         while True:
             candidates = self.available_devices(t, exclude=tried)
@@ -282,8 +307,24 @@ class DevicePool(Generic[RequestT, ResponseT]):
                 self.invariant_violations += 1
                 choice = candidates[0]
             tried.append(choice.name)
+            start = choice.busy_until(t)
+            if start > t:
+                queue += start - t
+                if tracer is not None:
+                    tracer.add_span(
+                        "queue",
+                        t,
+                        start,
+                        cat="runtime.queue",
+                        tid=choice.name,
+                        args={"backlog": choice.outstanding(t)},
+                    )
             record = choice.serve(request, t)
             faults.extend(record.faults)
+            service += record.service_cycles
+            # Subtraction of two accumulated floats can land a hair
+            # below zero; the component must stay non-negative.
+            retry += max(0.0, record.cycles - record.service_cycles)
             t = choice.device.clock  # completion (or give-up) time
             if record.attempts == 0 and record.path == "failed":
                 # The router saw an admitting device but its breaker
@@ -298,6 +339,14 @@ class DevicePool(Generic[RequestT, ResponseT]):
             if deadline is not None and t >= deadline:
                 break  # already late: don't hedge a dead request
             hedges += 1
+            if tracer is not None:
+                tracer.instant(
+                    "hedge",
+                    t,
+                    cat="runtime.pool",
+                    tid="pool",
+                    args={"failed_on": choice.name, "hedge": hedges},
+                )
 
         result = PoolResult(
             request=request,
@@ -308,8 +357,32 @@ class DevicePool(Generic[RequestT, ResponseT]):
             hedges=hedges,
             devices_tried=tuple(tried),
             faults=tuple(faults),
+            queue_cycles=queue,
+            service_cycles=service,
+            retry_cycles=retry,
         )
         self.results.append(result)
+        if tracer is not None:
+            tracer.add_span(
+                "dispatch",
+                now,
+                t,
+                cat="runtime.pool",
+                tid="pool",
+                args={"device": final_device, "path": final_path, "hedges": hedges},
+            )
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "pool_requests_total", policy=self.policy.name, path=final_path
+            ).inc()
+            if hedges:
+                metrics.counter("pool_hedges_total", policy=self.policy.name).inc(
+                    hedges
+                )
+            metrics.histogram(
+                "pool_request_cycles", policy=self.policy.name
+            ).observe(t - now)
         return result
 
     # ------------------------------------------------------------------
@@ -334,6 +407,41 @@ class DevicePool(Generic[RequestT, ResponseT]):
     def summary(self) -> Summary:
         return Summary.of(self.latencies())
 
+    def snapshot(self) -> dict:
+        """One structured health snapshot: serving outcomes, per-device
+        breaker state and load, and the shared eval-cache hit rate —
+        what ``perfscope report`` (and an operator dashboard) reads."""
+        devices = {}
+        for d in self.devices:
+            breaker = d.device.breaker
+            devices[d.name] = {
+                "dispatched": d.dispatched,
+                "clock": d.device.clock,
+                "breaker": breaker.state.value if breaker is not None else None,
+                "breaker_transitions": (
+                    len(breaker.transitions) if breaker is not None else 0
+                ),
+                "fallback_fraction": d.device.fallback_fraction(),
+                "faults": d.device.fault_count(),
+            }
+        snap = {
+            "requests": len(self.results),
+            "policy": self.policy.name,
+            "failure_fraction": self.failure_fraction(),
+            "hedges": self.hedge_count(),
+            "invariant_violations": self.invariant_violations,
+            "devices": devices,
+        }
+        if self.cache is not None:
+            stats = self.cache.stats
+            snap["eval_cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "uncacheable": stats.uncacheable,
+                "hit_rate": stats.hit_rate,
+            }
+        return snap
+
 
 # ----------------------------------------------------------------------
 # The standard RPC-serialization pool scenario
@@ -344,6 +452,7 @@ def rpc_pool(
     faults: str = "none",
     seed: int = 17,
     cache=None,
+    obs=None,
 ) -> DevicePool:
     """The benchmark/example fleet: Protoacc + Optimus Prime + a CPU
     software server, each wrapped as a :class:`ResilientDevice` with
@@ -361,6 +470,13 @@ def rpc_pool(
     interfaces on the compiled engine, sharing one
     :class:`~repro.perf.EvalCache` (pass ``cache`` to share it wider,
     e.g. across the policies of a sweep).
+
+    ``obs`` (an :class:`repro.obs.Obs` bundle) instruments the whole
+    stack: the tracer is threaded into the Protoacc ground-truth model
+    (DRAM spans), both Petri-net pricing interfaces (firing spans on
+    cache misses), and every device's serving loop; the metrics
+    registry and drift observatory ride along on each device and on
+    the pool itself.
     """
     from repro.accel.cpu import CpuSerializerModel, offload_overhead
     from repro.accel.optimusprime import OptimusPrimeModel
@@ -379,6 +495,10 @@ def rpc_pool(
     if faults not in ("none", "storm"):
         raise ValueError(f"faults must be 'none' or 'storm', got {faults!r}")
     cache = cache if cache is not None else EvalCache()
+    tracer = getattr(obs, "tracer", None)
+    metrics = getattr(obs, "metrics", None)
+    if metrics is not None:
+        cache.bind_metrics(metrics, cache="pool")
     fallback = rpc_cpu_fallback()
 
     def breaker() -> CircuitBreaker:
@@ -394,24 +514,28 @@ def rpc_pool(
     background_spec = FaultSpec(spike_rate=0.02, spike_scale=3.0)
 
     protoacc = ResilientDevice(
-        ProtoaccSerializerModel(),
-        protoacc_petri(engine="compiled", cache=cache),
+        ProtoaccSerializerModel(tracer=tracer),
+        protoacc_petri(engine="compiled", cache=cache, tracer=tracer),
         fallback,
         fault_plan=FaultPlan(seed, storm_spec) if faults == "storm" else None,
         watchdog=Watchdog(budget=20_000.0),
         retry=RetryPolicy(max_attempts=2, seed=seed),
         breaker=breaker(),
         invocation_overhead=offload_overhead,
+        name="protoacc",
+        obs=obs,
     )
     optimus = ResilientDevice(
         OptimusPrimeModel(),
-        optimus_petri(engine="compiled", cache=cache),
+        optimus_petri(engine="compiled", cache=cache, tracer=tracer),
         fallback,
         fault_plan=FaultPlan(seed + 1, background_spec) if faults == "storm" else None,
         watchdog=Watchdog(budget=20_000.0),
         retry=RetryPolicy(max_attempts=2, seed=seed + 1),
         breaker=breaker(),
         invocation_overhead=offload_overhead,
+        name="optimus-prime",
+        obs=obs,
     )
     cpu_model = CpuSerializerModel()
     cpu = ResilientDevice(
@@ -421,6 +545,8 @@ def rpc_pool(
         fallback,
         # No faults, no breaker: the software server always admits and
         # always answers, so the pool is never without a device.
+        name="cpu",
+        obs=obs,
     )
     return DevicePool(
         [
@@ -429,4 +555,6 @@ def rpc_pool(
             PooledDevice("cpu", cpu),
         ],
         policy=policy,
+        cache=cache,
+        obs=obs,
     )

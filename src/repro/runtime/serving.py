@@ -51,6 +51,35 @@ class Rejection(Generic[RequestT]):
     reason: str  # "queue full" or "deadline exceeded"
 
 
+@dataclass(frozen=True)
+class RequestBreakdown:
+    """Where one served request's end-to-end cycles went.
+
+    The four components partition the wall exactly:
+    ``queue_wait + device_queue + service + retry == completed - arrival``
+    (asserted in ``tests/runtime/test_serving.py``).  ``queue_wait`` is
+    server-side (admission queue + dispatch-width backlog before the
+    pool ever saw the request); the rest is the pool-side decomposition
+    from :class:`~repro.runtime.pool.PoolResult`.
+    """
+
+    arrival: float
+    completed: float
+    queue_wait: float  # admission queue, before dispatch
+    device_queue: float  # device FIFO backlog, after dispatch
+    service: float  # the successful attempt / fallback work
+    retry: float  # failed attempts, backoff, watchdog waits, hedging
+
+    @property
+    def end_to_end(self) -> float:
+        return self.completed - self.arrival
+
+    @property
+    def total(self) -> float:
+        """Sum of the components; equals :attr:`end_to_end`."""
+        return self.queue_wait + self.device_queue + self.service + self.retry
+
+
 @dataclass
 class ServeResult(Generic[RequestT]):
     """One open-loop run: who was served, who was refused, and how."""
@@ -59,6 +88,8 @@ class ServeResult(Generic[RequestT]):
     served: list[PoolResult[RequestT]] = field(default_factory=list)
     dropped: list[Rejection[RequestT]] = field(default_factory=list)  # queue full
     shed: list[Rejection[RequestT]] = field(default_factory=list)  # too old
+    #: Aligned 1:1 with :attr:`served`.
+    breakdowns: list[RequestBreakdown] = field(default_factory=list)
 
     @property
     def answered(self) -> list[PoolResult[RequestT]]:
@@ -93,6 +124,10 @@ class OpenLoopServer(Generic[RequestT]):
         max_inflight: dispatch width — outstanding requests across the
             fleet.  Defaults to two per device, enough backlog for the
             queue-aware policies to have something to see.
+        obs: :class:`repro.obs.Obs` bundle; defaults to the pool's own.
+            The server emits admission-queue-wait spans and shed/drop
+            instants into the tracer and outcome counters into the
+            metrics registry.
     """
 
     def __init__(
@@ -102,6 +137,7 @@ class OpenLoopServer(Generic[RequestT]):
         queue_limit: int = 64,
         deadline: float | None = None,
         max_inflight: int | None = None,
+        obs=None,
     ):
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
@@ -115,6 +151,12 @@ class OpenLoopServer(Generic[RequestT]):
         )
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        self.obs = obs if obs is not None else getattr(pool, "obs", None)
+        tracer = getattr(self.obs, "tracer", None)
+        self._tracer = (
+            tracer if tracer is not None and getattr(tracer, "enabled", True) else None
+        )
+        self._metrics = getattr(self.obs, "metrics", None)
 
     def run(
         self,
@@ -128,6 +170,12 @@ class OpenLoopServer(Generic[RequestT]):
         result: ServeResult[RequestT] = ServeResult(offered=len(requests))
         waiting: deque[tuple[float, RequestT]] = deque()
         inflight: list[float] = []  # min-heap of completion times
+        tracer = self._tracer
+        metrics = self._metrics
+
+        def count(outcome: str) -> None:
+            if metrics is not None:
+                metrics.counter("server_requests_total", outcome=outcome).inc()
 
         def pump(now: float) -> None:
             """Pull from the queue while dispatch slots are free."""
@@ -138,10 +186,42 @@ class OpenLoopServer(Generic[RequestT]):
                     result.shed.append(
                         Rejection(request, arrived, start, "deadline exceeded")
                     )
+                    if tracer is not None:
+                        tracer.instant(
+                            "shed",
+                            start,
+                            cat="runtime.server",
+                            tid="server",
+                            args={"waited": start - arrived},
+                        )
+                    count("shed")
                     continue
+                if tracer is not None and start > arrived:
+                    tracer.add_span(
+                        "admission_wait",
+                        arrived,
+                        start,
+                        cat="runtime.server",
+                        tid="server",
+                    )
                 absolute = arrived + self.deadline if self.deadline else None
                 served = self.pool.dispatch(request, start, deadline=absolute)
                 result.served.append(served)
+                result.breakdowns.append(
+                    RequestBreakdown(
+                        arrival=arrived,
+                        completed=served.completed,
+                        queue_wait=start - arrived,
+                        device_queue=served.queue_cycles,
+                        service=served.service_cycles,
+                        retry=served.retry_cycles,
+                    )
+                )
+                if metrics is not None:
+                    metrics.histogram("server_queue_wait_cycles").observe(
+                        start - arrived
+                    )
+                count("served" if served.ok else "failed")
                 heappush(inflight, served.completed)
 
         def retire(until: float) -> None:
@@ -155,6 +235,11 @@ class OpenLoopServer(Generic[RequestT]):
                 result.dropped.append(
                     Rejection(request, arrived, arrived, "queue full")
                 )
+                if tracer is not None:
+                    tracer.instant(
+                        "drop", arrived, cat="runtime.server", tid="server"
+                    )
+                count("dropped")
                 continue
             waiting.append((arrived, request))
             pump(arrived)

@@ -215,6 +215,7 @@ def save_tape(
                     None if r.response is None else codec.encode_response(r.response)
                 ),
                 "cycles": r.cycles,
+                "service_cycles": r.service_cycles,
                 "path": r.path,
                 "attempts": r.attempts,
                 "faults": [k.value for k in r.faults],
@@ -262,6 +263,9 @@ def load_tape(
                     else codec.decode_response(line["response"])
                 ),
                 cycles=float(line["cycles"]),
+                # Tapes written before the observability release carry
+                # no service split; treat their cycles as opaque.
+                service_cycles=float(line.get("service_cycles", 0.0)),
                 path=line["path"],
                 attempts=line["attempts"],
                 faults=tuple(FaultKind(k) for k in line["faults"]),

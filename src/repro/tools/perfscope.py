@@ -1,0 +1,181 @@
+"""Perfscope: the operator console for the observability stack.
+
+One command runs a traced, metered serving scenario (the E15 fleet —
+``rpc_pool`` + :class:`~repro.runtime.serving.OpenLoopServer` under an
+open-loop Poisson workload) and renders what an operator would want
+from it:
+
+* ``report`` — drift observatory table (predicted-vs-observed relative
+  error per device × RPC size class), pool health snapshot, and the
+  request-latency breakdown (queue / service / retry);
+* ``trace`` — export the run as Chrome/Perfetto ``trace_event`` JSON
+  (open at https://ui.perfetto.dev) with spans from all three layers:
+  Petri-net firings, DRAM bursts, and runtime offloads;
+* ``metrics`` — Prometheus-style text exposition of every counter,
+  gauge, and histogram the run touched.
+
+All three subcommands share the scenario flags, so the same run can be
+inspected from any angle::
+
+    python -m repro.tools.perfscope report --faults storm
+    python -m repro.tools.perfscope trace --out storm.trace.json
+    python -m repro.tools.perfscope metrics --policy round_robin
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from collections.abc import Sequence
+
+from repro.obs import Obs
+
+
+def run_scenario(
+    *,
+    policy: str = "interface_predicted",
+    faults: str = "storm",
+    requests: int = 120,
+    gap: float = 900.0,
+    seed: int = 7,
+    deadline: float = 60_000.0,
+    obs: Obs | None = None,
+):
+    """Drive the standard serving scenario under full observability.
+
+    Returns ``(obs, pool, serve_result)``; every layer of the run has
+    emitted into ``obs`` by the time this returns.
+    """
+    from repro.runtime.pool import rpc_pool
+    from repro.runtime.serving import OpenLoopServer
+    from repro.workloads.rpc import ENTERPRISE_MIX
+
+    obs = obs if obs is not None else Obs.enabled()
+    pool = rpc_pool(policy, faults=faults, seed=seed, obs=obs)
+    server = OpenLoopServer(pool, deadline=deadline)
+    msgs, arrivals = ENTERPRISE_MIX.sample_open(seed, requests, gap)
+    result = server.run(msgs, arrivals)
+    return obs, pool, result
+
+
+def _breakdown_table(result) -> str:
+    """Aggregate the per-request cycle decomposition into one table."""
+    rows = []
+    if result.breakdowns:
+        n = len(result.breakdowns)
+        for label, attr in (
+            ("admission queue", "queue_wait"),
+            ("device queue", "device_queue"),
+            ("service", "service"),
+            ("retry/overhead", "retry"),
+            ("end to end", "end_to_end"),
+        ):
+            values = [getattr(b, attr) for b in result.breakdowns]
+            rows.append(
+                f"  {label:<16} {sum(values) / n:>12.0f} {max(values):>12.0f}"
+            )
+    header = f"  {'component':<16} {'mean cyc':>12} {'max cyc':>12}"
+    return "\n".join([header, *rows])
+
+
+def _report(obs: Obs, pool, result) -> str:
+    snap = pool.snapshot()
+    lines = [
+        "== perfscope report ==",
+        "",
+        f"requests: {result.offered} offered, {len(result.served)} served, "
+        f"{len(result.dropped)} dropped, {len(result.shed)} shed "
+        f"(drop rate {result.drop_rate:.1%})",
+        f"policy: {snap['policy']}; hedges: {snap['hedges']}; "
+        f"invariant violations: {snap['invariant_violations']}",
+        "",
+        "-- devices --",
+    ]
+    for name, d in snap["devices"].items():
+        breaker = d["breaker"] if d["breaker"] is not None else "(none)"
+        lines.append(
+            f"  {name:<14} dispatched={d['dispatched']:<4} "
+            f"breaker={breaker:<9} faults={d['faults']:<3} "
+            f"fallback={d['fallback_fraction']:.0%}"
+        )
+    if "eval_cache" in snap:
+        c = snap["eval_cache"]
+        lines.append(
+            f"  eval cache: {c['hits']}/{c['hits'] + c['misses']} hits "
+            f"({c['hit_rate']:.0%}), {c['uncacheable']} uncacheable"
+        )
+    lines += ["", "-- latency breakdown (served requests) --", _breakdown_table(result)]
+    lines += ["", "-- drift observatory --"]
+    if obs.observatory is not None:
+        lines.append(obs.observatory.report())
+    if obs.tracer is not None:
+        lines += [
+            "",
+            f"trace: {len(obs.tracer)} events in "
+            f"{len(obs.tracer.categories())} categories "
+            f"({obs.tracer.dropped} dropped)",
+        ]
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.perfscope",
+        description="Run a traced serving scenario and inspect it.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    commands = {
+        "report": "drift/health/breakdown operator report",
+        "trace": "export a Chrome/Perfetto trace of the run",
+        "metrics": "Prometheus-style text exposition",
+    }
+    for name, help_text in commands.items():
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "--policy",
+            default="interface_predicted",
+            help="pool routing policy (default: interface_predicted)",
+        )
+        p.add_argument(
+            "--faults",
+            default="storm",
+            choices=("none", "storm"),
+            help="fault environment (default: storm)",
+        )
+        p.add_argument("--requests", type=int, default=120)
+        p.add_argument(
+            "--gap", type=float, default=900.0, help="mean inter-arrival gap, cycles"
+        )
+        p.add_argument("--seed", type=int, default=7)
+        if name == "trace":
+            p.add_argument(
+                "--out",
+                default="perfscope.trace.json",
+                help="output path for the trace_event JSON",
+            )
+    args = parser.parse_args(argv)
+
+    obs, pool, result = run_scenario(
+        policy=args.policy,
+        faults=args.faults,
+        requests=args.requests,
+        gap=args.gap,
+        seed=args.seed,
+    )
+
+    if args.command == "report":
+        print(_report(obs, pool, result))
+    elif args.command == "trace":
+        path = obs.tracer.export_chrome_trace(args.out)
+        document = json.loads(path.read_text())
+        print(
+            f"wrote {path} ({len(document['traceEvents'])} events, "
+            f"categories: {', '.join(sorted(obs.tracer.categories()))})"
+        )
+    elif args.command == "metrics":
+        print(obs.metrics.render_text(), end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

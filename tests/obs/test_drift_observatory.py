@@ -1,0 +1,102 @@
+"""DriftObservatory: per-(device, class) error tracking and detection."""
+
+import numpy as np
+import pytest
+
+from repro.obs import DriftObservatory, MetricsRegistry, Obs, rpc_size_class
+from repro.runtime.degrade import DriftDetector
+from repro.workloads.rpc import sized_message
+
+
+def msg(size):
+    return sized_message(size, np.random.default_rng(0))
+
+
+class TestClassifier:
+    def test_size_classes(self):
+        assert rpc_size_class(msg(16)) == "small"
+        assert rpc_size_class(msg(512)) == "medium"
+        assert rpc_size_class(msg(4096)) == "large"
+
+    def test_non_message_falls_back_to_type_name(self):
+        assert rpc_size_class(42) == "int"
+
+
+class TestObserve:
+    def test_exact_mean_via_window_folding(self):
+        obs = DriftObservatory(window=4)
+        errors = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]  # predicted = (1+e) * 100
+        for e in errors:
+            obs.observe("dev", msg(16), 100.0 * (1 + e), 100.0)
+        summary = obs.error_summary("dev", "small")
+        # Mean/min/max merge exactly across folded windows + live chunk.
+        assert summary.count == 6
+        assert summary.mean == pytest.approx(sum(errors) / 6)
+        assert summary.minimum == pytest.approx(0.1)
+        assert summary.maximum == pytest.approx(0.6)
+
+    def test_reservoir_quantiles_track_stream(self):
+        obs = DriftObservatory(reservoir_capacity=64)
+        for i in range(500):
+            obs.observe("dev", msg(16), 110.0, 100.0)
+        quant = obs.error_quantiles("dev", "small")
+        assert quant.p50 == pytest.approx(0.10)
+        assert obs.samples("dev", "small") == 500
+
+    def test_detector_flags_sustained_drift(self):
+        obs = DriftObservatory(
+            detector_factory=lambda: DriftDetector(
+                threshold=0.2, window=8, min_samples=8
+            )
+        )
+        for _ in range(8):
+            assert not obs.observe("dev", msg(16), 100.0, 100.0)
+        for _ in range(16):
+            drifting = obs.observe("dev", msg(16), 200.0, 100.0)
+        assert drifting
+        assert obs.drifting_keys() == [("dev", "small")]
+        assert "DRIFTING" in obs.report()
+
+    def test_keys_are_per_device_and_class(self):
+        obs = DriftObservatory()
+        obs.observe("a", msg(16), 1.0, 1.0)
+        obs.observe("a", msg(512), 1.0, 1.0)
+        obs.observe("b", msg(16), 1.0, 1.0)
+        assert obs.keys() == [("a", "medium"), ("a", "small"), ("b", "small")]
+
+    def test_snapshot_carries_scores_and_timestamps(self):
+        obs = DriftObservatory()
+        obs.observe("dev", msg(16), 110.0, 100.0, at=1234.0)
+        snap = obs.snapshot()
+        entry = snap["dev/small"]
+        assert entry["samples"] == 1
+        assert entry["last_at"] == 1234.0
+        assert entry["err_mean"] == pytest.approx(0.10)
+
+    def test_metrics_integration(self):
+        reg = MetricsRegistry()
+        obs = DriftObservatory(metrics=reg)
+        for _ in range(3):
+            obs.observe("dev", msg(16), 110.0, 100.0)
+        snap = reg.snapshot()
+        assert snap['obs_drift_samples_total{device="dev",rpc_class="small"}'] == 3.0
+
+    def test_empty_report(self):
+        assert "no samples" in DriftObservatory().report()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            DriftObservatory(window=0)
+
+
+class TestObsBundle:
+    def test_enabled_wires_observatory_to_registry(self):
+        obs = Obs.enabled()
+        assert obs.observatory.metrics is obs.metrics
+        assert obs.active_tracer() is obs.tracer
+
+    def test_partial_bundles(self):
+        obs = Obs.enabled(tracing=False, drift=False)
+        assert obs.tracer is None and obs.observatory is None
+        assert obs.metrics is not None
+        assert Obs().active_tracer() is None

@@ -1,0 +1,102 @@
+"""MetricsRegistry: instrument semantics, labels, exposition."""
+
+import pytest
+
+from repro.hw import Fifo
+from repro.obs import Histogram, MetricsRegistry, watch_fifo
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", path="accel")
+        c.inc()
+        c.inc(4)
+        assert reg.counter("requests_total", path="accel").value == 5.0
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels_identify_series(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", device="a").inc()
+        reg.counter("x_total", device="b").inc(2)
+        snap = reg.snapshot()
+        assert snap['x_total{device="a"}'] == 1.0
+        assert snap['x_total{device="b"}'] == 2.0
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        reg.counter("y_total", a="1", b="2").inc()
+        assert reg.counter("y_total", b="2", a="1").value == 1.0
+
+    def test_gauge_goes_both_ways(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(5)
+        g.dec(2)
+        g.inc()
+        assert g.value == 4.0
+
+    def test_kind_conflicts_raise(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total")
+        with pytest.raises(ValueError, match="counter"):
+            reg.gauge("z_total")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat_cycles", buckets=(10.0, 100.0))
+        with pytest.raises(ValueError, match="buckets"):
+            reg.histogram("lat_cycles", buckets=(10.0, 50.0))
+
+
+class TestHistogram:
+    def test_observe_and_cumulative_snapshot(self):
+        h = Histogram(buckets=(10.0, 100.0))
+        for v in (1, 5, 50, 500):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4 and snap["sum"] == 556.0
+        assert snap["buckets"] == {"10": 2, "100": 3, "+Inf": 4}
+        assert h.mean == pytest.approx(139.0)
+
+    def test_quantile_is_bucket_resolution(self):
+        h = Histogram(buckets=(10.0, 100.0))
+        for v in (1, 2, 3, 50):
+            h.observe(v)
+        assert h.quantile(0.5) == 10.0
+        assert h.quantile(1.0) == 100.0
+        h.observe(1e9)
+        assert h.quantile(1.0) == float("inf")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(10.0, 10.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestExposition:
+    def test_render_text_prometheus_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", path="accel").inc(3)
+        reg.histogram("lat_cycles", buckets=(10.0,)).observe(4)
+        text = reg.render_text()
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{path="accel"} 3' in text
+        assert 'lat_cycles_bucket{le="10"} 1' in text
+        assert "lat_cycles_count 1" in text
+
+    def test_watch_fifo_probe_samples_at_snapshot(self):
+        reg = MetricsRegistry()
+        fifo = Fifo(4, "ingress")
+        watch_fifo(reg, fifo)
+        fifo.push(1)
+        fifo.push(2)
+        fifo.pop()
+        snap = reg.snapshot()
+        assert snap['fifo_depth{fifo="ingress"}'] == 1.0
+        assert snap['fifo_high_water{fifo="ingress"}'] == 2.0
+        assert snap['fifo_pushes{fifo="ingress"}'] == 2.0

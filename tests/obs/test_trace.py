@@ -1,0 +1,97 @@
+"""Tracer semantics: emission, disabled no-ops, Chrome export shape."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, active
+
+
+class TestEmission:
+    def test_spans_record_in_order(self):
+        tr = Tracer()
+        tr.add_span("a", 0.0, 10.0, cat="x.y", tid="t1")
+        tr.add_span("b", 10.0, 12.0, cat="x.z", tid="t1")
+        assert len(tr) == 2
+        assert tr.spans() == [
+            ("a", 0.0, 10.0, "x.y", "t1"),
+            ("b", 10.0, 12.0, "x.z", "t1"),
+        ]
+
+    def test_category_prefix_filter(self):
+        tr = Tracer()
+        tr.add_span("a", 0, 1, cat="petri.fire")
+        tr.add_span("b", 1, 2, cat="petri.timeout")
+        tr.add_span("c", 2, 3, cat="runtime.offload")
+        assert [s[0] for s in tr.spans("petri")] == ["a", "b"]
+        assert tr.categories() == {"petri.fire", "petri.timeout", "runtime.offload"}
+
+    def test_instants_and_counters_are_not_spans(self):
+        tr = Tracer()
+        tr.instant("trip", 5.0, cat="runtime.breaker")
+        tr.counter("depth", 1.0, 3)
+        assert len(tr) == 2
+        assert tr.spans() == []
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        tr.add_span("a", 0, 1)
+        tr.instant("b", 0)
+        tr.counter("c", 0, 1)
+        with tr.wall_span("d"):
+            pass
+        assert len(tr) == 0 and tr.dropped == 0
+
+    def test_active_normalizes_none_and_disabled(self):
+        assert active(None) is None
+        assert active(Tracer(enabled=False)) is None
+        tr = Tracer()
+        assert active(tr) is tr
+
+    def test_max_events_caps_memory(self):
+        tr = Tracer(max_events=3)
+        for i in range(10):
+            tr.add_span(f"s{i}", i, i + 1)
+        assert len(tr) == 3
+        assert tr.dropped == 7
+        tr.clear()
+        assert len(tr) == 0 and tr.dropped == 0
+
+    def test_wall_span_measures_real_time(self):
+        tr = Tracer()
+        with tr.wall_span("host-work", cat="perf.sweep"):
+            sum(range(1000))
+        (span,) = tr.spans()
+        assert span[0] == "host-work"
+        assert span[2] >= span[1]  # non-negative duration
+
+    def test_rejects_bad_max_events(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+
+class TestChromeExport:
+    def test_document_structure(self, tmp_path):
+        tr = Tracer()
+        tr.add_span("fire", 100.0, 130.0, cat="petri.fire", tid="net")
+        tr.instant("trip", 140.0, cat="runtime.breaker", tid="dev")
+        with tr.wall_span("sweep"):
+            pass
+        doc = tr.export_chrome_trace()
+        events = doc["traceEvents"]
+        # Process metadata for both clocks plus thread names.
+        proc_names = [e for e in events if e["ph"] == "M" and e["name"] == "process_name"]
+        assert {e["pid"] for e in proc_names} == {1, 2}
+        thread_names = [e for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert {e["args"]["name"] for e in thread_names} == {"net", "dev", "host"}
+        xs = [e for e in events if e["ph"] == "X"]
+        assert any(e["name"] == "fire" and e["dur"] == 30.0 and e["pid"] == 1 for e in xs)
+        assert any(e["name"] == "sweep" and e["pid"] == 2 for e in xs)
+        (inst,) = [e for e in events if e["ph"] == "i"]
+        assert inst["s"] == "t" and inst["ts"] == 140.0
+
+        # Round-trips through JSON on disk.
+        path = tr.export_chrome_trace(tmp_path / "t.json")
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == len(events)
+        assert loaded["otherData"]["dropped_events"] == 0

@@ -42,6 +42,15 @@ def test_run_differential_returns_digest_per_case():
     assert set(digests) == {c.name for c in cases}
 
 
+def test_tracing_does_not_perturb_either_engine():
+    # Observability contract: a tracer riding along must leave the
+    # digest identical on both engines, for real accelerator nets too.
+    cases = accel_cases() + random_cases(seed=4, count=5)
+    traced = run_differential(cases, tracing=True)
+    plain = run_differential(cases)
+    assert traced == plain
+
+
 def test_mismatch_raises_with_both_digests():
     """A case whose behavior differs per engine must be flagged loudly.
 

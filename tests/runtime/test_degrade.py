@@ -96,10 +96,13 @@ class TestDerivedThreshold:
         assert rep.p50 is not None and rep.p95 is not None and rep.p99 is not None
         assert rep.p50 <= rep.p95 <= rep.p99 <= rep.max
 
-    def test_quantiles_ignore_infinite_errors(self):
-        rep = ErrorReport.of([110, 5], [100, 0])  # second error is inf
-        assert rep.max == float("inf")
+    def test_unbounded_errors_counted_not_poisoning(self):
+        rep = ErrorReport.of([110, 5], [100, 0])  # second error is unbounded
+        assert rep.infinite == 1
+        assert rep.max == pytest.approx(0.10)  # finite errors only
+        assert rep.avg == pytest.approx(0.10)
         assert rep.p95 is not None and rep.p95 < float("inf")
+        assert "[1 unbounded]" in rep.as_percent()
 
     def test_threshold_scales_with_offline_p95(self):
         from repro.runtime.degrade import derive_drift_threshold

@@ -1,5 +1,7 @@
 """Open-loop serving: admission, shedding, and overload behavior."""
 
+import math
+
 import pytest
 
 from repro.runtime.pool import rpc_pool
@@ -96,6 +98,37 @@ class TestDeadlineShedding:
         # either it ran attempts, or it predates any trip.
         for rec in protoacc.records:
             assert rec.attempts > 0
+
+
+class TestLatencyBreakdown:
+    def test_components_sum_to_end_to_end(self):
+        # The tentpole invariant: every served request's cycles decompose
+        # exactly into admission wait + device queue + service + retry.
+        _, res = run_at(
+            150.0, faults="storm", queue_limit=64, deadline=40_000.0, count=300
+        )
+        assert len(res.breakdowns) == len(res.served)
+        for b, served in zip(res.breakdowns, res.served, strict=True):
+            assert math.isclose(
+                b.total, b.end_to_end, rel_tol=1e-9, abs_tol=1e-6
+            ), (b.total, b.end_to_end)
+            assert b.completed == served.completed
+            assert min(b.queue_wait, b.device_queue, b.service, b.retry) >= 0.0
+
+    def test_overload_shows_up_as_queueing_not_service(self):
+        _, fast = run_at(50_000.0, count=100)
+        _, slow = run_at(100.0, count=100, queue_limit=512)
+        mean_wait = lambda r: sum(b.queue_wait for b in r.breakdowns) / len(  # noqa: E731
+            r.breakdowns
+        )
+        assert mean_wait(fast) == 0.0
+        assert mean_wait(slow) > 0.0
+
+    def test_storm_charges_retry_cycles(self):
+        _, res = run_at(
+            400.0, faults="storm", policy="round_robin", queue_limit=64, count=300
+        )
+        assert sum(b.retry for b in res.breakdowns) > 0.0
 
 
 class TestHedgingUnderLoad:
