@@ -1,0 +1,142 @@
+"""E16 — self-healing interfaces: drift-triggered refit, shadow
+validation, and hot-swap under a mid-serve hardware regime shift.
+
+E15 established the serving fleet and PR 5 gave it a drift observatory;
+this experiment closes the loop.  The storage RPC mix is served
+open-loop through the heterogeneous pool under ``interface_predicted``
+routing (essentially all large messages price onto Protoacc).  Thirty
+percent of the way through the trace, Protoacc's DRAM gets 5× slower —
+the ground-truth model changes, the vendor-shipped Petri-net interface
+does not, and every prediction for the device goes stale at once.  The
+:class:`~repro.heal.HealingManager` attached to the pool must then,
+with no operator and no restart:
+
+1. hear the per-(device, size-class) drift verdicts from the
+   observatory as the error spikes past the detector threshold;
+2. refit a candidate interface from the sliding window of live
+   ``CallRecord`` tape (:func:`repro.extract.fit_from_records`),
+   gated on held-out error;
+3. shadow-validate the candidate against live traffic (both
+   interfaces price every request; no routing impact);
+4. hot-swap it into ``interface_predicted`` pricing and survive
+   probation.
+
+The claims under test:
+
+1. before the shift the shipped interface is faithful (sub-percent
+   mean error) and the observatory is quiet;
+2. the full detect → refit → shadow → hot-swap → recover cycle
+   completes within the same serve — the final mean prediction error
+   for the affected key is back under the drift threshold and the
+   detector no longer reports drift;
+3. the hot-swap is invisible to serving state: the breaker and device
+   objects keep their identity, the swap itself causes no breaker
+   transitions, and the device tape is one continuous record across
+   the shift (no restart, nothing reset);
+4. the healed pricing is live in the router: the promoted candidate —
+   not the stale base interface — prices the target class.
+"""
+
+from __future__ import annotations
+
+from repro.heal import HealPhase, run_heal_scenario
+
+from conftest import scale
+
+#: 320 requests is the floor for a complete cycle (detect + refit +
+#: 10-sample shadow + 12-sample probation all need post-shift traffic).
+N_REQUESTS = scale(420, minimum=320)
+SLOWDOWN = 5.0
+SHIFT_FRACTION = 0.3
+SEED = 7
+
+
+def test_self_healing(benchmark, report):
+    result = run_heal_scenario(
+        requests=N_REQUESTS,
+        slowdown=SLOWDOWN,
+        shift_fraction=SHIFT_FRACTION,
+        seed=SEED,
+    )
+    device, rpc_class = result.target_key
+    healer = result.healer
+    state = healer.state(device, rpc_class)
+    detector = result.obs.observatory.detector(device, rpc_class)
+    threshold = detector.threshold
+
+    # Claim 1: faithful before the shift, and quiet.
+    pre_error = result.mean_error(device, rpc_class, until=result.shift_at)
+    assert pre_error < 0.1, f"shipped interface already off: {pre_error:.1%}"
+    pre_events = [e for e in healer.events if e.at < result.shift_at]
+    assert not pre_events, pre_events
+
+    # Claim 2: the full cycle ran and recovered the error.
+    swap = result.swap_at(device, rpc_class)
+    assert swap is not None, "no hot-swap happened"
+    assert state.refits >= 1 and state.promotions == 1
+    assert state.rollbacks == 0
+    spike = result.mean_error(device, rpc_class, since=result.shift_at, until=swap)
+    post = result.mean_error(device, rpc_class, since=swap)
+    assert spike > post, (spike, post)
+    assert post < threshold, f"post-swap error {post:.1%} >= {threshold:.1%}"
+    assert (device, rpc_class) not in result.obs.observatory.drifting_keys()
+    phases = [e.phase_to for e in healer.events]
+    assert phases[:2] == [HealPhase.SHADOWING, HealPhase.PROBATION]
+
+    # Claim 3: no restart, nothing reset.  The breaker kept its
+    # identity and the swap caused no transitions; the tape is one
+    # continuous monotonically-indexed record across the shift.
+    pooled = result.pool.device(device)
+    breaker = pooled.device.breaker
+    assert breaker.transitions == [], breaker.transitions
+    records = pooled.device.records
+    indices = [r.index for r in records]
+    assert indices == sorted(indices) and len(set(indices)) == len(indices)
+    # ...and it saw traffic on both sides of the shift (one tape, not two).
+    assert result.errors(device, rpc_class, until=result.shift_at)
+    assert result.errors(device, rpc_class, since=result.shift_at)
+
+    # Claim 4: the router now prices the class through the candidate.
+    routed = healer.routed_interface(device)
+    assert pooled.price_interface is routed
+    assert pooled.device.interface is routed
+    assert rpc_class in routed.overrides
+    assert routed.interface_for(rpc_class) is not routed.base
+
+    benchmark(lambda: run_heal_scenario(requests=min(N_REQUESTS, 320)))
+
+    # ------------------------------------------------------------------
+    served_before = result.served["before"]
+    served_after = result.served["after"]
+    snap = result.pool.snapshot()["healing"]
+    lines = [
+        "E16 — self-healing interfaces: refit, shadow, hot-swap (no restart)",
+        f"requests: {N_REQUESTS} ({served_before.offered} before shift, "
+        f"{served_after.offered} after)   mix: storage   "
+        f"routing: interface_predicted",
+        f"injection: protoacc DRAM {SLOWDOWN:.0f}x slower at "
+        f"t={result.shift_at:.0f} (ground truth only; interface left stale)",
+        "",
+        f"target key: {device}/{rpc_class}   drift threshold: {threshold:.0%}",
+        "",
+        "prediction error arc (mean symmetric error):",
+        f"  before shift        {pre_error:8.1%}",
+        f"  shift -> hot-swap   {spike:8.1%}   (detect + refit + shadow)",
+        f"  after hot-swap      {post:8.1%}   (recovered, under threshold)",
+        "",
+        "lifecycle events:",
+    ]
+    lines += [f"  {e}" for e in healer.events]
+    lines += [
+        "",
+        f"hot-swap safety: breaker transitions={len(breaker.transitions)}, "
+        f"tape records={len(records)} (continuous), "
+        f"server restarts=0",
+        f"healing snapshot: promotions={snap['promotions']}, "
+        f"rollbacks={snap['rollbacks']}, "
+        f"managed={', '.join(snap['managed_devices'])}",
+        "",
+        "final lifecycle table:",
+    ]
+    lines += ["  " + line for line in healer.report().splitlines()]
+    report("E16_self_healing", "\n".join(lines))

@@ -1,0 +1,71 @@
+"""Example #10 — a performance interface that heals itself.
+
+Example #9's pool routes by *predicted* latency, which only works while
+the predictions are honest.  This example breaks that honesty on
+purpose: mid-serve, Protoacc's DRAM gets 5x slower (thermal throttling,
+a noisy neighbour — the model changes, the shipped interface doesn't)
+and the :class:`~repro.heal.HealingManager` attached to the pool has to
+repair it live:
+
+1. the drift observatory's per-(device, size-class) detector sees the
+   prediction error spike past its threshold;
+2. the manager refits a candidate interface from the sliding window of
+   call records the device just served (no offline profiling, no model
+   access — just the tape), gated on held-out error;
+3. the candidate shadow-prices live traffic next to the stale
+   interface — zero routing impact — and must beat it on live error
+   quantiles;
+4. it is then hot-swapped into ``interface_predicted`` pricing: one
+   override slot in a class-routed interface, so the breaker, retry
+   state, device clock, and tape are untouched and no restart happens;
+5. a promoted candidate is still on probation — if it regresses it is
+   rolled back to the exact prior pricing and the key quarantined.
+
+    python examples/self_healing_pool.py
+"""
+
+from repro.heal import run_heal_scenario
+
+
+def main() -> None:
+    print("=" * 72)
+    print("self-healing interfaces: DRAM regime shift, repaired mid-serve")
+    print("=" * 72)
+
+    result = run_heal_scenario(requests=420)
+    device, rpc_class = result.target_key
+    swap = result.swap_at(device, rpc_class)
+
+    print(f"\nshift: protoacc DRAM 5x slower at t={result.shift_at:.0f} "
+          "(the interface is now lying)")
+    print("\nlifecycle (drift -> refit -> shadow -> hot-swap -> probation):")
+    for event in result.healer.events:
+        print(f"  {event}")
+
+    pre = result.mean_error(device, rpc_class, until=result.shift_at)
+    print(f"\nmean prediction error, {device}/{rpc_class}:")
+    print(f"  before the shift:    {pre:7.1%}")
+    if swap is not None:
+        spike = result.mean_error(
+            device, rpc_class, since=result.shift_at, until=swap
+        )
+        post = result.mean_error(device, rpc_class, since=swap)
+        print(f"  shift -> hot-swap:   {spike:7.1%}   <- the stale interface")
+        print(f"  after the hot-swap:  {post:7.1%}   <- the refit one")
+
+    breaker = result.pool.device(device).device.breaker
+    print(f"\nserver restarts: 0   breaker transitions: "
+          f"{len(breaker.transitions)}   "
+          f"tape records: {len(result.pool.device(device).device.records)} "
+          "(one continuous tape)")
+
+    print("\nfinal lifecycle table:")
+    for line in result.healer.report().splitlines():
+        print(f"  {line}")
+
+    print("\n(the operator view of the same run: "
+          "python -m repro.tools.perfscope heal)")
+
+
+if __name__ == "__main__":
+    main()

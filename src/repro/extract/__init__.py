@@ -7,12 +7,18 @@ text, so a human can eyeball what the tool learned.
 """
 
 from .features import jpeg_features, protoacc_features, vta_features
-from .fit import ExtractedInterface, FitReport, extract_program_interface
+from .fit import (
+    ExtractedInterface,
+    FitReport,
+    extract_program_interface,
+    fit_from_records,
+)
 
 __all__ = [
     "ExtractedInterface",
     "FitReport",
     "extract_program_interface",
+    "fit_from_records",
     "jpeg_features",
     "protoacc_features",
     "vta_features",

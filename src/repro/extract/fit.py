@@ -12,6 +12,20 @@ including a human-readable rendering of the learned formula.
 The fit is non-negative least squares (costs cannot be negative), so
 the extracted formula reads like the hand-written ones: a sum of
 per-feature rates plus a constant.
+
+Two entry points share the fitter:
+
+* :func:`extract_program_interface` — the offline path: profile a
+  ground-truth ``AcceleratorModel`` over a workload.
+* :func:`fit_from_records` — the production path: fit directly on
+  (features, observed ``service_cycles``) pairs from a
+  :class:`~repro.runtime.device.CallRecord` tape, no model in the loop.
+  This is what the self-healing runtime (:mod:`repro.heal`) calls when
+  the drift observatory flags a stale interface.
+
+Both hold out a slice of their pairs internally and report
+:attr:`FitReport.holdout_error`, so promotion decisions never have to
+trust training error alone.
 """
 
 from __future__ import annotations
@@ -34,16 +48,45 @@ FeatureFn = Callable[[ItemT], Mapping[str, float]]
 
 @dataclass(frozen=True)
 class FitReport:
-    """Quality of an extraction run."""
+    """Quality of an extraction run.
+
+    ``holdout_error`` is the mean relative error on an internal
+    held-out slice the fitter never saw; ``holdout_infinite`` counts
+    held-out pairs whose error is unbounded (a nonzero prediction
+    against a zero observation — counted, not averaged, mirroring
+    :class:`repro.hw.stats.ErrorReport`).  ``None``/0 when the sample
+    was too small to split.
+    """
 
     train_items: int
     train_error: float   # mean relative error on the training set
     feature_names: tuple[str, ...]
+    holdout_items: int = 0
+    holdout_error: float | None = None
+    holdout_infinite: int = 0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"fit on {self.train_items} items, "
             f"train error {self.train_error * 100:.2f}%"
+        )
+        if self.holdout_error is not None:
+            text += (
+                f", holdout error {self.holdout_error * 100:.2f}% "
+                f"on {self.holdout_items} held-out items"
+            )
+            if self.holdout_infinite:
+                text += f" [{self.holdout_infinite} unbounded]"
+        return text
+
+    def trustworthy(self, max_error: float) -> bool:
+        """Would a promotion gate accept this fit?  Requires a holdout
+        slice, no unbounded held-out errors, and a held-out mean below
+        ``max_error`` — train error is deliberately not consulted."""
+        return (
+            self.holdout_error is not None
+            and self.holdout_infinite == 0
+            and self.holdout_error <= max_error
         )
 
 
@@ -84,42 +127,154 @@ class ExtractedInterface(PerformanceInterface[ItemT], Generic[ItemT]):
         return "latency = " + " + ".join(terms)
 
 
+def _feature_rows(
+    items: Sequence[ItemT], feature_fn: FeatureFn
+) -> tuple[list[str], list[Mapping[str, float]]]:
+    rows = [feature_fn(item) for item in items]
+    names = sorted(rows[0])
+    for row in rows:
+        if sorted(row) != names:
+            raise ValueError("feature_fn must return the same keys for every item")
+    return names, rows
+
+
+def _split(
+    n: int, holdout_fraction: float, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic shuffled train/holdout index split.
+
+    The training side keeps at least 3 items (the fitter's floor); when
+    that leaves no room for a holdout slice, the holdout is empty and
+    the report carries ``holdout_error=None``.
+    """
+    if not 0.0 <= holdout_fraction < 1.0:
+        raise ValueError("holdout_fraction must be in [0, 1)")
+    order = np.random.default_rng(seed).permutation(n)
+    n_holdout = min(int(round(n * holdout_fraction)), n - 3)
+    if n_holdout < 1:
+        return order, order[:0]
+    return order[n_holdout:], order[:n_holdout]
+
+
+def _fit(
+    names: Sequence[str],
+    rows: Sequence[Mapping[str, float]],
+    y: np.ndarray,
+    accelerator: str,
+    feature_fn: FeatureFn,
+    holdout_fraction: float,
+    seed: int,
+) -> tuple[ExtractedInterface, FitReport]:
+    """NNLS core shared by the offline and the from-records paths."""
+    x = np.array([[float(r[n]) for n in names] + [1.0] for r in rows])
+    train_idx, holdout_idx = _split(len(rows), holdout_fraction, seed)
+
+    # Column scaling keeps NNLS well-conditioned across feature ranges.
+    x_train, y_train = x[train_idx], y[train_idx]
+    scales = np.maximum(np.abs(x_train).max(axis=0), 1e-12)
+    solution, _ = nnls(x_train / scales, y_train)
+    solution = solution / scales
+    weights, intercept = solution[:-1], float(solution[-1])
+
+    iface = ExtractedInterface(accelerator, feature_fn, names, weights, intercept)
+    predictions = x @ solution
+    train_pred, train_y = predictions[train_idx], y_train
+    train_error = float(
+        np.mean(np.abs(train_pred - train_y) / np.maximum(train_y, 1e-12))
+    )
+
+    holdout_items = int(holdout_idx.size)
+    holdout_error: float | None = None
+    holdout_infinite = 0
+    if holdout_items:
+        from repro.hw.stats import relative_errors
+
+        errs = relative_errors(predictions[holdout_idx], y[holdout_idx])
+        finite = errs[np.isfinite(errs)]
+        holdout_infinite = int(errs.size - finite.size)
+        holdout_error = float(finite.mean()) if finite.size else 0.0
+
+    return iface, FitReport(
+        train_items=len(train_idx),
+        train_error=train_error,
+        feature_names=tuple(names),
+        holdout_items=holdout_items,
+        holdout_error=holdout_error,
+        holdout_infinite=holdout_infinite,
+    )
+
+
 def extract_program_interface(
     model: AcceleratorModel[ItemT],
     workload: Sequence[ItemT],
     feature_fn: FeatureFn,
     *,
     accelerator: str | None = None,
+    holdout_fraction: float = 0.2,
+    seed: int = 0,
 ) -> tuple[ExtractedInterface[ItemT], FitReport]:
     """Profile ``model`` on ``workload`` and fit a latency formula.
 
-    Returns the extracted interface plus a fit report.  The caller
-    should score the interface on a *held-out* workload with
-    :func:`repro.core.validate_interface` — the extractor does not peek.
+    Returns the extracted interface plus a fit report.  A
+    ``holdout_fraction`` slice of the workload is held out internally
+    and scored in :attr:`FitReport.holdout_error`; callers with an
+    independent workload should still score the interface with
+    :func:`repro.core.validate_interface` — the extractor never peeks
+    at either.
     """
     if len(workload) < 3:
         raise ValueError("need at least 3 training items")
-    rows = [feature_fn(item) for item in workload]
-    names = sorted(rows[0])
-    for row in rows:
-        if sorted(row) != names:
-            raise ValueError("feature_fn must return the same keys for every item")
-    x = np.array([[float(r[n]) for n in names] + [1.0] for r in rows])
+    names, rows = _feature_rows(workload, feature_fn)
     y = np.array([model.measure_latency(item) for item in workload], dtype=float)
-
-    # Column scaling keeps NNLS well-conditioned across feature ranges.
-    scales = np.maximum(np.abs(x).max(axis=0), 1e-12)
-    solution, _ = nnls(x / scales, y)
-    solution = solution / scales
-    weights, intercept = solution[:-1], float(solution[-1])
-
-    iface = ExtractedInterface(
-        accelerator or model.name, feature_fn, names, weights, intercept
+    return _fit(
+        names,
+        rows,
+        y,
+        accelerator or model.name,
+        feature_fn,
+        holdout_fraction,
+        seed,
     )
-    predictions = np.array([iface.latency(item) for item in workload])
-    train_error = float(np.mean(np.abs(predictions - y) / np.maximum(y, 1e-12)))
-    return iface, FitReport(
-        train_items=len(workload),
-        train_error=train_error,
-        feature_names=tuple(names),
+
+
+def fit_from_records(
+    records: Sequence,
+    feature_fn: FeatureFn,
+    *,
+    accelerator: str,
+    overhead_fn: Callable[[ItemT], float] | None = None,
+    holdout_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple[ExtractedInterface[ItemT], FitReport]:
+    """Fit a latency formula directly from a serving tape.
+
+    Unlike :func:`extract_program_interface`, nothing is re-measured:
+    each successful accelerator :class:`~repro.runtime.device.CallRecord`
+    contributes one (features, observed ``service_cycles``) pair, so a
+    live system can refit from the traffic it already served.  CPU
+    fallbacks and failed calls are skipped — their ``service_cycles``
+    describe the software path or nothing at all, not the accelerator
+    an interface would predict.
+
+    ``overhead_fn`` subtracts the host-side invocation overhead
+    (descriptor setup + DMA, e.g.
+    :func:`repro.accel.cpu.offload_overhead`) from each record's
+    ``service_cycles``, recovering the device-side latency that
+    interface predictions and drift scoring are defined over.  Leave it
+    ``None`` for devices whose records carry no overhead.
+    """
+    usable = [r for r in records if r.path == "accel"]
+    if len(usable) < 3:
+        raise ValueError(
+            f"need at least 3 accelerator-path records, got {len(usable)}"
+        )
+    names, rows = _feature_rows([r.request for r in usable], feature_fn)
+    y = np.array(
+        [
+            r.service_cycles
+            - (overhead_fn(r.request) if overhead_fn is not None else 0.0)
+            for r in usable
+        ],
+        dtype=float,
     )
+    return _fit(names, rows, y, accelerator, feature_fn, holdout_fraction, seed)

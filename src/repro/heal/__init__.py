@@ -1,0 +1,50 @@
+"""Self-healing performance interfaces.
+
+The paper argues a performance interface is only useful while it is
+*faithful* to the hardware it describes.  :mod:`repro.obs` (PR 5) can
+already tell when that stops being true; this package closes the loop:
+a drifted (device, rpc-size-class) is refit from the tape of traffic
+it just served (:func:`repro.extract.fit_from_records`), the candidate
+shadow-prices live requests with zero routing impact, and only a
+candidate that beats the stale interface on live error quantiles is
+hot-swapped into ``interface_predicted`` pricing — with hysteresis on
+the way in and quarantine + exact rollback on the way out.
+
+Entry points:
+
+* :class:`HealingManager` — attach to a :class:`~repro.runtime.pool.DevicePool`
+  built with ``obs=Obs.enabled()``; the loop then runs itself.
+* :func:`run_heal_scenario` — the E16 end-to-end demonstration
+  (mid-serve DRAM regime shift, healed without a restart).
+"""
+
+from .lifecycle import (
+    NO_OVERRIDE,
+    HealPhase,
+    HealPolicy,
+    KeyState,
+    LifecycleEvent,
+)
+from .manager import ClassRoutedInterface, HealingManager
+from .scenario import (
+    E16_HEAL_POLICY,
+    ErrorSample,
+    HealScenarioResult,
+    run_heal_scenario,
+    slowed_dram,
+)
+
+__all__ = [
+    "E16_HEAL_POLICY",
+    "NO_OVERRIDE",
+    "ClassRoutedInterface",
+    "ErrorSample",
+    "HealPhase",
+    "HealPolicy",
+    "HealScenarioResult",
+    "HealingManager",
+    "KeyState",
+    "LifecycleEvent",
+    "run_heal_scenario",
+    "slowed_dram",
+]

@@ -1,0 +1,161 @@
+"""Lifecycle state for self-healing performance interfaces.
+
+Each (device, rpc-size-class) key moves through a four-phase state
+machine, driven one live observation at a time by the
+:class:`~repro.heal.manager.HealingManager`:
+
+.. code-block:: text
+
+                   drift verdict × trigger_after,
+                   refit trustworthy on holdout
+    ┌─────────┐ ───────────────────────────────────► ┌───────────┐
+    │ HEALTHY │                                      │ SHADOWING │
+    └─────────┘ ◄─────────────────────────────────── └───────────┘
+      ▲   ▲        shadow fail (cooldown)                  │
+      │   │                                                │ shadow pass
+      │   │ probation survived                             ▼ (hot-swap)
+      │   │                                          ┌───────────┐
+      │   └───────────────────────────────────────── │ PROBATION │
+      │                                              └───────────┘
+      │            quarantine cooldown expired             │
+    ┌─────────────┐ ◄──────────────────────────────────────┘
+    │ QUARANTINED │        regression (rollback)
+    └─────────────┘
+
+Every transition is hysteretic: drift must persist for
+``trigger_after`` consecutive verdicts before a refit, a rejected
+candidate imposes ``refit_cooldown`` observations of silence, and a
+rolled-back key sits out ``quarantine_cooldown`` observations before
+the loop may try again — so a flapping device cannot thrash the
+pricing layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class HealPhase(Enum):
+    """Where one (device, rpc-size-class) key is in its heal cycle."""
+
+    HEALTHY = "healthy"        # no candidate in play
+    SHADOWING = "shadowing"    # candidate pricing live traffic, no impact
+    PROBATION = "probation"    # candidate promoted, watched for regression
+    QUARANTINED = "quarantined"  # rolled back; refits suppressed for a while
+
+
+@dataclass(frozen=True)
+class HealPolicy:
+    """Thresholds and hysteresis for the healing loop.
+
+    The defaults are deliberately conservative: roughly one full drift
+    window of evidence before a refit, a shadow period long enough for
+    the error quantiles to mean something, and a probation longer than
+    the shadow so a candidate that only looked good briefly is caught.
+    """
+
+    #: Sliding per-key window of recent ``CallRecord``s refits train on.
+    window: int = 48
+    #: Records required in the window before a refit is attempted.
+    min_records: int = 12
+    #: Consecutive drifting verdicts required to trigger a refit.
+    trigger_after: int = 4
+    #: ``FitReport.trustworthy`` ceiling: candidates whose *holdout*
+    #: error exceeds this never reach shadowing.
+    refit_holdout_error: float = 0.2
+    #: Live observations a candidate must shadow-price before judgment.
+    shadow_samples: int = 16
+    #: Candidate mean error must be <= this fraction of the active
+    #: interface's mean error over the shadow window...
+    promote_ratio: float = 0.5
+    #: ...and below this absolute mean symmetric error.
+    promote_threshold: float = 0.25
+    #: Post-swap observations watched before the promotion is final.
+    probation_samples: int = 24
+    #: Mean post-swap error that forces a rollback (``None``: use the
+    #: key's own drift-detector threshold).
+    rollback_threshold: float | None = None
+    #: Observations to sit out after a failed fit or failed shadow.
+    refit_cooldown: int = 16
+    #: Observations to sit out after a rollback (quarantine).
+    quarantine_cooldown: int = 64
+    #: Holdout fraction handed to :func:`repro.extract.fit_from_records`.
+    holdout_fraction: float = 0.25
+    #: Base seed for refit holdout splits (bumped per refit).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < self.min_records:
+            raise ValueError("window must hold at least min_records records")
+        if self.min_records < 4:
+            raise ValueError("min_records must be >= 4 (fit floor + holdout)")
+        if self.trigger_after < 1 or self.shadow_samples < 1:
+            raise ValueError("trigger_after and shadow_samples must be >= 1")
+        if not 0.0 < self.promote_ratio <= 1.0:
+            raise ValueError("promote_ratio must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One audited transition of one key's state machine."""
+
+    at: float  # virtual-clock instant of the triggering observation
+    device: str
+    rpc_class: str
+    phase_from: HealPhase
+    phase_to: HealPhase
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.at:12.0f}] {self.device}/{self.rpc_class}: "
+            f"{self.phase_from.value} -> {self.phase_to.value} ({self.reason})"
+        )
+
+
+#: Sentinel for "this class had no override before the swap" — distinct
+#: from an override of ``None``, so rollback restores *exactly* the
+#: prior pricing, including its absence.
+NO_OVERRIDE = object()
+
+
+@dataclass
+class KeyState:
+    """Mutable per-(device, rpc-size-class) healing state."""
+
+    device: str
+    rpc_class: str
+    phase: HealPhase = HealPhase.HEALTHY
+    observations: int = 0       # live observations seen for this key
+    drift_streak: int = 0       # consecutive drifting verdicts
+    cooldown: int = 0           # observations to ignore triggers for
+    records: deque = field(default_factory=deque)  # recent CallRecords
+    # Candidate bookkeeping (meaningful in SHADOWING/PROBATION).
+    candidate: Any = None
+    fit_report: Any = None
+    shadow_active: list[float] = field(default_factory=list)
+    shadow_candidate: list[float] = field(default_factory=list)
+    prior_override: Any = NO_OVERRIDE
+    shadow_since: float | None = None
+    promoted_at: float | None = None
+    rolled_back_at: float | None = None
+    probation_seen: int = 0
+    post_errors: list[float] = field(default_factory=list)
+    # Lifetime counters.
+    refits: int = 0             # candidates that reached shadowing
+    refits_rejected: int = 0    # fits the holdout gate refused
+    shadow_failures: int = 0
+    promotions: int = 0
+    rollbacks: int = 0
+
+    def clear_candidate(self) -> None:
+        self.candidate = None
+        self.fit_report = None
+        self.shadow_active = []
+        self.shadow_candidate = []
+        self.shadow_since = None
+        self.probation_seen = 0
+        self.post_errors = []

@@ -1,0 +1,497 @@
+"""The closed healing loop: drift verdict → refit → shadow → hot-swap.
+
+:class:`HealingManager` connects the two halves that already existed —
+the :class:`~repro.obs.DriftObservatory` (PR 5) detects when an
+interface stops describing its hardware, and :mod:`repro.extract` fits
+interfaces from measurements — into the loop the paper's faithfulness
+argument demands: a drifted (device, rpc-size-class) is *refit from
+the traffic it just served*, the candidate prices live requests in
+shadow (no routing impact), and only a candidate that beats the stale
+interface on live error quantiles is hot-swapped into
+``interface_predicted`` pricing.  A promoted candidate that regresses
+during probation is rolled back to the exact prior pricing and the
+key quarantined.
+
+Hot-swap safety is structural: the swap mutates one override slot in a
+:class:`ClassRoutedInterface` that both the device's drift scoring and
+the pool's pricing read through.  Nothing else is touched — the
+circuit breaker (state, transitions, half-open probe accounting), the
+retry policy, the device clock, and the recorded tape all keep their
+identity, so in-flight requests and replay parity are unaffected
+(asserted in ``tests/heal/test_hotswap.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from typing import Any
+
+from repro.core.interface import PerformanceInterface
+from repro.hw.stats import Summary
+from repro.obs.drift import DEFAULT_SIZE_CLASSES, SizeClasses
+from repro.runtime.degrade import DriftDetector
+
+from .lifecycle import (
+    NO_OVERRIDE,
+    HealPhase,
+    HealPolicy,
+    KeyState,
+    LifecycleEvent,
+)
+
+
+class ClassRoutedInterface(PerformanceInterface):
+    """A hot-swappable interface: per-size-class overrides over a base.
+
+    ``latency`` dispatches on the request's size class; classes without
+    an override fall through to the base (vendor-shipped) interface.
+    Installing or removing an override is a single dict-slot mutation,
+    which is the whole hot-swap: every consumer holding this object —
+    the device's drift scoring, the pool's ``interface_predicted``
+    pricing — sees the new pricing on its next call, and no consumer
+    state is reset.
+    """
+
+    representation = "class-routed"
+
+    def __init__(self, base: PerformanceInterface, classes: SizeClasses):
+        self.accelerator = base.accelerator
+        self.base = base
+        self.classes = classes
+        self.overrides: dict[str, PerformanceInterface] = {}
+
+    def interface_for(self, rpc_class: str) -> PerformanceInterface:
+        return self.overrides.get(rpc_class, self.base)
+
+    def latency(self, item) -> float:
+        override = self.overrides.get(self.classes.classify(item))
+        return (override if override is not None else self.base).latency(item)
+
+    def describe(self) -> str:
+        swapped = sorted(self.overrides)
+        suffix = f" (overrides: {', '.join(swapped)})" if swapped else ""
+        return f"class-routed interface for {self.accelerator}{suffix}"
+
+
+class HealingManager:
+    """Closed-loop interface lifecycle manager for a device pool.
+
+    Args:
+        feature_fn: workload features for refits (e.g.
+            :func:`repro.extract.protoacc_features`) — must accept every
+            request type the attached devices serve.
+        policy: thresholds/hysteresis (:class:`HealPolicy` defaults).
+        classes: size-class spec; ``None`` adopts the observatory's own
+            spec at attach time, so refit keys and drift keys can never
+            disagree on labels.
+        devices: names of pool devices to manage (``None``: all of
+            them).  A device whose interface *is* its ground truth
+            (the CPU software server) heals trivially and harmlessly.
+
+    Call :meth:`attach` once; after that the loop is fully autonomous —
+    it runs inside the observatory's observation callback, which the
+    serving path already drives.
+    """
+
+    def __init__(
+        self,
+        feature_fn: Callable[[Any], dict],
+        *,
+        policy: HealPolicy | None = None,
+        classes: SizeClasses | None = None,
+        devices: list[str] | None = None,
+    ):
+        self.feature_fn = feature_fn
+        self.policy = policy or HealPolicy()
+        self.classes = classes
+        self._device_filter = set(devices) if devices is not None else None
+        self.events: list[LifecycleEvent] = []
+        self._keys: dict[tuple[str, str], KeyState] = {}
+        self._routed: dict[str, ClassRoutedInterface] = {}
+        self._pooled: dict[str, Any] = {}
+        self._cursors: dict[str, int] = {}
+        self._observatory = None
+        self._tracer = None
+        self._metrics = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, pool) -> None:
+        """Take over interface lifecycle for ``pool``'s devices.
+
+        Each managed device's serving interface is wrapped in a
+        :class:`ClassRoutedInterface` installed as *both* the device's
+        drift-scoring interface and the pool's pricing interface (they
+        must move together, or routing would price with a model drift
+        scoring has already replaced).  The manager then subscribes to
+        the pool's drift observatory and appears in
+        ``pool.snapshot()['healing']``.
+        """
+        obs = getattr(pool, "obs", None)
+        observatory = getattr(obs, "observatory", None)
+        if observatory is None:
+            raise ValueError(
+                "healing needs a pool observed by a DriftObservatory "
+                "(pass obs=Obs.enabled() when building the pool)"
+            )
+        if self._observatory is not None:
+            raise ValueError("this manager is already attached")
+        if self.classes is None:
+            self.classes = observatory.size_classes or DEFAULT_SIZE_CLASSES
+        self._observatory = observatory
+        tracer = getattr(obs, "tracer", None)
+        self._tracer = (
+            tracer if tracer is not None and getattr(tracer, "enabled", True) else None
+        )
+        self._metrics = getattr(obs, "metrics", None)
+        for pooled in pool.devices:
+            if (
+                self._device_filter is not None
+                and pooled.name not in self._device_filter
+            ):
+                continue
+            routed = ClassRoutedInterface(pooled.device.interface, self.classes)
+            pooled.device.interface = routed
+            pooled.price_interface = routed
+            self._routed[pooled.name] = routed
+            self._pooled[pooled.name] = pooled
+            self._cursors[pooled.name] = len(pooled.device.records)
+        observatory.subscribe(self._on_observation)
+        pool.healer = self
+
+    def _state(self, device: str, rpc_class: str) -> KeyState:
+        key = (device, rpc_class)
+        state = self._keys.get(key)
+        if state is None:
+            state = self._keys[key] = KeyState(device, rpc_class)
+            state.records = deque(maxlen=self.policy.window)
+        return state
+
+    # ------------------------------------------------------------------
+    # The loop (runs inside DriftObservatory.observe)
+    # ------------------------------------------------------------------
+    def _on_observation(
+        self,
+        device: str,
+        rpc_class: str,
+        request,
+        predicted: float,
+        observed: float,
+        *,
+        drifting: bool,
+        at: float,
+    ) -> None:
+        if device not in self._routed:
+            return
+        self._ingest_records(device)
+        state = self._state(device, rpc_class)
+        state.observations += 1
+        if state.cooldown > 0:
+            state.cooldown -= 1
+
+        if state.phase is HealPhase.HEALTHY:
+            self._tick_healthy(state, drifting, at)
+        elif state.phase is HealPhase.SHADOWING:
+            self._tick_shadowing(state, request, predicted, observed, at)
+        elif state.phase is HealPhase.PROBATION:
+            self._tick_probation(state, predicted, observed, drifting, at)
+        elif state.phase is HealPhase.QUARANTINED:
+            if state.cooldown == 0:
+                self._transition(state, HealPhase.HEALTHY, at, "quarantine expired")
+
+    def _ingest_records(self, device: str) -> None:
+        """Pull this device's new tape records into the per-key windows
+        (only successful accelerator calls can train a refit)."""
+        records = self._pooled[device].device.records
+        cursor = self._cursors[device]
+        for record in records[cursor:]:
+            if record.path != "accel":
+                continue
+            label = self.classes.classify(record.request)
+            self._state(device, label).records.append(record)
+        self._cursors[device] = len(records)
+
+    def _tick_healthy(self, state: KeyState, drifting: bool, at: float) -> None:
+        if not drifting:
+            state.drift_streak = 0
+            return
+        state.drift_streak += 1
+        if state.cooldown > 0 or state.drift_streak < self.policy.trigger_after:
+            return
+        state.drift_streak = 0
+        self._refit(state, at)
+
+    def _refit(self, state: KeyState, at: float) -> None:
+        from repro.extract import fit_from_records
+
+        window = list(state.records)
+        if len(window) < self.policy.min_records:
+            state.cooldown = self.policy.refit_cooldown
+            self._instant("heal:refit_starved", state, at, records=len(window))
+            self._count("heal_refits_total", state, outcome="starved")
+            return
+        pooled = self._pooled[state.device]
+        try:
+            candidate, fit = fit_from_records(
+                window,
+                self.feature_fn,
+                accelerator=f"{state.device} ({state.rpc_class}, refit)",
+                overhead_fn=pooled.device.invocation_overhead,
+                holdout_fraction=self.policy.holdout_fraction,
+                seed=self.policy.seed + state.refits + state.refits_rejected,
+            )
+        except ValueError:
+            state.cooldown = self.policy.refit_cooldown
+            self._count("heal_refits_total", state, outcome="failed")
+            return
+        if not fit.trustworthy(self.policy.refit_holdout_error):
+            state.refits_rejected += 1
+            state.cooldown = self.policy.refit_cooldown
+            self._instant(
+                "heal:refit_rejected",
+                state,
+                at,
+                holdout_error=fit.holdout_error,
+                holdout_infinite=fit.holdout_infinite,
+            )
+            self._count("heal_refits_total", state, outcome="rejected")
+            return
+        state.refits += 1
+        state.candidate = candidate
+        state.fit_report = fit
+        state.shadow_active = []
+        state.shadow_candidate = []
+        state.shadow_since = at
+        self._count("heal_refits_total", state, outcome="shadowing")
+        self._transition(
+            state,
+            HealPhase.SHADOWING,
+            at,
+            f"refit from {len(window)} records, "
+            f"holdout error {fit.holdout_error:.1%}",
+        )
+
+    def _tick_shadowing(
+        self, state: KeyState, request, predicted: float, observed: float, at: float
+    ) -> None:
+        err = DriftDetector.symmetric_error
+        state.shadow_active.append(err(predicted, observed))
+        state.shadow_candidate.append(
+            err(state.candidate.latency(request), observed)
+        )
+        if self._metrics is not None:
+            labels = {"device": state.device, "rpc_class": state.rpc_class}
+            self._metrics.gauge("heal_shadow_active_error", **labels).set(
+                _mean(state.shadow_active)
+            )
+            self._metrics.gauge("heal_shadow_candidate_error", **labels).set(
+                _mean(state.shadow_candidate)
+            )
+        if len(state.shadow_candidate) < self.policy.shadow_samples:
+            return
+        cand, act = _mean(state.shadow_candidate), _mean(state.shadow_active)
+        cand_p95 = Summary.of(state.shadow_candidate).p95
+        act_p95 = Summary.of(state.shadow_active).p95
+        if (
+            cand <= self.policy.promote_threshold
+            and cand <= self.policy.promote_ratio * act
+            and cand_p95 <= act_p95
+        ):
+            self._promote(state, at, cand, act)
+        else:
+            state.shadow_failures += 1
+            state.clear_candidate()
+            state.cooldown = self.policy.refit_cooldown
+            self._count("heal_shadow_verdicts_total", state, outcome="failed")
+            self._transition(
+                state,
+                HealPhase.HEALTHY,
+                at,
+                f"shadow failed: candidate {cand:.1%} vs active {act:.1%}",
+            )
+
+    def _promote(self, state: KeyState, at: float, cand: float, act: float) -> None:
+        routed = self._routed[state.device]
+        state.prior_override = routed.overrides.get(state.rpc_class, NO_OVERRIDE)
+        routed.overrides[state.rpc_class] = state.candidate
+        state.promotions += 1
+        state.promoted_at = at
+        state.probation_seen = 0
+        state.post_errors = []
+        # The detector's window scored the replaced interface; keep it
+        # and every post-swap verdict would be stale.  Resetting it is
+        # observatory bookkeeping, not device state — the breaker,
+        # retry, and tape are untouched by design.
+        self._observatory.reset_detector(state.device, state.rpc_class)
+        self._count("heal_promotions_total", state)
+        self._count("heal_shadow_verdicts_total", state, outcome="promoted")
+        self._transition(
+            state,
+            HealPhase.PROBATION,
+            at,
+            f"hot-swapped: candidate {cand:.1%} vs active {act:.1%} "
+            f"over {len(state.shadow_candidate)} shadowed calls",
+        )
+
+    def _tick_probation(
+        self, state: KeyState, predicted: float, observed: float,
+        drifting: bool, at: float,
+    ) -> None:
+        # ``predicted`` now comes from the promoted candidate (the
+        # routed interface dispatched to it).
+        state.probation_seen += 1
+        state.post_errors.append(DriftDetector.symmetric_error(predicted, observed))
+        if self._metrics is not None:
+            self._metrics.gauge(
+                "heal_post_swap_error",
+                device=state.device,
+                rpc_class=state.rpc_class,
+            ).set(_mean(state.post_errors))
+        threshold = self.policy.rollback_threshold
+        if threshold is None:
+            detector = self._observatory.detector(state.device, state.rpc_class)
+            threshold = detector.threshold if detector is not None else 0.5
+        regressed = drifting or (
+            state.probation_seen >= min(8, self.policy.probation_samples)
+            and _mean(state.post_errors) > threshold
+        )
+        if regressed:
+            self._rollback(state, at, threshold)
+        elif state.probation_seen >= self.policy.probation_samples:
+            final = _mean(state.post_errors)
+            state.clear_candidate()
+            state.prior_override = NO_OVERRIDE
+            self._transition(
+                state,
+                HealPhase.HEALTHY,
+                at,
+                f"probation passed: post-swap error {final:.1%}",
+            )
+
+    def _rollback(self, state: KeyState, at: float, threshold: float) -> None:
+        routed = self._routed[state.device]
+        if state.prior_override is NO_OVERRIDE:
+            routed.overrides.pop(state.rpc_class, None)
+        else:
+            routed.overrides[state.rpc_class] = state.prior_override
+        state.rollbacks += 1
+        state.rolled_back_at = at
+        post = _mean(state.post_errors) if state.post_errors else float("nan")
+        state.clear_candidate()
+        state.prior_override = NO_OVERRIDE
+        state.cooldown = self.policy.quarantine_cooldown
+        self._observatory.reset_detector(state.device, state.rpc_class)
+        self._count("heal_rollbacks_total", state)
+        self._transition(
+            state,
+            HealPhase.QUARANTINED,
+            at,
+            f"post-swap error {post:.1%} over threshold {threshold:.1%}: "
+            "prior pricing restored, candidate quarantined",
+        )
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _transition(
+        self, state: KeyState, to: HealPhase, at: float, reason: str
+    ) -> None:
+        event = LifecycleEvent(
+            at=at,
+            device=state.device,
+            rpc_class=state.rpc_class,
+            phase_from=state.phase,
+            phase_to=to,
+            reason=reason,
+        )
+        state.phase = to
+        self.events.append(event)
+        self._instant(f"heal:{to.value}", state, at, reason=reason)
+
+    def _instant(self, name: str, state: KeyState, at: float, **args) -> None:
+        if self._tracer is not None:
+            self._tracer.instant(
+                name,
+                at,
+                cat="runtime.heal",
+                tid=state.device,
+                args={"rpc_class": state.rpc_class, **args},
+            )
+
+    def _count(self, name: str, state: KeyState, **labels) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                name, device=state.device, rpc_class=state.rpc_class, **labels
+            ).inc()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state(self, device: str, rpc_class: str) -> KeyState | None:
+        return self._keys.get((device, rpc_class))
+
+    def routed_interface(self, device: str) -> ClassRoutedInterface:
+        return self._routed[device]
+
+    def snapshot(self) -> dict[str, Any]:
+        """Programmatic lifecycle view (what ``pool.snapshot()`` embeds
+        under ``"healing"``)."""
+        keys: dict[str, Any] = {}
+        for (device, rpc_class), s in sorted(self._keys.items()):
+            entry: dict[str, Any] = {
+                "phase": s.phase.value,
+                "observations": s.observations,
+                "window_records": len(s.records),
+                "refits": s.refits,
+                "refits_rejected": s.refits_rejected,
+                "shadow_failures": s.shadow_failures,
+                "promotions": s.promotions,
+                "rollbacks": s.rollbacks,
+                "promoted_at": s.promoted_at,
+                "rolled_back_at": s.rolled_back_at,
+                "swapped": rpc_class in self._routed[device].overrides,
+            }
+            if s.shadow_candidate:
+                entry["shadow"] = {
+                    "samples": len(s.shadow_candidate),
+                    "candidate_error": _mean(s.shadow_candidate),
+                    "active_error": _mean(s.shadow_active),
+                    "candidate_p95": Summary.of(s.shadow_candidate).p95,
+                    "active_p95": Summary.of(s.shadow_active).p95,
+                }
+            if s.post_errors:
+                entry["post_swap_error"] = _mean(s.post_errors)
+            keys[f"{device}/{rpc_class}"] = entry
+        return {
+            "managed_devices": sorted(self._routed),
+            "events": len(self.events),
+            "promotions": sum(s.promotions for s in self._keys.values()),
+            "rollbacks": sum(s.rollbacks for s in self._keys.values()),
+            "keys": keys,
+        }
+
+    def report(self) -> str:
+        """Operator-facing lifecycle table plus the event log."""
+        if not self._keys:
+            return "healing: no observations yet"
+        lines = [
+            f"{'device':14}  {'class':8}  {'phase':11}  {'refits':>6}  "
+            f"{'promo':>5}  {'rollbk':>6}  {'window':>6}  swapped"
+        ]
+        for (device, rpc_class), s in sorted(self._keys.items()):
+            swapped = rpc_class in self._routed[device].overrides
+            lines.append(
+                f"{device:14}  {rpc_class:8}  {s.phase.value:11}  {s.refits:6d}  "
+                f"{s.promotions:5d}  {s.rollbacks:6d}  {len(s.records):6d}  "
+                f"{'yes' if swapped else 'no'}"
+            )
+        if self.events:
+            lines.append("")
+            lines.extend(str(e) for e in self.events)
+        return "\n".join(lines)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,220 @@
+"""The E16 scenario: a mid-serve hardware regime shift, healed live.
+
+One continuous open-loop serve over the standard heterogeneous fleet
+(:func:`repro.runtime.pool.rpc_pool`), with a DRAM slowdown injected
+into the Protoacc ground-truth model partway through — the memory the
+accelerator reads messages from gets slower, the vendor's shipped
+interface does not know, and every prediction for the device goes
+stale at once.  No process restarts, no pool rebuilds: the same
+devices, breakers, and clocks carry through the shift, which is
+exactly the situation the self-healing loop exists for.
+
+:func:`run_heal_scenario` drives it end to end and records a
+per-observation error timeline, so callers (the E16 benchmark, the
+``perfscope heal`` CLI, the integration test) can show the full arc:
+error spike → drift verdict → refit → shadow → hot-swap → recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.hw.memory import DramConfig
+from repro.obs import Obs
+from repro.runtime.degrade import DriftDetector
+
+from .lifecycle import HealPolicy
+from .manager import HealingManager
+
+
+def slowed_dram(config: DramConfig, factor: float) -> DramConfig:
+    """A DRAM regime shift: every latency parameter scaled by
+    ``factor`` (geometry untouched) — the downstream effect of e.g. a
+    thermally throttled memory controller or a neighbour saturating
+    the channel."""
+    if factor <= 0:
+        raise ValueError("slowdown factor must be positive")
+    return DramConfig(
+        cas_latency=max(1, round(config.cas_latency * factor)),
+        row_miss_penalty=max(1, round(config.row_miss_penalty * factor)),
+        banks=config.banks,
+        row_size=config.row_size,
+        bytes_per_beat=config.bytes_per_beat,
+        refresh_interval=config.refresh_interval,
+        refresh_duration=max(1, round(config.refresh_duration * factor)),
+    )
+
+
+#: E16 defaults: sized so the loop completes a full heal cycle within
+#: a few hundred requests (the production defaults in ``HealPolicy``
+#: are slower on purpose).
+E16_HEAL_POLICY = HealPolicy(
+    window=32,
+    min_records=10,
+    trigger_after=3,
+    shadow_samples=10,
+    probation_samples=12,
+    refit_cooldown=6,
+    quarantine_cooldown=24,
+)
+
+
+@dataclass
+class ErrorSample:
+    """One live (device, rpc-class) prediction scored at ``at``."""
+
+    at: float
+    device: str
+    rpc_class: str
+    error: float  # symmetric relative error, the drift detector's unit
+
+
+@dataclass
+class HealScenarioResult:
+    """Everything a caller needs to tell (and verify) the E16 story."""
+
+    obs: Obs
+    pool: Any
+    healer: HealingManager
+    served: dict[str, Any]          # phase name -> ServeResult
+    shift_at: float                 # virtual instant the regime shifted
+    timeline: list[ErrorSample] = field(default_factory=list)
+    #: The (device, rpc-class) key the injected shift lands on.
+    target_device: str = "protoacc"
+    target_class: str = "large"
+
+    @property
+    def target_key(self) -> tuple[str, str]:
+        return (self.target_device, self.target_class)
+
+    def errors(
+        self,
+        device: str,
+        rpc_class: str,
+        *,
+        since: float = 0.0,
+        until: float = float("inf"),
+    ) -> list[float]:
+        return [
+            s.error
+            for s in self.timeline
+            if s.device == device
+            and s.rpc_class == rpc_class
+            and since <= s.at < until
+        ]
+
+    def mean_error(self, device: str, rpc_class: str, **window) -> float:
+        errs = self.errors(device, rpc_class, **window)
+        return sum(errs) / len(errs) if errs else 0.0
+
+    def swap_at(self, device: str, rpc_class: str) -> float | None:
+        """When the (first) hot-swap for this key happened, if any."""
+        for e in self.healer.events:
+            if (
+                e.device == device
+                and e.rpc_class == rpc_class
+                and e.phase_to.value == "probation"
+            ):
+                return e.at
+        return None
+
+
+def run_heal_scenario(
+    *,
+    requests: int = 420,
+    gap: float = 900.0,
+    seed: int = 7,
+    slowdown: float = 5.0,
+    shift_fraction: float = 0.3,
+    mix: str = "storage",
+    policy: str = "interface_predicted",
+    deadline: float = 60_000.0,
+    heal_policy: HealPolicy | None = None,
+    obs: Obs | None = None,
+) -> HealScenarioResult:
+    """Serve an RPC mix open-loop; shift Protoacc's DRAM regime after
+    ``shift_fraction`` of the trace; let the healing loop repair the
+    interface in-band.  Returns the full result bundle.
+
+    The default mix is ``storage`` (large pointer-heavy messages) and
+    the default slowdown 5×, calibrated together: ``interface_predicted``
+    routing sends essentially all large messages to Protoacc, the shift
+    lifts its true latency ~1.7× (symmetric error ~0.67, past the stock
+    0.5 drift threshold), and Protoacc *stays* the cheapest device for
+    most large messages even when honestly priced post-heal — so the
+    probation window keeps seeing traffic and the cycle can complete.
+
+    The server is *not* restarted at the shift: the same pool object,
+    device clocks, breakers, and tapes continue — the arrival stream is
+    simply fed in two slices around the mutation of the ground-truth
+    model's ``dram_config``.
+    """
+    from repro.extract import protoacc_features
+    from repro.runtime.pool import rpc_pool
+    from repro.runtime.serving import OpenLoopServer
+    from repro.workloads.rpc import ALL_MIXES
+
+    if not 0.0 < shift_fraction < 1.0:
+        raise ValueError("shift_fraction must be in (0, 1)")
+    obs = obs if obs is not None else Obs.enabled()
+    if obs.observatory is None:
+        raise ValueError("the heal scenario needs an Obs bundle with drift enabled")
+
+    pool = rpc_pool(policy, faults="none", seed=seed, obs=obs)
+    healer = HealingManager(
+        protoacc_features, policy=heal_policy or E16_HEAL_POLICY
+    )
+    healer.attach(pool)
+
+    timeline: list[ErrorSample] = []
+
+    def probe(device, rpc_class, request, predicted, observed, *, drifting, at):
+        timeline.append(
+            ErrorSample(
+                at=at,
+                device=device,
+                rpc_class=rpc_class,
+                error=DriftDetector.symmetric_error(predicted, observed),
+            )
+        )
+
+    obs.observatory.subscribe(probe)
+
+    try:
+        rpc_mix = next(m for m in ALL_MIXES if m.name == mix)
+    except StopIteration:
+        known = ", ".join(m.name for m in ALL_MIXES)
+        raise ValueError(f"unknown mix {mix!r} (known: {known})") from None
+    msgs, arrivals = rpc_mix.sample_open(seed, requests, gap)
+    split = max(1, int(requests * shift_fraction))
+    server = OpenLoopServer(pool, deadline=deadline)
+
+    served: dict[str, Any] = {}
+    served["before"] = server.run(msgs[:split], arrivals[:split])
+
+    # The regime shift: the device's memory gets slower, mid-serve.
+    # Only the ground truth changes — the shipped interface is now
+    # wrong, and nothing but the healing loop will fix it.
+    protoacc = pool.device("protoacc").device
+    protoacc.model.dram_config = slowed_dram(protoacc.model.dram_config, slowdown)
+    shift_at = max(protoacc.clock, arrivals[split - 1])
+    if obs.tracer is not None and getattr(obs.tracer, "enabled", True):
+        obs.tracer.instant(
+            "dram_regime_shift",
+            shift_at,
+            cat="runtime.heal",
+            tid="protoacc",
+            args={"slowdown": slowdown},
+        )
+
+    served["after"] = server.run(msgs[split:], arrivals[split:])
+
+    return HealScenarioResult(
+        obs=obs,
+        pool=pool,
+        healer=healer,
+        served=served,
+        shift_at=shift_at,
+        timeline=timeline,
+    )

@@ -25,7 +25,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .drift import DriftObservatory, rpc_size_class
+from .drift import (
+    DEFAULT_SIZE_CLASSES,
+    DriftObservatory,
+    SizeClasses,
+    rpc_size_class,
+)
 from .metrics import (
     DEFAULT_CYCLE_BUCKETS,
     Counter,
@@ -38,12 +43,14 @@ from .trace import Tracer, active
 
 __all__ = [
     "DEFAULT_CYCLE_BUCKETS",
+    "DEFAULT_SIZE_CLASSES",
     "Counter",
     "DriftObservatory",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Obs",
+    "SizeClasses",
     "Tracer",
     "active",
     "rpc_size_class",

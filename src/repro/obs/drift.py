@@ -22,23 +22,65 @@ after a serving scenario; the E15 benchmark appends it to its output.
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass
 from typing import Any
 
 from repro.hw.stats import Reservoir, Summary, relative_error
 
 
-def rpc_size_class(request: Any) -> str:
-    """Default request classifier: wire-size buckets for RPC messages
-    (anything exposing ``encoded_size()``), else the type name."""
-    sizer = getattr(request, "encoded_size", None)
-    if callable(sizer):
+@dataclass(frozen=True)
+class SizeClasses:
+    """Configurable wire-size bucketing for RPC requests.
+
+    One spec is shared by every layer that labels traffic — the
+    :class:`DriftObservatory`, the healing loop's refit keys
+    (:mod:`repro.heal`), and tape windowing
+    (:func:`repro.runtime.tape.tape_stats`) — so a request can never be
+    "medium" to the observatory but "large" to the refitter.
+
+    ``boundaries`` maps each label to its *inclusive* upper bound in
+    encoded bytes, in ascending order; anything above the last bound is
+    ``overflow``.  Requests without an ``encoded_size()`` method are
+    labeled by their type name (they have no wire size to bucket).
+    """
+
+    boundaries: tuple[tuple[str, int], ...] = (("small", 96), ("medium", 1024))
+    overflow: str = "large"
+
+    def __post_init__(self) -> None:
+        bounds = [b for _, b in self.boundaries]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bounds must be strictly ascending: {bounds}")
+        labels = [label for label, _ in self.boundaries] + [self.overflow]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate class labels: {labels}")
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Every label this spec can produce for sized requests."""
+        return tuple(label for label, _ in self.boundaries) + (self.overflow,)
+
+    def classify(self, request: Any) -> str:
+        """Label one request by encoded wire size (else its type name)."""
+        sizer = getattr(request, "encoded_size", None)
+        if not callable(sizer):
+            return type(request).__name__
         size = sizer()
-        if size <= 96:
-            return "small"
-        if size <= 1024:
-            return "medium"
-        return "large"
-    return type(request).__name__
+        for label, bound in self.boundaries:
+            if size <= bound:
+                return label
+        return self.overflow
+
+
+#: The stock spec (the bucket boundaries formerly hardcoded here).
+DEFAULT_SIZE_CLASSES = SizeClasses()
+
+
+def rpc_size_class(request: Any) -> str:
+    """Default request classifier: :data:`DEFAULT_SIZE_CLASSES` buckets
+    for RPC messages (anything exposing ``encoded_size()``), else the
+    type name."""
+    return DEFAULT_SIZE_CLASSES.classify(request)
 
 
 class _KeyState:
@@ -68,8 +110,12 @@ class DriftObservatory:
     """Per-(device, rpc-class) predicted-vs-observed error tracking.
 
     Args:
-        classifier: maps a request to its rpc-class label
-            (:func:`rpc_size_class` by default).
+        classifier: maps a request to its rpc-class label — either a
+            :class:`SizeClasses` spec (preferred: downstream consumers
+            like :mod:`repro.heal` can then read
+            :attr:`size_classes` and are guaranteed to agree on
+            labels) or a bare callable.  Defaults to
+            :data:`DEFAULT_SIZE_CLASSES`.
         window: chunk size for :meth:`~repro.hw.stats.Summary.merge`
             folding — errors are summarized per ``window`` samples and
             folded, so memory stays O(window + reservoir) per key.
@@ -85,7 +131,7 @@ class DriftObservatory:
     def __init__(
         self,
         *,
-        classifier: Callable[[Any], str] = rpc_size_class,
+        classifier: SizeClasses | Callable[[Any], str] | None = None,
         window: int = 64,
         reservoir_capacity: int = 256,
         seed: int = 0,
@@ -94,13 +140,23 @@ class DriftObservatory:
     ):
         if window < 1:
             raise ValueError("window must be >= 1")
-        self.classifier = classifier
+        if classifier is None:
+            classifier = DEFAULT_SIZE_CLASSES
+        if isinstance(classifier, SizeClasses):
+            #: The shared bucketing spec, when the classifier is one
+            #: (``None`` for a bare callable).
+            self.size_classes: SizeClasses | None = classifier
+            self.classifier: Callable[[Any], str] = classifier.classify
+        else:
+            self.size_classes = None
+            self.classifier = classifier
         self.window = window
         self.reservoir_capacity = reservoir_capacity
         self.seed = seed
         self._detector_factory = detector_factory
         self.metrics = metrics
         self._keys: dict[tuple[str, str], _KeyState] = {}
+        self._subscribers: list[Callable[..., None]] = []
 
     # ------------------------------------------------------------------
     def _make_detector(self):
@@ -121,6 +177,16 @@ class DriftObservatory:
                 self._make_detector(),
             )
         return state
+
+    def subscribe(self, fn: Callable[..., None]) -> None:
+        """Register a live consumer of every observation.
+
+        ``fn`` is called after each :meth:`observe` fold as
+        ``fn(device, rpc_class, request, predicted, observed,
+        drifting=..., at=...)`` — this is how the self-healing loop
+        (:class:`repro.heal.HealingManager`) hears drift verdicts the
+        moment they happen instead of polling snapshots."""
+        self._subscribers.append(fn)
 
     def observe(
         self,
@@ -159,6 +225,16 @@ class DriftObservatory:
                 self.metrics.gauge(
                     "obs_drift_score", device=device_label, rpc_class=rpc_class
                 ).set(score)
+        for fn in self._subscribers:
+            fn(
+                key[0],
+                key[1],
+                request,
+                predicted,
+                observed,
+                drifting=state.drifting,
+                at=at,
+            )
         return state.drifting
 
     # ------------------------------------------------------------------
@@ -196,6 +272,23 @@ class DriftObservatory:
 
     def drifting_keys(self) -> list[tuple[str, str]]:
         return sorted(k for k, s in self._keys.items() if s.drifting)
+
+    def detector(self, device: str, rpc_class: str):
+        """The per-key drift detector (``None`` before the first
+        sample) — consumers read its ``threshold``/``last_score``."""
+        state = self._keys.get((device, rpc_class))
+        return state.detector if state is not None else None
+
+    def reset_detector(self, device: str, rpc_class: str) -> None:
+        """Forget one key's drift *window* (samples and folded error
+        history are kept).  Called by the healing loop after a hot-swap:
+        the old window scored the old interface, and carrying it over
+        would keep flagging drift the new interface no longer has."""
+        state = self._keys.get((device, rpc_class))
+        if state is None:
+            return
+        state.detector.reset()
+        state.drifting = False
 
     def snapshot(self) -> dict[str, Any]:
         """Programmatic view, one entry per (device, rpc-class)."""

@@ -61,6 +61,8 @@ from .tape import (
     protoacc_message_codec,
     replay_saved_tape,
     save_tape,
+    tape_header,
+    tape_stats,
 )
 from .watchdog import Watchdog, WatchdogTimeout
 
@@ -105,4 +107,6 @@ __all__ = [
     "replay_saved_tape",
     "rpc_cpu_fallback",
     "save_tape",
+    "tape_header",
+    "tape_stats",
 ]

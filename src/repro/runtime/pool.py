@@ -256,6 +256,9 @@ class DevicePool(Generic[RequestT, ResponseT]):
             tracer if tracer is not None and getattr(tracer, "enabled", True) else None
         )
         self._metrics = getattr(obs, "metrics", None)
+        #: Set by :meth:`repro.heal.HealingManager.attach`; when present
+        #: the lifecycle view rides along in :meth:`snapshot`.
+        self.healer = None
         self.results: list[PoolResult[RequestT]] = []
         #: Routing-invariant breaches (policy picked outside the
         #: admitting set, or an "admitting" device rejected at its
@@ -440,6 +443,8 @@ class DevicePool(Generic[RequestT, ResponseT]):
                 "uncacheable": stats.uncacheable,
                 "hit_rate": stats.hit_rate,
             }
+        if self.healer is not None:
+            snap["healing"] = self.healer.snapshot()
         return snap
 
 

@@ -190,6 +190,7 @@ def save_tape(
     path: str | Path,
     *,
     codec: TapeCodec = JSON_CODEC,
+    device: str | None = None,
 ) -> Path:
     """Serialize a serving tape to gzipped JSONL at ``path``.
 
@@ -197,6 +198,11 @@ def save_tape(
     further line is one :class:`~repro.runtime.device.CallRecord`.  The
     file is self-describing enough for :func:`load_tape` to refuse a
     codec mismatch instead of resurrecting garbage.
+
+    ``device`` optionally names the device that served the tape — pure
+    header metadata (records are unchanged, so the format version
+    stays), surfaced by :func:`tape_header` and the ``stats``
+    subcommand.
     """
     path = Path(path)
     header = {
@@ -205,6 +211,8 @@ def save_tape(
         "codec": codec.name,
         "records": len(records),
     }
+    if device is not None:
+        header["device"] = device
     with gzip.open(path, "wt", encoding="utf-8") as fh:
         fh.write(json.dumps(header) + "\n")
         for r in records:
@@ -285,6 +293,69 @@ def load_tape(
     return records
 
 
+def tape_header(path: str | Path) -> dict:
+    """The self-describing first line of a saved tape (format, version,
+    codec, record count, and the optional ``device`` name)."""
+    with gzip.open(Path(path), "rt", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+    if header.get("format") != "repro-serving-tape":
+        raise ValueError(f"{path} is not a serving tape")
+    return header
+
+
+def tape_stats(
+    records: Sequence[CallRecord],
+    *,
+    classes=None,
+    tail: int | None = None,
+) -> dict:
+    """Summarize a serving tape per rpc-size-class.
+
+    Classes come from the same :class:`~repro.obs.SizeClasses` spec the
+    drift observatory and the healing loop key on (``None``: the stock
+    buckets), so an operator eyeballing a tape sees the exact keys a
+    refit would train on.  ``tail`` keeps only the last ``tail`` records
+    first — the window-tail view that matches the healing loop's
+    sliding refit window.
+
+    Returns ``{"records": n, "tail": tail-or-None, "classes": {label:
+    {"count", "paths", "faults", "service_cycles", "cycles"}}}`` where
+    the two cycle entries are mean/p50/p95/max dicts over that class.
+    """
+    from repro.hw.stats import Summary
+    from repro.obs.drift import DEFAULT_SIZE_CLASSES
+
+    classes = classes if classes is not None else DEFAULT_SIZE_CLASSES
+    window = list(records)
+    if tail is not None:
+        if tail < 1:
+            raise ValueError("tail must be >= 1")
+        window = window[-tail:]
+
+    def cycle_summary(values: list[float]) -> dict:
+        s = Summary.of(values)
+        return {"mean": s.mean, "p50": s.p50, "p95": s.p95, "max": s.maximum}
+
+    grouped: dict[str, list[CallRecord]] = {}
+    for r in window:
+        grouped.setdefault(classes.classify(r.request), []).append(r)
+
+    out_classes = {}
+    for label in sorted(grouped):
+        rs = grouped[label]
+        paths: dict[str, int] = {}
+        for r in rs:
+            paths[r.path] = paths.get(r.path, 0) + 1
+        out_classes[label] = {
+            "count": len(rs),
+            "paths": paths,
+            "faults": sum(len(r.faults) for r in rs),
+            "service_cycles": cycle_summary([r.service_cycles for r in rs]),
+            "cycles": cycle_summary([r.cycles for r in rs]),
+        }
+    return {"records": len(window), "tail": tail, "classes": out_classes}
+
+
 def replay_saved_tape(path: str | Path) -> dict:
     """Price a persisted incident tape: load it, replay it, and return
     the faulted/clean cycle totals (the cross-process acceptance check —
@@ -349,19 +420,38 @@ class _RecordedLatencyInterface(PerformanceInterface):
 
 
 def _main(argv: Sequence[str] | None = None) -> int:
-    """``python -m repro.runtime.tape replay <tape.jsonl.gz>``"""
+    """``python -m repro.runtime.tape {replay,stats} <tape.jsonl.gz>``"""
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.tape",
-        description="Replay a persisted serving tape and print its estimate.",
+        description="Inspect or replay a persisted serving tape.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     replay = sub.add_parser("replay", help="price a saved incident tape")
     replay.add_argument("tape", help="path to a .jsonl.gz tape from save_tape()")
+    stats = sub.add_parser(
+        "stats", help="per-size-class latency summary of a saved tape"
+    )
+    stats.add_argument("tape", help="path to a .jsonl.gz tape from save_tape()")
+    stats.add_argument(
+        "--tail",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the last N records (the healing loop's window view)",
+    )
     args = parser.parse_args(argv)
 
-    print(json.dumps(replay_saved_tape(args.tape), sort_keys=True))
+    if args.command == "replay":
+        print(json.dumps(replay_saved_tape(args.tape), sort_keys=True))
+        return 0
+
+    header = tape_header(args.tape)
+    report = tape_stats(load_tape(args.tape), tail=args.tail)
+    report["device"] = header.get("device")
+    report["codec"] = header["codec"]
+    print(json.dumps(report, sort_keys=True))
     return 0
 
 

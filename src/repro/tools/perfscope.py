@@ -12,14 +12,19 @@ from it:
   (open at https://ui.perfetto.dev) with spans from all three layers:
   Petri-net firings, DRAM bursts, and runtime offloads;
 * ``metrics`` — Prometheus-style text exposition of every counter,
-  gauge, and histogram the run touched.
+  gauge, and histogram the run touched;
+* ``heal`` — run the self-healing scenario (a mid-serve DRAM regime
+  shift on Protoacc, repaired in-band by :mod:`repro.heal`) and render
+  the lifecycle report: error arc, refits, shadow verdicts, hot-swaps,
+  rollbacks.
 
-All three subcommands share the scenario flags, so the same run can be
-inspected from any angle::
+The first three subcommands share the scenario flags, so the same run
+can be inspected from any angle::
 
     python -m repro.tools.perfscope report --faults storm
     python -m repro.tools.perfscope trace --out storm.trace.json
     python -m repro.tools.perfscope metrics --policy round_robin
+    python -m repro.tools.perfscope heal --slowdown 5
 """
 
 from __future__ import annotations
@@ -118,6 +123,37 @@ def _report(obs: Obs, pool, result) -> str:
     return "\n".join(lines)
 
 
+def _heal_report(result) -> str:
+    """Operator view of one completed self-healing scenario."""
+    device, rpc_class = result.target_key
+    swap = result.swap_at(device, rpc_class)
+    pre = result.mean_error(device, rpc_class, until=result.shift_at)
+    lines = [
+        "== perfscope heal ==",
+        "",
+        f"scenario: DRAM regime shift on {device} at t={result.shift_at:.0f} "
+        "(mid-serve, no restart)",
+        f"target key: {device}/{rpc_class}",
+        "",
+        "-- prediction error arc (mean symmetric error) --",
+        f"  before shift:          {pre:.1%}",
+    ]
+    if swap is not None:
+        spike = result.mean_error(device, rpc_class, since=result.shift_at, until=swap)
+        post = result.mean_error(device, rpc_class, since=swap)
+        lines += [
+            f"  shift -> hot-swap:     {spike:.1%}",
+            f"  after hot-swap:        {post:.1%}",
+        ]
+    else:
+        spike = result.mean_error(device, rpc_class, since=result.shift_at)
+        lines.append(f"  after shift (no swap): {spike:.1%}")
+    lines += ["", "-- lifecycle --", result.healer.report()]
+    if result.obs.observatory is not None:
+        lines += ["", "-- drift observatory (final) --", result.obs.observatory.report()]
+    return "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.perfscope",
@@ -153,7 +189,40 @@ def main(argv: Sequence[str] | None = None) -> int:
                 default="perfscope.trace.json",
                 help="output path for the trace_event JSON",
             )
+    heal = sub.add_parser(
+        "heal",
+        help="run the self-healing scenario and render its lifecycle report",
+    )
+    heal.add_argument("--requests", type=int, default=420)
+    heal.add_argument(
+        "--gap", type=float, default=900.0, help="mean inter-arrival gap, cycles"
+    )
+    heal.add_argument("--seed", type=int, default=7)
+    heal.add_argument(
+        "--slowdown",
+        type=float,
+        default=5.0,
+        help="DRAM latency scale injected mid-serve (default: 5.0)",
+    )
+    heal.add_argument(
+        "--mix",
+        default="storage",
+        help="RPC workload mix (default: storage — routes to protoacc)",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "heal":
+        from repro.heal import run_heal_scenario
+
+        result = run_heal_scenario(
+            requests=args.requests,
+            gap=args.gap,
+            seed=args.seed,
+            slowdown=args.slowdown,
+            mix=args.mix,
+        )
+        print(_heal_report(result))
+        return 0
 
     obs, pool, result = run_scenario(
         policy=args.policy,

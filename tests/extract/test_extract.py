@@ -8,11 +8,14 @@ from repro.accel.protoacc import ProtoaccSerializerModel, instances
 from repro.accel.vta import VtaModel, random_programs
 from repro.core import validate_interface
 from repro.extract import (
+    FitReport,
     extract_program_interface,
+    fit_from_records,
     jpeg_features,
     protoacc_features,
     vta_features,
 )
+from repro.runtime.device import CallRecord
 
 
 class LinearToy(AcceleratorModel[int]):
@@ -62,6 +65,126 @@ class TestFitMechanics:
 
         with pytest.raises(ValueError, match="same keys"):
             extract_program_interface(LinearToy(), [1, 2, 3, 4], flaky)
+
+
+class TestHoldout:
+    def test_holdout_slice_is_scored(self):
+        _, report = extract_program_interface(
+            LinearToy(), list(range(1, 40)), toy_features, holdout_fraction=0.25
+        )
+        assert report.holdout_items > 0
+        assert report.holdout_error is not None
+        assert report.holdout_error < 1e-6
+        assert report.holdout_infinite == 0
+        assert report.trustworthy(0.1)
+        assert "holdout error" in str(report)
+
+    def test_tiny_workload_has_no_holdout_and_is_untrustworthy(self):
+        # 3 items: the 3-item training floor leaves no room to hold out.
+        _, report = extract_program_interface(
+            LinearToy(), [1, 2, 3], toy_features, holdout_fraction=0.25
+        )
+        assert report.holdout_items == 0
+        assert report.holdout_error is None
+        assert not report.trustworthy(1.0)
+
+    def test_trustworthy_gates_on_holdout_not_train(self):
+        report = FitReport(
+            train_items=30,
+            train_error=0.0,
+            feature_names=("n",),
+            holdout_items=10,
+            holdout_error=0.4,
+        )
+        assert report.trustworthy(0.5)
+        assert not report.trustworthy(0.3)
+
+    def test_unbounded_holdout_pairs_block_trust(self):
+        report = FitReport(
+            train_items=30,
+            train_error=0.0,
+            feature_names=("n",),
+            holdout_items=10,
+            holdout_error=0.01,
+            holdout_infinite=1,
+        )
+        assert not report.trustworthy(1.0)
+        assert "unbounded" in str(report)
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.0, 1.5])
+    def test_invalid_holdout_fraction_rejected(self, fraction):
+        with pytest.raises(ValueError, match="holdout_fraction"):
+            extract_program_interface(
+                LinearToy(),
+                list(range(1, 20)),
+                toy_features,
+                holdout_fraction=fraction,
+            )
+
+
+def record(i, request, service_cycles, path="accel"):
+    return CallRecord(
+        index=i,
+        request=request,
+        response=None,
+        cycles=service_cycles,
+        path=path,
+        attempts=1 if path == "accel" else 0,
+        faults=(),
+        breaker_state=None,
+        service_cycles=service_cycles,
+    )
+
+
+class TestFitFromRecords:
+    def test_recovers_linear_model_from_tape(self):
+        records = [record(i, n, 3.0 * n + 50.0) for i, n in enumerate(range(1, 40))]
+        iface, report = fit_from_records(records, toy_features, accelerator="toy")
+        assert report.trustworthy(0.01)
+        assert iface.latency(100) == pytest.approx(350.0, rel=1e-6)
+        assert iface.accelerator == "toy"
+
+    def test_non_accel_records_are_skipped(self):
+        # CPU fallbacks time the software path and failed calls time
+        # nothing: training on them would poison the fit.
+        records = [record(i, n, 3.0 * n + 50.0) for i, n in enumerate(range(1, 40))]
+        noise = [
+            record(100 + i, n, 1e9, path=path)
+            for i, (n, path) in enumerate([(5, "cpu"), (7, "failed"), (9, "cpu")])
+        ]
+        iface, _ = fit_from_records(
+            records + noise, toy_features, accelerator="toy"
+        )
+        assert iface.latency(100) == pytest.approx(350.0, rel=1e-6)
+
+    def test_overhead_is_subtracted(self):
+        # service_cycles includes 100 cycles of host-side invocation
+        # overhead; the fit should recover the device-side formula.
+        records = [
+            record(i, n, 3.0 * n + 50.0 + 100.0)
+            for i, n in enumerate(range(1, 40))
+        ]
+        iface, report = fit_from_records(
+            records, toy_features, accelerator="toy", overhead_fn=lambda n: 100.0
+        )
+        assert report.trustworthy(0.01)
+        assert iface.latency(100) == pytest.approx(350.0, rel=1e-6)
+
+    def test_zero_observation_pairs_counted_as_unbounded(self):
+        records = [record(i, n, 3.0 * n + 50.0) for i, n in enumerate(range(1, 40))]
+        zeros = [record(100 + i, n, 0.0) for i, n in enumerate(range(40, 52))]
+        _, report = fit_from_records(
+            records + zeros, toy_features, accelerator="toy", holdout_fraction=0.5
+        )
+        assert report.holdout_infinite > 0
+        assert not report.trustworthy(1.0)
+
+    def test_needs_three_accel_records(self):
+        records = [record(0, 1, 53.0), record(1, 2, 56.0)] + [
+            record(2 + i, n, 1.0, path="cpu") for i, n in enumerate(range(5))
+        ]
+        with pytest.raises(ValueError, match="accelerator-path"):
+            fit_from_records(records, toy_features, accelerator="toy")
 
 
 class TestRealAccelerators:

@@ -1,0 +1,8 @@
+import pytest
+
+from tests.heal.harness import ToyRig
+
+
+@pytest.fixture
+def rig() -> ToyRig:
+    return ToyRig()

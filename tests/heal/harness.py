@@ -1,0 +1,132 @@
+"""Shared toy harness for the healing tests.
+
+One linear accelerator (``latency = base + rate * bytes``) behind a
+shipped interface frozen at the original rate, pooled alone under
+``interface_predicted`` routing with a drift observatory.  A regime
+shift is one assignment (``model.rate = ...``); the features are
+exactly linear in ``bytes``, so a refit from clean post-shift records
+recovers the new rate to numerical precision and the tests can make
+sharp assertions about the lifecycle instead of fighting fit noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.base import AcceleratorModel
+from repro.core.program import ProgramInterface
+from repro.heal import HealPolicy, HealingManager
+from repro.obs import DriftObservatory, MetricsRegistry, Obs
+from repro.runtime import CpuFallback, DriftDetector, ResilientDevice, Watchdog
+from repro.runtime.pool import DevicePool, PooledDevice
+from repro.workloads.rpc import sized_message
+
+BASE = 50.0
+RATE = 2.0
+#: All "large" (> 1024 encoded bytes) so one (device, class) key gets
+#: every observation.
+SIZES = (1200, 1800, 2400, 3000, 3600)
+
+
+class LinearModel(AcceleratorModel):
+    """Ground truth the tests mutate mid-run."""
+
+    name = "toy"
+
+    def __init__(self, rate: float = RATE, base: float = BASE):
+        self.rate = rate
+        self.base = base
+
+    def measure_latency(self, m) -> float:
+        return self.base + self.rate * m.encoded_size()
+
+
+def shipped_interface() -> ProgramInterface:
+    """The vendor interface: frozen at the original rate."""
+    return ProgramInterface(
+        "toy", latency_fn=lambda m: BASE + RATE * m.encoded_size()
+    )
+
+
+def features(m) -> dict:
+    return {"bytes": float(m.encoded_size())}
+
+
+def quick_policy(**overrides) -> HealPolicy:
+    defaults = dict(
+        window=8,
+        min_records=6,
+        trigger_after=2,
+        shadow_samples=4,
+        probation_samples=6,
+        refit_cooldown=4,
+        quarantine_cooldown=8,
+        promote_threshold=0.3,
+    )
+    defaults.update(overrides)
+    return HealPolicy(**defaults)
+
+
+class ToyRig:
+    """One pooled device + observatory + healing manager + a driver."""
+
+    def __init__(self, policy: HealPolicy | None = None, attach: bool = True):
+        self.obs = Obs(
+            metrics=MetricsRegistry(),
+            observatory=DriftObservatory(
+                detector_factory=lambda: DriftDetector(
+                    threshold=0.5, window=8, min_samples=4
+                )
+            ),
+        )
+        self.model = LinearModel()
+        self.device = ResilientDevice(
+            self.model,
+            shipped_interface(),
+            CpuFallback(software_fn=lambda m: None, latency_fn=lambda m: 1e6),
+            # The rollback tests crank ``rate`` to 20x; keep the
+            # watchdog out of the way so every call lands on the tape.
+            watchdog=Watchdog(budget=10_000_000.0),
+            name="toy",
+            obs=self.obs,
+        )
+        self.pooled = PooledDevice("toy", self.device)
+        self.pool = DevicePool(
+            [self.pooled], policy="interface_predicted", obs=self.obs
+        )
+        self.manager = HealingManager(features, policy=policy or quick_policy())
+        if attach:
+            self.manager.attach(self.pool)
+        self._rng = np.random.default_rng(42)
+        self._sent = 0
+        self.now = 0.0
+
+    def message(self):
+        return sized_message(SIZES[self._sent % len(SIZES)], self._rng)
+
+    def drive(self, n: int, gap: float = 50_000.0) -> None:
+        """Dispatch ``n`` requests, spaced far enough apart that no
+        queueing perturbs the observed latencies."""
+        for _ in range(n):
+            self.pool.dispatch(self.message(), self.now)
+            self._sent += 1
+            self.now += gap
+
+    def state(self):
+        return self.manager.state("toy", "large")
+
+    def routed(self):
+        return self.manager.routed_interface("toy")
+
+
+def drive_until(rig: ToyRig, phase, limit: int = 120) -> None:
+    """Dispatch one request at a time until the key reaches ``phase``
+    (bounded — a wrong state machine fails the test, not the runner)."""
+    for _ in range(limit):
+        state = rig.state()
+        if state is not None and state.phase is phase:
+            return
+        rig.drive(1)
+    raise AssertionError(
+        f"never reached {phase} (stuck at {rig.state() and rig.state().phase})"
+    )

@@ -1,0 +1,149 @@
+"""Hot-swap safety: the swap is one dict-slot mutation and nothing else.
+
+The manager's contract is that promoting or rolling back a candidate
+interface touches *only* the ``ClassRoutedInterface`` override slot —
+never the breaker (including half-open probe accounting mid-storm),
+never the recorded tape, never replay parity of a tape saved before the
+swap.  These tests pin that contract by snapshotting the delicate state
+around the actual swap operations.
+"""
+
+import pytest
+
+from repro.heal import HealPhase
+from repro.runtime.breaker import BreakerState, CircuitBreaker
+from repro.runtime.tape import (
+    protoacc_message_codec,
+    replay_saved_tape,
+    save_tape,
+)
+
+from tests.heal.harness import RATE, ToyRig, drive_until, shipped_interface
+
+
+def breaker_fields(b: CircuitBreaker) -> tuple:
+    """Every mutable field the breaker state machine owns."""
+    return (
+        b.state,
+        b.consecutive_failures,
+        b.probe_streak,
+        b.probe_inflight,
+        b.opened_at,
+        list(b.transitions),
+    )
+
+
+def shadowing_rig() -> ToyRig:
+    """A rig driven to SHADOWING: a candidate exists, no swap yet."""
+    rig = ToyRig()
+    rig.drive(12)
+    rig.model.rate = 3 * RATE
+    drive_until(rig, HealPhase.SHADOWING)
+    assert rig.state().candidate is not None
+    return rig
+
+
+class TestBreakerSurvivesSwap:
+    def test_mid_storm_swap_preserves_half_open_probe_accounting(self):
+        rig = shadowing_rig()
+        state = rig.state()
+        # Put a breaker in the most delicate state it has: tripped,
+        # recovered into HALF_OPEN, one probe in flight, one success
+        # banked toward closing.  A swap that resets *any* of this
+        # would flood a recovering device or close on stale successes.
+        b = rig.device.breaker = CircuitBreaker()
+        b.state = BreakerState.HALF_OPEN
+        b.consecutive_failures = 3
+        b.probe_streak = 1
+        b.probe_inflight = 1
+        b.opened_at = 123.0
+        before = breaker_fields(b)
+
+        rig.manager._promote(state, at=rig.now, cand=0.01, act=0.5)
+        assert state.phase is HealPhase.PROBATION
+        assert "large" in rig.routed().overrides
+        assert breaker_fields(b) == before
+
+        rig.manager._rollback(state, at=rig.now, threshold=0.5)
+        assert state.phase is HealPhase.QUARANTINED
+        assert "large" not in rig.routed().overrides
+        assert breaker_fields(b) == before
+        # And neither operation logged a breaker transition.
+        assert b.transitions == []
+
+    def test_full_cycle_never_transitions_a_closed_breaker(self):
+        rig = ToyRig()
+        rig.device.breaker = CircuitBreaker()
+        rig.drive(12)
+        rig.model.rate = 3 * RATE
+        rig.drive(40)
+        assert rig.state().promotions == 1
+        assert rig.device.breaker.state is BreakerState.CLOSED
+        assert rig.device.breaker.transitions == []
+
+
+class TestTapeSurvivesSwap:
+    def test_swap_leaves_records_unmutated_and_replay_parity_intact(
+        self, tmp_path
+    ):
+        rig = shadowing_rig()
+        state = rig.state()
+        codec = protoacc_message_codec()
+        records = rig.device.records
+        fingerprint = [
+            (r.index, r.path, r.cycles, r.service_cycles, r.attempts)
+            for r in records
+        ]
+
+        pre = tmp_path / "pre.tape.gz"
+        save_tape(records, pre, codec=codec, device="toy")
+        baseline = replay_saved_tape(pre)
+
+        rig.manager._promote(state, at=rig.now, cand=0.01, act=0.5)
+
+        # The tape is the same object, same records, same numbers.
+        assert rig.device.records is records
+        assert [
+            (r.index, r.path, r.cycles, r.service_cycles, r.attempts)
+            for r in records
+        ] == fingerprint
+        post = tmp_path / "post.tape.gz"
+        save_tape(records, post, codec=codec, device="toy")
+        assert replay_saved_tape(post) == baseline
+
+        # Rollback is equally inert.
+        rig.manager._rollback(state, at=rig.now, threshold=0.5)
+        again = tmp_path / "rollback.tape.gz"
+        save_tape(records, again, codec=codec, device="toy")
+        assert replay_saved_tape(again) == baseline
+
+
+class TestExactRollback:
+    def test_preexisting_override_restored_by_identity(self):
+        """Rollback restores the exact prior pricing object — including
+        an override that was installed before the healing cycle ran."""
+        rig = ToyRig()
+        sentinel = shipped_interface()  # prices like base: drift unaffected
+        rig.routed().overrides["large"] = sentinel
+        rig.drive(12)
+        rig.model.rate = 3 * RATE
+        drive_until(rig, HealPhase.PROBATION)
+        assert rig.routed().overrides["large"] is not sentinel
+        rig.model.rate = 20 * RATE
+        drive_until(rig, HealPhase.QUARANTINED)
+        assert rig.routed().overrides["large"] is sentinel
+
+    def test_promotion_is_visible_on_the_next_price_only(self):
+        """The swap changes what the routed interface *returns*, not
+        which object the pool and device hold."""
+        rig = shadowing_rig()
+        routed = rig.routed()
+        msg = rig.message()
+        stale_price = routed.latency(msg)
+        rig.manager._promote(rig.state(), at=rig.now, cand=0.01, act=0.5)
+        assert rig.pooled.price_interface is routed
+        assert rig.device.interface is routed
+        healed_price = routed.latency(msg)
+        assert healed_price != pytest.approx(stale_price)
+        truth = rig.model.measure_latency(msg)
+        assert abs(healed_price - truth) / truth < 0.1

@@ -1,0 +1,212 @@
+"""The healing state machine: drift -> refit -> shadow -> swap -> probation."""
+
+import pytest
+
+from repro.heal import (
+    ClassRoutedInterface,
+    HealPhase,
+    HealPolicy,
+    HealingManager,
+    LifecycleEvent,
+)
+from repro.obs import DEFAULT_SIZE_CLASSES
+
+from tests.heal.harness import (
+    RATE,
+    ToyRig,
+    drive_until,
+    features,
+    quick_policy,
+    shipped_interface,
+)
+
+
+class TestHealPolicy:
+    def test_defaults_validate(self):
+        HealPolicy()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(window=4, min_records=8),
+            dict(min_records=3),
+            dict(trigger_after=0),
+            dict(shadow_samples=0),
+            dict(promote_ratio=0.0),
+            dict(promote_ratio=1.5),
+        ],
+    )
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ValueError):
+            HealPolicy(**bad)
+
+
+class TestClassRoutedInterface:
+    def test_dispatches_by_size_class(self, rig):
+        routed = ClassRoutedInterface(shipped_interface(), DEFAULT_SIZE_CLASSES)
+        msg = rig.message()  # large
+        assert routed.latency(msg) == routed.base.latency(msg)
+        override = shipped_interface()
+        routed.overrides["large"] = override
+        assert routed.interface_for("large") is override
+        assert routed.interface_for("small") is routed.base
+        assert "large" in routed.describe()
+
+
+class TestAttach:
+    def test_requires_observatory(self):
+        rig = ToyRig(attach=False)
+        rig.pool.obs = None
+        with pytest.raises(ValueError, match="DriftObservatory"):
+            rig.manager.attach(rig.pool)
+
+    def test_double_attach_rejected(self, rig):
+        with pytest.raises(ValueError, match="already attached"):
+            rig.manager.attach(rig.pool)
+
+    def test_wraps_both_pricing_and_scoring_interface(self, rig):
+        routed = rig.routed()
+        assert rig.pooled.price_interface is routed
+        assert rig.device.interface is routed
+        assert rig.pool.healer is rig.manager
+
+    def test_adopts_observatory_size_classes(self, rig):
+        assert rig.manager.classes is DEFAULT_SIZE_CLASSES
+
+    def test_device_filter(self):
+        rig = ToyRig(attach=False)
+        manager = HealingManager(features, devices=["other"])
+        manager.attach(rig.pool)
+        assert rig.pooled.price_interface is rig.device.interface
+        assert not isinstance(rig.pooled.price_interface, ClassRoutedInterface)
+
+
+class TestHealthyPath:
+    def test_faithful_interface_never_triggers(self, rig):
+        rig.drive(20)
+        assert rig.state().phase is HealPhase.HEALTHY
+        assert rig.manager.events == []
+        assert rig.routed().overrides == {}
+
+    def test_full_cycle_on_regime_shift(self, rig):
+        rig.drive(12)
+        rig.model.rate = 3 * RATE  # the hardware slows; the interface lies
+        rig.drive(40)
+        state = rig.state()
+        assert state.promotions == 1
+        phases = [e.phase_to for e in rig.manager.events]
+        assert HealPhase.SHADOWING in phases and HealPhase.PROBATION in phases
+        # Probation completed and the override is live.
+        assert state.phase is HealPhase.HEALTHY
+        assert "large" in rig.routed().overrides
+        # The healed interface tracks the *new* hardware to within the
+        # promote threshold, where the shipped one is ~2x off.
+        msg = rig.message()
+        healed = rig.routed().latency(msg)
+        truth = rig.model.measure_latency(msg)
+        assert abs(healed - truth) / truth < 0.1
+        assert abs(rig.routed().base.latency(msg) - truth) / truth > 0.5
+        # And the detector is quiet again.
+        assert ("toy", "large") not in rig.obs.observatory.drifting_keys()
+
+    def test_hysteresis_one_verdict_is_not_enough(self, rig):
+        policy = quick_policy(trigger_after=50)  # effectively never
+        rig2 = ToyRig(policy=policy)
+        rig2.drive(12)
+        rig2.model.rate = 3 * RATE
+        rig2.drive(30)
+        assert rig2.state().refits == 0
+        assert rig2.state().drift_streak > 0
+
+    def test_starved_window_cools_down_instead_of_fitting(self):
+        rig = ToyRig(policy=quick_policy(window=40, min_records=40))
+        rig.drive(12)
+        rig.model.rate = 3 * RATE
+        rig.drive(20)
+        state = rig.state()
+        assert state.refits == 0 and state.promotions == 0
+        # The starved trigger set a cooldown rather than spinning.
+        counters = rig.obs.metrics.snapshot()
+        assert any(
+            "heal_refits_total" in k and "starved" in k for k in counters
+        ), counters
+
+
+class TestRollback:
+    def test_regressing_candidate_rolled_back_and_quarantined(self, rig):
+        rig.drive(12)
+        rig.model.rate = 3 * RATE
+        drive_until(rig, HealPhase.PROBATION)
+        assert rig.state().promotions == 1
+        assert "large" in rig.routed().overrides
+        # The hardware shifts *again* while the candidate is on
+        # probation: the loop must roll back, not double down.
+        rig.model.rate = 20 * RATE
+        drive_until(rig, HealPhase.QUARANTINED)
+        state = rig.state()
+        assert state.rollbacks == 1
+        # Exact prior pricing restored: there was no override before
+        # the promotion, so there is none now — the shipped interface
+        # prices the class again, bit for bit.
+        assert "large" not in rig.routed().overrides
+        msg = rig.message()
+        assert rig.routed().latency(msg) == shipped_interface().latency(msg)
+
+    def test_quarantine_expires_back_to_healthy(self, rig):
+        rig.drive(12)
+        rig.model.rate = 3 * RATE
+        drive_until(rig, HealPhase.PROBATION)
+        rig.model.rate = 20 * RATE
+        drive_until(rig, HealPhase.QUARANTINED)
+        cooldown = rig.state().cooldown
+        assert cooldown == rig.manager.policy.quarantine_cooldown
+        rig.drive(cooldown + 1)
+        assert rig.state().phase is not HealPhase.QUARANTINED
+        reasons = [e.reason for e in rig.manager.events]
+        assert any("quarantine expired" in r for r in reasons)
+
+    def test_no_refits_while_quarantined(self, rig):
+        rig.drive(12)
+        rig.model.rate = 3 * RATE
+        drive_until(rig, HealPhase.PROBATION)
+        rig.model.rate = 20 * RATE
+        drive_until(rig, HealPhase.QUARANTINED)
+        refits = rig.state().refits
+        rig.drive(rig.state().cooldown - 1)  # still inside quarantine
+        assert rig.state().phase is HealPhase.QUARANTINED
+        assert rig.state().refits == refits
+
+
+class TestObservability:
+    def test_events_and_snapshot(self, rig):
+        rig.drive(12)
+        rig.model.rate = 3 * RATE
+        rig.drive(40)
+        snap = rig.pool.snapshot()["healing"]
+        assert snap["managed_devices"] == ["toy"]
+        assert snap["promotions"] == 1
+        key = snap["keys"]["toy/large"]
+        assert key["swapped"] is True
+        assert key["refits"] >= 1
+        assert str(rig.manager.events[0])  # renders
+        assert isinstance(rig.manager.events[0], LifecycleEvent)
+        report = rig.manager.report()
+        assert "toy" in report and "yes" in report
+
+    def test_lifecycle_counters_in_metrics(self, rig):
+        rig.drive(12)
+        rig.model.rate = 3 * RATE
+        rig.drive(40)
+        counters = rig.obs.metrics.snapshot()
+        assert any("heal_promotions_total" in k for k in counters)
+        assert any("heal_refits_total" in k for k in counters)
+
+    def test_report_before_any_observation(self):
+        manager = HealingManager(features)
+        assert "no observations" in manager.report()
+
+
+class TestPoolWithoutHealer:
+    def test_snapshot_has_no_healing_section(self):
+        rig = ToyRig(attach=False)
+        assert "healing" not in rig.pool.snapshot()

@@ -1,0 +1,101 @@
+"""End-to-end self-healing over the real heterogeneous RPC fleet.
+
+The unit tests in ``tests/heal`` pin the state machine on a toy linear
+device; these drive the whole stack — storage mix, open-loop server,
+``interface_predicted`` routing, drift observatory, refit-from-tape —
+through the E16 regime shift and check the acceptance criteria of the
+healing loop: the error comes back under the drift threshold with no
+restart, and a candidate that regresses on probation is rolled back
+and quarantined.
+"""
+
+from repro.heal import (
+    E16_HEAL_POLICY,
+    HealPhase,
+    HealPolicy,
+    run_heal_scenario,
+    slowed_dram,
+)
+
+#: The floor for a complete cycle at E16 pacing (see the benchmark).
+REQUESTS = 320
+
+
+class TestHealCycle:
+    def test_detect_refit_shadow_swap_recover_without_restart(self):
+        result = run_heal_scenario(requests=REQUESTS)
+        device, rpc_class = result.target_key
+        state = result.healer.state(device, rpc_class)
+        detector = result.obs.observatory.detector(device, rpc_class)
+
+        # The cycle completed: one promotion, no rollback.
+        swap = result.swap_at(device, rpc_class)
+        assert swap is not None
+        assert state.refits >= 1 and state.promotions == 1
+        assert state.rollbacks == 0
+
+        # Final mean error for the affected key is back under the
+        # drift threshold, and the detector agrees.
+        post = result.mean_error(device, rpc_class, since=swap)
+        assert post < detector.threshold
+        assert (device, rpc_class) not in result.obs.observatory.drifting_keys()
+
+        # No restart: one pool, one breaker (never transitioned), one
+        # continuous tape across the shift.
+        pooled = result.pool.device(device)
+        assert pooled.device.breaker.transitions == []
+        assert result.errors(device, rpc_class, until=result.shift_at)
+        assert result.errors(device, rpc_class, since=result.shift_at)
+
+        # The healed pricing is live in the router.
+        routed = result.healer.routed_interface(device)
+        assert pooled.price_interface is routed
+        assert rpc_class in routed.overrides
+
+
+class TestRegressingCandidate:
+    def test_rolled_back_and_quarantined(self):
+        # Stretch probation past the end of the serve so the run
+        # finishes with the candidate still on probation...
+        policy = HealPolicy(
+            window=E16_HEAL_POLICY.window,
+            min_records=E16_HEAL_POLICY.min_records,
+            trigger_after=E16_HEAL_POLICY.trigger_after,
+            shadow_samples=E16_HEAL_POLICY.shadow_samples,
+            probation_samples=500,
+            refit_cooldown=E16_HEAL_POLICY.refit_cooldown,
+            quarantine_cooldown=E16_HEAL_POLICY.quarantine_cooldown,
+        )
+        result = run_heal_scenario(requests=REQUESTS, heal_policy=policy)
+        device, rpc_class = result.target_key
+        state = result.healer.state(device, rpc_class)
+        assert state.phase is HealPhase.PROBATION
+        assert state.promotions == 1
+        routed = result.healer.routed_interface(device)
+        swapped_iface = routed.overrides[rpc_class]
+
+        # ...then shift the regime *again* under the promoted
+        # candidate.  It was fit to the 5x-slow DRAM; the hardware is
+        # now 6x slower still, so it regresses on live traffic.
+        protoacc = result.pool.device(device).device
+        protoacc.model.dram_config = slowed_dram(protoacc.model.dram_config, 6.0)
+
+        from repro.workloads.rpc import ALL_MIXES
+
+        mix = next(m for m in ALL_MIXES if m.name == "storage")
+        msgs, arrivals = mix.sample_open(99, 150, 900.0)
+        t0 = protoacc.clock
+        for msg, offset in zip(msgs, arrivals):
+            result.pool.dispatch(msg, t0 + offset)
+            if state.phase is HealPhase.QUARANTINED:
+                break
+
+        assert state.phase is HealPhase.QUARANTINED
+        assert state.rollbacks == 1
+        # Exact prior pricing restored: no override existed before the
+        # promotion, so the shipped interface prices the class again.
+        assert rpc_class not in routed.overrides
+        assert routed.interface_for(rpc_class) is routed.base
+        assert routed.interface_for(rpc_class) is not swapped_iface
+        quarantine = [e for e in result.healer.events if e.phase_to is HealPhase.QUARANTINED]
+        assert len(quarantine) == 1 and "quarantined" in quarantine[0].reason

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.obs import DriftObservatory, MetricsRegistry, Obs, rpc_size_class
+from repro.obs import (
+    DEFAULT_SIZE_CLASSES,
+    DriftObservatory,
+    MetricsRegistry,
+    Obs,
+    SizeClasses,
+    rpc_size_class,
+)
 from repro.runtime.degrade import DriftDetector
 from repro.workloads.rpc import sized_message
 
@@ -20,6 +27,84 @@ class TestClassifier:
 
     def test_non_message_falls_back_to_type_name(self):
         assert rpc_size_class(42) == "int"
+
+
+class TestSizeClasses:
+    def test_stock_spec_labels(self):
+        assert DEFAULT_SIZE_CLASSES.labels == ("small", "medium", "large")
+        assert DEFAULT_SIZE_CLASSES.classify(msg(16)) == "small"
+
+    def test_custom_boundaries_are_inclusive(self):
+        spec = SizeClasses(boundaries=(("a", 10), ("b", 20)), overflow="c")
+        sized = type("Sized", (), {"encoded_size": lambda self: 10})()
+        assert spec.classify(sized) == "a"
+        assert spec.labels == ("a", "b", "c")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(boundaries=(("a", 20), ("b", 10))),  # descending
+            dict(boundaries=(("a", 10), ("b", 10))),  # duplicate bound
+            dict(boundaries=(("a", 10),), overflow="a"),  # duplicate label
+        ],
+    )
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            SizeClasses(**bad)
+
+    def test_observatory_adopts_spec_and_exposes_it(self):
+        spec = SizeClasses(boundaries=(("tiny", 100),), overflow="huge")
+        obs = DriftObservatory(classifier=spec)
+        assert obs.size_classes is spec
+        obs.observe("dev", msg(16), 1.0, 1.0)
+        assert obs.keys() == [("dev", "tiny")]
+
+    def test_bare_callable_classifier_has_no_spec(self):
+        obs = DriftObservatory(classifier=lambda r: "all")
+        assert obs.size_classes is None
+        obs.observe("dev", msg(16), 1.0, 1.0)
+        assert obs.keys() == [("dev", "all")]
+
+
+class TestSubscribe:
+    def test_subscriber_hears_every_observation(self):
+        obs = DriftObservatory(
+            detector_factory=lambda: DriftDetector(
+                threshold=0.2, window=8, min_samples=2
+            )
+        )
+        heard = []
+
+        def probe(device, rpc_class, request, predicted, observed, *, drifting, at):
+            heard.append((device, rpc_class, predicted, observed, drifting, at))
+
+        obs.subscribe(probe)
+        request = msg(16)
+        obs.observe("dev", request, 100.0, 100.0, at=10.0)
+        assert heard == [("dev", "small", 100.0, 100.0, False, 10.0)]
+        # The verdict forwarded to subscribers is the live one.
+        for i in range(8):
+            obs.observe("dev", request, 200.0, 100.0, at=20.0 + i)
+        assert heard[-1][4] is True
+
+    def test_reset_detector_clears_verdict_but_keeps_history(self):
+        obs = DriftObservatory(
+            detector_factory=lambda: DriftDetector(
+                threshold=0.2, window=8, min_samples=2
+            )
+        )
+        for _ in range(8):
+            obs.observe("dev", msg(16), 200.0, 100.0)
+        assert obs.drifting_keys() == [("dev", "small")]
+        obs.reset_detector("dev", "small")
+        assert obs.drifting_keys() == []
+        # Error history and sample counts survive — only the detector
+        # window (which scored the replaced interface) is forgotten.
+        assert obs.samples("dev", "small") == 8
+        assert obs.error_summary("dev", "small").mean == pytest.approx(1.0)
+
+    def test_reset_unknown_key_is_a_no_op(self):
+        DriftObservatory().reset_detector("ghost", "small")
 
 
 class TestObserve:

@@ -1,0 +1,141 @@
+"""Tape introspection: per-size-class stats, headers, and the CLI."""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.accel.protoacc import PROGRAM, ProtoaccSerializerModel
+from repro.obs import SizeClasses
+from repro.runtime import ResilientDevice, RetryPolicy, rpc_cpu_fallback
+from repro.runtime.tape import (
+    load_tape,
+    protoacc_message_codec,
+    save_tape,
+    tape_header,
+    tape_stats,
+)
+from repro.workloads.rpc import sized_message
+
+#: One size per stock class: small (<=96), medium (<=1024), large.
+SIZES = (64, 512, 2048)
+
+
+def record_tape(n=12):
+    device = ResilientDevice(
+        model=ProtoaccSerializerModel(),
+        interface=PROGRAM,
+        fallback=rpc_cpu_fallback(),
+        retry=RetryPolicy(max_attempts=1),
+    )
+    rng = np.random.default_rng(3)
+    for i in range(n):
+        device.call(sized_message(SIZES[i % len(SIZES)], rng))
+    return device
+
+
+class TestTapeStats:
+    def test_counts_paths_and_summaries_per_class(self):
+        device = record_tape(12)
+        report = tape_stats(device.records)
+        assert report["records"] == 12
+        assert report["tail"] is None
+        assert set(report["classes"]) == {"small", "medium", "large"}
+        for entry in report["classes"].values():
+            assert entry["count"] == 4
+            assert entry["paths"] == {"accel": 4}
+            assert entry["faults"] == 0
+            for key in ("service_cycles", "cycles"):
+                s = entry[key]
+                assert s["mean"] <= s["max"]
+                assert s["p50"] <= s["p95"] <= s["max"]
+        # Bigger messages cost more cycles on the wire.
+        assert (
+            report["classes"]["small"]["cycles"]["mean"]
+            < report["classes"]["large"]["cycles"]["mean"]
+        )
+
+    def test_tail_keeps_only_the_window_view(self):
+        device = record_tape(12)
+        report = tape_stats(device.records, tail=2)
+        assert report["records"] == 2
+        assert report["tail"] == 2
+        # The last two records are sizes 512 and 2048 — no "small" left.
+        assert set(report["classes"]) == {"medium", "large"}
+        # A tail longer than the tape is just the whole tape.
+        assert tape_stats(device.records, tail=999)["records"] == 12
+
+    @pytest.mark.parametrize("tail", [0, -1])
+    def test_non_positive_tail_rejected(self, tail):
+        with pytest.raises(ValueError, match="tail"):
+            tape_stats([], tail=tail)
+
+    def test_custom_classes_relabel_the_same_tape(self):
+        device = record_tape(12)
+        coarse = SizeClasses(boundaries=(("tiny", 100),), overflow="huge")
+        report = tape_stats(device.records, classes=coarse)
+        assert set(report["classes"]) == {"tiny", "huge"}
+        assert report["classes"]["tiny"]["count"] == 4
+        assert report["classes"]["huge"]["count"] == 8
+
+    def test_empty_tape(self):
+        report = tape_stats([])
+        assert report == {"records": 0, "tail": None, "classes": {}}
+
+
+class TestDeviceHeader:
+    def test_device_name_round_trips_in_header(self, tmp_path):
+        device = record_tape(3)
+        path = save_tape(
+            device.records,
+            tmp_path / "t.jsonl.gz",
+            codec=protoacc_message_codec(),
+            device="protoacc-0",
+        )
+        header = tape_header(path)
+        assert header["device"] == "protoacc-0"
+        assert header["codec"] == "protoacc-message"
+        assert header["records"] == 3
+        # The device name is header metadata only: records still load.
+        assert load_tape(path) == device.records
+
+    def test_header_omits_device_when_unset(self, tmp_path):
+        device = record_tape(3)
+        path = save_tape(
+            device.records, tmp_path / "t.jsonl.gz", codec=protoacc_message_codec()
+        )
+        assert "device" not in tape_header(path)
+
+    def test_header_rejects_non_tape(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "bogus.jsonl.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(ValueError, match="not a serving tape"):
+            tape_header(path)
+
+
+class TestStatsCli:
+    def test_stats_subcommand_prints_labeled_json(self, tmp_path):
+        device = record_tape(6)
+        path = save_tape(
+            device.records,
+            tmp_path / "t.jsonl.gz",
+            codec=protoacc_message_codec(),
+            device="toy",
+        )
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.runtime.tape", "stats", str(path), "--tail", "4"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        report = json.loads(out.stdout)
+        assert report["device"] == "toy"
+        assert report["codec"] == "protoacc-message"
+        assert report["records"] == 4
+        assert report["tail"] == 4
+        assert report["classes"]
