@@ -169,4 +169,16 @@ def perflint_bundle():
         pnet_file="src/repro/accel/jpeg/interfaces.py#JPEG_PNET",
         samples=samples,
         petri_latency_fn=petri_interface().latency,
+        # Per-block token fields: block index within an MCU row group,
+        # coded bytes and nonzero coefficients of one 8x8 block, and
+        # the writeback flag.  Only bytes/nnz are declared monotone —
+        # `i` feeds a periodic alignment stall and `wr` a branch, both
+        # deliberately outside what the verifier can certify.
+        feature_domains={
+            "i": (0.0, 63.0),
+            "bytes": (0.0, 64.0),
+            "nnz": (0.0, 64.0),
+            "wr": (0.0, 1.0),
+        },
+        declared_monotone={"bytes": +1, "nnz": +1},
     )

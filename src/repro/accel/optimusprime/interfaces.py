@@ -11,9 +11,9 @@ summary and an executable program, both derived from the constants of
 A Petri-net representation (one single-server transition) ships too,
 so the pool runtime's ``interface_predicted`` router can price this
 device through the compiled engine and a shared :class:`EvalCache`
-like every other pooled accelerator.  The lint bundle still audits
-the English/program pair; the net is linted separately in the accel
-test suite.
+like every other pooled accelerator.  The lint bundle audits all
+three representations, and ``pnet verify`` proves the net's latency
+contract (symbolic bounds + monotonicity certificates).
 """
 
 from __future__ import annotations
@@ -136,9 +136,19 @@ def all_interfaces() -> dict[str, object]:
     return {"english": ENGLISH, "program": PROGRAM, "petri-net": petri_interface()}
 
 
+#: Token-field value ranges the transform contract is stated over:
+#: up to 256 fields and 4 KiB of encoded message.
+PNET_FEATURE_DOMAINS = {
+    "fields": (0.0, 256.0),
+    "size": (0.0, 4096.0),
+}
+
+
 def perflint_bundle():
     """Everything the perf-lint toolchain audits for this accelerator
-    (``python -m repro.tools.perflint optimusprime``)."""
+    (``python -m repro.tools.perflint optimusprime``) — the
+    single-transition Petri net included, so ``pnet verify`` can prove
+    the transform's latency contract."""
     from repro.lint import InterfaceBundle
 
     from repro.accel.protoacc.formats import instances
@@ -152,5 +162,23 @@ def perflint_bundle():
             "throughput": tput_optimusprime,
         },
         workload_type=Message,
+        pnet_text=OPTIMUS_PNET,
+        pnet_file="src/repro/accel/optimusprime/interfaces.py#OPTIMUS_PNET",
         samples=list(instances(seed=5).values()),
+        feature_domains=PNET_FEATURE_DOMAINS,
+        declared_monotone={
+            "fields": +1,
+            "size": +1,
+            "total_fields": +1,
+            "encoded_size": +1,
+        },
     )
+
+
+def perf_contract():
+    """The transform's verified performance contract (derived fresh;
+    callers that price many requests should cache it — the pool
+    runtime does)."""
+    from repro.lint import analyze_bundle
+
+    return analyze_bundle(perflint_bundle()).contract

@@ -231,11 +231,22 @@ def all_interfaces() -> dict[str, object]:
     return {"english": ENGLISH, "program": PROGRAM, "petri-net": petri_interface()}
 
 
+#: Token-field value ranges the serializer contract is stated over:
+#: up to 256 fields (8 descriptor groups), 4 KiB of streamed BYTES
+#: cost, and 4 KiB of encoded output (512 write beats).
+PNET_FEATURE_DOMAINS = {
+    "groups": (0.0, 8.0),
+    "blob": (0.0, 4096.0),
+    "beats": (1.0, 512.0),
+}
+
+
 def perflint_bundle():
     """Everything the perf-lint toolchain audits for this accelerator
-    (``python -m repro.tools.perflint protoacc``).  Protoacc ships no
-    Petri net, so the audit covers the program and English
-    representations plus their cross-checks."""
+    (``python -m repro.tools.perflint protoacc``): all three
+    representations — the routing-granularity Petri net included, so
+    ``pnet verify`` can prove the serializer's latency contract —
+    plus their cross-checks."""
     from repro.lint import InterfaceBundle
 
     from .formats import instances
@@ -253,8 +264,21 @@ def perflint_bundle():
             "deser-latency": latency_protoacc_deser,
         },
         workload_type=Message,
+        pnet_text=PROTOACC_PNET,
+        pnet_file="src/repro/accel/protoacc/interfaces.py#PROTOACC_PNET",
         samples=list(instances(seed=3).values()),
+        feature_domains=PNET_FEATURE_DOMAINS,
+        declared_monotone={"groups": +1, "blob": +1, "beats": +1},
     )
+
+
+def perf_contract():
+    """The serializer's verified performance contract (derived fresh;
+    callers that price many requests should cache it — the pool
+    runtime does)."""
+    from repro.lint import analyze_bundle
+
+    return analyze_bundle(perflint_bundle()).contract
 
 
 # ----------------------------------------------------------------------

@@ -90,9 +90,12 @@ class Field:
             raise TypeError("message fields need a Message value")
         if self.kind is FieldKind.BYTES and not isinstance(self.value, bytes):
             raise TypeError("bytes fields need a bytes value")
-        if self.kind in (FieldKind.VARINT, FieldKind.FIXED32, FieldKind.FIXED64):
-            if not isinstance(self.value, int):
-                raise TypeError(f"{self.kind.value} fields need an int value")
+        if self.kind in (
+            FieldKind.VARINT,
+            FieldKind.FIXED32,
+            FieldKind.FIXED64,
+        ) and not isinstance(self.value, int):
+            raise TypeError(f"{self.kind.value} fields need an int value")
 
     @property
     def tag(self) -> bytes:

@@ -145,10 +145,7 @@ class ProtoaccSerializerModel(AcceleratorModel[Message]):
     ) -> float:
         """Walk one message; appends output ops; returns read-done time."""
 
-        if bus is None:
-            cross = lambda at, size: at  # noqa: E731 - direct-attach memory
-        else:
-            cross = bus.request
+        cross = (lambda at, size: at) if bus is None else bus.request
 
         if tlb is None:
             def rand_addr() -> int:

@@ -390,4 +390,11 @@ def perflint_bundle():
         injected=VTA_INJECTED,
         samples=samples,
         petri_latency_fn=petri_interface().latency,
+        # The verifier cannot bound this net symbolically: every delay
+        # is a Python callable decoding the instruction stream, so the
+        # contract is honestly *opaque* (VR001 says so) and consumers
+        # price VTA by simulation.  Declaring the compute queue as the
+        # entry keeps the traversal meaningful for the opacity report.
+        entry=f"cmd_{Module.COMPUTE.value}",
+        sink="out",
     )

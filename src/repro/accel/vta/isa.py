@@ -93,9 +93,10 @@ class Instruction:
         elif self.op is Opcode.GEMM:
             if self.uop_count <= 0 or self.lp0 <= 0 or self.lp1 <= 0:
                 raise ValueError("GEMM needs positive uop_count/lp0/lp1")
-        elif self.op is Opcode.ALU:
-            if self.alu_op is None or self.vector_len <= 0 or self.iterations <= 0:
-                raise ValueError("ALU needs an op, vector_len, and iterations")
+        elif self.op is Opcode.ALU and (
+            self.alu_op is None or self.vector_len <= 0 or self.iterations <= 0
+        ):
+            raise ValueError("ALU needs an op, vector_len, and iterations")
 
     @property
     def module(self) -> Module:

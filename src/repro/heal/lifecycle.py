@@ -66,6 +66,13 @@ class HealPolicy:
     #: ``FitReport.trustworthy`` ceiling: candidates whose *holdout*
     #: error exceeds this never reach shadowing.
     refit_holdout_error: float = 0.2
+    #: Run the static verifier (:func:`repro.lint.verify_candidate`)
+    #: on every refit candidate *before* holdout judgment or shadow
+    #: traffic.  A statically rejected candidate — negative weight,
+    #: slope over the device contract's certified bound — quarantines
+    #: the key outright: the defect is in the fit, not the traffic,
+    #: so re-shadowing it would only re-learn the same mistake.
+    verify_candidates: bool = True
     #: Live observations a candidate must shadow-price before judgment.
     shadow_samples: int = 16
     #: Candidate mean error must be <= this fraction of the active
@@ -144,9 +151,13 @@ class KeyState:
     rolled_back_at: float | None = None
     probation_seen: int = 0
     post_errors: list[float] = field(default_factory=list)
+    #: Why the key last entered QUARANTINED (static rejection vs
+    #: post-swap regression) — surfaced in ``pool.snapshot()``.
+    quarantine_reason: str | None = None
     # Lifetime counters.
     refits: int = 0             # candidates that reached shadowing
     refits_rejected: int = 0    # fits the holdout gate refused
+    verify_rejections: int = 0  # candidates the static verifier refused
     shadow_failures: int = 0
     promotions: int = 0
     rollbacks: int = 0

@@ -197,9 +197,8 @@ class HealingManager:
             self._tick_shadowing(state, request, predicted, observed, at)
         elif state.phase is HealPhase.PROBATION:
             self._tick_probation(state, predicted, observed, drifting, at)
-        elif state.phase is HealPhase.QUARANTINED:
-            if state.cooldown == 0:
-                self._transition(state, HealPhase.HEALTHY, at, "quarantine expired")
+        elif state.phase is HealPhase.QUARANTINED and state.cooldown == 0:
+            self._transition(state, HealPhase.HEALTHY, at, "quarantine expired")
 
     def _ingest_records(self, device: str) -> None:
         """Pull this device's new tape records into the per-key windows
@@ -225,6 +224,7 @@ class HealingManager:
 
     def _refit(self, state: KeyState, at: float) -> None:
         from repro.extract import fit_from_records
+        from repro.lint import verify_candidate
 
         window = list(state.records)
         if len(window) < self.policy.min_records:
@@ -246,6 +246,31 @@ class HealingManager:
             state.cooldown = self.policy.refit_cooldown
             self._count("heal_refits_total", state, outcome="failed")
             return
+        if self.policy.verify_candidates:
+            problems = verify_candidate(
+                candidate, getattr(pooled, "contract", None)
+            )
+            if problems:
+                # Statically refuted: the fitted coefficients are wrong
+                # regardless of traffic, so no amount of shadowing can
+                # redeem this candidate.  Quarantine the key.
+                state.verify_rejections += 1
+                state.quarantine_reason = (
+                    "static verification failed: " + "; ".join(problems)
+                )
+                state.cooldown = self.policy.quarantine_cooldown
+                self._instant(
+                    "heal:verify_rejected", state, at, problems=problems
+                )
+                self._count("heal_refits_total", state, outcome="verify_rejected")
+                self._count("heal_verify_rejections_total", state)
+                self._transition(
+                    state,
+                    HealPhase.QUARANTINED,
+                    at,
+                    state.quarantine_reason,
+                )
+                return
         if not fit.trustworthy(self.policy.refit_holdout_error):
             state.refits_rejected += 1
             state.cooldown = self.policy.refit_cooldown
@@ -382,6 +407,10 @@ class HealingManager:
         state.clear_candidate()
         state.prior_override = NO_OVERRIDE
         state.cooldown = self.policy.quarantine_cooldown
+        state.quarantine_reason = (
+            f"post-swap regression: error {post:.1%} over threshold "
+            f"{threshold:.1%}"
+        )
         self._observatory.reset_detector(state.device, state.rpc_class)
         self._count("heal_rollbacks_total", state)
         self._transition(
@@ -446,6 +475,7 @@ class HealingManager:
                 "window_records": len(s.records),
                 "refits": s.refits,
                 "refits_rejected": s.refits_rejected,
+                "verify_rejections": s.verify_rejections,
                 "shadow_failures": s.shadow_failures,
                 "promotions": s.promotions,
                 "rollbacks": s.rollbacks,
@@ -453,6 +483,8 @@ class HealingManager:
                 "rolled_back_at": s.rolled_back_at,
                 "swapped": rpc_class in self._routed[device].overrides,
             }
+            if s.quarantine_reason is not None:
+                entry["quarantine_reason"] = s.quarantine_reason
             if s.shadow_candidate:
                 entry["shadow"] = {
                     "samples": len(s.shadow_candidate),
@@ -469,6 +501,9 @@ class HealingManager:
             "events": len(self.events),
             "promotions": sum(s.promotions for s in self._keys.values()),
             "rollbacks": sum(s.rollbacks for s in self._keys.values()),
+            "verify_rejections": sum(
+                s.verify_rejections for s in self._keys.values()
+            ),
             "keys": keys,
         }
 
@@ -478,12 +513,13 @@ class HealingManager:
             return "healing: no observations yet"
         lines = [
             f"{'device':14}  {'class':8}  {'phase':11}  {'refits':>6}  "
-            f"{'promo':>5}  {'rollbk':>6}  {'window':>6}  swapped"
+            f"{'vetoed':>6}  {'promo':>5}  {'rollbk':>6}  {'window':>6}  swapped"
         ]
         for (device, rpc_class), s in sorted(self._keys.items()):
             swapped = rpc_class in self._routed[device].overrides
             lines.append(
                 f"{device:14}  {rpc_class:8}  {s.phase.value:11}  {s.refits:6d}  "
+                f"{s.verify_rejections:6d}  "
                 f"{s.promotions:5d}  {s.rollbacks:6d}  {len(s.records):6d}  "
                 f"{'yes' if swapped else 'no'}"
             )

@@ -14,9 +14,16 @@ static analyzer over all three interface representations.
   termination, workload-feature existence.
 * **cross rules** (``XR0xx``, :mod:`repro.lint.crossrules`) reconcile
   the representations of one accelerator against each other.
+* **verify rules** (``VR0xx``, :mod:`repro.lint.verify`) *prove*
+  contracts instead of sampling them: symbolic latency bounds by
+  abstract interpretation over the compiled net, monotonicity
+  certificates by derivative-sign analysis, corner-point checks
+  against the compiled engine.  Run by ``pnet verify``, not by
+  ``lint_bundle`` — verification is a promotion gate, not a style pass.
 
 Entry points: ``python -m repro.tools.pnet lint file.pnet`` for one
-document, ``python -m repro.tools.perflint`` to sweep every shipped
+document, ``python -m repro.tools.pnet verify`` for the contract gate,
+``python -m repro.tools.perflint`` to sweep every shipped
 accelerator bundle (that is what CI gates on).  The rule catalog with
 minimal failing examples is ``docs/perf-lint.md``.
 """
@@ -33,6 +40,18 @@ from .diagnostics import Diagnostic, LintReport, Severity, SourceLocation
 from .netrules import NetLintContext
 from .programrules import ProgramLintContext
 from .registry import DEFAULT_REGISTRY, Rule, RuleRegistry
+from .verify import (
+    MonotoneCert,
+    PerfContract,
+    Verification,
+    analyze_bundle,
+    load_contract,
+    save_contract,
+    sidecar_path,
+    verify_bundle,
+    verify_candidate,
+)
+from .witness import Witness, worst_discordant_pair
 
 __all__ = [
     "BundleLintContext",
@@ -40,14 +59,25 @@ __all__ = [
     "Diagnostic",
     "InterfaceBundle",
     "LintReport",
+    "MonotoneCert",
     "NetLintContext",
+    "PerfContract",
     "ProgramLintContext",
     "Rule",
     "RuleRegistry",
     "Severity",
     "SourceLocation",
+    "Verification",
+    "Witness",
+    "analyze_bundle",
     "lint_bundle",
     "lint_net",
     "lint_pnet_text",
     "lint_program_fn",
+    "load_contract",
+    "save_contract",
+    "sidecar_path",
+    "verify_bundle",
+    "verify_candidate",
+    "worst_discordant_pair",
 ]

@@ -56,6 +56,16 @@ class InterfaceBundle:
         petri_latency_fn: Optional per-item latency according to the
             net (usually a tiny simulation), enabling XR005.
         extra_rules: Vendor rules to run alongside the built-ins.
+        entry: Place a request token enters the net at (verifier).
+        sink: Place whose arrival completes a request (verifier).
+        feature_domains: Per-token-field ``(lo, hi)`` value ranges the
+            contract is stated over; the verifier concretizes symbolic
+            bounds at this box's corners.
+        declared_monotone: Features the vendor *declares* monotone
+            (``{"size": +1}`` = non-decreasing) — what ``pnet verify``
+            must prove or refute (VR004).
+        contract: Optional declared :class:`~repro.lint.verify.PerfContract`
+            the derived bounds must stay inside (VR003).
     """
 
     accelerator: str
@@ -71,6 +81,11 @@ class InterfaceBundle:
     samples: Sequence[Any] = ()
     petri_latency_fn: Callable[[Any], float] | None = None
     extra_rules: Sequence[Rule] = ()
+    entry: str = "in"
+    sink: str = "out"
+    feature_domains: Mapping[str, tuple[float, float]] = field(default_factory=dict)
+    declared_monotone: Mapping[str, int] = field(default_factory=dict)
+    contract: Any | None = None
 
     def build_net(self) -> tuple[PetriNet | None, str | None]:
         """Materialize the net plus the filename diagnostics should cite."""

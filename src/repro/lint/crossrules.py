@@ -29,6 +29,7 @@ from repro.core.nl import Relation, _spread
 from .diagnostics import Diagnostic, Severity, SourceLocation
 from .netrules import expr_ast, tok_fields
 from .registry import rule
+from .witness import worst_discordant_pair
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.petri.net import PetriNet
@@ -208,13 +209,17 @@ def check_monotonicity(ctx: BundleLintContext) -> Iterator[Diagnostic]:
         score = _concordance(pairs, sign)
         if score is None:
             continue
+        witness = worst_discordant_pair(
+            stmt.quantity, [({stmt.quantity: x}, y) for x, y in pairs], sign
+        )
+        at = f"; worst counterexample: {witness.render()}" if witness else ""
         if score < 0.5:
             yield ctx.diag(
                 "XR004",
                 Severity.ERROR,
                 f"the English interface claims {stmt.render()!r}, but the "
                 f"program interface moves the *other* way over the bundle's "
-                f"samples (concordance {score:.0%})",
+                f"samples (concordance {score:.0%}{at})",
                 hint="one of the two representations is wrong; fix whichever "
                 "misstates the hardware",
             )
@@ -224,7 +229,7 @@ def check_monotonicity(ctx: BundleLintContext) -> Iterator[Diagnostic]:
                 Severity.WARNING,
                 f"the English interface claims {stmt.render()!r}, but the "
                 f"program interface only weakly agrees over the bundle's "
-                f"samples (concordance {score:.0%})",
+                f"samples (concordance {score:.0%}{at})",
                 hint="the claim may hold only on part of the workload space; "
                 "consider qualifying the English statement",
             )

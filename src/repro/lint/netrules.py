@@ -106,9 +106,9 @@ class NetLintContext:
     def producers_of(self, place: str) -> list[Transition]:
         out = []
         for t in self.net.transitions.values():
-            if any(a.place == place for a in t.outputs):
-                out.append(t)
-            elif t.timeout is not None and t.timeout[1] == place:
+            if any(a.place == place for a in t.outputs) or (
+                t.timeout is not None and t.timeout[1] == place
+            ):
                 out.append(t)
         return out
 
@@ -556,12 +556,16 @@ def _suspicious_ops(tree: ast.expr) -> list[str]:
                     "divides by a workload-dependent term: a zero-valued "
                     "field makes the delay undefined"
                 )
-        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
-            if not guarded and depends_on_token(node.operand):
-                problems.append(
-                    "negates a workload-dependent term without a clamp: it "
-                    "can evaluate negative"
-                )
+        if (
+            isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, ast.USub)
+            and not guarded
+            and depends_on_token(node.operand)
+        ):
+            problems.append(
+                "negates a workload-dependent term without a clamp: it "
+                "can evaluate negative"
+            )
         for child in ast.iter_child_nodes(node):
             visit(child, guarded)
 

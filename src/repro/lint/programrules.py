@@ -288,11 +288,12 @@ def check_returns_value(ctx: ProgramLintContext) -> Iterator[Diagnostic]:
     for node in ast.walk(ctx.tree):
         if isinstance(node, (ast.Yield, ast.YieldFrom)):
             return  # generators are judged elsewhere
-        if isinstance(node, ast.Return) and node.value is not None:
-            if not (
-                isinstance(node.value, ast.Constant) and node.value.value is None
-            ):
-                return
+        if (
+            isinstance(node, ast.Return)
+            and node.value is not None
+            and not (isinstance(node.value, ast.Constant) and node.value.value is None)
+        ):
+            return
     yield ctx.diag(
         "PG006",
         Severity.ERROR,

@@ -1,7 +1,7 @@
 """Rule registry: how lint passes are named, grouped, and extended.
 
 Every check is a :class:`Rule` — a stable id, a family ("net",
-"program", or "cross"), a one-line summary for the catalog, and the
+"program", "cross", or "verify"), a one-line summary for the catalog, and the
 pass function itself.  The default registry holds the built-in rules;
 accelerator packages can ship their own by attaching extra rules to
 their lint bundle (see :mod:`repro.lint.bundle`) or by registering
@@ -20,7 +20,7 @@ from .diagnostics import Diagnostic
 #: A pass function: takes a family-specific context, yields diagnostics.
 RuleFn = Callable[[Any], Iterable[Diagnostic]]
 
-FAMILIES = ("net", "program", "cross")
+FAMILIES = ("net", "program", "cross", "verify")
 
 
 @dataclass(frozen=True)

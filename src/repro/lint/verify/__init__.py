@@ -1,0 +1,68 @@
+"""repro.lint.verify: the performance-contract verifier.
+
+Where the other lint families *check style*, this subpackage *proves
+promises*: symbolic latency bounds by abstract interpretation over a
+compiled net's flat arcs (:mod:`.bounds` on top of :mod:`.domain`),
+monotonicity/Lipschitz certificates by derivative-sign analysis of
+interface programs (:mod:`.monotone`), and :class:`PerfContract`
+objects (:mod:`.contract`) that carry the results to the runtime —
+``DevicePool`` registration, the healing loop's static promotion gate,
+and the ``pnet verify`` CLI.  The verify-family rules (``VR0xx``,
+:mod:`.rules`) report through the standard diagnostic machinery.
+"""
+
+from .bounds import (
+    CornerCheck,
+    NetBounds,
+    abstract_expr,
+    check_corners,
+    corner_points,
+    net_latency_bounds,
+)
+from .contract import (
+    DEFAULT_EPSILON,
+    PerfContract,
+    Verification,
+    analyze_bundle,
+    load_contract,
+    save_contract,
+    sidecar_path,
+    verify_candidate,
+)
+from .domain import NONNEG, TOP, AffineForm, Interval
+from .monotone import (
+    MonotoneCert,
+    ProgramAnalysis,
+    analyze_program,
+    cert_for_deriv,
+    sampled_cert,
+)
+from .rules import VerifyContext, verify_bundle
+
+__all__ = [
+    "DEFAULT_EPSILON",
+    "NONNEG",
+    "TOP",
+    "AffineForm",
+    "CornerCheck",
+    "Interval",
+    "MonotoneCert",
+    "NetBounds",
+    "PerfContract",
+    "ProgramAnalysis",
+    "Verification",
+    "VerifyContext",
+    "abstract_expr",
+    "analyze_bundle",
+    "analyze_program",
+    "cert_for_deriv",
+    "check_corners",
+    "corner_points",
+    "load_contract",
+    "net_latency_bounds",
+    "sampled_cert",
+    "save_contract",
+    "sidecar_path",
+    "verify_bundle",
+    "verify_candidate",
+]

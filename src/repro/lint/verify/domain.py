@@ -1,0 +1,283 @@
+"""The abstract domain the verifier computes in: intervals and affine forms.
+
+Symbolic bound analysis wants answers like "latency is between
+``5 + beats`` and ``153.7 + 46.9*groups + blob`` cycles" — an *affine
+form* whose coefficients are intervals (a coefficient widens when the
+expression rounds, branches, or folds a nonlinearity).  This module is
+that arithmetic, with every transfer rule chosen to be *sound*: the
+concrete value of the modeled expression always lies inside the
+abstract result, so a bound the verifier prints is a bound the
+hardware model cannot break.
+
+Widening rules worth knowing (they are where precision goes):
+
+* ``ceil(x)`` adds ``[0, 1]`` slack, ``floor(x)`` adds ``[-1, 0]``.
+* ``x // c`` (c > 0 constant) is ``x/c`` with ``[-1, 0]`` slack,
+  ``x % c`` collapses to the interval ``[0, c]``.
+* ``a if test else b`` joins both branches (the test is not tracked).
+* A product of two feature-dependent forms is intervalized over the
+  declared feature domains — the result is still sound but no longer
+  symbolic in those features.
+
+An :class:`AffineForm` additionally carries ``exact``: ``True`` while
+every applied operation was affine, i.e. the form *is* the expression,
+not just an enclosure.  Contracts report this as the evaluability
+class ("closed-form" vs "piecewise").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from math import inf, isnan
+
+__all__ = ["Interval", "AffineForm", "TOP", "NONNEG"]
+
+
+def _mul(a: float, b: float) -> float:
+    """IEEE-safe interval endpoint product: 0 * inf is 0 here (a zero
+    coefficient annihilates even an unbounded feature)."""
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` over the extended reals."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if isnan(self.lo) or isnan(self.hi):
+            raise ValueError("interval endpoints cannot be NaN")
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def point(cls, v: float) -> Interval:
+        return cls(float(v), float(v))
+
+    @classmethod
+    def of(cls, value: Interval | float | int) -> Interval:
+        return value if isinstance(value, Interval) else cls.point(float(value))
+
+    # -- predicates -----------------------------------------------------
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.lo > -inf and self.hi < inf
+
+    def contains(self, v: float, tol: float = 0.0) -> bool:
+        return self.lo - tol <= v <= self.hi + tol
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: Interval | float | int) -> Interval:
+        o = Interval.of(other)
+        return Interval(self.lo + o.lo, self.hi + o.hi)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> Interval:
+        return Interval(-self.hi, -self.lo)
+
+    def __sub__(self, other: Interval | float | int) -> Interval:
+        return self + (-Interval.of(other))
+
+    def __mul__(self, other: Interval | float | int) -> Interval:
+        o = Interval.of(other)
+        products = [
+            _mul(a, b) for a in (self.lo, self.hi) for b in (o.lo, o.hi)
+        ]
+        return Interval(min(products), max(products))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Interval | float | int) -> Interval:
+        o = Interval.of(other)
+        if o.lo <= 0.0 <= o.hi:
+            return TOP  # division by an interval straddling zero
+        return self * Interval(1.0 / o.hi, 1.0 / o.lo)
+
+    def join(self, other: Interval) -> Interval:
+        """Convex hull: the smallest interval containing both."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def ceil(self) -> Interval:
+        """Encloses ``ceil(x)`` for every x in self (x <= ceil(x) < x+1)."""
+        return Interval(self.lo, self.hi + 1.0)
+
+    def floor(self) -> Interval:
+        return Interval(self.lo - 1.0, self.hi)
+
+    def min_(self, other: Interval) -> Interval:
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def max_(self, other: Interval) -> Interval:
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def abs_(self) -> Interval:
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return -self
+        return Interval(0.0, max(-self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+
+#: The whole extended real line — the "I know nothing" element.
+TOP = Interval(-inf, inf)
+#: The non-negative reals — default domain for workload features
+#: (sizes, counts, beats can't be negative).
+NONNEG = Interval(0.0, inf)
+
+
+@dataclass(frozen=True)
+class AffineForm:
+    """``const + Σ coeff_f · f`` with interval constant and coefficients.
+
+    Feature values are assumed **non-negative** (workload features are
+    sizes and counts); :meth:`lower_at`/:meth:`upper_at` and the
+    rendered bound expressions rely on it, and :meth:`interval` checks
+    the declared domains honor it.
+    """
+
+    const: Interval = field(default_factory=lambda: Interval.point(0.0))
+    coeffs: Mapping[str, Interval] = field(default_factory=dict)
+    exact: bool = True
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def constant(cls, v: Interval | float | int, *, exact: bool = True) -> AffineForm:
+        return cls(const=Interval.of(v), exact=exact)
+
+    @classmethod
+    def feature(cls, name: str) -> AffineForm:
+        return cls(coeffs={name: Interval.point(1.0)})
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def features(self) -> tuple[str, ...]:
+        return tuple(sorted(self.coeffs))
+
+    # -- arithmetic -----------------------------------------------------
+    def _merge(self, other: AffineForm, op) -> dict[str, Interval]:
+        zero = Interval.point(0.0)
+        out: dict[str, Interval] = {}
+        for name in set(self.coeffs) | set(other.coeffs):
+            c = op(self.coeffs.get(name, zero), other.coeffs.get(name, zero))
+            if not (c.is_point and c.lo == 0.0):
+                out[name] = c
+        return out
+
+    def __add__(self, other: AffineForm) -> AffineForm:
+        return AffineForm(
+            const=self.const + other.const,
+            coeffs=self._merge(other, lambda a, b: a + b),
+            exact=self.exact and other.exact,
+        )
+
+    def __neg__(self) -> AffineForm:
+        return AffineForm(
+            const=-self.const,
+            coeffs={n: -c for n, c in self.coeffs.items()},
+            exact=self.exact,
+        )
+
+    def __sub__(self, other: AffineForm) -> AffineForm:
+        return self + (-other)
+
+    def scale(self, k: Interval | float | int) -> AffineForm:
+        ki = Interval.of(k)
+        return AffineForm(
+            const=self.const * ki,
+            coeffs={n: c * ki for n, c in self.coeffs.items()},
+            exact=self.exact and ki.is_point,
+        )
+
+    def mul(
+        self, other: AffineForm, domains: Mapping[str, Interval] | None = None
+    ) -> AffineForm:
+        """Product.  Constant × form stays symbolic; a product of two
+        feature-dependent forms is intervalized over ``domains``."""
+        if other.is_constant:
+            return self.scale(other.const)
+        if self.is_constant:
+            return other.scale(self.const)
+        return AffineForm.constant(
+            self.interval(domains) * other.interval(domains), exact=False
+        )
+
+    def join(self, other: AffineForm) -> AffineForm:
+        return AffineForm(
+            const=self.const.join(other.const),
+            coeffs=self._merge(other, lambda a, b: a.join(b)),
+            exact=False,
+        )
+
+    def widen_const(self, slack: Interval) -> AffineForm:
+        """Add interval slack to the constant term (rounding enclosure)."""
+        return AffineForm(
+            const=self.const + slack, coeffs=dict(self.coeffs), exact=False
+        )
+
+    # -- concretization -------------------------------------------------
+    def interval(self, domains: Mapping[str, Interval] | None = None) -> Interval:
+        """Numeric enclosure over the feature domains (default: every
+        feature ranges over ``NONNEG``)."""
+        total = self.const
+        for name, coeff in self.coeffs.items():
+            dom = (domains or {}).get(name, NONNEG)
+            if dom.lo < 0:
+                raise ValueError(f"feature {name!r} domain must be non-negative")
+            total = total + coeff * dom
+        return total
+
+    def lower_at(self, point: Mapping[str, float]) -> float:
+        """The form's lower bound at a concrete (non-negative) point."""
+        total = self.const.lo
+        for name, coeff in self.coeffs.items():
+            total += _mul(coeff.lo, float(point[name]))
+        return total
+
+    def upper_at(self, point: Mapping[str, float]) -> float:
+        total = self.const.hi
+        for name, coeff in self.coeffs.items():
+            total += _mul(coeff.hi, float(point[name]))
+        return total
+
+    # -- rendering ------------------------------------------------------
+    def _render(self, which: str) -> str:
+        terms = [f"{getattr(self.const, which):g}"]
+        for name in sorted(self.coeffs):
+            c = getattr(self.coeffs[name], which)
+            if c == 0.0:
+                continue
+            terms.append(f"{c:g}*{name}")
+        return " + ".join(terms).replace("+ -", "- ")
+
+    def lower_expr(self) -> str:
+        """Symbolic lower bound (valid for non-negative features)."""
+        return self._render("lo")
+
+    def upper_expr(self) -> str:
+        return self._render("hi")
+
+    def __repr__(self) -> str:
+        coeffs = ", ".join(f"{n}: {c!r}" for n, c in sorted(self.coeffs.items()))
+        tag = "" if self.exact else ", ~"
+        return f"AffineForm({self.const!r}{', ' if coeffs else ''}{coeffs}{tag})"

@@ -1,0 +1,734 @@
+"""Monotonicity and Lipschitz certificates for interface programs.
+
+The cross-family lint pass (XR004) *samples* an English monotonicity
+claim against the program interface: a concordance score over the
+bundle's workload samples.  A score proves nothing about the points
+not sampled.  This module replaces sampling with an AST-level
+**derivative-sign analysis**: the program function is abstractly
+interpreted with each value carrying, per workload feature, an
+interval enclosing its *difference quotient*
+
+    (f(x + h) - f(x)) / h    for any step h >= 1
+
+in that feature.  If the quotient interval sits at or above zero, the
+program is provably non-decreasing in the feature — everywhere, not
+just on samples — and the interval's upper endpoint is a Lipschitz
+slope bound.  When the analysis cannot prove a direction it degrades
+honestly: the certificate says ``unknown`` and a sampled
+counterexample search supplies a :class:`~repro.lint.witness.Witness`
+if one exists.
+
+Unit steps (h >= 1) are the right granularity for workload features —
+sizes, counts, beats are integers — and they are what makes rounding
+tractable: ``floor``/``ceil``/``//`` jump by at most one per unit
+step, so they widen a quotient by one instead of destroying it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from math import inf
+
+from ..programrules import ProgramLintContext
+from ..witness import Witness, worst_discordant_pair
+from .domain import NONNEG, TOP, Interval
+
+DIRECTIONS = ("non-decreasing", "non-increasing", "constant", "unknown")
+PROOFS = ("affine", "derivative", "sampled", "declared")
+
+
+@dataclass(frozen=True)
+class MonotoneCert:
+    """One feature's monotonicity verdict for one interface.
+
+    ``slope`` is the largest per-unit change the analysis can bound
+    (``inf`` when the direction is proven but the slope is not, e.g.
+    accumulation loops with feature-dependent trip counts); ``proof``
+    records how the verdict was reached — ``affine`` (read off a
+    symbolic bound's coefficients), ``derivative`` (this module's
+    abstract interpretation), ``sampled`` (concordance over samples —
+    evidence, not proof), or ``declared`` (taken on trust).
+    """
+
+    feature: str
+    direction: str
+    slope: float | None = None
+    proof: str = "derivative"
+    witness: Witness | None = None
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if self.proof not in PROOFS:
+            raise ValueError(f"unknown proof kind {self.proof!r}")
+
+    @property
+    def proven(self) -> bool:
+        return self.direction != "unknown" and self.proof in ("affine", "derivative")
+
+    def agrees(self, sign: int) -> bool | None:
+        """Does this certificate support a claimed direction?
+
+        ``True``/``False`` when the certificate decides it, ``None``
+        when it is unknown.  ``constant`` is compatible with either
+        claim (a plateau does not refute "increases with").
+        """
+        if self.direction == "unknown":
+            return None
+        if self.direction == "constant":
+            return True
+        wants = "non-decreasing" if sign > 0 else "non-increasing"
+        return self.direction == wants
+
+    def to_json(self) -> dict:
+        out: dict = {
+            "feature": self.feature,
+            "direction": self.direction,
+            "proof": self.proof,
+        }
+        if self.slope is not None:
+            out["slope"] = "inf" if self.slope == inf else self.slope
+        if self.witness is not None:
+            out["witness"] = self.witness.to_json()
+        return out
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> MonotoneCert:
+        slope = data.get("slope")
+        if slope == "inf":
+            slope = inf
+        witness = data.get("witness")
+        return cls(
+            feature=data["feature"],
+            direction=data["direction"],
+            slope=None if slope is None else float(slope),
+            proof=data.get("proof", "declared"),
+            witness=Witness.from_json(witness) if witness else None,
+        )
+
+
+def cert_for_deriv(feature: str, deriv: Interval, *, proof: str = "derivative") -> MonotoneCert:
+    """Classify a difference-quotient interval into a certificate."""
+    if deriv.lo >= 0.0 and deriv.hi <= 0.0:
+        return MonotoneCert(feature, "constant", slope=0.0, proof=proof)
+    if deriv.lo >= 0.0:
+        return MonotoneCert(feature, "non-decreasing", slope=deriv.hi, proof=proof)
+    if deriv.hi <= 0.0:
+        return MonotoneCert(feature, "non-increasing", slope=-deriv.lo, proof=proof)
+    return MonotoneCert(feature, "unknown", proof=proof)
+
+
+# ----------------------------------------------------------------------
+# The abstract value: an interval plus per-feature quotient intervals
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Abs:
+    """Interval value + difference-quotient interval per feature.
+
+    A feature absent from ``deriv`` has quotient exactly zero (the
+    value provably does not depend on it)."""
+
+    value: Interval
+    deriv: Mapping[str, Interval] = field(default_factory=dict)
+
+    @classmethod
+    def constant(cls, v: float) -> Abs:
+        return cls(Interval.point(v))
+
+    @classmethod
+    def feature(cls, name: str, domain: Interval) -> Abs:
+        return cls(domain, {name: Interval.point(1.0)})
+
+    @classmethod
+    def top(cls, features: frozenset[str] | set[str]) -> Abs:
+        return cls(TOP, dict.fromkeys(features, TOP))
+
+    def d(self, name: str) -> Interval:
+        return self.deriv.get(name, Interval.point(0.0))
+
+    def _zip(self, other: Abs, op) -> dict[str, Interval]:
+        out: dict[str, Interval] = {}
+        for name in set(self.deriv) | set(other.deriv):
+            iv = op(self.d(name), other.d(name), name)
+            if not (iv.is_point and iv.lo == 0.0):
+                out[name] = iv
+        return out
+
+    def __add__(self, other: Abs) -> Abs:
+        return Abs(
+            self.value + other.value,
+            self._zip(other, lambda a, b, _n: a + b),
+        )
+
+    def __neg__(self) -> Abs:
+        return Abs(-self.value, {n: -d for n, d in self.deriv.items()})
+
+    def __sub__(self, other: Abs) -> Abs:
+        return self + (-other)
+
+    def __mul__(self, other: Abs) -> Abs:
+        # Difference quotient of a product over step h:
+        #   a(x+h)b(x+h) - a(x)b(x) = [a(x+h)-a(x)]b(x+h) + a(x)[b(x+h)-b(x)]
+        # so Dab  in  Da*B + A*Db with A, B the value enclosures.
+        return Abs(
+            self.value * other.value,
+            self._zip(
+                other,
+                lambda da, db, _n: da * other.value + self.value * db,
+            ),
+        )
+
+    def __truediv__(self, other: Abs) -> Abs:
+        value = self.value / other.value
+        denom = other.value * other.value
+        return Abs(
+            value,
+            self._zip(
+                other,
+                lambda da, db, _n: (da * other.value - self.value * db) / denom,
+            ),
+        )
+
+    def join(self, other: Abs) -> Abs:
+        return Abs(
+            self.value.join(other.value),
+            self._zip(other, lambda a, b, _n: a.join(b)),
+        )
+
+    def rounded(self, kind: str) -> Abs:
+        """Compose with ``floor``/``ceil``: value widens one unit; each
+        quotient widens by the unit jump but keeps a proven sign
+        (rounding is monotone, so a non-decreasing argument stays
+        non-decreasing)."""
+        value = self.value.floor() if kind == "floor" else self.value.ceil()
+
+        def widen(d: Interval) -> Interval:
+            lo = 0.0 if d.lo >= 0.0 else d.lo - 1.0
+            hi = 0.0 if d.hi <= 0.0 else d.hi + 1.0
+            return Interval(lo, hi)
+
+        return Abs(value, {n: widen(d) for n, d in self.deriv.items()})
+
+    def widen_deriv(self, features, slack: Interval) -> Abs:
+        deriv = dict(self.deriv)
+        for name in features:
+            deriv[name] = self.d(name) + slack
+        return Abs(self.value, deriv)
+
+
+# ----------------------------------------------------------------------
+# The interpreter
+# ----------------------------------------------------------------------
+@dataclass
+class ProgramAnalysis:
+    """Result of abstractly interpreting one interface function."""
+
+    fn_name: str
+    ok: bool
+    result: Abs | None = None
+    features: tuple[str, ...] = ()
+    notes: list[str] = field(default_factory=list)
+
+    def cert(self, feature: str) -> MonotoneCert:
+        if not self.ok or self.result is None:
+            return MonotoneCert(feature, "unknown", proof="derivative")
+        deriv = self.result.d(feature)
+        if ANY_FEATURE in self.result.deriv:
+            deriv = TOP  # workload object escaped: no per-feature claim
+        return cert_for_deriv(feature, deriv)
+
+    def certs(self) -> tuple[MonotoneCert, ...]:
+        return tuple(self.cert(f) for f in self.features)
+
+
+#: Pseudo-feature recorded in a quotient map when a value may depend on
+#: *any* feature — e.g. the whole workload object escaped into a call we
+#: cannot model.  Its presence poisons every per-feature claim: a map
+#: containing it certifies nothing, not even "constant".
+ANY_FEATURE = "*"
+
+
+def feature_name(node: ast.expr, param: str | None) -> str | None:
+    """The workload feature a node reads, if it reads one.
+
+    Three shapes count as features: an attribute read ``item.size``, a
+    zero-argument method call ``item.encoded_size()`` (a *derived*
+    feature — its value is treated as an independent non-negative
+    quantity), and — when the parameter is the net-DSL token ``tok`` —
+    a payload subscript ``tok["size"]``."""
+    if param is None:
+        return None
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == param
+    ):
+        return node.attr
+    if (
+        isinstance(node, ast.Call)
+        and not node.args
+        and not node.keywords
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == param
+    ):
+        return node.func.attr
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == param
+        and isinstance(node.slice, ast.Constant)
+        and isinstance(node.slice.value, str)
+    ):
+        return node.slice.value
+    return None
+
+
+def expr_features(node: ast.expr, param: str | None) -> set[str]:
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        name = feature_name(sub, param)
+        if name is not None:
+            out.add(name)
+    return out
+
+
+class _Interpreter:
+    def __init__(
+        self,
+        ctx,
+        domains: Mapping[str, Interval],
+        globals_: Mapping[str, object] | None = None,
+    ) -> None:
+        self.ctx = ctx
+        self.domains = domains
+        self.globals = globals_ or {}
+        self.notes: list[str] = []
+        self.features: set[str] = set()
+        self.returned: Abs | None = None
+
+    def note(self, msg: str) -> None:
+        if msg not in self.notes:
+            self.notes.append(msg)
+
+    # -- expression features (for condition-dependence widening) -------
+    def _expr_features(self, node: ast.expr) -> set[str]:
+        return expr_features(node, self.ctx.param)
+
+    def _havoc_from(self, node: ast.AST, env: Mapping[str, Abs]) -> Abs:
+        """The sound "I give up" value for an expression: TOP value with
+        TOP quotient for every feature the expression could transitively
+        depend on — directly, through a local it reads, or (when the
+        whole workload object escapes, e.g. ``helper(msg)``) through
+        *any* feature, recorded as :data:`ANY_FEATURE`."""
+        feats = (
+            self._expr_features(node) if isinstance(node, ast.expr) else set()
+        )
+        consumed: set[int] = set()
+        for sub in ast.walk(node):
+            name = feature_name(sub, self.ctx.param)
+            if name is not None:
+                feats.add(name)
+                if isinstance(sub, ast.Call):
+                    consumed.add(id(sub.func.value))
+                else:
+                    consumed.add(id(sub.value))
+            # Any context counts: an AugAssign target ("x -= y") is a
+            # Store in the AST but reads x's old value all the same.
+            if isinstance(sub, ast.Name) and sub.id in env:
+                feats |= set(env[sub.id].deriv)
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Name)
+                and isinstance(sub.ctx, ast.Load)
+                and sub.id == self.ctx.param
+                and id(sub) not in consumed
+            ):
+                feats.add(ANY_FEATURE)
+                break
+        return Abs.top(feats)
+
+    # -- expressions ----------------------------------------------------
+    def eval(self, node: ast.expr, env: dict[str, Abs]) -> Abs:
+        feature = feature_name(node, self.ctx.param)
+        if feature is not None:
+            self.features.add(feature)
+            return Abs.feature(feature, self.domains.get(feature, NONNEG))
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return Abs(Interval(0.0, 1.0))
+            if isinstance(node.value, (int, float)):
+                return Abs.constant(float(node.value))
+            return Abs(TOP)
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            bound = self.globals.get(node.id)
+            if isinstance(bound, (int, float)) and not isinstance(bound, bool):
+                return Abs.constant(float(bound))
+            self.note(f"unknown name {node.id!r} treated as unconstrained")
+            return Abs(TOP)
+        if isinstance(node, ast.UnaryOp):
+            sub = self.eval(node.operand, env)
+            if isinstance(node.op, ast.USub):
+                return -sub
+            if isinstance(node.op, ast.UAdd):
+                return sub
+            return self._havoc_from(node, env)
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.Div):
+                return left / right
+            if isinstance(node.op, ast.FloorDiv):
+                return (left / right).rounded("floor")
+            if isinstance(node.op, ast.Mod):
+                divisor = right.value
+                value = (
+                    Interval(0.0, divisor.hi) if divisor.lo > 0 else TOP
+                )
+                deriv = dict.fromkeys(left.deriv, TOP)
+                deriv.update(dict.fromkeys(right.deriv, TOP))
+                if deriv:
+                    self.note("'%' is non-monotone: quotient unknown for its operands")
+                return Abs(value, deriv)
+            return self._havoc_from(node, env)
+        if isinstance(node, ast.IfExp):
+            body = self.eval(node.body, env)
+            orelse = self.eval(node.orelse, env)
+            joined = body.join(orelse)
+            cond_feats = self._expr_features(node.test)
+            if cond_feats:
+                # Crossing the branch boundary as a feature grows can
+                # jump between the two branch values: widen the
+                # quotient by the joined value spread.
+                width = joined.value.width
+                slack = (
+                    TOP if width == inf else Interval(-width, width)
+                )
+                joined = joined.widen_deriv(cond_feats, slack)
+                self.features.update(cond_feats)
+            return joined
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            feats = self._expr_features(node)
+            self.features.update(feats)
+            return Abs(Interval(0.0, 1.0), dict.fromkeys(feats, TOP))
+        havoc = self._havoc_from(node, env)
+        if havoc.deriv:
+            self.note(
+                f"unsupported expression at line "
+                f"{getattr(node, 'lineno', '?')} depends on features "
+                f"{sorted(havoc.deriv)}"
+            )
+            self.features.update(self._expr_features(node))
+        return havoc
+
+    def _eval_call(self, node: ast.Call, env: dict[str, Abs]) -> Abs:
+        args = [self.eval(a, env) for a in node.args]
+        name = node.func.id if isinstance(node.func, ast.Name) else None
+        if node.keywords:
+            name = None
+        if name in ("min", "max") and len(args) >= 2:
+            # max(a+da, b+db) lies within [max(a,b)+min(da,db),
+            # max(a,b)+max(da,db)], so the quotient hull is sound.
+            out = args[0]
+            for other in args[1:]:
+                value = (
+                    out.value.min_(other.value)
+                    if name == "min"
+                    else out.value.max_(other.value)
+                )
+                out = Abs(value, out._zip(other, lambda a, b, _n: a.join(b)))
+            return out
+        if name == "abs" and len(args) == 1:
+            (a,) = args
+            if a.value.lo >= 0:
+                return a
+            if a.value.hi <= 0:
+                return -a
+            return Abs(a.value.abs_(), a._zip(-a, lambda x, y, _n: x.join(y)))
+        if name in ("ceil", "floor") and len(args) == 1:
+            return args[0].rounded(name)
+        if name in ("float", "int", "round") and len(args) == 1:
+            if name == "round":
+                return args[0].rounded("floor").join(args[0].rounded("ceil"))
+            return args[0]
+        if name == self.ctx.name:
+            # Self-recursion over the workload structure: assume the
+            # callee returns a non-negative cost (checked inductively by
+            # the caller's own result enclosure) with unknown quotient.
+            havoc = self._havoc_from(node, env)
+            self.features.update(self._expr_features(node))
+            self.note(
+                "structural recursion: inductive non-negative result assumed, "
+                "quotient unknown for its arguments"
+            )
+            return Abs(NONNEG, dict(havoc.deriv))
+        havoc = self._havoc_from(node, env)
+        self.features.update(self._expr_features(node))
+        if name or isinstance(node.func, ast.Attribute):
+            label = name or "a method"
+            self.note(f"call to {label}() not modeled: result unconstrained")
+        return havoc
+
+    # -- statements -----------------------------------------------------
+    def _assigned_names(self, stmts: list[ast.stmt]) -> set[str]:
+        out: set[str] = set()
+        for stmt in stmts:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                    out.add(sub.id)
+        return out
+
+    def exec_block(self, stmts: list[ast.stmt], env: dict[str, Abs]) -> bool:
+        """Interpret statements; returns True if every path returned."""
+        for stmt in stmts:
+            if isinstance(stmt, ast.Return):
+                value = (
+                    Abs.constant(0.0)
+                    if stmt.value is None
+                    else self.eval(stmt.value, env)
+                )
+                self.returned = (
+                    value if self.returned is None else self.returned.join(value)
+                )
+                return True
+            if isinstance(stmt, ast.Assign):
+                value = self.eval(stmt.value, env)
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        env[target.id] = value
+                    else:
+                        for sub in ast.walk(target):
+                            if isinstance(sub, ast.Name) and isinstance(
+                                sub.ctx, ast.Store
+                            ):
+                                env[sub.id] = self._havoc_from(stmt.value, env)
+                continue
+            if isinstance(stmt, ast.AnnAssign):
+                if stmt.value is not None and isinstance(stmt.target, ast.Name):
+                    env[stmt.target.id] = self.eval(stmt.value, env)
+                continue
+            if isinstance(stmt, ast.AugAssign):
+                if not isinstance(stmt.target, ast.Name):
+                    continue
+                current = env.get(stmt.target.id, Abs(TOP))
+                rhs = self.eval(stmt.value, env)
+                if isinstance(stmt.op, ast.Add):
+                    env[stmt.target.id] = current + rhs
+                elif isinstance(stmt.op, ast.Sub):
+                    env[stmt.target.id] = current - rhs
+                elif isinstance(stmt.op, ast.Mult):
+                    env[stmt.target.id] = current * rhs
+                elif isinstance(stmt.op, ast.Div):
+                    env[stmt.target.id] = current / rhs
+                else:
+                    env[stmt.target.id] = Abs.top(
+                        set(current.deriv) | set(rhs.deriv)
+                    )
+                continue
+            if isinstance(stmt, ast.If):
+                then_env = dict(env)
+                else_env = dict(env)
+                then_ret = self.exec_block(stmt.body, then_env)
+                else_ret = self.exec_block(stmt.orelse, else_env)
+                if then_ret and else_ret:
+                    return True
+                cond_feats = self._expr_features(stmt.test)
+                self.features.update(cond_feats)
+                live = (
+                    [else_env]
+                    if then_ret
+                    else [then_env]
+                    if else_ret
+                    else [then_env, else_env]
+                )
+                merged: dict[str, Abs] = {}
+                for name in set().union(*(set(e) for e in live)):
+                    vals = [e[name] for e in live if name in e]
+                    if len(vals) < len(live):
+                        vals.append(Abs(TOP))
+                    out = vals[0]
+                    for v in vals[1:]:
+                        out = out.join(v)
+                    if cond_feats and len(live) > 1:
+                        width = out.value.width
+                        slack = TOP if width == inf else Interval(-width, width)
+                        out = out.widen_deriv(cond_feats, slack)
+                    merged[name] = out
+                env.clear()
+                env.update(merged)
+                continue
+            if isinstance(stmt, (ast.For, ast.While)):
+                self._exec_loop(stmt, env)
+                continue
+            if isinstance(stmt, ast.Expr):
+                continue  # docstrings / bare expressions
+            if isinstance(stmt, (ast.Pass, ast.Import, ast.ImportFrom)):
+                continue
+            self.note(
+                f"unsupported statement {type(stmt).__name__} at line "
+                f"{getattr(stmt, 'lineno', '?')}: assigned names havocked"
+            )
+            havoc = self._havoc_from(stmt, env)
+            for name in self._assigned_names([stmt]):
+                env[name] = havoc
+        return False
+
+    def _exec_loop(self, stmt: ast.For | ast.While, env: dict[str, Abs]) -> None:
+        """Sound loop summary: havoc everything the body writes, except
+        recognizable non-negative accumulations, which keep a proven
+        non-decreasing direction (slope unbounded — the trip count may
+        itself grow with a feature)."""
+        assigned = self._assigned_names([stmt])
+        # Anything the body writes could depend on any feature the body
+        # (or a local it reads) depends on — an empty quotient map would
+        # wrongly claim feature-independence.
+        havoc = self._havoc_from(stmt, env)
+        loop_env = dict(env)
+        for name in assigned:
+            loop_env[name] = havoc
+        accumulators: dict[str, Abs] = {}
+        body = stmt.body + getattr(stmt, "orelse", [])
+        for inner in body:
+            if (
+                isinstance(inner, ast.AugAssign)
+                and isinstance(inner.target, ast.Name)
+                and isinstance(inner.op, ast.Add)
+            ):
+                name = inner.target.id
+                init = env.get(name)
+                rhs = self.eval(inner.value, loop_env)
+                if (
+                    init is not None
+                    and init.value.lo >= 0
+                    and rhs.value.lo >= 0
+                    and all(d.lo >= 0 for d in rhs.deriv.values())
+                ):
+                    feats = set(rhs.deriv) | set(init.deriv)
+                    accumulators[name] = Abs(
+                        Interval(init.value.lo, inf),
+                        dict.fromkeys(feats, Interval(0.0, inf)),
+                    )
+        havocked = False
+        for name in assigned:
+            if name in accumulators:
+                env[name] = accumulators[name]
+            else:
+                env[name] = havoc
+                havocked = True
+        # A loop may also return from inside; account for it coarsely.
+        for inner in ast.walk(stmt):
+            if isinstance(inner, ast.Return):
+                ret = Abs.top(self.features | self._expr_features(stmt))
+                self.returned = (
+                    ret if self.returned is None else self.returned.join(ret)
+                )
+                break
+        if havocked:
+            self.note(
+                "loop summarized by havoc: only '+= non-negative' "
+                "accumulators keep a direction"
+            )
+
+
+def analyze_program(
+    fn: Callable,
+    *,
+    workload_type: type | None = None,
+    domains: Mapping[str, tuple[float, float]] | None = None,
+) -> ProgramAnalysis:
+    """Abstractly interpret an interface function; the result's
+    per-feature quotient intervals become monotonicity certificates."""
+    ctx = ProgramLintContext(fn=fn, workload_type=workload_type)
+    name = getattr(fn, "__name__", repr(fn))
+    if ctx.tree is None or ctx.param is None:
+        return ProgramAnalysis(fn_name=name, ok=False)
+    iv_domains = {
+        k: Interval(float(lo), float(hi)) for k, (lo, hi) in (domains or {}).items()
+    }
+    interp = _Interpreter(ctx, iv_domains, getattr(fn, "__globals__", None))
+    env: dict[str, Abs] = {}
+    # Parameters past the workload item: bind numeric defaults exactly,
+    # havoc the rest (the caller may pass anything).
+    args = ctx.tree.args
+    defaults = dict(
+        zip([a.arg for a in args.args[-len(args.defaults) :]], args.defaults)
+        if args.defaults
+        else []
+    )
+    for arg in args.args[1:]:
+        default = defaults.get(arg.arg)
+        if (
+            isinstance(default, ast.Constant)
+            and isinstance(default.value, (int, float))
+            and not isinstance(default.value, bool)
+        ):
+            env[arg.arg] = Abs.constant(float(default.value))
+        else:
+            env[arg.arg] = Abs(TOP)
+    try:
+        interp.exec_block(ctx.tree.body, env)
+    except (ValueError, RecursionError) as exc:
+        interp.note(f"analysis aborted: {exc}")
+        return ProgramAnalysis(fn_name=name, ok=False, notes=interp.notes)
+    if interp.returned is None:
+        interp.note("no return statement reached")
+        return ProgramAnalysis(fn_name=name, ok=False, notes=interp.notes)
+    known = ctx.features()
+    feats = sorted(
+        interp.features if known is None else interp.features & known
+    )
+    return ProgramAnalysis(
+        fn_name=name,
+        ok=True,
+        result=interp.returned,
+        features=tuple(feats),
+        notes=interp.notes,
+    )
+
+
+class _ExprScope:
+    """Shim context for interpreting a bare net-DSL delay expression,
+    where the "parameter" is the token ``tok``."""
+
+    param = "tok"
+    name = "<delay>"
+
+
+def analyze_delay_expr(
+    tree: ast.expr,
+    *,
+    env: Mapping[str, object] | None = None,
+    domains: Mapping[str, Interval] | None = None,
+) -> tuple[Abs, list[str]]:
+    """Quotient analysis of one ``delay expr:`` AST over its token
+    payload fields.  Returns the abstract result plus analysis notes."""
+    interp = _Interpreter(_ExprScope(), dict(domains or {}), env)
+    result = interp.eval(tree, {})
+    return result, interp.notes
+
+
+def sampled_cert(
+    feature: str,
+    pairs: list[tuple[Mapping[str, float], float]],
+    sign: int,
+) -> MonotoneCert:
+    """Fallback certificate from samples: never a proof — either an
+    ``unknown`` with a concrete counterexample witness, or an
+    ``unknown`` direction flagged as merely consistent."""
+    witness = worst_discordant_pair(feature, pairs, sign)
+    if witness is not None:
+        return MonotoneCert(feature, "unknown", proof="sampled", witness=witness)
+    direction = "non-decreasing" if sign > 0 else "non-increasing"
+    return MonotoneCert(feature, direction, proof="sampled")

@@ -1,0 +1,98 @@
+"""Counterexample witnesses: the shared "here is the point" format.
+
+A claim about a performance interface — "latency is non-decreasing in
+message size" — is only actionable when its refutation names a concrete
+point.  A :class:`Witness` is that point: two feature vectors and the
+two predictions that move the wrong way between them.  Both the
+cross-representation monotonicity check (``XR004``) and the static
+verifier's certificates (:mod:`repro.lint.verify`) report
+counterexamples in this one format, so a reader learns to read it once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"
+
+
+def _vec(point: Mapping[str, float]) -> str:
+    inner = ", ".join(f"{k}={_fmt(float(v))}" for k, v in sorted(point.items()))
+    return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Two concrete evaluations that refute a monotonicity claim.
+
+    ``point_a``/``point_b`` are feature vectors with ``point_b`` larger
+    in the disputed feature; ``value_a``/``value_b`` are the model's
+    predictions there.  The pair is a counterexample exactly because
+    the predictions move against the claimed direction.
+    """
+
+    feature: str
+    point_a: Mapping[str, float]
+    point_b: Mapping[str, float]
+    value_a: float
+    value_b: float
+
+    def render(self) -> str:
+        return (
+            f"at {_vec(self.point_a)} predicted {_fmt(self.value_a)}, "
+            f"at {_vec(self.point_b)} predicted {_fmt(self.value_b)}"
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "feature": self.feature,
+            "point_a": {k: float(v) for k, v in self.point_a.items()},
+            "point_b": {k: float(v) for k, v in self.point_b.items()},
+            "value_a": self.value_a,
+            "value_b": self.value_b,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> Witness:
+        return cls(
+            feature=data["feature"],
+            point_a=dict(data["point_a"]),
+            point_b=dict(data["point_b"]),
+            value_a=float(data["value_a"]),
+            value_b=float(data["value_b"]),
+        )
+
+
+def worst_discordant_pair(
+    feature: str,
+    pairs: list[tuple[Mapping[str, float], float]],
+    sign: int,
+) -> Witness | None:
+    """The most egregious pair moving against ``sign`` over ``pairs``.
+
+    ``pairs`` holds (feature vector, prediction) samples; the disputed
+    feature must appear in every vector.  Returns the discordant pair
+    with the largest prediction swing, or ``None`` when every pair
+    agrees with the claimed direction.
+    """
+    worst: Witness | None = None
+    worst_swing = 0.0
+    for i in range(len(pairs)):
+        for j in range(len(pairs)):
+            (fa, ya), (fb, yb) = pairs[i], pairs[j]
+            xa, xb = float(fa[feature]), float(fb[feature])
+            if xb <= xa:
+                continue
+            if (yb - ya) * sign >= 0:
+                continue
+            swing = abs(yb - ya)
+            if worst is None or swing > worst_swing:
+                worst_swing = swing
+                worst = Witness(
+                    feature=feature, point_a=fa, point_b=fb, value_a=ya, value_b=yb
+                )
+    return worst

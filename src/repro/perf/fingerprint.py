@@ -128,10 +128,11 @@ def _transition_lines(t: Transition) -> list[str]:
     :func:`callable_fingerprint` prefers, so ``.pnet`` nets still key on
     source text, not bytecode.)
     """
-    if callable(t.delay):
-        delay = callable_fingerprint(t.delay)
-    else:
-        delay = f"const:{float(t.delay).hex()}"
+    delay = (
+        callable_fingerprint(t.delay)
+        if callable(t.delay)
+        else f"const:{float(t.delay).hex()}"
+    )
     guard = "none" if t.guard is None else callable_fingerprint(t.guard)
     produce = "none" if t.produce is None else callable_fingerprint(t.produce)
     timeout = (

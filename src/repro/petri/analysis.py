@@ -99,10 +99,9 @@ def covers_all_positive(invariants: np.ndarray, tol: float = 1e-9) -> bool:
     all-negative row is the same invariant as its all-positive mirror;
     either proves a positive P-invariant covering all places exists.
     """
-    for row in invariants:
-        if np.all(row > tol) or np.all(row < -tol):
-            return True
-    return False
+    return any(
+        np.all(row > tol) or np.all(row < -tol) for row in invariants
+    )
 
 
 def maximal_siphon(net: PetriNet, excluded: Iterable[str] = ()) -> set[str]:

@@ -626,10 +626,11 @@ class CompiledSimulator:
                         for p, w in outs:
                             reserved[p] += w
                         dirty |= t_wake_fire[ti]
-                        if delay_fn is not None:
-                            delay = float(delay_fn(consumed))
-                        else:
-                            delay = t_delay_const[ti]
+                        delay = (
+                            float(delay_fn(consumed))
+                            if delay_fn is not None
+                            else t_delay_const[ti]
+                        )
                         if delay < 0:
                             raise DefinitionError(
                                 f"transition {t_names[ti]!r} computed a negative delay"

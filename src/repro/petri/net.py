@@ -185,10 +185,7 @@ class Transition:
 
     def compute_delay(self, consumed: Mapping[str, Sequence[Token]]) -> float:
         """Evaluate the delay spec for a particular firing."""
-        if callable(self.delay):
-            value = float(self.delay(consumed))
-        else:
-            value = float(self.delay)
+        value = float(self.delay(consumed) if callable(self.delay) else self.delay)
         if value < 0:
             raise DefinitionError(f"transition {self.name!r} computed a negative delay")
         return value

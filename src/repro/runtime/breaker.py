@@ -120,19 +120,18 @@ class CircuitBreaker:
         return True
 
     def record_success(self, now: float) -> None:
-        if self.state is BreakerState.HALF_OPEN:
-            if self.probe_inflight > 0:
-                self.probe_inflight -= 1
-                self.probe_streak += 1
-                if self.probe_streak >= self.config.probe_successes:
-                    self._move(
-                        BreakerState.CLOSED,
-                        now,
-                        f"{self.probe_streak} healthy probes",
-                    )
-            # else: a stale success from a call admitted before the trip
-            # — it says nothing about the device *now*, so it must not
-            # advance the close streak (the double-close bug).
+        if self.state is BreakerState.HALF_OPEN and self.probe_inflight > 0:
+            # A stale success from a call admitted before the trip says
+            # nothing about the device *now*, so it must not advance the
+            # close streak (the double-close bug) — hence the inflight check.
+            self.probe_inflight -= 1
+            self.probe_streak += 1
+            if self.probe_streak >= self.config.probe_successes:
+                self._move(
+                    BreakerState.CLOSED,
+                    now,
+                    f"{self.probe_streak} healthy probes",
+                )
         self.consecutive_failures = 0
 
     def record_failure(self, now: float, reason: str = "failure") -> None:

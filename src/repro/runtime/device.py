@@ -361,9 +361,12 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
         if self.breaker is not None:
             was_half_open = self.breaker.state is BreakerState.HALF_OPEN
             self.breaker.record_success(self.clock)
-            if was_half_open and self.breaker.state is BreakerState.CLOSED:
-                if self.drift is not None:
-                    self.drift.reset()  # a recovered device starts a fresh window
+            if (
+                was_half_open
+                and self.breaker.state is BreakerState.CLOSED
+                and self.drift is not None
+            ):
+                self.drift.reset()  # a recovered device starts a fresh window
         observatory = self._observatory
         if outcome.observed is not None and (
             self.drift is not None or observatory is not None

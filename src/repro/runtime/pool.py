@@ -86,6 +86,10 @@ class PooledDevice(Generic[RequestT, ResponseT]):
         device: the served endpoint (keeps its own breaker/faults/tape).
         price_interface: interface used by ``interface_predicted``
             routing; defaults to the device's own serving interface.
+        contract: optional :class:`~repro.lint.PerfContract` for the
+            pricing interface.  The pool statically checks it at
+            registration (see :class:`DevicePool`) and exposes it in
+            :meth:`DevicePool.snapshot`.
     """
 
     def __init__(
@@ -94,10 +98,12 @@ class PooledDevice(Generic[RequestT, ResponseT]):
         device: ResilientDevice[RequestT, ResponseT],
         *,
         price_interface=None,
+        contract=None,
     ):
         self.name = name
         self.device = device
         self.price_interface = price_interface or device.interface
+        self.contract = contract
         self.dispatched = 0
         self._completions: list[float] = []  # sorted completion times
 
@@ -247,6 +253,16 @@ class DevicePool(Generic[RequestT, ResponseT]):
             raise ValueError(f"duplicate device names in pool: {names}")
         if not devices:
             raise ValueError("a pool needs at least one device")
+        for d in devices:
+            contract = getattr(d, "contract", None)
+            if contract is None:
+                continue
+            problems = contract.validate()
+            if problems:
+                raise ValueError(
+                    f"device {d.name!r} registered with an invalid "
+                    f"performance contract: " + "; ".join(problems)
+                )
         self.devices = list(devices)
         self.policy = make_routing_policy(policy)
         self.cache = cache
@@ -427,6 +443,18 @@ class DevicePool(Generic[RequestT, ResponseT]):
                 "fallback_fraction": d.device.fallback_fraction(),
                 "faults": d.device.fault_count(),
             }
+            if d.contract is not None:
+                c = d.contract
+                devices[d.name]["contract"] = {
+                    "evaluability": c.evaluability,
+                    "min_latency": c.min_latency,
+                    "max_latency": (
+                        c.max_latency if c.max_latency != float("inf") else "inf"
+                    ),
+                    "proven_monotone": sorted(
+                        m.feature for m in c.monotone if m.proven
+                    ),
+                }
         snap = {
             "requests": len(self.results),
             "policy": self.policy.name,
@@ -451,6 +479,27 @@ class DevicePool(Generic[RequestT, ResponseT]):
 # ----------------------------------------------------------------------
 # The standard RPC-serialization pool scenario
 # ----------------------------------------------------------------------
+_CONTRACT_CACHE: dict[str, object] = {}
+
+
+def _accel_contracts() -> dict:
+    """Verified performance contracts for the fleet's accelerators,
+    derived once per process — :func:`repro.lint.analyze_bundle` runs
+    the full symbolic-bound analysis, which is too slow to repeat per
+    pool construction."""
+    if not _CONTRACT_CACHE:
+        from repro.accel.optimusprime.interfaces import (
+            perf_contract as optimus_contract,
+        )
+        from repro.accel.protoacc.interfaces import (
+            perf_contract as protoacc_contract,
+        )
+
+        _CONTRACT_CACHE["protoacc"] = protoacc_contract()
+        _CONTRACT_CACHE["optimus-prime"] = optimus_contract()
+    return _CONTRACT_CACHE
+
+
 def rpc_pool(
     policy: str | RoutingPolicy = "interface_predicted",
     *,
@@ -488,6 +537,8 @@ def rpc_pool(
     from repro.accel.optimusprime import petri_interface as optimus_petri
     from repro.accel.protoacc import ProtoaccSerializerModel
     from repro.accel.protoacc import petri_interface as protoacc_petri
+
+    contracts = _accel_contracts()
     from repro.core.program import ProgramInterface
     from repro.perf import EvalCache
 
@@ -555,8 +606,10 @@ def rpc_pool(
     )
     return DevicePool(
         [
-            PooledDevice("protoacc", protoacc),
-            PooledDevice("optimus-prime", optimus),
+            PooledDevice("protoacc", protoacc, contract=contracts["protoacc"]),
+            PooledDevice(
+                "optimus-prime", optimus, contract=contracts["optimus-prime"]
+            ),
             PooledDevice("cpu", cpu),
         ],
         policy=policy,

@@ -25,8 +25,10 @@ import json
 import pkgutil
 import sys
 from collections.abc import Iterator
+from time import perf_counter
 
 from repro.lint import InterfaceBundle, LintReport, Severity, lint_bundle
+from repro.lint.registry import DEFAULT_REGISTRY
 
 
 def discover_bundles(
@@ -85,17 +87,27 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     min_sev = Severity.from_label(args.min_severity)
+    # The audited families (``pnet verify`` runs "verify" separately).
+    rules_run = sum(
+        1 for r in DEFAULT_REGISTRY if r.family in ("net", "program", "cross")
+    )
     combined = LintReport()
     payload = []
+    timings: list[tuple[str, int, float]] = []  # (name, findings, ms)
     for _, bundle in bundles:
+        start = perf_counter()
         report = lint_bundle(bundle)
+        elapsed_ms = (perf_counter() - start) * 1e3
         combined.extend(report)
+        timings.append((bundle.accelerator, len(report.diagnostics), elapsed_ms))
         if args.json:
             payload.append(
                 {
                     "accelerator": bundle.accelerator,
                     "diagnostics": [d.to_json() for d in report.sorted()],
                     "summary": report.summary(),
+                    "rules": rules_run,
+                    "elapsed_ms": elapsed_ms,
                 }
             )
             continue
@@ -108,6 +120,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
+        print(f"-- sweep ({rules_run} rules per bundle) --")
+        width = max(len(name) for name, _, _ in timings)
+        print(f"{'bundle':{width}}  {'findings':>8}  {'wall-time':>9}")
+        for name, findings, ms in timings:
+            print(f"{name:{width}}  {findings:8d}  {ms:7.1f}ms")
+        total_ms = sum(ms for _, _, ms in timings)
+        print(
+            f"{'total':{width}}  {len(combined.diagnostics):8d}  "
+            f"{total_ms:7.1f}ms"
+        )
         print(f"total: {len(bundles)} bundle(s), {combined.summary()}")
     return combined.exit_code
 

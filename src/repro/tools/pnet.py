@@ -8,6 +8,12 @@ then need tooling to inspect and run what they received.  Subcommands:
 * ``lint FILE`` — run the perf-lint rules (see :mod:`repro.lint`) and
   print compiler-style diagnostics with line numbers; exits nonzero on
   error-severity findings.
+* ``verify [TARGET...]`` — run the static performance-contract verifier
+  (:mod:`repro.lint.verify`): symbolic latency bounds, corner-point
+  concretization against the compiled engine, and monotonicity
+  certificates.  Targets are shipped accelerator names or ``.pnet``
+  paths (a ``path.contract.json`` sidecar is picked up automatically);
+  with no targets, every shipped bundle is verified.
 * ``dot FILE`` — emit Graphviz DOT for rendering.
 * ``simulate FILE --items N [--payload JSON] [--gap G] [--engine E]``
   (alias: ``run``) — inject a workload and report latency/throughput
@@ -89,6 +95,123 @@ def cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_jobs(targets: list[str]):
+    """Resolve ``pnet verify`` targets into (name, bundle) pairs.
+
+    A target is either a shipped accelerator package name (``protoacc``)
+    or a ``.pnet`` path; paths pick up a ``.contract.json`` sidecar
+    automatically when one sits next to the document."""
+    from repro.lint import InterfaceBundle, load_contract, sidecar_path
+    from repro.tools.perflint import discover_bundles
+
+    if not targets:
+        yield from discover_bundles()
+        return
+    shipped = None
+    for target in targets:
+        path = Path(target)
+        if target.endswith(".pnet") or path.exists():
+            contract = None
+            side = Path(sidecar_path(str(path)))
+            if side.exists():
+                contract = load_contract(str(side))
+            yield (
+                path.stem,
+                InterfaceBundle(
+                    accelerator=path.stem,
+                    pnet_text=path.read_text(),
+                    pnet_file=str(path),
+                    entry=contract.entry if contract is not None else "in",
+                    sink=contract.sink if contract is not None else "out",
+                    feature_domains=(
+                        dict(contract.domains) if contract is not None else {}
+                    ),
+                    declared_monotone={
+                        c.feature: (+1 if c.direction == "non-decreasing" else -1)
+                        for c in (
+                            contract.monotone if contract is not None else ()
+                        )
+                        if c.direction in ("non-decreasing", "non-increasing")
+                    },
+                    contract=contract,
+                ),
+            )
+        else:
+            if shipped is None:
+                shipped = dict(discover_bundles())
+            if target not in shipped:
+                known = ", ".join(sorted(shipped))
+                raise SystemExit(
+                    f"error: unknown verify target {target!r} "
+                    f"(shipped bundles: {known}; or pass a .pnet path)"
+                )
+            yield target, shipped[target]
+
+
+def _verify_summary(verification) -> dict:
+    """The machine-readable half of one bundle's verification."""
+    contract = verification.contract
+    out: dict = {
+        "corners": {
+            "checked": len(verification.corners),
+            "passed": sum(c.ok for c in verification.corners),
+        },
+    }
+    if contract is not None:
+        out["contract"] = contract.to_json()
+    return out
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.lint import verify_bundle
+
+    worst = 0
+    results = []
+    for name, bundle in _verify_jobs(args.target):
+        report, verification = verify_bundle(
+            bundle, epsilon=args.epsilon, engine=args.engine or "auto"
+        )
+        worst = max(worst, report.exit_code)
+        if args.json:
+            results.append(
+                {
+                    "target": name,
+                    "exit_code": report.exit_code,
+                    "diagnostics": [d.to_json() for d in report.sorted()],
+                    **_verify_summary(verification),
+                }
+            )
+            continue
+        contract = verification.contract
+        print(f"== {name} ==")
+        rendered = report.render()
+        if rendered:
+            print(rendered)
+        if contract is not None and contract.evaluability != "opaque":
+            print(
+                f"bounds: [{contract.min_latency:g}, {contract.max_latency:g}] "
+                f"cycles ({contract.evaluability})"
+            )
+            if contract.min_expr:
+                print(f"  min: {contract.min_expr}")
+            if contract.max_expr:
+                print(f"  max: {contract.max_expr}")
+        checked = len(verification.corners)
+        if checked:
+            passed = sum(c.ok for c in verification.corners)
+            print(f"corner concretization: {passed}/{checked} passed")
+        proven = [
+            m for m in (contract.monotone if contract is not None else ()) if m.proven
+        ]
+        for m in proven:
+            slope = f" (slope <= {m.slope:g})" if m.slope is not None else ""
+            print(f"proven: {m.feature} {m.direction}{slope} [{m.proof}]")
+        print(report.summary())
+    if args.json:
+        print(json.dumps(results, indent=2))
+    return worst
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     net = _load(args.file)
     payload = json.loads(args.payload) if args.payload else None
@@ -155,6 +278,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_dot = sub.add_parser("dot", help="emit Graphviz DOT")
     p_dot.add_argument("file")
     p_dot.set_defaults(fn=cmd_dot)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="prove latency bounds + monotonicity contracts "
+        "(all shipped bundles when no target is given)",
+    )
+    p_verify.add_argument(
+        "target",
+        nargs="*",
+        help="accelerator package name (e.g. protoacc) or .pnet path "
+        "(picks up a .contract.json sidecar); default: every shipped bundle",
+    )
+    p_verify.add_argument(
+        "--json", action="store_true", help="emit results as JSON"
+    )
+    p_verify.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="relative tolerance for corner-point concretization "
+        "(default: the contract's own epsilon, else 0.02)",
+    )
+    p_verify.add_argument(
+        "--engine",
+        default=None,
+        choices=list(ENGINES),
+        help="simulation engine for corner concretization",
+    )
+    p_verify.set_defaults(fn=cmd_verify)
 
     # "run" is an alias for "simulate" (matches the docs' `pnet run`).
     for cmd in ("simulate", "run"):

@@ -109,8 +109,10 @@ class TestComplexity:
     def test_loc_of_module_excludes_docstrings(self):
         import repro.core.complexity as mod
 
+        from pathlib import Path
+
         loc = loc_of_module(mod)
-        raw = loc_of_text(open(mod.__file__).read())
+        raw = loc_of_text(Path(mod.__file__).read_text())
         assert 0 < loc < raw  # docstrings removed something
 
     def test_ratio(self):

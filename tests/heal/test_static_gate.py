@@ -1,0 +1,174 @@
+"""The static promotion gate: statically refuted refit candidates are
+quarantined before any shadow traffic.
+
+The seeded defect is the classic under-pricing bug: a refit whose
+``bytes`` weight is *negative* prices larger messages cheaper.  NNLS
+fitting cannot normally produce one, so the tests hand-construct the
+candidate and splice it into the refit path — exactly the situation
+the verifier exists for: a defective fit must never price live traffic,
+not even in shadow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.extract as extract
+from repro.extract.fit import ExtractedInterface, FitReport
+from repro.heal import HealPhase
+from repro.lint import verify_candidate
+from tests.heal.harness import BASE, RATE, ToyRig, features, quick_policy
+
+
+def bad_candidate() -> ExtractedInterface:
+    """Under-prices large messages: negative ``bytes`` weight."""
+    return ExtractedInterface(
+        "toy (large, refit)",
+        features,
+        ["bytes"],
+        np.array([-0.5]),
+        2000.0,
+    )
+
+
+def good_fit_report() -> FitReport:
+    """A report the holdout gate would happily accept — the point is
+    that the *static* gate fires first."""
+    return FitReport(
+        train_items=24,
+        train_error=0.01,
+        feature_names=("bytes",),
+        holdout_items=8,
+        holdout_error=0.01,
+    )
+
+
+class TestVerifyCandidate:
+    def test_clean_linear_candidate_passes(self):
+        candidate = ExtractedInterface(
+            "toy", features, ["bytes"], np.array([RATE]), BASE
+        )
+        assert verify_candidate(candidate) == []
+
+    def test_negative_weight_is_rejected_with_named_feature(self):
+        problems = verify_candidate(bad_candidate())
+        assert len(problems) == 1
+        assert "non-monotone in bytes" in problems[0]
+        assert "prices larger bytes cheaper" in problems[0]
+
+    def test_nan_weight_is_rejected(self):
+        candidate = ExtractedInterface(
+            "toy", features, ["bytes"], np.array([float("nan")]), BASE
+        )
+        assert any("NaN" in p for p in verify_candidate(candidate))
+
+    def test_negative_intercept_is_rejected(self):
+        candidate = ExtractedInterface(
+            "toy", features, ["bytes"], np.array([RATE]), -10.0
+        )
+        assert any("negative intercept" in p for p in verify_candidate(candidate))
+
+    def test_contract_slope_bound_is_enforced(self):
+        from repro.lint import PerfContract
+        from repro.lint.verify import MonotoneCert
+
+        contract = PerfContract(
+            accelerator="toy",
+            monotone=(
+                MonotoneCert(
+                    "bytes", "non-decreasing", slope=RATE, proof="affine"
+                ),
+            ),
+            evaluability="closed-form",
+        )
+        within = ExtractedInterface(
+            "toy", features, ["bytes"], np.array([RATE]), BASE
+        )
+        assert verify_candidate(within, contract) == []
+        over = ExtractedInterface(
+            "toy", features, ["bytes"], np.array([RATE * 10]), BASE
+        )
+        problems = verify_candidate(over, contract)
+        assert any("certified slope bound" in p for p in problems)
+
+
+class TestHealingStaticGate:
+    """End to end: drift -> refit -> static rejection -> quarantine."""
+
+    @pytest.fixture
+    def rig(self, monkeypatch) -> ToyRig:
+        rig = ToyRig(policy=quick_policy())
+
+        def seeded_fit(records, feature_fn, **kwargs):
+            return bad_candidate(), good_fit_report()
+
+        monkeypatch.setattr(extract, "fit_from_records", seeded_fit)
+        # Trigger drift: the ground truth shifts, the shipped interface
+        # does not.
+        rig.model.rate = RATE * 4
+        return rig
+
+    def _drive_to_quarantine(self, rig: ToyRig) -> None:
+        for _ in range(120):
+            state = rig.state()
+            if state is not None and state.phase is HealPhase.QUARANTINED:
+                return
+            rig.drive(1)
+        raise AssertionError(
+            f"never quarantined (stuck at {rig.state() and rig.state().phase})"
+        )
+
+    def test_candidate_is_rejected_before_any_shadow_traffic(self, rig):
+        self._drive_to_quarantine(rig)
+        state = rig.state()
+        assert state.verify_rejections == 1
+        assert state.refits == 0  # never reached shadowing
+        assert state.shadow_candidate == []  # not one shadow sample
+        assert rig.routed().overrides == {}  # pricing untouched
+
+    def test_quarantine_reason_names_the_static_defect(self, rig):
+        self._drive_to_quarantine(rig)
+        state = rig.state()
+        assert state.quarantine_reason.startswith("static verification failed")
+        assert "non-monotone in bytes" in state.quarantine_reason
+
+    def test_snapshot_and_counters_surface_the_rejection(self, rig):
+        self._drive_to_quarantine(rig)
+        healing = rig.pool.snapshot()["healing"]
+        assert healing["verify_rejections"] == 1
+        key = healing["keys"]["toy/large"]
+        assert key["phase"] == "quarantined"
+        assert key["verify_rejections"] == 1
+        assert "non-monotone in bytes" in key["quarantine_reason"]
+        metrics = rig.obs.metrics.snapshot()
+        rejected = [
+            (series, value)
+            for series, value in metrics.items()
+            if series.startswith("heal_refits_total")
+            and 'outcome="verify_rejected"' in series
+        ]
+        assert rejected and rejected[0][1] == 1
+        vetoes = [
+            value
+            for series, value in metrics.items()
+            if series.startswith("heal_verify_rejections_total")
+        ]
+        assert vetoes == [1]
+
+    def test_gate_can_be_disabled_by_policy(self, monkeypatch):
+        rig = ToyRig(policy=quick_policy(verify_candidates=False))
+
+        def seeded_fit(records, feature_fn, **kwargs):
+            return bad_candidate(), good_fit_report()
+
+        monkeypatch.setattr(extract, "fit_from_records", seeded_fit)
+        rig.model.rate = RATE * 4
+        for _ in range(60):
+            state = rig.state()
+            if state is not None and state.phase is HealPhase.SHADOWING:
+                break
+            rig.drive(1)
+        state = rig.state()
+        assert state.phase is HealPhase.SHADOWING  # defect reached shadow
+        assert state.verify_rejections == 0

@@ -116,3 +116,114 @@ class TestLintReport:
 
     def test_rule_ids(self):
         assert self._report().rule_ids() == {"PL005", "PL007", "PL008"}
+
+
+class TestSortedTieBreaking:
+    def test_same_severity_sorts_in_source_order(self):
+        report = LintReport()
+        report.extend(
+            [
+                Diagnostic(
+                    "PL009",
+                    Severity.WARNING,
+                    "later line",
+                    location=SourceLocation("a.pnet", 9, 1),
+                ),
+                Diagnostic(
+                    "PL008",
+                    Severity.WARNING,
+                    "same line, later col",
+                    location=SourceLocation("a.pnet", 4, 8),
+                ),
+                Diagnostic(
+                    "PL007",
+                    Severity.WARNING,
+                    "same line, earlier col",
+                    location=SourceLocation("a.pnet", 4, 2),
+                ),
+                Diagnostic(
+                    "PL001",
+                    Severity.WARNING,
+                    "other file",
+                    location=SourceLocation("b.pnet", 1, 1),
+                ),
+            ]
+        )
+        assert [d.rule_id for d in report.sorted()] == [
+            "PL007",
+            "PL008",
+            "PL009",
+            "PL001",
+        ]
+
+    def test_locationless_diagnostics_sort_first_within_severity(self):
+        report = LintReport()
+        report.extend(
+            [
+                Diagnostic(
+                    "PL005",
+                    Severity.INFO,
+                    "located",
+                    location=SourceLocation("a.pnet", 2, 1),
+                ),
+                Diagnostic("PL004", Severity.INFO, "no location"),
+            ]
+        )
+        assert [d.rule_id for d in report.sorted()] == ["PL004", "PL005"]
+
+
+SOURCE_MAPPED_PNET = """\
+net roundtrip
+
+place in capacity 4
+place out
+
+inject in fields size
+
+transition serve
+  consume in
+  produce out
+  delay expr: 5 + tok["size"]
+"""
+
+
+class TestSourceMapRoundTrip:
+    """The parser's source map must point at the real line/col of each
+    declaration, so diagnostics render clickable locations."""
+
+    def _parse(self):
+        from repro.petri import parse
+
+        return parse(SOURCE_MAPPED_PNET)
+
+    def test_every_span_points_at_the_declared_name(self):
+        net = self._parse()
+        lines = SOURCE_MAPPED_PNET.splitlines()
+        for (kind, name), (line, col) in net.source_map.items():
+            assert 1 <= line <= len(lines), (kind, name)
+            raw = lines[line - 1]
+            if kind in ("place", "inject", "transition"):
+                # The span must land exactly on the name.
+                assert raw[col - 1 : col - 1 + len(name)] == name, (kind, name)
+            else:  # clause spans (delay/guard/...) point into the clause line
+                assert kind in raw, (kind, name, raw)
+
+    def test_place_and_transition_lines_are_exact(self):
+        net = self._parse()
+        lines = SOURCE_MAPPED_PNET.splitlines()
+        assert net.source_map[("place", "in")][0] == lines.index("place in capacity 4") + 1
+        assert net.source_map[("place", "out")][0] == lines.index("place out") + 1
+        assert net.source_map[("transition", "serve")][0] == lines.index("transition serve") + 1
+
+    def test_lint_diagnostics_render_mapped_locations(self):
+        from repro.lint import lint_pnet_text
+
+        report = lint_pnet_text(SOURCE_MAPPED_PNET, filename="roundtrip.pnet")
+        located = [d for d in report if d.location.line is not None]
+        lines = SOURCE_MAPPED_PNET.splitlines()
+        assert located, "expected at least one located diagnostic"
+        for d in located:
+            assert d.location.file == "roundtrip.pnet"
+            assert 1 <= d.location.line <= len(lines)
+            rendered = d.render()
+            assert rendered.startswith(f"roundtrip.pnet:{d.location.line}")

@@ -72,8 +72,9 @@ class TestDefaultRegistry:
         assert len([i for i in ids if i.startswith("PL")]) >= 10
         assert len([i for i in ids if i.startswith("PG")]) >= 5
         assert len([i for i in ids if i.startswith("XR")]) >= 3
+        assert len([i for i in ids if i.startswith("VR")]) >= 4
 
     def test_every_rule_has_title_and_valid_family(self):
         for rule in DEFAULT_REGISTRY:
             assert rule.title
-            assert rule.family in ("net", "program", "cross")
+            assert rule.family in ("net", "program", "cross", "verify")

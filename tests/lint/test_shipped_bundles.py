@@ -45,3 +45,48 @@ class TestShippedInterfacesLintClean:
     def test_jpeg_net_declares_its_injection_contract(self, bundles):
         net, _ = bundles["jpeg"].build_net()
         assert net.injections == {"in": frozenset({"i", "bytes", "nnz", "wr"})}
+
+
+class TestShippedInterfacesVerify:
+    """The verifier's acceptance criterion: every shipped bundle's
+    contract is provable — bounds concretize on the engine, declared
+    monotonicity is certified, and only vta (whose elastic queues defeat
+    bound analysis) is allowed its honest "no bound derivable" warning."""
+
+    @pytest.fixture(scope="class")
+    def verified(self, bundles):
+        from repro.lint import verify_bundle
+
+        return {
+            package: verify_bundle(bundles[package])
+            for package in sorted(EXPECTED_PACKAGES)
+        }
+
+    @pytest.mark.parametrize("package", sorted(EXPECTED_PACKAGES))
+    def test_verification_has_no_errors(self, verified, package):
+        report, _ = verified[package]
+        assert report.exit_code == 0, report.render()
+
+    @pytest.mark.parametrize("package", ["protoacc", "optimusprime", "jpeg"])
+    def test_feature_dependent_bundles_prove_monotonicity(
+        self, verified, package
+    ):
+        _, verification = verified[package]
+        proven = [c for c in verification.contract.monotone if c.proven]
+        assert proven, f"{package} proved nothing"
+        assert all(c.direction == "non-decreasing" for c in proven)
+
+    @pytest.mark.parametrize("package", ["protoacc", "optimusprime", "jpeg", "bitcoin"])
+    def test_bounded_bundles_pass_corner_concretization(self, verified, package):
+        _, verification = verified[package]
+        assert verification.corners, f"{package}: no corners checked"
+        assert all(c.ok for c in verification.corners)
+
+    def test_vta_is_honestly_opaque(self, verified):
+        report, verification = verified["vta"]
+        assert verification.contract.evaluability == "opaque"
+        assert report.rule_ids() == {"VR001"}
+
+    def test_contracts_validate(self, verified):
+        for package, (_, verification) in verified.items():
+            assert verification.contract.validate() == [], package

@@ -1,0 +1,191 @@
+"""PerfContract: validation, serialization, and bundle analysis."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from math import inf
+
+import pytest
+
+from repro.lint import PerfContract, analyze_bundle
+from repro.lint.bundle import InterfaceBundle
+from repro.lint.verify import (
+    MonotoneCert,
+    load_contract,
+    save_contract,
+    sidecar_path,
+)
+
+TOY_PNET = """
+net toy
+
+place in
+place out
+
+inject in fields size
+
+transition serve
+  consume in
+  produce out
+  delay expr: 10 + 2 * tok["size"]
+"""
+
+
+@dataclass
+class Item:
+    size: int = 0
+
+
+def toy_latency(item: Item) -> float:
+    return 10.0 + 2.0 * item.size
+
+
+def toy_bundle() -> InterfaceBundle:
+    return InterfaceBundle(
+        accelerator="toy",
+        pnet_text=TOY_PNET,
+        entry="in",
+        sink="out",
+        workload_type=Item,
+        program_fns={"latency": toy_latency},
+        feature_domains={"size": (0.0, 100.0)},
+        declared_monotone={"size": +1},
+        samples=[Item(size=s) for s in (0, 10, 50, 100)],
+    )
+
+
+class TestValidate:
+    def test_well_formed_contract_has_no_problems(self):
+        contract = PerfContract(accelerator="toy", evaluability="closed-form")
+        assert contract.validate() == []
+
+    def test_each_malformation_is_named(self):
+        contract = PerfContract(
+            accelerator="toy",
+            evaluability="vibes",
+            epsilon=0.0,
+            min_latency=50.0,
+            max_latency=10.0,
+            domains={"size": (5.0, 1.0), "neg": (-1.0, 2.0)},
+            monotone=(
+                MonotoneCert("size", "non-decreasing"),
+                MonotoneCert("size", "non-increasing"),
+            ),
+        )
+        problems = contract.validate()
+        joined = "\n".join(problems)
+        assert "evaluability" in joined
+        assert "epsilon" in joined
+        assert "min latency 50 exceeds max 10" in joined
+        assert "domain [5, 1] is empty" in joined
+        assert "non-negative" in joined
+        assert "duplicate certificate for feature 'size'" in joined
+
+    def test_nan_bounds_rejected(self):
+        contract = PerfContract(accelerator="toy", max_latency=float("nan"))
+        assert any("NaN" in p for p in contract.validate())
+
+    def test_negative_min_latency_rejected(self):
+        contract = PerfContract(accelerator="toy", min_latency=-1.0)
+        assert any("negative" in p for p in contract.validate())
+
+
+class TestSerialization:
+    def full_contract(self) -> PerfContract:
+        return PerfContract(
+            accelerator="toy",
+            entry="in",
+            sink="out",
+            domains={"size": (0.0, 100.0), "open": (0.0, inf)},
+            min_expr="10 + 2*size",
+            max_expr="10 + 2*size",
+            min_latency=10.0,
+            max_latency=inf,
+            monotone=(
+                MonotoneCert("size", "non-decreasing", slope=2.0, proof="affine"),
+            ),
+            evaluability="closed-form",
+            epsilon=0.01,
+            notes=("hand-written",),
+        )
+
+    def test_json_roundtrip_including_infinities(self):
+        contract = self.full_contract()
+        restored = PerfContract.from_json(contract.to_json())
+        assert restored == contract
+        assert restored.max_latency == inf
+        assert restored.domains["open"] == (0.0, inf)
+
+    def test_json_is_plain_data(self):
+        # json.dumps must succeed: inf encodes as the string "inf".
+        encoded = json.dumps(self.full_contract().to_json())
+        assert '"inf"' in encoded
+
+    def test_save_and_load_sidecar(self, tmp_path):
+        contract = self.full_contract()
+        path = tmp_path / "toy.contract.json"
+        save_contract(contract, str(path))
+        assert load_contract(str(path)) == contract
+
+    def test_sidecar_path(self):
+        assert sidecar_path("a/b/toy.pnet") == "a/b/toy.contract.json"
+        assert sidecar_path("weird.net") == "weird.net.contract.json"
+
+    def test_from_json_defaults(self):
+        contract = PerfContract.from_json({"accelerator": "toy"})
+        assert contract.entry == "in"
+        assert contract.max_latency == inf
+        assert contract.evaluability == "opaque"
+
+
+class TestAnalyzeBundle:
+    def test_toy_bundle_yields_closed_form_contract(self):
+        v = analyze_bundle(toy_bundle())
+        contract = v.contract
+        assert contract is not None
+        assert contract.validate() == []
+        assert contract.evaluability == "closed-form"
+        assert contract.min_latency == 10.0
+        assert contract.max_latency == 210.0
+        assert contract.min_expr == "10 + 2*size"
+
+    def test_toy_bundle_proves_monotonicity(self):
+        v = analyze_bundle(toy_bundle())
+        cert = v.contract.cert_for("size")
+        assert cert is not None
+        assert cert.direction == "non-decreasing"
+        assert cert.proven
+        assert cert.slope == 2.0
+
+    def test_corner_checks_pass_on_engine(self):
+        v = analyze_bundle(toy_bundle())
+        assert v.corners, "corner concretization did not run"
+        assert all(c.ok for c in v.corners)
+
+    def test_epsilon_override_lands_in_contract(self):
+        v = analyze_bundle(toy_bundle(), epsilon=0.5)
+        assert v.contract.epsilon == 0.5
+
+    def test_unparseable_net_degrades_to_opaque_with_note(self):
+        bundle = InterfaceBundle(
+            accelerator="toy",
+            pnet_text="net broken\nplace\n",
+        )
+        v = analyze_bundle(bundle)
+        assert v.contract.evaluability == "opaque"
+        assert v.contract.max_latency == inf
+        assert any("does not parse" in n for n in v.contract.notes)
+
+
+@pytest.mark.parametrize("missing", ["_names", "_weights"])
+def test_verify_candidate_ignores_opaque_candidates(missing):
+    from repro.lint import verify_candidate
+
+    class Opaque:
+        _names = ["x"]
+        _weights = [1.0]
+
+    candidate = Opaque()
+    delattr(Opaque, missing)
+    assert verify_candidate(candidate) == []

@@ -1,0 +1,121 @@
+"""The abstract domain under the verifier: intervals + affine forms.
+
+Soundness is the only property that matters here — every concrete
+evaluation must land inside the abstract one.  The tests therefore
+check containment, not equality, except where exactness is promised.
+"""
+
+from math import inf
+
+import pytest
+
+from repro.lint.verify import NONNEG, TOP, AffineForm, Interval
+
+
+class TestInterval:
+    def test_rejects_empty_and_nan(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+    def test_point_and_of(self):
+        assert Interval.point(3.0) == Interval(3.0, 3.0)
+        assert Interval.of(4) == Interval(4.0, 4.0)
+        assert Interval.of(Interval(1.0, 2.0)) == Interval(1.0, 2.0)
+
+    def test_arithmetic_is_sound(self):
+        a, b = Interval(1.0, 2.0), Interval(-3.0, 4.0)
+        for xa in (1.0, 1.5, 2.0):
+            for xb in (-3.0, 0.0, 4.0):
+                assert (a + b).contains(xa + xb)
+                assert (a - b).contains(xa - xb)
+                assert (a * b).contains(xa * xb)
+
+    def test_division_by_zero_straddling_interval_is_top(self):
+        assert Interval(1.0, 2.0) / Interval(-1.0, 1.0) == TOP
+
+    def test_division_by_positive_interval(self):
+        q = Interval(2.0, 6.0) / Interval(1.0, 2.0)
+        assert q.contains(2.0 / 2.0) and q.contains(6.0 / 1.0)
+
+    def test_zero_times_infinity_is_zero(self):
+        # The convention that keeps TOP-coefficient features priced at
+        # zero when the feature's domain pins them to zero.
+        assert Interval.point(0.0) * TOP == Interval.point(0.0)
+
+    def test_join_is_hull(self):
+        assert Interval(1.0, 2.0).join(Interval(5.0, 6.0)) == Interval(1.0, 6.0)
+
+    def test_rounding(self):
+        ceiled = Interval(1.2, 2.7).ceil()
+        floored = Interval(1.2, 2.7).floor()
+        assert ceiled.lo == 1.2 and ceiled.hi == pytest.approx(3.7)
+        assert floored.lo == pytest.approx(0.2) and floored.hi == 2.7
+        # Both stay sound: ceil(x) <= x+1, floor(x) >= x-1.
+        assert ceiled.contains(2.0)
+        assert floored.contains(1.0)
+
+    def test_min_max_abs(self):
+        a, b = Interval(1.0, 5.0), Interval(3.0, 4.0)
+        assert a.min_(b) == Interval(1.0, 4.0)
+        assert a.max_(b) == Interval(3.0, 5.0)
+        assert Interval(-3.0, 2.0).abs_() == Interval(0.0, 3.0)
+
+
+class TestAffineForm:
+    def test_feature_plus_constant(self):
+        form = AffineForm.feature("size") + AffineForm.constant(10.0)
+        iv = form.interval({"size": Interval(0.0, 100.0)})
+        assert iv == Interval(10.0, 110.0)
+        assert form.exact
+
+    def test_scale_by_point_stays_exact(self):
+        form = AffineForm.feature("size").scale(2.0)
+        assert form.exact
+        assert form.interval({"size": Interval(0.0, 3.0)}) == Interval(0.0, 6.0)
+
+    def test_scale_by_interval_is_inexact(self):
+        form = AffineForm.feature("size").scale(Interval(1.0, 2.0))
+        assert not form.exact
+
+    def test_join_widens_and_drops_exactness(self):
+        a = AffineForm.constant(1.0)
+        b = AffineForm.constant(5.0)
+        j = a.join(b)
+        assert not j.exact
+        assert j.interval() == Interval(1.0, 5.0)
+
+    def test_unbounded_feature_defaults_to_nonneg_domain(self):
+        form = AffineForm.feature("size")
+        assert form.interval() == NONNEG
+
+    def test_negative_domain_is_rejected(self):
+        form = AffineForm.feature("size")
+        with pytest.raises(ValueError):
+            form.interval({"size": Interval(-1.0, 1.0)})
+
+    def test_bound_exprs_render(self):
+        form = (
+            AffineForm.feature("size").scale(2.0)
+            + AffineForm.constant(10.0)
+        )
+        assert form.lower_expr() == "10 + 2*size"
+        assert form.upper_expr() == "10 + 2*size"
+
+    def test_corner_evaluation_brackets_concrete_values(self):
+        form = AffineForm.feature("n").scale(Interval(1.0, 3.0)) + AffineForm.constant(
+            Interval(5.0, 7.0), exact=False
+        )
+        point = {"n": 10.0}
+        assert form.lower_at(point) == 5.0 + 1.0 * 10.0
+        assert form.upper_at(point) == 7.0 + 3.0 * 10.0
+
+    def test_widen_const(self):
+        form = AffineForm.constant(10.0).widen_const(Interval(-1.0, 0.0))
+        assert form.interval() == Interval(9.0, 10.0)
+        assert not form.exact
+
+    def test_infinite_upper_bound_propagates(self):
+        form = AffineForm.constant(Interval(0.0, inf), exact=False)
+        assert form.interval().hi == inf

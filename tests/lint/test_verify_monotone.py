@@ -1,0 +1,205 @@
+"""Monotonicity certificates from AST derivative-sign analysis.
+
+The certificates are *proofs*, so the tests lean adversarial: the
+interesting cases are the ones where the analysis must refuse to
+certify — loops that lose information, workload objects escaping into
+calls it cannot model, branches switching regimes.  A wrong "constant"
+or "non-decreasing" here would wave a defective interface through the
+promotion gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, floor
+
+import pytest
+
+from repro.lint.verify import (
+    MonotoneCert,
+    analyze_program,
+    cert_for_deriv,
+    sampled_cert,
+)
+from repro.lint.verify.domain import Interval
+
+
+@dataclass
+class Item:
+    size: int = 0
+    count: int = 0
+
+
+# -- functions under analysis ------------------------------------------
+def linear(item: Item) -> float:
+    return 10.0 + 2.0 * item.size
+
+
+def two_features(item: Item) -> float:
+    return item.size / 4.0 + 3.0 * item.count
+
+
+def decreasing(item: Item) -> float:
+    return 100.0 - item.size
+
+
+def regime_max(item: Item) -> float:
+    return max(5.0 * item.size, 2.0 * item.size + 30.0)
+
+
+def with_ceil(item: Item) -> float:
+    return ceil(item.size / 16)
+
+
+def with_floor(item: Item) -> float:
+    return floor(item.size / 16)
+
+
+def accumulator_loop(item: Item) -> float:
+    cost = 1.0
+    for _ in range(3):
+        cost += item.size
+    return cost
+
+
+def cancelling_loop(item: Item) -> float:
+    # `budget` starts at a feature, then a loop *subtracts* from it:
+    # the net direction is not provable, and claiming "constant" (the
+    # historical havoc bug) would be unsound.
+    cost = 0.0
+    budget = item.size
+    for _ in range(3):
+        budget -= 1.0
+        cost += 2.0
+    return cost + budget
+
+
+def _opaque_helper(item: Item) -> float:  # pragma: no cover - never run
+    return float(item.size)
+
+
+def escaping_param(item: Item) -> float:
+    # The whole workload object escapes into an unmodeled call: the
+    # result may depend on *any* feature, so nothing is certifiable —
+    # not even "constant" for features the body never names.
+    return 1.0 + _opaque_helper(item)
+
+
+class TestProofs:
+    def test_linear_slope_is_exact(self):
+        cert = analyze_program(linear, workload_type=Item).cert("size")
+        assert cert.direction == "non-decreasing"
+        assert cert.slope == 2.0
+        assert cert.proven
+
+    def test_independent_features_get_independent_slopes(self):
+        analysis = analyze_program(two_features, workload_type=Item)
+        assert analysis.cert("size").slope == 0.25
+        assert analysis.cert("count").slope == 3.0
+
+    def test_decreasing_is_proven_non_increasing(self):
+        cert = analyze_program(decreasing, workload_type=Item).cert("size")
+        assert cert.direction == "non-increasing"
+        assert cert.proven
+
+    def test_max_of_increasing_regimes_stays_increasing(self):
+        cert = analyze_program(regime_max, workload_type=Item).cert("size")
+        assert cert.direction == "non-decreasing"
+        assert cert.proven
+        assert cert.slope == 5.0  # hull of the two regime slopes
+
+    def test_rounding_preserves_direction_but_widens_slope(self):
+        for fn in (with_ceil, with_floor):
+            cert = analyze_program(fn, workload_type=Item).cert("size")
+            assert cert.direction == "non-decreasing", fn.__name__
+            assert cert.slope >= 1.0 / 16.0
+
+    def test_nonneg_accumulator_loop_keeps_direction(self):
+        cert = analyze_program(accumulator_loop, workload_type=Item).cert("size")
+        assert cert.direction == "non-decreasing"
+        assert cert.proven
+
+
+class TestSoundRefusals:
+    """Where the analysis must answer "unknown"."""
+
+    def test_cancelling_loop_is_not_constant(self):
+        # Regression: loop havoc once produced an empty quotient map,
+        # i.e. a *proof* of feature-independence, for this shape.
+        analysis = analyze_program(cancelling_loop, workload_type=Item)
+        cert = analysis.cert("size")
+        assert cert.direction == "unknown"
+
+    def test_escaped_workload_object_poisons_every_claim(self):
+        # Regression: `helper(item)` once analyzed as a constant.
+        analysis = analyze_program(escaping_param, workload_type=Item)
+        for feature in ("size", "count"):
+            assert analysis.cert(feature).direction == "unknown"
+
+    def test_escape_is_noted(self):
+        analysis = analyze_program(escaping_param, workload_type=Item)
+        assert any("not modeled" in note for note in analysis.notes)
+
+
+class TestCertForDeriv:
+    def test_classification(self):
+        assert cert_for_deriv("f", Interval(0.0, 0.0)).direction == "constant"
+        assert (
+            cert_for_deriv("f", Interval(0.0, 3.0)).direction == "non-decreasing"
+        )
+        assert (
+            cert_for_deriv("f", Interval(-2.0, 0.0)).direction == "non-increasing"
+        )
+        assert cert_for_deriv("f", Interval(-1.0, 1.0)).direction == "unknown"
+
+    def test_agrees(self):
+        up = cert_for_deriv("f", Interval(0.0, 1.0))
+        assert up.agrees(+1) is True
+        assert up.agrees(-1) is False
+        flat = cert_for_deriv("f", Interval(0.0, 0.0))
+        assert flat.agrees(+1) is True and flat.agrees(-1) is True
+
+
+class TestSampledCert:
+    def test_concordant_samples_give_sampled_direction(self):
+        pairs = [({"size": float(x)}, 10.0 + x) for x in range(5)]
+        cert = sampled_cert("size", pairs, +1)
+        assert cert.direction == "non-decreasing"
+        assert cert.proof == "sampled"
+        assert not cert.proven  # evidence, not proof
+
+    def test_discordant_samples_give_witness(self):
+        pairs = [
+            ({"size": 1.0}, 10.0),
+            ({"size": 2.0}, 20.0),
+            ({"size": 3.0}, 5.0),  # big drop: the worst pair
+        ]
+        cert = sampled_cert("size", pairs, +1)
+        assert cert.direction == "unknown"
+        assert cert.witness is not None
+        assert cert.witness.value_a == 20.0 and cert.witness.value_b == 5.0
+        rendered = cert.witness.render()
+        assert "size=2" in rendered and "size=3" in rendered
+
+
+class TestCertSerialization:
+    @pytest.mark.parametrize(
+        "cert",
+        [
+            MonotoneCert("size", "non-decreasing", slope=2.0, proof="affine"),
+            MonotoneCert("size", "unknown", proof="derivative"),
+            MonotoneCert(
+                "size", "non-decreasing", slope=float("inf"), proof="derivative"
+            ),
+        ],
+    )
+    def test_json_roundtrip(self, cert):
+        assert MonotoneCert.from_json(cert.to_json()) == cert
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            MonotoneCert("size", "sideways")
+
+    def test_invalid_proof_rejected(self):
+        with pytest.raises(ValueError):
+            MonotoneCert("size", "constant", proof="vibes")

@@ -111,10 +111,9 @@ class TestPoolBreakdownAccounting:
 class TestDriftObservatoryIntegration:
     def test_successful_calls_feed_the_observatory(self):
         obs, _, res = traced_run(count=150)
-        assert obs.observatory.keys()
-        total = sum(
-            obs.observatory.samples(d, c) for d, c in obs.observatory.keys()
-        )
+        keys = obs.observatory.keys()
+        assert keys
+        total = sum(obs.observatory.samples(d, c) for d, c in keys)
         accel_or_cpu = sum(1 for r in res.served if r.ok)
         assert total == pytest.approx(accel_or_cpu + res.hedge_count(), abs=5)
         # protoacc's petri interface genuinely drifts from the DRAM model.

@@ -116,3 +116,17 @@ class TestPerflintSweep:
         assert any(
             d["rule"] == "PG007" for d in payload[0]["diagnostics"]
         )
+
+    def test_text_sweep_prints_timing_table(self, capsys):
+        assert perflint_main(["jpeg"]) == 0
+        out = capsys.readouterr().out
+        assert "rules per bundle" in out
+        assert "wall-time" in out
+        assert "total" in out
+
+    def test_json_carries_rule_count_and_elapsed(self, capsys):
+        assert perflint_main(["--json", "jpeg"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for entry in payload:
+            assert entry["rules"] > 20
+            assert entry["elapsed_ms"] >= 0.0

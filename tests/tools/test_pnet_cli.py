@@ -110,3 +110,53 @@ transition t
         )
         assert rc == 0
         assert "completions: 8" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_all_shipped_bundles_verify(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        for name in ("protoacc", "optimusprime", "jpeg", "bitcoin", "vta"):
+            assert f"== {name} ==" in out
+        assert "proven:" in out
+        assert "corner concretization:" in out
+
+    def test_single_package_target(self, capsys):
+        assert main(["verify", "protoacc"]) == 0
+        out = capsys.readouterr().out
+        assert "== protoacc ==" in out
+        assert "bounds: [" in out
+
+    def test_unknown_target_is_a_hard_error(self):
+        with pytest.raises(SystemExit, match="unknown verify target 'nope'"):
+            main(["verify", "nope"])
+
+    def test_broken_fixture_fails_with_bound_and_direction_errors(self, capsys):
+        rc = main(["verify", "tests/fixtures/broken_contract.pnet"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "VR003" in out  # derived bounds escape the declared ones
+        assert "VR004" in out  # declared direction refuted with witness
+
+    def test_json_output_shape(self, capsys):
+        assert main(["verify", "protoacc", "--json"]) == 0
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        entry = payload[0]
+        assert entry["target"] == "protoacc"
+        assert entry["exit_code"] == 0
+        assert entry["corners"]["checked"] == entry["corners"]["passed"] > 0
+        contract = entry["contract"]
+        assert contract["evaluability"] == "closed-form"
+        assert any(c["proof"] in ("affine", "derivative") for c in contract["monotone"])
+
+    def test_json_broken_fixture_carries_diagnostics(self, capsys):
+        rc = main(["verify", "tests/fixtures/broken_contract.pnet", "--json"])
+        assert rc == 1
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        rules = {d["rule"] for d in payload[0]["diagnostics"]}
+        assert {"VR003", "VR004"} <= rules
