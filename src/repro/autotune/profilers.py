@@ -57,6 +57,23 @@ class Profiler(abc.ABC):
     def _profile(self, program: Program) -> float:
         ...
 
+    def profile_batch(self, programs: list[Program]) -> list[float]:
+        """Cycles for every candidate, in input order (wall time logged).
+
+        Default is a per-candidate loop; tiers backed by an interface
+        with a batch engine override ``_profile_batch`` to answer the
+        whole generation in one pass.
+        """
+        start = time.perf_counter()
+        try:
+            return self._profile_batch(programs)
+        finally:
+            self.wall_seconds += time.perf_counter() - start
+            self.queries += len(programs)
+
+    def _profile_batch(self, programs: list[Program]) -> list[float]:
+        return [self._profile(p) for p in programs]
+
     def reset_accounting(self) -> None:
         self.wall_seconds = 0.0
         self.queries = 0
@@ -100,6 +117,10 @@ class PetriProfiler(Profiler):
     def _profile(self, program: Program) -> float:
         return self._iface.latency(program)
 
+    def _profile_batch(self, programs: list[Program]) -> list[float]:
+        # One lowering, one engine pass over the whole generation.
+        return self._iface.evaluate_batch(programs)
+
 
 class MemoizedProfiler(Profiler):
     """Never profile the same candidate twice (Jung et al.'s "PR" idea).
@@ -125,6 +146,25 @@ class MemoizedProfiler(Profiler):
             program,
             lambda: self.inner._profile(program),
         )
+
+    def _profile_batch(self, programs: list[Program]) -> list[float]:
+        """Look every candidate up first, then batch only the misses
+        through the inner tier — so memoization and batching compose."""
+        namespace = f"profiler:{self.inner.name}"
+        out: list[float | None] = [None] * len(programs)
+        misses: list[int] = []
+        for i, program in enumerate(programs):
+            hit = self.cache.get(namespace, program)
+            if hit is self.cache.MISS:
+                misses.append(i)
+            else:
+                out[i] = hit
+        if misses:
+            computed = self.inner._profile_batch([programs[i] for i in misses])
+            for i, value in zip(misses, computed):
+                self.cache.put(namespace, programs[i], value)
+                out[i] = value
+        return out  # type: ignore[return-value]
 
     def cache_summary(self) -> str:
         """Hit/miss accounting for reports (e.g. the E6 table)."""

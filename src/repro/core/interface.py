@@ -19,6 +19,7 @@ Python), and :mod:`repro.core.petrinet` (the Petri-net IR).
 from __future__ import annotations
 
 import abc
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Generic, TypeVar
 
@@ -66,6 +67,20 @@ class PerformanceInterface(abc.ABC, Generic[ItemT]):
     @abc.abstractmethod
     def latency(self, item: ItemT) -> float:
         """Predicted latency, in cycles, to process ``item`` in isolation."""
+
+    def evaluate_batch(self, items: "Sequence[ItemT]") -> list[float]:
+        """Predicted latency for every item, in input order.
+
+        Semantically ``[self.latency(i) for i in items]`` — and that is
+        the default — but representations with a cheaper whole-matrix
+        path override it (the Petri-net interface lowers its net once
+        and runs a batch engine); sweep-shaped consumers
+        (:func:`repro.core.validation.validate_interface`,
+        :class:`repro.perf.sweep.SweepRunner`, autotuners, pool pricing)
+        call this instead of looping ``latency`` so they pick the fast
+        path up automatically.
+        """
+        return [self.latency(item) for item in items]
 
     def throughput(self, item: ItemT) -> float:
         """Predicted sustained throughput (items/cycle) for a stream of

@@ -16,7 +16,14 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generic, TypeVar
 
-from repro.petri import PetriNet, SimResult, make_simulator
+from repro.petri import (
+    BatchEvaluator,
+    PetriNet,
+    SimResult,
+    SimulationError,
+    default_engine,
+    make_simulator,
+)
 
 from .interface import PerformanceInterface
 
@@ -90,6 +97,11 @@ class PetriNetInterface(PerformanceInterface[ItemT], Generic[ItemT]):
         self.engine = engine
         self.cache = cache
         self.tracer = tracer
+        # Lazily-built batch evaluator (False = not yet tried,
+        # None = tried and unsupported).  Built only when a batch
+        # actually misses the cache, so a warm-cache process never
+        # constructs an engine at all.
+        self._batch: BatchEvaluator | None | bool = False
 
     def _run(self, injections: Sequence[Injection], expected: int) -> SimResult:
         def compute() -> SimResult:
@@ -123,6 +135,88 @@ class PetriNetInterface(PerformanceInterface[ItemT], Generic[ItemT]):
     def latency(self, item: ItemT) -> float:
         result = self.simulate(item)
         return result.makespan() + self.epilogue
+
+    # ------------------------------------------------------------------
+    # Batched evaluation
+    # ------------------------------------------------------------------
+    @property
+    def batch_evaluator(self) -> BatchEvaluator | None:
+        """The batch engine this interface has built, if any (exposes
+        ``engine`` / ``items_codegen`` / ``items_columnar`` for tests,
+        benches, and reports)."""
+        return self._batch if isinstance(self._batch, BatchEvaluator) else None
+
+    def _batch_engine(self) -> BatchEvaluator | None:
+        if self._batch is False:
+            try:
+                self._batch = BatchEvaluator(self.net, (self.sink,))
+            except SimulationError:
+                self._batch = None
+        return self._batch if isinstance(self._batch, BatchEvaluator) else None
+
+    def evaluate_batch(self, items: Sequence[ItemT]) -> list[float]:
+        """Latency for every item through the batch engine.
+
+        The net is lowered once and all cache misses run in a single
+        pass — bit-identical per item to the compiled engine (enforced
+        by ``repro.petri.differential``).  Falls back to the per-item
+        path when the engine choice is pinned (``engine=`` or
+        ``$REPRO_PETRI_ENGINE`` set to ``reference``/``compiled``), when
+        a tracer is attached (the batch engines emit no spans, and a
+        trace must show the work done), or when the net uses features
+        the compiled form does not support.
+
+        With a cache attached, makespans are cached under a dedicated
+        ``("makespan", ...)`` feature key whose values are plain floats
+        — so they spill to a persistent tier and a warm process answers
+        the whole batch with zero engine invocations.
+        """
+        engine = self.engine if self.engine is not None else default_engine()
+        if engine != "auto" or self.tracer is not None:
+            return [self.latency(item) for item in items]
+        injections = [self.tokenize(item) for item in items]
+        expecteds = [
+            self._expected(item) if self._expected is not None else len(injs)
+            for item, injs in zip(items, injections)
+        ]
+        out: list[float | None] = [None] * len(items)
+        misses: list[int] = []
+        feats: list[Any] = [None] * len(items)
+        if self.cache is not None:
+            for i, injs in enumerate(injections):
+                feats[i] = (
+                    "makespan",
+                    expecteds[i],
+                    [(inj.place, inj.payload, inj.at) for inj in injs],
+                )
+                hit = self.cache.get(self.net, feats[i])
+                if hit is self.cache.MISS:
+                    misses.append(i)
+                else:
+                    out[i] = hit + self.epilogue
+        else:
+            misses = list(range(len(items)))
+        if misses:
+            evaluator = self._batch_engine()
+            if evaluator is None:
+                # Unsupported net: the per-item path (with its own
+                # reference-engine fallback) handles these items.
+                for i in misses:
+                    out[i] = self.latency(items[i])
+                return out  # type: ignore[return-value]
+            results = evaluator.evaluate([injections[i] for i in misses])
+            for i, res in zip(misses, results):
+                done = res.counts.get(self.sink, 0)
+                if done != expecteds[i]:
+                    # Re-run the stuck item per-item: _run raises the
+                    # canonical completed-n/m error with the marking.
+                    res_full = self._run(injections[i], expecteds[i])
+                    out[i] = res_full.makespan() + self.epilogue
+                    continue
+                if self.cache is not None and feats[i] is not None:
+                    self.cache.put(self.net, feats[i], res.makespan)
+                out[i] = res.makespan + self.epilogue
+        return out  # type: ignore[return-value]
 
     def describe(self) -> str:
         n_places = len(self.net.places)

@@ -111,7 +111,10 @@ def validate_interface(
     if check_latency or check_bounds:
         actual_lat = measure(model.measure_latency, workload)
         if check_latency:
-            predicted = [interface.latency(item) for item in workload]
+            # The batched path when the interface has one (identical
+            # numbers, proven by repro.petri.differential), a plain
+            # latency loop otherwise.
+            predicted = interface.evaluate_batch(workload)
             latency_report = ErrorReport.of(predicted, actual_lat)
         if check_bounds:
             violations = 0

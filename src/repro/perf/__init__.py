@@ -7,23 +7,30 @@ independent evaluation points use all available cores:
 * :mod:`repro.perf.fingerprint` — stable, content-addressed identities for
   nets and workload features (the cache key material).
 * :mod:`repro.perf.cache` — :class:`EvalCache`, an in-memory
-  content-addressed result store with hit/miss accounting.
+  content-addressed result store with hit/miss accounting and an
+  optional persistent tier.
+* :mod:`repro.perf.store` — :class:`PersistentStore`, the append-only
+  JSONL file behind ``EvalCache(path=...)``: atomic cross-process
+  appends, corruption-tolerant replay.
 * :mod:`repro.perf.sweep` — :class:`SweepRunner`, which fans independent
   simulation points across worker processes with deterministic result
-  ordering and a serial fallback.
+  ordering, a serial fallback, and an in-process batched mode.
 
 See ``docs/performance.md`` for key construction and invalidation rules.
 """
 
 from .cache import CacheStats, EvalCache
 from .fingerprint import UncacheableError, net_fingerprint, workload_key
+from .store import PersistentStore, spillable
 from .sweep import SweepRunner
 
 __all__ = [
     "CacheStats",
     "EvalCache",
+    "PersistentStore",
     "SweepRunner",
     "UncacheableError",
     "net_fingerprint",
+    "spillable",
     "workload_key",
 ]

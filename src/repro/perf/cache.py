@@ -9,11 +9,21 @@ fingerprint and silently invalidates every entry keyed under the old one.
 
 The cache never guesses: features it cannot encode stably are counted as
 ``uncacheable`` and the computation runs uncached.
+
+With ``path=`` the cache gains a persistent tier — an append-only JSONL
+file (:class:`repro.perf.store.PersistentStore`) replayed on open, so a
+fresh process warm-starts from every spillable result earlier processes
+computed.  Only JSON-representable values spill (makespans, latencies,
+plain data); richer objects such as ``SimResult`` stay in-memory and are
+counted as ``unspillable``.  Appends are atomic, loads tolerate a
+truncated tail, and :meth:`reload` picks up entries written concurrently
+by other processes.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
@@ -21,6 +31,7 @@ from typing import Any
 from repro.petri.net import PetriNet
 
 from .fingerprint import UncacheableError, net_fingerprint, workload_key
+from .store import PersistentStore
 
 
 @dataclass
@@ -30,6 +41,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     uncacheable: int = 0
+    spills: int = 0
+    unspillable: int = 0
 
     @property
     def lookups(self) -> int:
@@ -46,6 +59,10 @@ class CacheStats:
         text = f"cache: {self.hits}/{self.lookups} hits ({self.hit_rate:.0%})"
         if self.uncacheable:
             text += f", {self.uncacheable} uncacheable"
+        if self.spills:
+            text += f", {self.spills} spilled"
+        if self.unspillable:
+            text += f", {self.unspillable} unspillable"
         return text
 
 
@@ -55,22 +72,39 @@ class EvalCache:
     One cache may serve many nets — the net fingerprint namespaces the
     keys.  Pass a string as ``net`` to namespace non-net computations
     (e.g. ``"profiler:cycle-accurate"``).
+
+    Args:
+        path: Optional JSONL file enabling the persistent tier.  Existing
+            entries are loaded immediately; every spillable store also
+            appends to the file.
     """
 
-    def __init__(self) -> None:
+    #: Sentinel returned by :meth:`get` on a miss (``None`` is a value).
+    MISS: Any = object()
+
+    def __init__(self, path: str | os.PathLike[str] | None = None) -> None:
         self._store: dict[str, Any] = {}
         self.stats = CacheStats()
         self._m_hits = self._m_misses = self._m_uncacheable = None
+        self._m_spills = self._m_unspillable = None
+        self.disk: PersistentStore | None = None
+        if path is not None:
+            self.disk = PersistentStore(path)
+            self._store.update(self.disk.load())
 
     def bind_metrics(self, registry, **labels) -> None:
         """Mirror lookups into a :class:`repro.obs.MetricsRegistry` as
-        ``eval_cache_{hits,misses,uncacheable}_total`` counters (with
-        ``labels``).  Only lookups *after* binding are counted; rebinding
-        moves future counts to the new registry."""
+        ``eval_cache_{hits,misses,uncacheable,spills,unspillable}_total``
+        counters (with ``labels``).  Only lookups *after* binding are
+        counted; rebinding moves future counts to the new registry."""
         self._m_hits = registry.counter("eval_cache_hits_total", **labels)
         self._m_misses = registry.counter("eval_cache_misses_total", **labels)
         self._m_uncacheable = registry.counter(
             "eval_cache_uncacheable_total", **labels
+        )
+        self._m_spills = registry.counter("eval_cache_spills_total", **labels)
+        self._m_unspillable = registry.counter(
+            "eval_cache_unspillable_total", **labels
         )
 
     def key(self, net: PetriNet | str, features: Any) -> str:
@@ -81,6 +115,63 @@ class EvalCache:
             f"{namespace}\n{workload_key(features)}".encode()
         ).hexdigest()
 
+    # ------------------------------------------------------------------
+    # Low-level API (the batch evaluation path drives this directly)
+    # ------------------------------------------------------------------
+    def get(self, net: PetriNet | str, features: Any) -> Any:
+        """The cached value, or :data:`EvalCache.MISS`.
+
+        Uncacheable features count as such and report a miss (the caller
+        must compute, and must not :meth:`put` the result).
+        """
+        try:
+            key = self.key(net, features)
+        except UncacheableError:
+            self.stats.uncacheable += 1
+            if self._m_uncacheable is not None:
+                self._m_uncacheable.inc()
+            return self.MISS
+        if key in self._store:
+            self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
+            return self._store[key]
+        self.stats.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
+        return self.MISS
+
+    def put(self, net: PetriNet | str, features: Any, value: Any) -> None:
+        """Store a computed value, spilling it to the persistent tier
+        when one is configured and the value is JSON-representable."""
+        try:
+            key = self.key(net, features)
+        except UncacheableError:
+            return
+        self._store[key] = value
+        if self.disk is not None:
+            if self.disk.append(key, value):
+                self.stats.spills += 1
+                if self._m_spills is not None:
+                    self._m_spills.inc()
+            else:
+                self.stats.unspillable += 1
+                if self._m_unspillable is not None:
+                    self._m_unspillable.inc()
+
+    def reload(self) -> int:
+        """Apply entries other processes appended since open/last reload.
+
+        Returns how many entries were applied; a no-op (0) without a
+        persistent tier.
+        """
+        if self.disk is None:
+            return 0
+        return self.disk.reload_into(self._store)
+
+    # ------------------------------------------------------------------
+    # High-level API
+    # ------------------------------------------------------------------
     def get_or_compute(
         self,
         net: PetriNet | str,
@@ -106,10 +197,21 @@ class EvalCache:
             self._m_misses.inc()
         value = compute()
         self._store[key] = value
+        if self.disk is not None:
+            if self.disk.append(key, value):
+                self.stats.spills += 1
+                if self._m_spills is not None:
+                    self._m_spills.inc()
+            else:
+                self.stats.unspillable += 1
+                if self._m_unspillable is not None:
+                    self._m_unspillable.inc()
         return value
 
     def clear(self) -> None:
-        """Drop all entries (counters are kept; use ``reset_stats`` too)."""
+        """Drop all in-memory entries (counters are kept; use
+        ``reset_stats`` too).  The persistent file is untouched — use
+        :meth:`reload` (or a fresh cache) to re-apply it."""
         self._store.clear()
 
     def reset_stats(self) -> None:

@@ -34,9 +34,9 @@ class SweepRunner:
             pool's startup cost dwarfs the work.
 
     Attributes:
-        last_mode: ``"parallel"``, ``"serial"``, or ``"serial-fallback"``
-            after each :meth:`map` call — visible in reports so a sweep
-            that silently degraded is noticeable.
+        last_mode: ``"parallel"``, ``"serial"``, ``"serial-fallback"``,
+            or ``"batched"`` after each :meth:`map` call — visible in
+            reports so a sweep that silently degraded is noticeable.
 
     ``obs`` (an :class:`repro.obs.Obs` bundle) times each :meth:`map`
     as a wall-clock span (sweeps are host work, not simulated work) and
@@ -66,20 +66,27 @@ class SweepRunner:
         self,
         fn: Callable[[ItemT], ResultT],
         items: Iterable[ItemT],
+        *,
+        batch_fn: Callable[[Sequence[ItemT]], list[ResultT]] | None = None,
     ) -> list[ResultT]:
         """``[fn(x) for x in items]``, in input order.
 
-        Parallel when the work is picklable and large enough; otherwise
-        serial (``last_mode`` says which happened).
+        ``batch_fn`` is a whole-matrix equivalent of the per-item ``fn``
+        (e.g. an interface's ``evaluate_batch``).  When given, it runs
+        the entire sweep in-process (``last_mode == "batched"``) instead
+        of fanning out — a batch engine evaluates thousands of points
+        per second, so pool startup + per-item pickling would only slow
+        it down.  Otherwise: parallel when the work is picklable and
+        large enough, serial if not (``last_mode`` says which happened).
         """
         points: Sequence[ItemT] = list(items)
         if self._tracer is not None:
             with self._tracer.wall_span(
                 "sweep.map", cat="perf.sweep", args={"points": len(points)}
             ):
-                results = self._map(fn, points)
+                results = self._map(fn, points, batch_fn)
         else:
-            results = self._map(fn, points)
+            results = self._map(fn, points, batch_fn)
         if self._metrics is not None:
             self._metrics.counter("sweep_maps_total", mode=self.last_mode).inc()
             self._metrics.counter("sweep_points_total", mode=self.last_mode).inc(
@@ -91,7 +98,17 @@ class SweepRunner:
         self,
         fn: Callable[[ItemT], ResultT],
         points: Sequence[ItemT],
+        batch_fn: Callable[[Sequence[ItemT]], list[ResultT]] | None = None,
     ) -> list[ResultT]:
+        if batch_fn is not None:
+            self.last_mode = "batched"
+            results = batch_fn(points)
+            if len(results) != len(points):
+                raise ValueError(
+                    f"batch_fn returned {len(results)} results for "
+                    f"{len(points)} points"
+                )
+            return results
         if self.workers <= 1 or len(points) < self.min_parallel_items:
             self.last_mode = "serial"
             return [fn(x) for x in points]

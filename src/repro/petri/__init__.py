@@ -39,6 +39,16 @@ from .analysis import (
     p_invariants,
     t_invariants,
 )
+from .batched import (
+    BATCH_ENGINE_ENV_VAR,
+    BATCH_ENGINES,
+    BatchEvaluator,
+    BatchItemResult,
+    chain_spec,
+    chain_unsupported_reasons,
+    codegen_supported,
+    default_batch_engine,
+)
 from .compiled import (
     ENGINES,
     CompiledNet,
@@ -65,9 +75,13 @@ from .simulate import Completion, SimResult, Simulator, run_workload
 from .token import Token
 
 __all__ = [
+    "BATCH_ENGINES",
+    "BATCH_ENGINE_ENV_VAR",
     "ENGINES",
     "AnalysisError",
     "Arc",
+    "BatchEvaluator",
+    "BatchItemResult",
     "CapacityError",
     "Completion",
     "CompiledNet",
@@ -92,7 +106,11 @@ __all__ = [
     "analyze_structure",
     "bottleneck_estimate",
     "chain",
+    "chain_spec",
+    "chain_unsupported_reasons",
+    "codegen_supported",
     "covers_all_positive",
+    "default_batch_engine",
     "default_engine",
     "find_cycles",
     "incidence_matrix",

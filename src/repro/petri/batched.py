@@ -1,0 +1,975 @@
+"""Mega-batch evaluation: lower a net once, evaluate thousands of items.
+
+The compiled engine (:mod:`repro.petri.compiled`) made one simulation
+cheap; sweep-shaped consumers — validation, autotuning, capacity
+planning, ``interface_predicted`` pricing — still paid the *per-item
+dispatch* cost on every point: a fresh :class:`CompiledNet` lowering,
+fresh run-state construction, a full ``SimResult`` with ``Completion``
+objects, and a write-back into the net, per workload item.  For the
+small nets accelerator interfaces actually ship, that fixed cost
+dwarfs the event loop.
+
+This module evaluates an entire matrix of workload items against one
+net in a single pass.  Two engines, selected per net:
+
+* **codegen** — for the dominant shipped-net shape (a feed-forward
+  chain of single-input/single-output, single-server, guardless
+  transitions: JPEG, Protoacc, Optimus Prime, bitcoin), the simulation
+  collapses to a per-token recurrence::
+
+      fire[i][s]  = max(done[i][s-1], done[i-1][s], fire[i-K_s][s+1])
+      done[i][s]  = fire[i][s] + delay(token_i)
+
+  (arrival, single server frees, reserve-at-start backpressure with
+  output capacity ``K_s``).  The recurrence is emitted as straight-line
+  Python specialized to the net — no event heap, no deques, no Token
+  churn — and executed per item.
+
+* **columnar** — the general fallback: the compiled event loop over
+  flat arc tuples, but with the lowering, wake masks, guard slots and
+  sink tables hoisted out of the per-item path and the per-item
+  products (``SimResult``, ``Completion``, write-back, tracer branch)
+  stripped to plain floats and counters.
+
+Both engines are **bit-identical** to :class:`CompiledSimulator` per
+item — same completion times, fired counts, deadlock flags, and error
+types/messages — and :mod:`repro.petri.differential` asserts it on
+every accelerator net and on seeded random structural nets.  The
+recurrence inherits the compiled engine's contract that guard/delay
+callables are pure functions of the peeked tokens' payloads.
+
+Batch runs are plain quiescent runs: no ``until``/``max_time``
+watchdogs (per-item deadline control still goes through the per-item
+engines).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Any
+
+from .compiled import CompiledNet, unsupported_features
+from .dsl import _SAFE_GLOBALS
+from .errors import CapacityError, DefinitionError, SimulationError
+from .net import PetriNet
+from .simulate import Simulator
+from .token import Token, _token_ids
+
+#: Batch engine selector values (``auto`` = codegen when the net is a
+#: supported chain, columnar otherwise).
+BATCH_ENGINES: tuple[str, ...] = ("auto", "codegen", "columnar")
+
+#: Environment override for the default batch engine (the differential
+#: harness forces each engine in turn through this).
+BATCH_ENGINE_ENV_VAR = "REPRO_PETRI_BATCH_ENGINE"
+
+_COMPLETE, _FAIL = 1, 2
+
+
+def default_batch_engine() -> str:
+    """Session-wide batch engine: ``$REPRO_PETRI_BATCH_ENGINE`` or auto."""
+    engine = os.environ.get(BATCH_ENGINE_ENV_VAR, "auto")
+    if engine not in BATCH_ENGINES:
+        raise ValueError(
+            f"{BATCH_ENGINE_ENV_VAR}={engine!r} is not one of {', '.join(BATCH_ENGINES)}"
+        )
+    return engine
+
+
+class BatchItemResult:
+    """One item's outcome inside a batch run.
+
+    A trimmed :class:`~repro.petri.simulate.SimResult`: everything a
+    sweep consumer reads (makespan, per-sink completion counts, flags),
+    nothing a sweep consumer allocates and throws away (``Completion``
+    objects, per-token latencies).  ``completion_times`` and ``fired``
+    are populated only when the batch ran with ``collect=True`` (the
+    differential harness does; the hot path does not).
+    """
+
+    __slots__ = (
+        "makespan",
+        "end_time",
+        "counts",
+        "first_injection",
+        "deadlocked",
+        "residual_tokens",
+        "completion_times",
+        "fired",
+    )
+
+    def __init__(
+        self,
+        makespan: float,
+        end_time: float,
+        counts: dict[str, int],
+        first_injection: float | None,
+        deadlocked: bool = False,
+        residual_tokens: int = 0,
+        completion_times: dict[str, list[float]] | None = None,
+        fired: dict[str, int] | None = None,
+    ):
+        self.makespan = makespan
+        self.end_time = end_time
+        self.counts = counts
+        self.first_injection = first_injection
+        self.deadlocked = deadlocked
+        self.residual_tokens = residual_tokens
+        self.completion_times = completion_times
+        self.fired = fired
+
+    @property
+    def total_completions(self) -> int:
+        return sum(self.counts.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchItemResult(makespan={self.makespan}, "
+            f"counts={self.counts}, deadlocked={self.deadlocked})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Chain detection (the codegen-supported shape)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """A net proven to be a codegen-supported feed-forward chain."""
+
+    entry: str
+    sink: str
+    stage_names: tuple[str, ...]
+    in_names: tuple[str, ...]  # input place of each stage
+    delay_consts: tuple[float | None, ...]
+    delay_fns: tuple[Any, ...]
+    delay_srcs: tuple[str | None, ...]  # inlinable DSL source per stage
+    out_caps: tuple[int | None, ...]  # capacity of each stage's output place
+
+
+def chain_unsupported_reasons(net: PetriNet, sinks: Sequence[str] = ("out",)) -> list[str]:
+    """Why the codegen engine cannot run ``net`` (empty list = it can)."""
+    reasons = unsupported_features(net)
+    if reasons:
+        return reasons
+    if len(sinks) != 1:
+        return [f"codegen needs exactly one sink (got {list(sinks)!r})"]
+    sink = sinks[0]
+    c = CompiledNet(net)
+    n_places = len(c.place_names)
+    # Per-transition shape checks.
+    for ti, name in enumerate(c.t_names):
+        if len(c.t_in[ti]) != 1 or c.t_in[ti][0][1] != 1:
+            reasons.append(f"transition {name!r} is not single-input weight-1")
+        elif len(c.t_out[ti]) != 1 or c.t_out[ti][0][1] != 1:
+            reasons.append(f"transition {name!r} is not single-output weight-1")
+        elif c.t_guard[ti] is not None:
+            reasons.append(f"transition {name!r} has a guard")
+        elif c.t_servers[ti] != 1:
+            reasons.append(f"transition {name!r} is not single-server")
+        elif c.t_timeout_after[ti] is not None:
+            reasons.append(f"transition {name!r} has a timeout fault arc")
+        elif (
+            len(c.t_out[ti]) == 1
+            and (cap := c.capacity[c.t_out[ti][0][0]]) is not None
+            and cap < 1
+        ):
+            reasons.append(
+                f"place {c.place_names[c.t_out[ti][0][0]]!r} has capacity {cap} (< 1)"
+            )
+        elif c.t_delay_const[ti] is not None and c.t_delay_const[ti] <= 0:
+            # Zero-delay stages can cascade unboundedly within one
+            # instant (the engines' firing budget applies); negative
+            # constants raise at first firing.  Both stay on columnar.
+            reasons.append(f"transition {name!r} has a non-positive constant delay")
+    if reasons:
+        return reasons
+    # Topology: one entry, one sink, a single linear chain covering
+    # every place and transition.
+    entries = [
+        i
+        for i in range(n_places)
+        if not c.producers[i] and c.consumers[i]
+    ]
+    if len(entries) != 1:
+        return ["net does not have exactly one entry place"]
+    entry = entries[0]
+    if c.place_names[entry] == sink:
+        return ["entry place is the sink"]
+    if c.capacity[entry] is not None:
+        return [f"entry place {c.place_names[entry]!r} has finite capacity"]
+    if sink not in c.place_index:
+        return [f"sink {sink!r} is not a place of net {net.name!r}"]
+    sink_idx = c.place_index[sink]
+    if c.consumers[sink_idx]:
+        return [f"sink {sink!r} has consumers"]
+    if c.capacity[sink_idx] is not None:
+        return [f"sink place {sink!r} has finite capacity"]
+    order: list[int] = []
+    place = entry
+    seen_places = {entry}
+    while place != sink_idx:
+        cons = c.consumers[place]
+        if len(cons) != 1:
+            return [f"place {c.place_names[place]!r} has {len(cons)} consumers (need 1)"]
+        ti = cons[0]
+        if len(c.producers[place]) > (0 if place == entry else 1):
+            return [f"place {c.place_names[place]!r} has multiple producers"]
+        order.append(ti)
+        place = c.t_out[ti][0][0]
+        if place in seen_places:
+            return ["net has a cycle"]
+        seen_places.add(place)
+    if len(order) != len(c.t_names):
+        return ["net has transitions outside the entry->sink chain"]
+    if len(seen_places) != n_places:
+        return ["net has places outside the entry->sink chain"]
+    return []
+
+
+def chain_spec(net: PetriNet, sinks: Sequence[str] = ("out",)) -> ChainSpec | None:
+    """The :class:`ChainSpec` for ``net``, or ``None`` when unsupported."""
+    if chain_unsupported_reasons(net, sinks):
+        return None
+    c = CompiledNet(net)
+    sink_idx = c.place_index[sinks[0]]
+    entry = next(
+        i for i in range(len(c.place_names)) if not c.producers[i] and c.consumers[i]
+    )
+    order: list[int] = []
+    place = entry
+    while place != sink_idx:
+        ti = c.consumers[place][0]
+        order.append(ti)
+        place = c.t_out[ti][0][0]
+    return ChainSpec(
+        entry=c.place_names[entry],
+        sink=sinks[0],
+        stage_names=tuple(c.t_names[ti] for ti in order),
+        in_names=tuple(c.t_in_names[ti][0] for ti in order),
+        delay_consts=tuple(c.t_delay_const[ti] for ti in order),
+        delay_fns=tuple(c.t_delay_fn[ti] for ti in order),
+        delay_srcs=tuple(_inlinable_src(c.t_delay_fn[ti]) for ti in order),
+        out_caps=tuple(c.capacity[c.t_out[ti][0][0]] for ti in order),
+    )
+
+
+def _inlinable_src(fn: Any) -> str | None:
+    """The DSL source of a delay callable, when it can be textually
+    inlined into generated code.
+
+    A ``.pnet`` ``expr:`` evaluates its source with ``tok`` bound to the
+    head token's payload and the fixed safe-globals in scope.  When the
+    expression references only those names (and not ``toks``, the full
+    consumed mapping), evaluating the same source against the same
+    payload under the same globals is the same computation — so the
+    generated loop can run it without the per-firing callable dispatch,
+    Token mutation, or consumed-dict plumbing.
+    """
+    if fn is None:
+        return None
+    src = getattr(fn, "src", None)
+    if not isinstance(src, str):
+        return None
+    try:
+        code = compile(src, "<inline-check>", "eval")
+    except SyntaxError:  # pragma: no cover - DSL already validated it
+        return None
+    names = set(code.co_names)
+    if "toks" in names or not names <= (set(_SAFE_GLOBALS) | {"tok"}):
+        return None
+    return src
+
+
+def codegen_supported(net: PetriNet, sinks: Sequence[str] = ("out",)) -> bool:
+    """True when the codegen batch engine can run ``net`` exactly."""
+    return not chain_unsupported_reasons(net, sinks)
+
+
+# ----------------------------------------------------------------------
+# Codegen engine: straight-line per-net recurrence
+# ----------------------------------------------------------------------
+
+
+class _ZeroDelayBailout(Exception):
+    """A callable delay returned 0.0: the item falls back to the event
+    loop, whose per-instant firing budget the recurrence cannot model."""
+
+
+def _codegen_source(spec: ChainSpec) -> str:
+    """Emit the specialized per-item runner for a chain net.
+
+    The generated function takes ``(injections, collect)`` where
+    ``injections`` is a list of ``(payload, at)`` pairs sorted by
+    ``at`` (ties keep injection order, matching the engines' (at, uid)
+    ordering), and returns ``(makespan, n, first_at, times)``.
+    """
+    n_stages = len(spec.stage_names)
+    lines = [
+        "def _run_item(injections, collect):",
+        "    n = len(injections)",
+        "    if n == 0:",
+        "        return (0.0, 0, None, [] if collect else None)",
+        "    first_at = injections[0][1]",
+        "    if first_at < 0.0:",
+        "        raise SimulationError(",
+        "            f'event scheduled in the past ({first_at} < 0.0)'",
+        "        )",
+        "    times = [] if collect else None",
+        "    c = 0.0",
+    ]
+    # One rolled ring cursor per distinct capacity (cheaper than idx % K
+    # per stage per token).
+    ring_caps = sorted({k for k in spec.out_caps if k is not None})
+    for k in ring_caps:
+        lines.append(f"    i{k} = 0")
+    for s in range(n_stages):
+        lines.append(f"    done{s} = 0.0")
+        if spec.out_caps[s] is not None:
+            lines.append(f"    ring{s} = [0.0] * {spec.out_caps[s]}")
+    inline_any = any(src is not None for src in spec.delay_srcs)
+    lines.append("    for payload, at in injections:")
+    lines.append("        c = at")
+    if inline_any:
+        lines.append("        tok = payload")
+    for s in range(n_stages):
+        lines.append(f"        # stage {s}: {spec.stage_names[s]}")
+        lines.append("        f = c")
+        lines.append(f"        if done{s} > f: f = done{s}")
+        if spec.out_caps[s] is not None:
+            lines.append(f"        r = ring{s}[i{spec.out_caps[s]}]")
+            lines.append("        if r > f: f = r")
+        if s >= 1 and spec.out_caps[s - 1] is not None:
+            # f is this stage's fire time == when it consumes from the
+            # upstream place, freeing one capacity slot there.
+            lines.append(f"        ring{s - 1}[i{spec.out_caps[s - 1]}] = f")
+        if spec.delay_fns[s] is None:
+            lines.append(f"        c = f + {spec.delay_consts[s]!r}")
+        else:
+            if spec.delay_srcs[s] is not None:
+                lines.append(f"        d = float(({spec.delay_srcs[s]}))")
+            else:
+                lines.append(f"        tok{s}.payload = payload")
+                lines.append(f"        tok{s}.born = at")
+                lines.append(f"        d = float(delay{s}(consumed{s}))")
+            msg = f"transition {spec.stage_names[s]!r} computed a negative delay"
+            lines.append("        if d < 0.0:")
+            lines.append(f"            raise DefinitionError({msg!r})")
+            lines.append("        if d == 0.0:")
+            lines.append("            raise _ZeroDelayBailout")
+            lines.append("        c = f + d")
+        lines.append(f"        done{s} = c")
+    lines.append("        if collect:")
+    lines.append("            times.append(c)")
+    for k in ring_caps:
+        lines.append(f"        i{k} += 1")
+        lines.append(f"        if i{k} == {k}: i{k} = 0")
+    lines.append("    return (c, n, first_at, times)")
+    return "\n".join(lines)
+
+
+class _CodegenRunner:
+    """Executes the generated recurrence for one chain net."""
+
+    def __init__(self, spec: ChainSpec):
+        self.spec = spec
+        self.source = _codegen_source(spec)
+        namespace: dict[str, Any] = {
+            # The exact objects DSL expressions evaluate against, so an
+            # inlined ``expr:`` computes bit-identical floats.
+            **{k: v for k, v in _SAFE_GLOBALS.items() if k != "__builtins__"},
+            "__builtins__": {},
+            "SimulationError": SimulationError,
+            "DefinitionError": DefinitionError,
+            "_ZeroDelayBailout": _ZeroDelayBailout,
+            "float": float,
+            "len": len,
+        }
+        for s, fn in enumerate(spec.delay_fns):
+            if fn is None or spec.delay_srcs[s] is not None:
+                continue
+            tok = Token.__new__(Token)
+            tok.payload = None
+            tok.born = None
+            tok.uid = next(_token_ids)
+            tok.trace = None
+            namespace[f"delay{s}"] = fn
+            namespace[f"tok{s}"] = tok
+            namespace[f"consumed{s}"] = {spec.in_names[s]: [tok]}
+        exec(compile(self.source, f"<batched:{spec.sink}>", "exec"), namespace)
+        self._run_item = namespace["_run_item"]
+
+    def run_item(
+        self, injections: list[tuple[Any, float]], collect: bool
+    ) -> BatchItemResult:
+        makespan, n, first_at, times = self._run_item(injections, collect)
+        return BatchItemResult(
+            makespan=makespan,
+            end_time=makespan,
+            counts={self.spec.sink: n},
+            first_injection=first_at,
+            completion_times={self.spec.sink: times} if collect else None,
+            fired=dict.fromkeys(self.spec.stage_names, n) if collect else None,
+        )
+
+
+# ----------------------------------------------------------------------
+# Columnar engine: the compiled event loop, amortized
+# ----------------------------------------------------------------------
+
+
+class _ColumnarRunner:
+    """Per-item event loop with every per-net cost hoisted out.
+
+    The loop body mirrors :meth:`CompiledSimulator.run` — the parity
+    contract depends on it — minus tracer branches, ``Completion``/
+    ``SimResult`` construction, and net write-back.  Completion times
+    are plain floats; fired counts plain ints.
+    """
+
+    MAX_FIRINGS_PER_INSTANT = Simulator.MAX_FIRINGS_PER_INSTANT
+
+    def __init__(self, compiled: CompiledNet, sinks: Sequence[str]):
+        self.c = compiled
+        self.sinks = list(sinks)
+        c = compiled
+        for s in sinks:
+            if s not in c.place_index:
+                raise SimulationError(
+                    f"sink {s!r} is not a place of net {c.net.name!r}"
+                )
+        sink_set = {c.place_index[s] for s in sinks}
+        #: per-place: sink slot index or -1.
+        self.sink_slot = [
+            self.sinks.index(c.place_names[p]) if p in sink_set else -1
+            for p in range(len(c.place_names))
+        ]
+        # Same wake/guard precomputation as CompiledSimulator.run, but
+        # per *net* instead of per item.
+        self.wake_done: list[int] = []
+        self.guard_slots: list[list[Token | None] | None] = []
+        self.guard_dicts: list[dict[str, list[Token | None]] | None] = []
+        for ti in range(len(c.t_names)):
+            ow = c.t_outw[ti]
+            if ow is None:
+                self.wake_done.append(1 << ti)
+            else:
+                p, _ = ow
+                base = (
+                    c.producers_mask[p]
+                    if self.sink_slot[p] >= 0
+                    else c.consumers_mask[p]
+                )
+                self.wake_done.append(base | (1 << ti))
+            fast = c.t_fast[ti]
+            if fast is not None and fast[1] == 1 and (
+                fast[5] is not None or fast[6] is not None
+            ):
+                slot: list[Token | None] = [None]
+                self.guard_slots.append(slot)
+                self.guard_dicts.append({fast[4]: slot})
+            else:
+                self.guard_slots.append(None)
+                self.guard_dicts.append(None)
+
+    def run_item(
+        self, injections: list[tuple[int, Any, float]], collect: bool
+    ) -> BatchItemResult:
+        """One quiescent run.  ``injections`` are ``(place_idx, payload,
+        at)`` triples in injection order."""
+        c = self.c
+        n_places = len(c.place_names)
+        n_trans = len(c.t_names)
+        sink_slot = self.sink_slot
+
+        tokens: list[deque[Token]] = [deque() for _ in range(n_places)]
+        reserved = [0] * n_places
+        busy = [0] * n_trans
+        fire_count = [0] * n_trans
+        comp_counts = [0] * len(self.sinks)
+        comp_times: list[list[float]] | None = (
+            [[] for _ in self.sinks] if collect else None
+        )
+        last_completion = 0.0
+
+        events: list[tuple[float, int, int, int, Token | None, float]] = []
+        seq = 0
+        now = 0.0
+        dirty = 0
+
+        t_in, t_out = c.t_in, c.t_out
+        t_in_names = c.t_in_names
+        t_delay_const, t_delay_fn = c.t_delay_const, c.t_delay_fn
+        t_guard, t_servers = c.t_guard, c.t_servers
+        t_timeout_after, t_timeout_place = c.t_timeout_after, c.t_timeout_place
+        consumers_mask, producers_mask = c.consumers_mask, c.producers_mask
+        capacity = c.capacity
+        place_names = c.place_names
+        t_names = c.t_names
+        t_wake_fire, t_fast = c.t_wake_fire, c.t_fast
+        t_out1, t_outw = c.t_out1, c.t_outw
+        wake_done = self.wake_done
+        guard_slots, guard_dicts = self.guard_slots, self.guard_dicts
+        new_token = Token.__new__
+        next_uid = _token_ids.__next__
+        net_name = c.net.name
+
+        # Materialize tokens in injection order (uid order) then order
+        # by arrival, exactly like CompiledSimulator's (at, uid) sort.
+        inj: list[tuple[float, int, Token]] = []
+        for place_idx, payload, at in injections:
+            if isinstance(payload, Token):
+                token = payload
+            else:
+                token = new_token(Token)
+                token.payload = payload
+                token.born = None
+                token.uid = next_uid()
+                token.trace = None
+            inj.append((at, place_idx, token))
+        # Same (at, uid) arrival order as CompiledSimulator's side list.
+        inj.sort(key=lambda e: (e[0], e[2].uid))
+        first_injection = inj[0][0] if inj else None
+        if inj and inj[0][0] < now:
+            raise SimulationError(
+                f"event scheduled in the past ({inj[0][0]} < {now})"
+            )
+        inj_i, inj_n = 0, len(inj)
+
+        budget = self.MAX_FIRINGS_PER_INSTANT
+
+        def fire_all() -> None:
+            nonlocal seq, dirty
+            fired = 0
+            while dirty:
+                batch = dirty
+                dirty = 0
+                while batch:
+                    low = batch & -batch
+                    batch -= low
+                    ti = low.bit_length() - 1
+                    fast = t_fast[ti]
+                    if fast is not None:
+                        dq = tokens[fast[0]]
+                        if len(dq) < fast[1]:
+                            continue
+                        servers = t_servers[ti]
+                        if servers is not None and busy[ti] >= servers:
+                            continue
+                        if fast[9]:
+                            p_out = fast[2]
+                            delay_c = fast[7]
+                            wake = fast[8]
+                            cap = capacity[p_out]
+                            out_dq = tokens[p_out]
+                            while (
+                                dq
+                                and (servers is None or busy[ti] < servers)
+                                and (
+                                    cap is None
+                                    or cap - len(out_dq) - reserved[p_out] >= 1
+                                )
+                            ):
+                                first = dq.popleft()
+                                reserved[p_out] += 1
+                                dirty |= wake
+                                busy[ti] += 1
+                                fire_count[ti] += 1
+                                fired += 1
+                                if fired > budget:
+                                    raise SimulationError(
+                                        f"net {net_name!r}: more than {budget} "
+                                        f"firings at t={now}; likely a zero-delay loop"
+                                    )
+                                heappush(
+                                    events,
+                                    (now + delay_c, seq, _COMPLETE, ti, first, now),
+                                )
+                                seq += 1
+                            continue
+                        _, w_in, p_out, w_out, in_name, guard, delay_fn, delay_c, wake, _ = fast
+                        cap = capacity[p_out]
+                        out_dq = tokens[p_out]
+                        while (
+                            len(dq) >= w_in
+                            and (servers is None or busy[ti] < servers)
+                            and (
+                                cap is None
+                                or cap - len(out_dq) - reserved[p_out] >= w_out
+                            )
+                        ):
+                            if guard is not None or delay_fn is not None:
+                                slot = guard_slots[ti]
+                                if slot is not None:
+                                    slot[0] = dq[0]
+                                    consumed = guard_dicts[ti]
+                                else:
+                                    consumed = {
+                                        in_name: [dq[i] for i in range(w_in)]
+                                    }
+                                if guard is not None and not guard(consumed):
+                                    break
+                            first = dq.popleft()
+                            if w_in != 1:
+                                for _ in range(w_in - 1):
+                                    dq.popleft()
+                            reserved[p_out] += w_out
+                            dirty |= wake
+                            if delay_fn is None:
+                                delay = delay_c
+                            else:
+                                delay = float(delay_fn(consumed))
+                                if delay < 0:
+                                    raise DefinitionError(
+                                        f"transition {t_names[ti]!r} computed "
+                                        "a negative delay"
+                                    )
+                            busy[ti] += 1
+                            fire_count[ti] += 1
+                            fired += 1
+                            if fired > budget:
+                                raise SimulationError(
+                                    f"net {net_name!r}: more than {budget} "
+                                    f"firings at t={now}; likely a zero-delay loop"
+                                )
+                            heappush(
+                                events, (now + delay, seq, _COMPLETE, ti, first, now)
+                            )
+                            seq += 1
+                        continue
+                    servers = t_servers[ti]
+                    guard = t_guard[ti]
+                    delay_fn = t_delay_fn[ti]
+                    ins = t_in[ti]
+                    outs = t_out[ti]
+                    while True:
+                        if servers is not None and busy[ti] >= servers:
+                            break
+                        enabled = True
+                        for p, w in ins:
+                            if len(tokens[p]) < w:
+                                enabled = False
+                                break
+                        if enabled:
+                            for p, w in outs:
+                                cap = capacity[p]
+                                if (
+                                    cap is not None
+                                    and cap - len(tokens[p]) - reserved[p] < w
+                                ):
+                                    enabled = False
+                                    break
+                        if not enabled:
+                            break
+                        consumed = None
+                        if guard is not None or delay_fn is not None:
+                            names = t_in_names[ti]
+                            consumed = {}
+                            for (p, w), name in zip(ins, names, strict=True):
+                                dq = tokens[p]
+                                consumed[name] = (
+                                    [dq[0]] if w == 1 else [dq[i] for i in range(w)]
+                                )
+                            if guard is not None and not guard(consumed):
+                                break
+                        first = None
+                        for p, w in ins:
+                            dq = tokens[p]
+                            if len(dq) < w:
+                                raise ValueError(
+                                    f"place {place_names[p]!r} holds fewer than "
+                                    f"{w} tokens"
+                                )
+                            if first is None:
+                                first = dq[0]
+                            for _ in range(w):
+                                dq.popleft()
+                        for p, w in outs:
+                            reserved[p] += w
+                        dirty |= t_wake_fire[ti]
+                        delay = (
+                            float(delay_fn(consumed))
+                            if delay_fn is not None
+                            else t_delay_const[ti]
+                        )
+                        if delay < 0:
+                            raise DefinitionError(
+                                f"transition {t_names[ti]!r} computed a negative delay"
+                            )
+                        busy[ti] += 1
+                        fire_count[ti] += 1
+                        fired += 1
+                        if fired > budget:
+                            raise SimulationError(
+                                f"net {net_name!r}: more than {budget} "
+                                f"firings at t={now}; likely a zero-delay loop"
+                            )
+                        after = t_timeout_after[ti]
+                        if after is not None and delay > after:
+                            heappush(events, (now + after, seq, _FAIL, ti, first, now))
+                        else:
+                            heappush(
+                                events, (now + delay, seq, _COMPLETE, ti, first, now)
+                            )
+                        seq += 1
+
+        def record(slot: int, time: float) -> None:
+            nonlocal last_completion
+            comp_counts[slot] += 1
+            if time > last_completion:
+                last_completion = time
+            if comp_times is not None:
+                comp_times[slot].append(time)
+
+        def deposit(p: int, token: Token, from_reservation: bool) -> None:
+            nonlocal dirty
+            slot = sink_slot[p]
+            if slot >= 0:
+                if from_reservation:
+                    reserved[p] -= 1
+                    dirty |= producers_mask[p]
+                record(slot, now)
+                return
+            if from_reservation:
+                if reserved[p] <= 0:
+                    raise CapacityError(
+                        f"place {place_names[p]!r}: deposit without prior reservation"
+                    )
+                reserved[p] -= 1
+            else:
+                cap = capacity[p]
+                if cap is not None and cap - len(tokens[p]) - reserved[p] < 1:
+                    raise CapacityError(
+                        f"place {place_names[p]!r} is full (capacity {cap})"
+                    )
+            tokens[p].append(token)
+            dirty |= consumers_mask[p]
+
+        inf = float("inf")
+        while True:
+            t = events[0][0] if events else inf
+            if inj_i < inj_n:
+                t_inj = inj[inj_i][0]
+                if t_inj < t:
+                    t = t_inj
+            elif not events:
+                break
+            now = t
+            while inj_i < inj_n and inj[inj_i][0] == t:
+                idx, tok = inj[inj_i][1], inj[inj_i][2]
+                inj_i += 1
+                tok.born = t
+                slot = sink_slot[idx]
+                if slot >= 0:
+                    record(slot, t)
+                else:
+                    cap = capacity[idx]
+                    if cap is not None and cap - len(tokens[idx]) - reserved[idx] < 1:
+                        raise CapacityError(
+                            f"place {place_names[idx]!r} is full (capacity {cap})"
+                        )
+                    tokens[idx].append(tok)
+                    dirty |= consumers_mask[idx]
+            while events and events[0][0] == t:
+                _, _, kind, idx, tok, t0 = heappop(events)
+                if kind == _COMPLETE:
+                    p = t_out1[idx]
+                    if p >= 0:
+                        if tok.born is None:
+                            tok.born = t0
+                        reserved[p] -= 1
+                        slot = sink_slot[p]
+                        if slot >= 0:
+                            record(slot, now)
+                        else:
+                            tokens[p].append(tok)
+                        dirty |= wake_done[idx]
+                        busy[idx] -= 1
+                    elif (ow := t_outw[idx]) is not None:
+                        p, w = ow
+                        if tok.born is None:
+                            tok.born = t0
+                        reserved[p] -= w
+                        slot = sink_slot[p]
+                        if slot >= 0:
+                            record(slot, now)
+                        else:
+                            tokens[p].append(tok)
+                        payload, born, trace = tok.payload, tok.born, tok.trace
+                        for _ in range(w - 1):
+                            child = new_token(Token)
+                            child.payload = payload
+                            child.born = born
+                            child.uid = next_uid()
+                            child.trace = None if trace is None else list(trace)
+                            if slot >= 0:
+                                record(slot, now)
+                            else:
+                                tokens[p].append(child)
+                        dirty |= wake_done[idx]
+                        busy[idx] -= 1
+                    else:
+                        for p, w in t_out[idx]:
+                            for _ in range(w):
+                                child = tok.child()
+                                if child.born is None:
+                                    child.born = t0
+                                deposit(p, child, True)
+                        busy[idx] -= 1
+                        dirty |= 1 << idx
+                else:  # _FAIL
+                    for p, w in t_out[idx]:
+                        reserved[p] -= w
+                        dirty |= producers_mask[p]
+                    fault = tok.child() if tok is not None else Token()
+                    deposit(t_timeout_place[idx], fault, False)
+                    busy[idx] -= 1
+                    dirty |= 1 << idx
+            fire_all()
+
+        residual = sum(len(dq) for dq in tokens)
+        in_flight = any(busy)
+        deadlocked = residual > 0 and not in_flight and not events and inj_i >= inj_n
+        return BatchItemResult(
+            makespan=last_completion,
+            end_time=now,
+            counts=dict(zip(self.sinks, comp_counts, strict=True)),
+            first_injection=first_injection,
+            deadlocked=deadlocked,
+            residual_tokens=residual,
+            completion_times=(
+                dict(zip(self.sinks, comp_times, strict=True))
+                if comp_times is not None
+                else None
+            ),
+            fired=(
+                dict(zip(t_names, fire_count, strict=True)) if collect else None
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Public facade
+# ----------------------------------------------------------------------
+
+
+def _normalize(injections: Sequence[Any]) -> list[tuple[str, Any, float]]:
+    """Accept Injection-likes or ``(place, payload, at)`` tuples."""
+    out = []
+    for inj in injections:
+        if isinstance(inj, tuple):
+            place, payload, at = inj
+        else:
+            place, payload, at = inj.place, inj.payload, inj.at
+        out.append((place, payload, at))
+    return out
+
+
+class BatchEvaluator:
+    """Evaluate many workload items against one lowered net.
+
+    Args:
+        net: The net to evaluate (lowered once, at construction).
+        sinks: Places whose deposits count as completions.
+        engine: ``"auto"`` (codegen when the net is a supported chain,
+            columnar otherwise), ``"codegen"`` (raises when the net is
+            not a chain), or ``"columnar"``.  ``None`` defers to
+            ``$REPRO_PETRI_BATCH_ENGINE``/auto.
+        compiled: Share a pre-built :class:`CompiledNet`.
+
+    Each item is a sequence of injections (``Injection`` objects or
+    ``(place, payload, at)`` tuples).  Results are bit-identical to
+    running :class:`CompiledSimulator` on each item in isolation.
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        sinks: Sequence[str] = ("out",),
+        *,
+        engine: str | None = None,
+        compiled: CompiledNet | None = None,
+    ):
+        if engine is None:
+            engine = default_batch_engine()
+        if engine not in BATCH_ENGINES:
+            raise ValueError(
+                f"unknown batch engine {engine!r}; expected one of "
+                f"{', '.join(BATCH_ENGINES)}"
+            )
+        reasons = unsupported_features(net)
+        if reasons:
+            raise SimulationError(
+                f"net {net.name!r} cannot be batch-evaluated: " + "; ".join(reasons)
+            )
+        if compiled is not None and compiled.net is not net:
+            raise SimulationError("compiled form belongs to a different net object")
+        self.net = net
+        self.sinks = list(sinks)
+        self.compiled = compiled if compiled is not None else CompiledNet(net)
+        self._columnar = _ColumnarRunner(self.compiled, self.sinks)
+        self._codegen: _CodegenRunner | None = None
+        if engine == "codegen":
+            reasons = chain_unsupported_reasons(net, self.sinks)
+            if reasons:
+                raise SimulationError(
+                    f"engine='codegen' cannot run net {net.name!r}: "
+                    + "; ".join(reasons)
+                )
+        if engine in ("auto", "codegen"):
+            spec = chain_spec(net, self.sinks)
+            if spec is not None:
+                self._codegen = _CodegenRunner(spec)
+        self.engine = "codegen" if self._codegen is not None else "columnar"
+        #: Per-engine item counters, surfaced in reports and benches.
+        self.items_codegen = 0
+        self.items_columnar = 0
+        self._place_index = self.compiled.place_index
+
+    def evaluate(
+        self, items: Sequence[Sequence[Any]], *, collect: bool = False
+    ) -> list[BatchItemResult]:
+        """Run every item; one :class:`BatchItemResult` per item, in
+        input order.  ``collect=True`` additionally records completion
+        times and fired counts (the differential harness's observables).
+        """
+        results = []
+        codegen = self._codegen
+        entry = codegen.spec.entry if codegen is not None else None
+        place_index = self._place_index
+        for injections in items:
+            norm = _normalize(injections)
+            for place, _, _ in norm:
+                if place not in place_index:
+                    raise SimulationError(f"unknown place {place!r}")
+            if codegen is not None and all(
+                p == entry and not isinstance(payload, Token)
+                for p, payload, _ in norm
+            ):
+                pairs = sorted(
+                    ((payload, at) for _, payload, at in norm),
+                    key=lambda e: e[1],
+                )
+                try:
+                    results.append(codegen.run_item(pairs, collect))
+                    self.items_codegen += 1
+                    continue
+                except _ZeroDelayBailout:
+                    pass  # re-run this item on the event loop
+            results.append(
+                self._columnar.run_item(
+                    [(place_index[p], payload, at) for p, payload, at in norm],
+                    collect,
+                )
+            )
+            self.items_columnar += 1
+        return results
+
+    def evaluate_makespans(self, items: Sequence[Sequence[Any]]) -> list[float]:
+        """Makespan per item — the latency-interface fast path."""
+        return [r.makespan for r in self.evaluate(items)]

@@ -1,4 +1,4 @@
-"""Differential testing: reference ``Simulator`` vs ``CompiledSimulator``.
+"""Differential testing: reference vs compiled vs batched engines.
 
 The compiled engine (:mod:`repro.petri.compiled`) promises *bit-identical*
 ``SimResult``s to the reference interpreter on every net it supports.  This
@@ -8,7 +8,14 @@ times and payloads, fired counts, deadlock/deadline flags, residual markings,
 per-transition statistics, and even the type and message of any raised
 error — matches exactly.
 
-Two case families are provided:
+The batch engines (:mod:`repro.petri.batched`) make the same promise *per
+item*: evaluating a matrix of workloads must give, for every item, exactly
+what a tracing-disabled :class:`CompiledSimulator` gives when run on that
+item in isolation.  :func:`compare_batch_engines` asserts it for both batch
+engines (the chain-recurrence codegen where the net supports it, the
+columnar event loop always).
+
+Case families:
 
 * :func:`accel_cases` — the real accelerator nets shipped in
   ``src/repro/accel/*/interfaces.py`` (JPEG decoder, VTA, bitcoin miner),
@@ -16,6 +23,10 @@ Two case families are provided:
 * :func:`random_cases` — seeded, randomly generated structural nets that
   exercise the engine features accelerator nets may not (weighted arcs,
   fan-out/merge, guard splits, timeouts, finite capacities, deadlocks).
+* :func:`batch_cases` — batched-vs-compiled matrices over every
+  accelerator net, seeded random chains (codegen coverage), the random
+  structural nets above (columnar coverage), and hand-picked edge items
+  (zero/negative callable delays, empty items, mid-chain injections).
 
 Run as a script for the CI parity smoke job::
 
@@ -29,6 +40,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
+from .batched import BatchEvaluator, BatchItemResult, codegen_supported
 from .compiled import CompiledSimulator, unsupported_features
 from .errors import PetriError
 from .net import PetriNet
@@ -325,6 +337,333 @@ def edge_cases() -> list[DiffCase]:
 
 
 # ----------------------------------------------------------------------
+# Batched-engine parity
+# ----------------------------------------------------------------------
+
+#: One batch item: injections as ``(place, payload, at)`` triples.
+BatchItem = list[tuple[str, Any, float]]
+
+#: A batch builder returns a fresh ``(net, sinks)`` pair on every call.
+BatchBuilder = Callable[[], tuple[PetriNet, Sequence[str]]]
+
+
+@dataclass
+class BatchDiffCase:
+    """One batched-vs-compiled scenario: a net builder plus an item matrix."""
+
+    name: str
+    build: BatchBuilder
+    items: list[BatchItem]
+
+
+def batch_summarize(result: BatchItemResult) -> tuple:
+    """Canonical digest of one batch item — the batched counterpart of
+    :func:`summarize`, trimmed to what a :class:`BatchItemResult`
+    carries (the batch engines never allocate ``Completion`` objects)."""
+    return (
+        result.makespan,
+        result.end_time,
+        result.counts,
+        result.first_injection,
+        result.deadlocked,
+        result.residual_tokens,
+        result.completion_times,
+        result.fired,
+    )
+
+
+def _compiled_item_digest(build: BatchBuilder, item: BatchItem) -> tuple:
+    """Tracing-disabled :class:`CompiledSimulator` baseline for one item
+    run in isolation, in :func:`batch_summarize` form (or a normalized
+    error triple — error parity is part of the batched contract)."""
+    net, sinks = build()
+    sim = CompiledSimulator(net, sinks=list(sinks))
+    try:
+        for place, payload, at in item:
+            sim.inject(place, payload, at=at)
+        result = sim.run()
+    except PetriError as exc:
+        return ("error", type(exc).__name__, str(exc))
+    times = {
+        sink: [c.time for c in result.completions.get(sink, [])] for sink in sinks
+    }
+    flat = [t for ts in times.values() for t in ts]
+    return (
+        "ok",
+        (
+            max(flat) if flat else 0.0,
+            result.end_time,
+            {sink: len(ts) for sink, ts in times.items()},
+            result.first_injection,
+            result.deadlocked,
+            result.residual_tokens,
+            times,
+            result.fired,
+        ),
+    )
+
+
+def compare_batch_engines(case: BatchDiffCase) -> dict[str, list[tuple]]:
+    """Assert every batch engine reproduces the compiled baseline on
+    *case*, item for item.
+
+    The columnar engine runs always; the codegen engine additionally
+    runs when the net is a supported chain.  When the baseline errors on
+    item *k*, the batch engine must evaluate items ``0..k-1`` cleanly
+    and then raise the identical error (type and message) on a matrix
+    that includes item *k*.  Returns ``{engine: per-item digests}``.
+    """
+    baseline = [_compiled_item_digest(case.build, item) for item in case.items]
+    first_error = next((i for i, d in enumerate(baseline) if d[0] == "error"), None)
+    ok_until = first_error if first_error is not None else len(case.items)
+    net, sinks = case.build()
+    engines = ["columnar"]
+    if codegen_supported(net, list(sinks)):
+        engines.append("codegen")
+    out: dict[str, list[tuple]] = {}
+    for engine in engines:
+        net, sinks = case.build()
+        evaluator = BatchEvaluator(net, list(sinks), engine=engine)
+        results = evaluator.evaluate(case.items[:ok_until], collect=True)
+        digests = [("ok", batch_summarize(r)) for r in results]
+        for i, (want, got) in enumerate(zip(baseline[:ok_until], digests)):
+            if want != got:
+                raise EngineMismatch(
+                    f"{case.name}[item {i}] ({engine}): batch engine disagrees "
+                    f"with compiled baseline\n"
+                    f"  compiled: {want!r}\n  batched:  {got!r}"
+                )
+        if first_error is not None:
+            net, sinks = case.build()
+            evaluator = BatchEvaluator(net, list(sinks), engine=engine)
+            try:
+                evaluator.evaluate(case.items[: first_error + 1], collect=True)
+            except PetriError as exc:
+                got_err = ("error", type(exc).__name__, str(exc))
+            else:
+                got_err = ("no-error",)
+            if got_err != baseline[first_error]:
+                raise EngineMismatch(
+                    f"{case.name}[item {first_error}] ({engine}): error parity "
+                    f"failed\n"
+                    f"  compiled: {baseline[first_error]!r}\n"
+                    f"  batched:  {got_err!r}"
+                )
+        out[engine] = digests
+    return out
+
+
+def _interface_batch_case(
+    name: str, make_iface: Callable[[], Any], workload: Sequence[Any]
+) -> BatchDiffCase:
+    """Batch case driving an accelerator net through its own tokenizer,
+    one item per workload element — the matrix ``evaluate_batch`` sees."""
+    iface = make_iface()
+    items = [
+        [(inj.place, inj.payload, inj.at) for inj in iface.tokenize(w)]
+        for w in workload
+    ]
+
+    def build() -> tuple[PetriNet, Sequence[str]]:
+        fresh = make_iface()
+        return fresh.net, [fresh.sink]
+
+    return BatchDiffCase(name, build, items)
+
+
+def accel_batch_cases() -> list[BatchDiffCase]:
+    """A batched workload matrix per accelerator Petri net — every net
+    shipped in ``src/repro/accel/*/interfaces.py``."""
+    from repro.accel.bitcoin import interfaces as btc
+    from repro.accel.bitcoin.workload import random_jobs
+    from repro.accel.jpeg import interfaces as jpeg
+    from repro.accel.jpeg.workload import random_images
+    from repro.accel.optimusprime import interfaces as optimus
+    from repro.accel.protoacc import formats
+    from repro.accel.protoacc import interfaces as protoacc
+    from repro.accel.vta import interfaces as vta
+    from repro.accel.vta.workload import random_programs
+
+    messages = list(formats.instances(seed=5).values())[:6]
+    return [
+        _interface_batch_case(
+            "jpeg",
+            jpeg.petri_interface,
+            random_images(seed=17, count=6, min_dim=16, max_dim=64),
+        ),
+        _interface_batch_case(
+            "vta", vta.petri_interface, random_programs(seed=23, count=4, max_dim=8)
+        ),
+        _interface_batch_case(
+            "bitcoin[loop=8]",
+            lambda: btc.petri_interface(8),
+            random_jobs(seed=29, count=3),
+        ),
+        _interface_batch_case("protoacc", protoacc.petri_interface, messages),
+        _interface_batch_case("optimusprime", optimus.petri_interface, messages),
+    ]
+
+
+def random_chain_case(seed: int) -> BatchDiffCase:
+    """A seeded random codegen-eligible chain plus a random item matrix.
+
+    Chains are the codegen engine's entire supported surface, so this
+    family varies exactly what matters there: depth, constant vs
+    payload-dependent delays, finite output capacities (the ring
+    recurrence), arrival gaps, and same-instant ties.
+    """
+    rng = random.Random(1_000_003 * seed + 7)
+    n_stages = rng.randint(1, 5)
+    caps = [rng.choice([None, None, 1, 2, 4]) for _ in range(n_stages)]
+    kinds = [rng.choice(["const", "payload"]) for _ in range(n_stages)]
+    consts = [rng.choice([0.25, 0.5, 1.0, 2.5]) for _ in range(n_stages)]
+    mods = [rng.randint(2, 5) for _ in range(n_stages)]
+
+    def build() -> tuple[PetriNet, Sequence[str]]:
+        net = PetriNet(f"chain{seed}")
+        net.add_place("in")
+        prev = "in"
+        for s in range(n_stages):
+            nxt = "out" if s == n_stages - 1 else f"p{s}"
+            net.add_place(nxt, capacity=None if nxt == "out" else caps[s])
+            delay = (
+                consts[s]
+                if kinds[s] == "const"
+                else _payload_delay(prev, consts[s], mods[s])
+            )
+            net.add_transition(f"t{s}", [prev], [nxt], delay=delay, servers=1)
+            prev = nxt
+        return net, ["out"]
+
+    items = []
+    for _ in range(rng.randint(2, 5)):
+        n = rng.randint(3, 25)
+        gap = rng.choice([0.0, 0.5, 1.0])
+        start = rng.choice([0.0, 2.0])
+        items.append([("in", k, start + k * gap) for k in range(n)])
+    return BatchDiffCase(f"chain[{seed}]", build, items)
+
+
+def random_structural_batch_case(seed: int) -> BatchDiffCase:
+    """The :func:`random_net` structural family, batched.
+
+    Guards, weighted arcs, timeouts, multi-server stages and deadlocks
+    all route to the columnar engine (codegen rejects them), so this is
+    the columnar engine's parity coverage."""
+
+    def build() -> tuple[PetriNet, Sequence[str]]:
+        net, sinks, _ = random_net(seed)
+        return net, sinks
+
+    rng = random.Random(seed + 777)
+    items = []
+    for _ in range(rng.randint(2, 4)):
+        n = rng.randint(5, 30)
+        gap = rng.choice([0.0, 0.25, 1.0])
+        start = rng.choice([0.0, 5.0])
+        items.append([("in", k, start + k * gap) for k in range(n)])
+    return BatchDiffCase(f"rand-batch[{seed}]", build, items)
+
+
+def edge_batch_cases() -> list[BatchDiffCase]:
+    """Hand-picked batch scenarios: codegen bailouts, per-item error
+    parity, empty items, and mid-chain injections."""
+
+    def chain2() -> tuple[PetriNet, Sequence[str]]:
+        net = PetriNet("edge-chain")
+        net.add_place("in")
+        net.add_place("mid", capacity=2)
+        net.add_place("out")
+        net.add_transition("a", ["in"], ["mid"], delay=1.5, servers=1)
+        net.add_transition(
+            "b", ["mid"], ["out"], delay=_payload_delay("mid", 0.5, 3), servers=1
+        )
+        return net, ["out"]
+
+    def zero_delay() -> tuple[PetriNet, Sequence[str]]:
+        net = PetriNet("edge-zero")
+        net.add_place("in")
+        net.add_place("out")
+        net.add_transition(
+            "t",
+            ["in"],
+            ["out"],
+            delay=lambda c: float(c["in"][0].payload % 2),
+            servers=1,
+        )
+        return net, ["out"]
+
+    def negative_delay() -> tuple[PetriNet, Sequence[str]]:
+        net = PetriNet("edge-negative")
+        net.add_place("in")
+        net.add_place("out")
+        net.add_transition("t", ["in"], ["out"], delay=lambda c: -1.0, servers=1)
+        return net, ["out"]
+
+    return [
+        # Mixed matrix: plain items, an empty item, same-instant ties.
+        BatchDiffCase(
+            "edge[mixed]",
+            chain2,
+            [
+                [("in", k, 0.5 * k) for k in range(10)],
+                [],
+                [("in", k, 0.0) for k in range(6)],
+            ],
+        ),
+        # Mid-chain injection: codegen must hand that item to columnar.
+        BatchDiffCase(
+            "edge[mid-place]",
+            chain2,
+            [
+                [("in", k, float(k)) for k in range(5)],
+                [("in", 0, 0.0), ("mid", 1, 0.0), ("in", 2, 1.0)],
+            ],
+        ),
+        # Even payloads make the callable delay return 0.0: codegen bails
+        # out on those items and the columnar rerun must still match.
+        BatchDiffCase(
+            "edge[zero-delay-bailout]",
+            zero_delay,
+            [
+                [("in", 1, 0.0), ("in", 3, 1.0)],
+                [("in", 2, 0.0), ("in", 1, 0.5)],
+            ],
+        ),
+        # Error parity: identical DefinitionError type and message.
+        BatchDiffCase(
+            "edge[negative-delay]",
+            negative_delay,
+            [[("in", 1, 0.0)], [("in", 0, 1.0)]],
+        ),
+        # Error parity: injections cannot be scheduled in the past.
+        BatchDiffCase(
+            "edge[negative-at]",
+            chain2,
+            [[("in", 0, 1.0)], [("in", 1, -2.0)]],
+        ),
+    ]
+
+
+def batch_cases() -> list[BatchDiffCase]:
+    """Every batched parity case: accelerator matrices, random chains
+    (codegen), random structural nets (columnar), and edge scenarios."""
+    cases = accel_batch_cases() + edge_batch_cases()
+    cases += [random_chain_case(k) for k in range(12)]
+    cases += [random_structural_batch_case(500 + k) for k in range(8)]
+    return cases
+
+
+def run_batch_differential(
+    cases: Sequence[BatchDiffCase],
+) -> dict[str, dict[str, list[tuple]]]:
+    """Run every batch case through every applicable batch engine;
+    return ``{name: {engine: digests}}``.  Raises
+    :class:`EngineMismatch` on the first per-item disagreement."""
+    return {case.name: compare_batch_engines(case) for case in cases}
+
+
+# ----------------------------------------------------------------------
 # Harness entry points
 # ----------------------------------------------------------------------
 
@@ -378,6 +717,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"engine parity OK: {len(digests)} cases "
         f"({len(accel)} accelerator, {len(cases) - len(accel)} structural; "
         f"{ok_errors} raised identical errors in both engines{suffix})"
+    )
+
+    bcases = batch_cases()
+    bresults = run_batch_differential(bcases)
+    n_items = sum(len(case.items) for case in bcases)
+    n_codegen = sum(1 for engines in bresults.values() if "codegen" in engines)
+    print(
+        f"batched parity OK: {len(bcases)} matrices / {n_items} items vs the "
+        f"tracing-disabled compiled baseline "
+        f"({n_codegen} matrices also ran the codegen engine)"
     )
     return 0
 

@@ -133,6 +133,25 @@ class PooledDevice(Generic[RequestT, ResponseT]):
         )
         return self.busy_until(now) + self.price_interface.latency(request) + overhead
 
+    def price_batch(self, requests: Sequence[RequestT], now: float) -> list[float]:
+        """Predicted completion time for every request, priced as a batch.
+
+        Same numbers as ``[self.price(r, now) for r in requests]`` — the
+        interface's ``evaluate_batch`` is bit-identical to its per-item
+        path — but the service predictions come from one engine pass
+        (and, with a cache attached, one batched lookup), which is what
+        makes scoring a large candidate matrix against the whole pool
+        affordable.
+        """
+        start = self.busy_until(now)
+        latencies = self.price_interface.evaluate_batch(requests)
+        if self.device.invocation_overhead is not None:
+            return [
+                start + lat + self.device.invocation_overhead(request)
+                for lat, request in zip(latencies, requests)
+            ]
+        return [start + lat for lat in latencies]
+
     def serve(self, request: RequestT, now: float) -> CallRecord[RequestT, ResponseT]:
         """Run the request through the device's full serving loop,
         starting no earlier than ``now`` (joins the device's FIFO)."""
@@ -403,6 +422,21 @@ class DevicePool(Generic[RequestT, ResponseT]):
                 "pool_request_cycles", policy=self.policy.name
             ).observe(t - now)
         return result
+
+    def price_matrix(
+        self, requests: Sequence[RequestT], now: float
+    ) -> dict[str, list[float]]:
+        """Interface-predicted completion time of every request on every
+        currently-admitting device — the scoring table capacity planners
+        and hedging analyses read.  Each row is one batched interface
+        pass (see :meth:`PooledDevice.price_batch`), so a 1000-request
+        matrix over a heterogeneous pool costs a handful of engine
+        passes instead of ``len(requests) * len(devices)`` simulations.
+        """
+        return {
+            d.name: d.price_batch(requests, now)
+            for d in self.available_devices(now)
+        }
 
     # ------------------------------------------------------------------
     # Introspection

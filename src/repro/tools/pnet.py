@@ -18,7 +18,10 @@ then need tooling to inspect and run what they received.  Subcommands:
 * ``simulate FILE --items N [--payload JSON] [--gap G] [--engine E]``
   (alias: ``run``) — inject a workload and report latency/throughput
   statistics; ``--engine`` picks the compiled fast path, the reference
-  interpreter, or automatic selection (see ``docs/performance.md``).
+  interpreter, automatic selection, or ``batched`` (the whole-matrix
+  engines — see ``docs/performance.md``).  ``--batch FILE.jsonl``
+  evaluates one workload item per line (each line a JSON features
+  dict used as that item's token payload) in a single batch pass.
 
 Examples::
 
@@ -27,6 +30,8 @@ Examples::
     python -m repro.tools.pnet dot iface.pnet > iface.dot
     python -m repro.tools.pnet simulate iface.pnet --items 100 \
         --payload '{"bytes": 32, "nnz": 10, "i": 0, "wr": true}'
+    python -m repro.tools.pnet run iface.pnet --items 20 --gap 2 \
+        --batch sweep.jsonl --engine batched
 """
 
 from __future__ import annotations
@@ -34,12 +39,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.hw.stats import Summary
 from repro.petri import (
     ENGINES,
+    BatchEvaluator,
     DslError,
+    SimulationError,
     analyze_structure,
     find_cycles,
     make_simulator,
@@ -212,6 +220,63 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return worst
 
 
+def _read_batch_file(path: str) -> list | None:
+    """One JSON features-dict per line -> one workload item per line."""
+    payloads = []
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError as exc:
+        print(f"error: cannot read batch file: {exc}", file=sys.stderr)
+        return None
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payloads.append(json.loads(line))
+        except ValueError as exc:
+            print(f"error: {path}:{lineno}: invalid JSON ({exc})", file=sys.stderr)
+            return None
+    if not payloads:
+        print(f"error: batch file {path} has no items", file=sys.stderr)
+        return None
+    return payloads
+
+
+def cmd_batched(args: argparse.Namespace, net, payloads: list) -> int:
+    """Evaluate a matrix of workload items in one batch pass."""
+    items = [
+        [(args.entry, payload, k * args.gap) for k in range(args.items)]
+        for payload in payloads
+    ]
+    try:
+        evaluator = BatchEvaluator(net, (args.sink,))
+    except SimulationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    start = time.perf_counter()
+    try:
+        results = evaluator.evaluate(items)
+    except Exception as exc:  # engine errors carry the offending detail
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    deadlocked = sum(r.deadlocked for r in results)
+    print(f"items: {len(results)} x {args.items} tokens")
+    print(
+        f"batch engine: {evaluator.engine} "
+        f"(codegen={evaluator.items_codegen}, "
+        f"columnar={evaluator.items_columnar})"
+    )
+    print(f"makespan (cycles): {Summary.of([r.makespan for r in results])}")
+    rate = len(results) / elapsed if elapsed > 0 else float("inf")
+    print(f"wall: {elapsed * 1e3:.1f} ms ({rate:,.0f} items/sec)")
+    if deadlocked:
+        print(f"DEADLOCK in {deadlocked}/{len(results)} items", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     net = _load(args.file)
     payload = json.loads(args.payload) if args.payload else None
@@ -221,6 +286,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.sink not in net.places:
         print(f"error: sink place {args.sink!r} not in net", file=sys.stderr)
         return 1
+    if args.batch is not None or args.engine == "batched":
+        if args.batch is not None:
+            payloads = _read_batch_file(args.batch)
+            if payloads is None:
+                return 1
+        else:
+            payloads = [payload]
+        return cmd_batched(args, net, payloads)
     sim = make_simulator(net, sinks=(args.sink,), engine=args.engine)
     sim.inject_stream(args.entry, [payload] * args.items, gap=args.gap)
     result = sim.run()
@@ -322,10 +395,19 @@ def build_parser() -> argparse.ArgumentParser:
         p_sim.add_argument(
             "--engine",
             default=None,
-            choices=list(ENGINES),
+            choices=[*ENGINES, "batched"],
             help="simulation engine (default: REPRO_PETRI_ENGINE or auto; "
             "auto compiles when the net is supported, else falls back to "
-            "the reference interpreter)",
+            "the reference interpreter; batched evaluates the workload "
+            "through the whole-matrix engines, honoring "
+            "REPRO_PETRI_BATCH_ENGINE)",
+        )
+        p_sim.add_argument(
+            "--batch",
+            metavar="FILE.jsonl",
+            help="evaluate one workload item per line of FILE (each line "
+            "a JSON features dict used as that item's token payload) in "
+            "a single batch pass; implies --engine batched",
         )
         p_sim.set_defaults(fn=cmd_simulate)
     return parser

@@ -46,3 +46,69 @@ def test_results_identical_across_modes():
 def test_default_workers_is_cpu_count():
     runner = SweepRunner()
     assert runner.workers >= 1
+
+
+# ----------------------------------------------------------------------
+# Batched mode
+# ----------------------------------------------------------------------
+
+
+def test_batch_fn_runs_in_process_and_sets_mode():
+    runner = SweepRunner(workers=4, min_parallel_items=2)
+    points = list(range(25))
+    out = runner.map(square, points, batch_fn=lambda xs: [x * x for x in xs])
+    assert out == [x * x for x in points]
+    assert runner.last_mode == "batched"
+
+
+def test_batch_fn_length_mismatch_is_an_error():
+    import pytest
+
+    runner = SweepRunner(workers=1)
+    with pytest.raises(ValueError, match="batch_fn returned"):
+        runner.map(square, range(5), batch_fn=lambda xs: [1.0])
+
+
+def test_batched_mode_is_counted_in_metrics():
+    from repro.obs import MetricsRegistry, Obs
+
+    obs = Obs(metrics=MetricsRegistry())
+    runner = SweepRunner(workers=2, obs=obs)
+    runner.map(square, range(7), batch_fn=lambda xs: [x * x for x in xs])
+    assert obs.metrics.counter("sweep_maps_total", mode="batched").value == 1
+    assert obs.metrics.counter("sweep_points_total", mode="batched").value == 7
+
+
+def test_small_sweep_batched_beats_process_pool():
+    """The regression the batched mode exists for: on a small sweep the
+    pool's startup cost dwarfs the work, while the batch path answers
+    from one in-process engine pass."""
+    import time
+
+    from repro.accel.jpeg import interfaces as jpeg
+    from repro.accel.jpeg.workload import random_images
+
+    images = random_images(seed=51, count=32, min_dim=16, max_dim=48)
+    iface = jpeg.petri_interface()
+
+    runner = SweepRunner(workers=2, min_parallel_items=2)
+    t0 = time.perf_counter()
+    batched = runner.map(iface.latency, images, batch_fn=iface.evaluate_batch)
+    batched_seconds = time.perf_counter() - t0
+    assert runner.last_mode == "batched"
+
+    t0 = time.perf_counter()
+    fanned = runner.map(_pool_latency, images)
+    fanned_seconds = time.perf_counter() - t0
+    assert runner.last_mode in ("parallel", "serial-fallback")
+
+    assert batched == fanned
+    assert batched_seconds < fanned_seconds
+
+
+def _pool_latency(img):
+    # Module-level so the pool can pickle it; builds the interface in the
+    # worker exactly like a naive fan-out would.
+    from repro.accel.jpeg import interfaces as jpeg
+
+    return jpeg.petri_interface().latency(img)

@@ -1,0 +1,224 @@
+"""Batch engines: chain detection, routing, and per-item compiled parity.
+
+The parity sections drive ``repro.petri.differential``'s batched case
+families — the same harness the CI engine-parity job runs — so a local
+``pytest`` failure and a CI failure point at the same digest diff.
+"""
+
+import pytest
+
+from repro.petri import (
+    BatchEvaluator,
+    CompiledNet,
+    CompiledSimulator,
+    PetriNet,
+    chain_spec,
+    chain_unsupported_reasons,
+    codegen_supported,
+    default_batch_engine,
+    parse,
+)
+from repro.petri.batched import BATCH_ENGINE_ENV_VAR
+from repro.petri.differential import (
+    accel_batch_cases,
+    batch_cases,
+    compare_batch_engines,
+    edge_batch_cases,
+    random_chain_case,
+    random_structural_batch_case,
+)
+from repro.petri.errors import SimulationError
+
+CHAIN_PNET = """\
+net chain
+
+place in
+place mid capacity 3
+place out
+
+transition a
+  consume in
+  produce mid
+  delay expr: 1 + tok["x"] % 3
+
+transition b
+  consume mid
+  produce out
+  delay 2
+"""
+
+
+def chain_net():
+    return parse(CHAIN_PNET)
+
+
+def items_for(n_items, per_item=8):
+    return [
+        [("in", {"x": i * per_item + k}, 0.5 * k) for k in range(per_item)]
+        for i in range(n_items)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Chain detection
+# ----------------------------------------------------------------------
+
+
+def test_dsl_chain_is_codegen_supported():
+    net = chain_net()
+    assert chain_unsupported_reasons(net, ["out"]) == []
+    assert codegen_supported(net, ["out"])
+    spec = chain_spec(net, ["out"])
+    assert spec.stage_names == ("a", "b")
+    assert spec.out_caps == (3, None)
+    # The DSL expr delay is inlinable; the constant stage has no fn.
+    assert spec.delay_srcs[0] is not None
+    assert spec.delay_fns[1] is None
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda n: setattr(n.transitions["a"], "servers", 2), "single-server"),
+        (lambda n: setattr(n.transitions["a"], "servers", None), "single-server"),
+        (lambda n: setattr(n.transitions["b"], "delay", 0.0), "non-positive"),
+        (
+            lambda n: setattr(n.transitions["a"], "guard", lambda c: True),
+            "guard",
+        ),
+        (
+            lambda n: setattr(n.transitions["b"], "timeout", (4.0, "mid")),
+            "timeout",
+        ),
+    ],
+)
+def test_non_chain_features_are_rejected(mutate, fragment):
+    net = chain_net()
+    mutate(net)
+    reasons = chain_unsupported_reasons(net, ["out"])
+    assert reasons and any(fragment in r for r in reasons)
+    assert chain_spec(net, ["out"]) is None
+
+
+def test_fan_out_topology_is_rejected():
+    net = PetriNet("fan")
+    net.add_place("in")
+    net.add_place("a")
+    net.add_place("out")
+    net.add_transition("t1", ["in"], ["a"], delay=1, servers=1)
+    net.add_transition("t2", ["in"], ["out"], delay=1, servers=1)
+    assert not codegen_supported(net, ["out"])
+
+
+# ----------------------------------------------------------------------
+# BatchEvaluator facade
+# ----------------------------------------------------------------------
+
+
+def test_auto_engine_picks_codegen_for_chains(monkeypatch):
+    monkeypatch.delenv(BATCH_ENGINE_ENV_VAR, raising=False)
+    ev = BatchEvaluator(chain_net(), ["out"])
+    assert ev.engine == "codegen"
+    ev.evaluate(items_for(3))
+    assert ev.items_codegen == 3 and ev.items_columnar == 0
+
+
+def test_forced_columnar_never_uses_codegen():
+    ev = BatchEvaluator(chain_net(), ["out"], engine="columnar")
+    assert ev.engine == "columnar"
+    ev.evaluate(items_for(2))
+    assert ev.items_codegen == 0 and ev.items_columnar == 2
+
+
+def test_forced_codegen_rejects_non_chain_nets():
+    net = chain_net()
+    net.transitions["a"].servers = 4
+    with pytest.raises(SimulationError, match="codegen"):
+        BatchEvaluator(net, ["out"], engine="codegen")
+
+
+def test_unknown_engine_and_place_raise():
+    with pytest.raises(ValueError, match="unknown batch engine"):
+        BatchEvaluator(chain_net(), ["out"], engine="warp")
+    ev = BatchEvaluator(chain_net(), ["out"])
+    with pytest.raises(SimulationError, match="unknown place"):
+        ev.evaluate([[("nowhere", {"x": 1}, 0.0)]])
+
+
+def test_empty_batch_and_empty_item():
+    ev = BatchEvaluator(chain_net(), ["out"])
+    assert ev.evaluate([]) == []
+    [res] = ev.evaluate([[]])
+    assert res.makespan == 0.0 and res.total_completions == 0
+
+
+def test_shared_compiled_net_must_belong_to_the_net():
+    net = chain_net()
+    other = chain_net()
+    with pytest.raises(SimulationError, match="different net"):
+        BatchEvaluator(net, ["out"], compiled=CompiledNet(other))
+
+
+def test_evaluate_makespans_matches_per_item_compiled_runs():
+    items = items_for(4)
+    got = BatchEvaluator(chain_net(), ["out"]).evaluate_makespans(items)
+    want = []
+    for item in items:
+        sim = CompiledSimulator(chain_net(), sinks=["out"])
+        for place, payload, at in item:
+            sim.inject(place, payload, at=at)
+        want.append(sim.run().makespan())
+    assert got == want  # bit-identical, not approx
+
+
+def test_env_var_forces_batch_engine(monkeypatch):
+    monkeypatch.setenv(BATCH_ENGINE_ENV_VAR, "columnar")
+    assert default_batch_engine() == "columnar"
+    assert BatchEvaluator(chain_net(), ["out"]).engine == "columnar"
+    monkeypatch.setenv(BATCH_ENGINE_ENV_VAR, "warp-drive")
+    with pytest.raises(ValueError, match=BATCH_ENGINE_ENV_VAR):
+        default_batch_engine()
+
+
+# ----------------------------------------------------------------------
+# Differential parity vs the compiled engine (the contract)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", accel_batch_cases(), ids=lambda c: c.name)
+def test_accelerator_batch_parity(case):
+    digests = compare_batch_engines(case)
+    assert "columnar" in digests
+    for per_item in digests.values():
+        assert all(d[0] == "ok" for d in per_item)
+
+
+def test_chain_shaped_accelerators_exercise_codegen():
+    by_name = {c.name: compare_batch_engines(c) for c in accel_batch_cases()}
+    codegen_nets = {n for n, d in by_name.items() if "codegen" in d}
+    # The acceptance bar: at least two real accelerator nets run the
+    # codegen engine with proven per-item equality.
+    assert {"jpeg", "optimusprime"} <= codegen_nets
+
+
+@pytest.mark.parametrize("case", edge_batch_cases(), ids=lambda c: c.name)
+def test_edge_batch_parity(case):
+    compare_batch_engines(case)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_chain_batch_parity(seed):
+    case = random_chain_case(seed)
+    digests = compare_batch_engines(case)
+    assert "codegen" in digests  # the family must exercise codegen
+
+
+@pytest.mark.parametrize("seed", [500, 501, 502, 503])
+def test_random_structural_batch_parity(seed):
+    compare_batch_engines(random_structural_batch_case(seed))
+
+
+def test_batch_case_family_is_reproducible():
+    a = [(c.name, c.items) for c in batch_cases()]
+    b = [(c.name, c.items) for c in batch_cases()]
+    assert a == b

@@ -112,6 +112,85 @@ transition t
         assert "completions: 8" in capsys.readouterr().out
 
 
+EXPR_CHAIN = """
+net p
+place in
+place out
+transition t
+  consume in
+  produce out
+  delay expr: tok["n"] * 2
+"""
+
+
+class TestBatched:
+    def test_batch_file_runs_the_batch_engine(self, pnet_file, tmp_path, capsys):
+        batch = tmp_path / "sweep.jsonl"
+        batch.write_text('{"n": 1}\n{"n": 2}\n\n{"n": 7}\n')  # blank line skipped
+        rc = main(["run", pnet_file(EXPR_CHAIN), "--items", "3", "--batch", str(batch)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "items: 3 x 3 tokens" in out
+        assert "batch engine: codegen" in out
+        assert "items/sec" in out
+
+    def test_engine_batched_without_batch_file_uses_payload(self, pnet_file, capsys):
+        rc = main(
+            [
+                "run",
+                pnet_file(EXPR_CHAIN),
+                "--items",
+                "1",
+                "--payload",
+                '{"n": 21}',
+                "--engine",
+                "batched",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "items: 1 x 1 tokens" in out
+        assert "mean=42.000" in out
+
+    def test_batched_makespans_match_the_per_item_engine(self, pnet_file, capsys):
+        path = pnet_file(EXPR_CHAIN)
+        assert main(["run", path, "--items", "4", "--payload", '{"n": 3}']) == 0
+        per_item = capsys.readouterr().out
+        args = ["--items", "4", "--payload", '{"n": 3}', "--engine", "batched"]
+        assert main(["run", path, *args]) == 0
+        batched = capsys.readouterr().out
+        # Per-item mode prints "makespan: 24.0"; batched summarizes the
+        # same value as "... mean=24.000 ...". Compare the numbers.
+        per_line = next(ln for ln in per_item.splitlines() if "makespan" in ln)
+        want = float(per_line.split(":")[1].split()[0])
+        batch_line = next(ln for ln in batched.splitlines() if "makespan" in ln)
+        mean = float(batch_line.split("mean=")[1].split()[0])
+        assert mean == want
+
+    def test_invalid_json_line_is_reported_with_line_number(
+        self, pnet_file, tmp_path, capsys
+    ):
+        batch = tmp_path / "bad.jsonl"
+        batch.write_text('{"n": 1}\nnot json\n')
+        rc = main(["run", pnet_file(EXPR_CHAIN), "--batch", str(batch)])
+        assert rc == 1
+        assert "bad.jsonl:2: invalid JSON" in capsys.readouterr().err
+
+    def test_empty_batch_file_is_an_error(self, pnet_file, tmp_path, capsys):
+        batch = tmp_path / "empty.jsonl"
+        batch.write_text("\n\n")
+        rc = main(["run", pnet_file(EXPR_CHAIN), "--batch", str(batch)])
+        assert rc == 1
+        assert "no items" in capsys.readouterr().err
+
+    def test_deadlock_in_batch_exits_nonzero(self, pnet_file, tmp_path, capsys):
+        batch = tmp_path / "one.jsonl"
+        batch.write_text("{}\n")
+        rc = main(["run", pnet_file(DEADLOCKING), "--items", "2", "--batch", str(batch)])
+        assert rc == 1
+        assert "DEADLOCK" in capsys.readouterr().err
+
+
 class TestVerify:
     def test_all_shipped_bundles_verify(self, capsys):
         assert main(["verify"]) == 0
