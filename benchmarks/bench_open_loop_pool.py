@@ -47,14 +47,14 @@ from repro.runtime import (
 from repro.runtime.pool import ROUTING_POLICIES, rpc_pool
 from repro.workloads import ENTERPRISE_MIX
 
-from conftest import scale
+from conftest import bench_seed, scale
 
 N_REQUESTS = scale(400, minimum=120)
 #: Mean inter-arrival gaps (cycles): light load → past the knee.
 GAPS = (2_000.0, 600.0, 250.0)
 QUEUE_LIMIT = 48
 DEADLINE = 60_000.0
-SEED = 17
+SEED = bench_seed(17)
 
 
 def run_serving(policy, faults, msgs, arrivals, cache=None, obs=None):

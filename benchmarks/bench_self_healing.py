@@ -41,14 +41,14 @@ from __future__ import annotations
 
 from repro.heal import HealPhase, run_heal_scenario
 
-from conftest import scale
+from conftest import bench_seed, scale
 
 #: 320 requests is the floor for a complete cycle (detect + refit +
 #: 10-sample shadow + 12-sample probation all need post-shift traffic).
 N_REQUESTS = scale(420, minimum=320)
 SLOWDOWN = 5.0
 SHIFT_FRACTION = 0.3
-SEED = 7
+SEED = bench_seed(7)
 
 
 def test_self_healing(benchmark, report):

@@ -26,6 +26,29 @@ def scale(n: int, minimum: int = 5) -> int:
     return max(minimum, int(n * factor))
 
 
+def bench_seed(default: int) -> int:
+    """The benchmark's base seed, overridable with ``--seed N`` (or
+    ``REPRO_BENCH_SEED``) to check a claim is not a seed artifact."""
+    return int(os.environ.get("REPRO_BENCH_SEED", default))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed",
+        type=int,
+        default=None,
+        help="override every benchmark's base seed (robustness sweeps)",
+    )
+
+
+def pytest_configure(config):
+    seed = config.getoption("--seed", default=None)
+    if seed is not None:
+        # Via the environment so module-level SEED constants (resolved
+        # at import, before fixtures exist) see the override too.
+        os.environ["REPRO_BENCH_SEED"] = str(seed)
+
+
 @pytest.fixture(scope="session")
 def report():
     """Writer fixture: report(exp_id, text) persists and echoes a table."""

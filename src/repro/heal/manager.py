@@ -461,6 +461,21 @@ class HealingManager:
     def state(self, device: str, rpc_class: str) -> KeyState | None:
         return self._keys.get((device, rpc_class))
 
+    def busy_devices(self) -> set[str]:
+        """Devices with any size-class mid-heal (shadowing, probation,
+        or quarantined).  The autoscaler must not scale these in: a
+        refit in flight needs the device's live traffic to validate
+        against, and a quarantine means its pricing is already suspect —
+        removing it would erase the evidence the heal needs."""
+        busy = {
+            HealPhase.SHADOWING,
+            HealPhase.PROBATION,
+            HealPhase.QUARANTINED,
+        }
+        return {
+            device for (device, _), s in self._keys.items() if s.phase in busy
+        }
+
     def routed_interface(self, device: str) -> ClassRoutedInterface:
         return self._routed[device]
 

@@ -37,20 +37,35 @@ from .faults import (
     FaultPlan,
     FaultSpec,
     ScriptedFaultPlan,
+    WindowedFaultPlan,
     dram_storm_latency,
     pipeline_stalls,
 )
 from .pool import (
     ROUTING_POLICIES,
+    RPC_DEVICE_COSTS,
+    RPC_DEVICE_KINDS,
     DevicePool,
     PooledDevice,
     PoolResult,
     RoutingPolicy,
     make_routing_policy,
+    rpc_device,
     rpc_pool,
 )
 from .retry import RetryPolicy
-from .serving import OpenLoopServer, Rejection, RequestBreakdown, ServeResult
+from .serving import (
+    DEFAULT_PRIORITY,
+    REASON_ADMISSION_REJECTED,
+    REASON_DEADLINE_EXCEEDED,
+    REASON_PRIORITY_SHED,
+    REASON_QUEUE_FULL,
+    REJECTION_REASONS,
+    OpenLoopServer,
+    Rejection,
+    RequestBreakdown,
+    ServeResult,
+)
 from .tape import (
     JSON_CODEC,
     ResilientOffloadEstimate,
@@ -68,8 +83,16 @@ from .watchdog import Watchdog, WatchdogTimeout
 
 __all__ = [
     "DEFAULT_DRIFT_THRESHOLD",
+    "DEFAULT_PRIORITY",
     "JSON_CODEC",
+    "REASON_ADMISSION_REJECTED",
+    "REASON_DEADLINE_EXCEEDED",
+    "REASON_PRIORITY_SHED",
+    "REASON_QUEUE_FULL",
+    "REJECTION_REASONS",
     "ROUTING_POLICIES",
+    "RPC_DEVICE_COSTS",
+    "RPC_DEVICE_KINDS",
     "BreakerConfig",
     "BreakerState",
     "BreakerTransition",
@@ -98,6 +121,7 @@ __all__ = [
     "TapeCodec",
     "Watchdog",
     "WatchdogTimeout",
+    "WindowedFaultPlan",
     "derive_drift_threshold",
     "dram_storm_latency",
     "load_tape",
@@ -106,6 +130,7 @@ __all__ = [
     "protoacc_message_codec",
     "replay_saved_tape",
     "rpc_cpu_fallback",
+    "rpc_device",
     "save_tape",
     "tape_header",
     "tape_stats",

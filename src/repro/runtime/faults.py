@@ -193,6 +193,46 @@ class ScriptedFaultPlan:
         return h.hexdigest()
 
 
+class WindowedFaultPlan:
+    """Gate an underlying fault plan to an invocation window.
+
+    Invocations in ``[start, stop)`` draw faults from ``plan`` (indexed
+    from the window's own origin, so the storm's schedule is independent
+    of when it opens); invocations outside the window are healthy.  This
+    is how a *rolling* fault storm is expressed: the device serves
+    cleanly, degrades for a bounded stretch, then recovers — the shape
+    autoscaler hysteresis and brownout descent are tested against.
+    API-compatible with :class:`FaultPlan`.
+    """
+
+    def __init__(self, plan, start: int, stop: int):
+        if start < 0 or stop < start:
+            raise ValueError("need 0 <= start <= stop")
+        self.plan = plan
+        self.start = int(start)
+        self.stop = int(stop)
+
+    def at(self, invocation: int) -> FaultEvent | None:
+        if invocation < 0:
+            raise ValueError("invocation index must be >= 0")
+        if not (self.start <= invocation < self.stop):
+            return None
+        inner = self.plan.at(invocation - self.start)
+        if inner is None:
+            return None
+        return FaultEvent(invocation, inner.kind, inner.magnitude)
+
+    def schedule(self, n: int) -> tuple[FaultEvent | None, ...]:
+        return tuple(self.at(i) for i in range(n))
+
+    def digest(self, n: int) -> str:
+        h = hashlib.sha256()
+        for event in self.schedule(n):
+            h.update(event.encode() if event is not None else b"-")
+            h.update(b"|")
+        return h.hexdigest()
+
+
 def pipeline_stalls(
     plan, n_items: int, stage: int = 0, hang_cycles: float = 100_000.0
 ) -> Mapping[tuple[int, int], float]:

@@ -106,6 +106,11 @@ class PooledDevice(Generic[RequestT, ResponseT]):
         self.contract = contract
         self.dispatched = 0
         self._completions: list[float] = []  # sorted completion times
+        #: Brownout mode (set via :meth:`DevicePool.set_coarse_pricing`):
+        #: price from the per-size-class cache instead of evaluating the
+        #: interface per request.
+        self.coarse_pricing = False
+        self._coarse_prices: dict[str, float] = {}
 
     def available(self, now: float) -> bool:
         """Would this device's breaker admit a call at ``now``?"""
@@ -125,13 +130,37 @@ class PooledDevice(Generic[RequestT, ResponseT]):
 
     def price(self, request: RequestT, now: float) -> float:
         """Predicted completion time of ``request`` on this device:
-        backlog drain + interface-predicted service + offload overhead."""
+        backlog drain + interface-predicted service + offload overhead.
+
+        Under brownout coarse pricing (:attr:`coarse_pricing`) the
+        service+overhead term comes from a per-size-class cache — the
+        first request of each class is priced exactly and every later
+        one reuses that number, so a browned-out router spends zero
+        engine cycles per decision."""
+        if self.coarse_pricing:
+            return self.busy_until(now) + self._coarse_service(request)
         overhead = (
             self.device.invocation_overhead(request)
             if self.device.invocation_overhead is not None
             else 0.0
         )
         return self.busy_until(now) + self.price_interface.latency(request) + overhead
+
+    def _coarse_service(self, request: RequestT) -> float:
+        """Cached service+overhead estimate keyed by RPC size class."""
+        from repro.obs.drift import rpc_size_class
+
+        label = rpc_size_class(request)
+        cached = self._coarse_prices.get(label)
+        if cached is None:
+            overhead = (
+                self.device.invocation_overhead(request)
+                if self.device.invocation_overhead is not None
+                else 0.0
+            )
+            cached = self.price_interface.latency(request) + overhead
+            self._coarse_prices[label] = cached
+        return cached
 
     def price_batch(self, requests: Sequence[RequestT], now: float) -> list[float]:
         """Predicted completion time for every request, priced as a batch.
@@ -273,15 +302,7 @@ class DevicePool(Generic[RequestT, ResponseT]):
         if not devices:
             raise ValueError("a pool needs at least one device")
         for d in devices:
-            contract = getattr(d, "contract", None)
-            if contract is None:
-                continue
-            problems = contract.validate()
-            if problems:
-                raise ValueError(
-                    f"device {d.name!r} registered with an invalid "
-                    f"performance contract: " + "; ".join(problems)
-                )
+            self._check_contract(d)
         self.devices = list(devices)
         self.policy = make_routing_policy(policy)
         self.cache = cache
@@ -294,6 +315,14 @@ class DevicePool(Generic[RequestT, ResponseT]):
         #: Set by :meth:`repro.heal.HealingManager.attach`; when present
         #: the lifecycle view rides along in :meth:`snapshot`.
         self.healer = None
+        #: Set by :class:`repro.scale.ScaleController`; when present the
+        #: brownout-ladder and autoscaler views ride in :meth:`snapshot`.
+        self.ladder = None
+        self.scaler = None
+        #: Brownout switch (rung 1 of the degradation ladder): when
+        #: False, a mid-flight device failure is reported as-is instead
+        #: of being re-dispatched to another device.
+        self.hedging_enabled = True
         self.results: list[PoolResult[RequestT]] = []
         #: Routing-invariant breaches (policy picked outside the
         #: admitting set, or an "admitting" device rejected at its
@@ -305,6 +334,58 @@ class DevicePool(Generic[RequestT, ResponseT]):
             if d.name == name:
                 return d
         raise KeyError(name)
+
+    @staticmethod
+    def _check_contract(pooled: PooledDevice) -> None:
+        contract = getattr(pooled, "contract", None)
+        if contract is None:
+            return
+        problems = contract.validate()
+        if problems:
+            raise ValueError(
+                f"device {pooled.name!r} registered with an invalid "
+                f"performance contract: " + "; ".join(problems)
+            )
+
+    # ------------------------------------------------------------------
+    # Membership (the autoscaler's surface)
+    # ------------------------------------------------------------------
+    def add_device(self, pooled: PooledDevice[RequestT, ResponseT]) -> None:
+        """Admit a new device to the routing set, mid-serve.
+
+        The same gates as construction apply: unique name, valid
+        performance contract.  The next dispatch can route to it."""
+        if any(d.name == pooled.name for d in self.devices):
+            raise ValueError(f"duplicate device name {pooled.name!r}")
+        self._check_contract(pooled)
+        pooled.coarse_pricing = any(d.coarse_pricing for d in self.devices)
+        self.devices.append(pooled)
+        if self._metrics is not None:
+            self._metrics.gauge("pool_devices").set(len(self.devices))
+
+    def remove_device(self, name: str) -> PooledDevice[RequestT, ResponseT]:
+        """Retire a device from the routing set and return it.
+
+        Routing-only: the device object (clock, breaker, tape) is
+        untouched, so its records stay replayable and it can rejoin
+        later via :meth:`add_device`."""
+        if len(self.devices) == 1:
+            raise ValueError("cannot remove the last device from a pool")
+        pooled = self.device(name)
+        self.devices.remove(pooled)
+        if self._metrics is not None:
+            self._metrics.gauge("pool_devices").set(len(self.devices))
+        return pooled
+
+    def set_coarse_pricing(self, enabled: bool) -> None:
+        """Flip brownout coarse pricing on every pooled device (see
+        :meth:`PooledDevice.price`).  Re-enabling exact pricing clears
+        the caches so a later brownout re-prices from current
+        interfaces (a hot-swap may have changed them)."""
+        for d in self.devices:
+            d.coarse_pricing = enabled
+            if not enabled:
+                d._coarse_prices.clear()
 
     def available_devices(
         self, now: float, *, exclude: Sequence[str] = ()
@@ -376,6 +457,8 @@ class DevicePool(Generic[RequestT, ResponseT]):
             final_device = choice.name
             if deadline is not None and t >= deadline:
                 break  # already late: don't hedge a dead request
+            if not self.hedging_enabled:
+                break  # browned out: surface the failure, save the fleet
             hedges += 1
             if tracer is not None:
                 tracer.instant(
@@ -507,6 +590,10 @@ class DevicePool(Generic[RequestT, ResponseT]):
             }
         if self.healer is not None:
             snap["healing"] = self.healer.snapshot()
+        if self.ladder is not None:
+            snap["brownout"] = self.ladder.snapshot()
+        if self.scaler is not None:
+            snap["scaling"] = self.scaler.snapshot()
         return snap
 
 
@@ -532,6 +619,118 @@ def _accel_contracts() -> dict:
         _CONTRACT_CACHE["protoacc"] = protoacc_contract()
         _CONTRACT_CACHE["optimus-prime"] = optimus_contract()
     return _CONTRACT_CACHE
+
+
+#: Device kinds :func:`rpc_device` can build, with the relative
+#: fleet cost the capacity planner prices compositions by (arbitrary
+#: "price units" per device: the accelerator cards cost more than a
+#: software server, Protoacc more than Optimus Prime).
+RPC_DEVICE_KINDS = ("protoacc", "optimus-prime", "cpu")
+RPC_DEVICE_COSTS = {"protoacc": 3.0, "optimus-prime": 2.0, "cpu": 1.0}
+
+
+def rpc_device(
+    kind: str,
+    *,
+    name: str | None = None,
+    seed: int = 17,
+    cache=None,
+    obs=None,
+    fault_plan=None,
+    with_breaker: bool = True,
+) -> PooledDevice:
+    """Build one pooled device of the standard RPC-serialization fleet.
+
+    The single construction path shared by :func:`rpc_pool`, the
+    autoscaler's scale-out templates, and the capacity planner's
+    costing candidates — all three must price and serve identically or
+    a planned fleet would not behave like the deployed one.
+
+    ``kind`` is one of :data:`RPC_DEVICE_KINDS`.  Accelerator kinds are
+    priced through their Petri-net interfaces on the compiled engine
+    (sharing ``cache``) and carry their verified
+    :class:`~repro.lint.PerfContract`; the CPU software server is its
+    own ground truth and ships breaker-less (it always admits), so a
+    pool containing one is never without a device.
+    """
+    from repro.accel.cpu import CpuSerializerModel, offload_overhead
+    from repro.core.program import ProgramInterface
+    from repro.perf import EvalCache
+
+    from .breaker import BreakerConfig, CircuitBreaker
+    from .degrade import rpc_cpu_fallback
+    from .retry import RetryPolicy
+    from .watchdog import Watchdog
+
+    cache = cache if cache is not None else EvalCache()
+    tracer = getattr(obs, "tracer", None)
+    fallback = rpc_cpu_fallback()
+    name = name or kind
+
+    def breaker() -> CircuitBreaker | None:
+        if not with_breaker:
+            return None
+        return CircuitBreaker(
+            BreakerConfig(
+                failure_threshold=4,
+                recovery_cycles=200_000.0,
+                probe_successes=2,
+            )
+        )
+
+    if kind == "protoacc":
+        from repro.accel.protoacc import ProtoaccSerializerModel
+        from repro.accel.protoacc import petri_interface as protoacc_petri
+
+        device = ResilientDevice(
+            ProtoaccSerializerModel(tracer=tracer),
+            protoacc_petri(engine="compiled", cache=cache, tracer=tracer),
+            fallback,
+            fault_plan=fault_plan,
+            watchdog=Watchdog(budget=20_000.0),
+            retry=RetryPolicy(max_attempts=2, seed=seed),
+            breaker=breaker(),
+            invocation_overhead=offload_overhead,
+            name=name,
+            obs=obs,
+        )
+        return PooledDevice(name, device, contract=_accel_contracts()["protoacc"])
+    if kind == "optimus-prime":
+        from repro.accel.optimusprime import OptimusPrimeModel
+        from repro.accel.optimusprime import petri_interface as optimus_petri
+
+        device = ResilientDevice(
+            OptimusPrimeModel(),
+            optimus_petri(engine="compiled", cache=cache, tracer=tracer),
+            fallback,
+            fault_plan=fault_plan,
+            watchdog=Watchdog(budget=20_000.0),
+            retry=RetryPolicy(max_attempts=2, seed=seed),
+            breaker=breaker(),
+            invocation_overhead=offload_overhead,
+            name=name,
+            obs=obs,
+        )
+        return PooledDevice(
+            name, device, contract=_accel_contracts()["optimus-prime"]
+        )
+    if kind == "cpu":
+        cpu_model = CpuSerializerModel()
+        device = ResilientDevice(
+            cpu_model,
+            # Software is its own ground truth: a perfect interface.
+            ProgramInterface("xeon-sw", latency_fn=cpu_model.measure_latency),
+            fallback,
+            fault_plan=fault_plan,
+            # No faults, no breaker: the software server always admits
+            # and always answers.
+            name=name,
+            obs=obs,
+        )
+        return PooledDevice(name, device)
+    raise ValueError(
+        f"unknown device kind {kind!r} (known: {', '.join(RPC_DEVICE_KINDS)})"
+    )
 
 
 def rpc_pool(
@@ -566,86 +765,37 @@ def rpc_pool(
     registry and drift observatory ride along on each device and on
     the pool itself.
     """
-    from repro.accel.cpu import CpuSerializerModel, offload_overhead
-    from repro.accel.optimusprime import OptimusPrimeModel
-    from repro.accel.optimusprime import petri_interface as optimus_petri
-    from repro.accel.protoacc import ProtoaccSerializerModel
-    from repro.accel.protoacc import petri_interface as protoacc_petri
-
-    contracts = _accel_contracts()
-    from repro.core.program import ProgramInterface
     from repro.perf import EvalCache
 
-    from .breaker import BreakerConfig, CircuitBreaker
-    from .degrade import rpc_cpu_fallback
     from .faults import FaultPlan, FaultSpec
-    from .retry import RetryPolicy
-    from .watchdog import Watchdog
 
     if faults not in ("none", "storm"):
         raise ValueError(f"faults must be 'none' or 'storm', got {faults!r}")
     cache = cache if cache is not None else EvalCache()
-    tracer = getattr(obs, "tracer", None)
     metrics = getattr(obs, "metrics", None)
     if metrics is not None:
         cache.bind_metrics(metrics, cache="pool")
-    fallback = rpc_cpu_fallback()
-
-    def breaker() -> CircuitBreaker:
-        return CircuitBreaker(
-            BreakerConfig(
-                failure_threshold=4,
-                recovery_cycles=200_000.0,
-                probe_successes=2,
-            )
-        )
 
     storm_spec = FaultSpec(hang_rate=0.25, drop_rate=0.10, corrupt_rate=0.05)
     background_spec = FaultSpec(spike_rate=0.02, spike_scale=3.0)
 
-    protoacc = ResilientDevice(
-        ProtoaccSerializerModel(tracer=tracer),
-        protoacc_petri(engine="compiled", cache=cache, tracer=tracer),
-        fallback,
+    protoacc = rpc_device(
+        "protoacc",
+        seed=seed,
+        cache=cache,
+        obs=obs,
         fault_plan=FaultPlan(seed, storm_spec) if faults == "storm" else None,
-        watchdog=Watchdog(budget=20_000.0),
-        retry=RetryPolicy(max_attempts=2, seed=seed),
-        breaker=breaker(),
-        invocation_overhead=offload_overhead,
-        name="protoacc",
-        obs=obs,
     )
-    optimus = ResilientDevice(
-        OptimusPrimeModel(),
-        optimus_petri(engine="compiled", cache=cache, tracer=tracer),
-        fallback,
+    optimus = rpc_device(
+        "optimus-prime",
+        seed=seed + 1,
+        cache=cache,
+        obs=obs,
         fault_plan=FaultPlan(seed + 1, background_spec) if faults == "storm" else None,
-        watchdog=Watchdog(budget=20_000.0),
-        retry=RetryPolicy(max_attempts=2, seed=seed + 1),
-        breaker=breaker(),
-        invocation_overhead=offload_overhead,
-        name="optimus-prime",
-        obs=obs,
     )
-    cpu_model = CpuSerializerModel()
-    cpu = ResilientDevice(
-        cpu_model,
-        # Software is its own ground truth: a perfect interface.
-        ProgramInterface("xeon-sw", latency_fn=cpu_model.measure_latency),
-        fallback,
-        # No faults, no breaker: the software server always admits and
-        # always answers, so the pool is never without a device.
-        name="cpu",
-        obs=obs,
-    )
+    cpu = rpc_device("cpu", obs=obs)
     return DevicePool(
-        [
-            PooledDevice("protoacc", protoacc, contract=contracts["protoacc"]),
-            PooledDevice(
-                "optimus-prime", optimus, contract=contracts["optimus-prime"]
-            ),
-            PooledDevice("cpu", cpu),
-        ],
+        [protoacc, optimus, cpu],
         policy=policy,
         cache=cache,
         obs=obs,

@@ -40,6 +40,31 @@ from .pool import DevicePool, PoolResult
 
 RequestT = TypeVar("RequestT")
 
+# ----------------------------------------------------------------------
+# Rejection reasons.  Every refusal carries exactly one of these named
+# constants (free-text reasons drift apart between emitters and make
+# the `reason` metric label unaggregatable).
+# ----------------------------------------------------------------------
+#: The admission queue was full when the request arrived.
+REASON_QUEUE_FULL = "queue_full"
+#: The request aged past its deadline before a dispatch slot freed.
+REASON_DEADLINE_EXCEEDED = "deadline_exceeded"
+#: Brownout: the ladder is shedding this request's priority class.
+REASON_PRIORITY_SHED = "priority_shed"
+#: Brownout: the ladder is rejecting (almost) everything at admission.
+REASON_ADMISSION_REJECTED = "admission_rejected"
+
+#: All reasons a :class:`Rejection` may carry.
+REJECTION_REASONS = (
+    REASON_QUEUE_FULL,
+    REASON_DEADLINE_EXCEEDED,
+    REASON_PRIORITY_SHED,
+    REASON_ADMISSION_REJECTED,
+)
+
+#: Priority class assigned when no ``priority_fn`` is configured.
+DEFAULT_PRIORITY = "normal"
+
 
 @dataclass(frozen=True)
 class Rejection(Generic[RequestT]):
@@ -48,7 +73,8 @@ class Rejection(Generic[RequestT]):
     request: RequestT
     arrival: float
     time: float  # when the refusal happened
-    reason: str  # "queue full" or "deadline exceeded"
+    reason: str  # one of :data:`REJECTION_REASONS`
+    priority: str = DEFAULT_PRIORITY  # the request's priority class
 
 
 @dataclass(frozen=True)
@@ -96,13 +122,30 @@ class ServeResult(Generic[RequestT]):
         return [r for r in self.served if r.ok]
 
     @property
-    def drop_rate(self) -> float:
+    def losses(self) -> int:
+        """Requests that never got an answer.  The three loss ledgers
+        are disjoint by construction — a rejected request (``dropped``
+        or ``shed``) never reaches the pool, and a pool-level
+        ``path="failed"`` result appears only in ``served`` — so each
+        lost request is counted exactly once (regression-tested in
+        ``tests/runtime/test_serving.py``)."""
+        failed = sum(not r.ok for r in self.served)
+        return len(self.dropped) + len(self.shed) + failed
+
+    @property
+    def loss_rate(self) -> float:
         """Fraction of offered requests that never got an answer
-        (queue-full drops, deadline sheds, and pool-level failures)."""
+        (queue-full drops, deadline/brownout sheds, and pool-level
+        failures).  An empty run has lost nothing."""
         if self.offered == 0:
             return 0.0
-        failed = sum(not r.ok for r in self.served)
-        return (len(self.dropped) + len(self.shed) + failed) / self.offered
+        return self.losses / self.offered
+
+    @property
+    def drop_rate(self) -> float:
+        """Deprecated alias of :attr:`loss_rate` (the historical name
+        conflated queue-full drops with the other loss kinds)."""
+        return self.loss_rate
 
     def latency_summary(self) -> Summary:
         return Summary.of([r.cycles for r in self.answered])
@@ -124,6 +167,20 @@ class OpenLoopServer(Generic[RequestT]):
         max_inflight: dispatch width — outstanding requests across the
             fleet.  Defaults to two per device, enough backlog for the
             queue-aware policies to have something to see.
+        priority_fn: maps a request to its priority class label (e.g.
+            ``"low"``/``"normal"``/``"high"``).  The label rides on
+            every :class:`Rejection` and is what brownout
+            priority-shedding keys on.  ``None`` labels everything
+            :data:`DEFAULT_PRIORITY`.
+        controller: optional live control plane (duck-typed; see
+            :class:`repro.scale.ScaleController`).  The server calls,
+            when present: ``attach(server)`` once at construction,
+            ``tick(now, queue_depth)`` at every arrival,
+            ``admission_reason(request, priority, now, queue_depth)``
+            before enqueueing (a non-``None`` reason refuses the
+            request), ``observe(result, breakdown)`` after each
+            dispatch, and ``observe_loss(reason, now)`` on each
+            refusal.  All methods are optional.
         obs: :class:`repro.obs.Obs` bundle; defaults to the pool's own.
             The server emits admission-queue-wait spans and shed/drop
             instants into the tracer and outcome counters into the
@@ -137,6 +194,8 @@ class OpenLoopServer(Generic[RequestT]):
         queue_limit: int = 64,
         deadline: float | None = None,
         max_inflight: int | None = None,
+        priority_fn=None,
+        controller=None,
         obs=None,
     ):
         if queue_limit < 1:
@@ -151,12 +210,17 @@ class OpenLoopServer(Generic[RequestT]):
         )
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        self.priority_fn = priority_fn
+        self.controller = controller
         self.obs = obs if obs is not None else getattr(pool, "obs", None)
         tracer = getattr(self.obs, "tracer", None)
         self._tracer = (
             tracer if tracer is not None and getattr(tracer, "enabled", True) else None
         )
         self._metrics = getattr(self.obs, "metrics", None)
+        attach = getattr(controller, "attach", None)
+        if attach is not None:
+            attach(self)
 
     def run(
         self,
@@ -168,33 +232,53 @@ class OpenLoopServer(Generic[RequestT]):
         if len(requests) != len(arrivals):
             raise ValueError("requests and arrivals must align")
         result: ServeResult[RequestT] = ServeResult(offered=len(requests))
-        waiting: deque[tuple[float, RequestT]] = deque()
+        waiting: deque[tuple[float, RequestT, str]] = deque()
         inflight: list[float] = []  # min-heap of completion times
         tracer = self._tracer
         metrics = self._metrics
+        controller = self.controller
+        observe = getattr(controller, "observe", None)
+        observe_loss = getattr(controller, "observe_loss", None)
+        admission_reason = getattr(controller, "admission_reason", None)
+        ctick = getattr(controller, "tick", None)
 
-        def count(outcome: str) -> None:
+        def count(outcome: str, reason: str | None = None) -> None:
             if metrics is not None:
-                metrics.counter("server_requests_total", outcome=outcome).inc()
+                labels = {"outcome": outcome}
+                if reason is not None:
+                    labels["reason"] = reason
+                metrics.counter("server_requests_total", **labels).inc()
+
+        def lost(kind: str, rejection: Rejection[RequestT]) -> None:
+            """Record one refusal everywhere it is consumed."""
+            outcome = "shed" if kind == "shed" else "dropped"
+            if tracer is not None:
+                tracer.instant(
+                    kind,
+                    rejection.time,
+                    cat="runtime.server",
+                    tid="server",
+                    args={
+                        "reason": rejection.reason,
+                        "priority": rejection.priority,
+                        "waited": rejection.time - rejection.arrival,
+                    },
+                )
+            count(outcome, rejection.reason)
+            if observe_loss is not None:
+                observe_loss(rejection.reason, rejection.time)
 
         def pump(now: float) -> None:
             """Pull from the queue while dispatch slots are free."""
             while waiting and len(inflight) < self.max_inflight:
-                arrived, request = waiting.popleft()
+                arrived, request, priority = waiting.popleft()
                 start = max(now, arrived)
                 if self.deadline is not None and start - arrived > self.deadline:
-                    result.shed.append(
-                        Rejection(request, arrived, start, "deadline exceeded")
+                    rejection = Rejection(
+                        request, arrived, start, REASON_DEADLINE_EXCEEDED, priority
                     )
-                    if tracer is not None:
-                        tracer.instant(
-                            "shed",
-                            start,
-                            cat="runtime.server",
-                            tid="server",
-                            args={"waited": start - arrived},
-                        )
-                    count("shed")
+                    result.shed.append(rejection)
+                    lost("shed", rejection)
                     continue
                 if tracer is not None and start > arrived:
                     tracer.add_span(
@@ -207,21 +291,22 @@ class OpenLoopServer(Generic[RequestT]):
                 absolute = arrived + self.deadline if self.deadline else None
                 served = self.pool.dispatch(request, start, deadline=absolute)
                 result.served.append(served)
-                result.breakdowns.append(
-                    RequestBreakdown(
-                        arrival=arrived,
-                        completed=served.completed,
-                        queue_wait=start - arrived,
-                        device_queue=served.queue_cycles,
-                        service=served.service_cycles,
-                        retry=served.retry_cycles,
-                    )
+                breakdown = RequestBreakdown(
+                    arrival=arrived,
+                    completed=served.completed,
+                    queue_wait=start - arrived,
+                    device_queue=served.queue_cycles,
+                    service=served.service_cycles,
+                    retry=served.retry_cycles,
                 )
+                result.breakdowns.append(breakdown)
                 if metrics is not None:
                     metrics.histogram("server_queue_wait_cycles").observe(
                         start - arrived
                     )
                 count("served" if served.ok else "failed")
+                if observe is not None:
+                    observe(served, breakdown)
                 heappush(inflight, served.completed)
 
         def retire(until: float) -> None:
@@ -231,17 +316,34 @@ class OpenLoopServer(Generic[RequestT]):
 
         for request, arrived in zip(requests, arrivals, strict=True):
             retire(arrived)
+            priority = (
+                self.priority_fn(request)
+                if self.priority_fn is not None
+                else DEFAULT_PRIORITY
+            )
+            if ctick is not None:
+                ctick(arrived, len(waiting))
+            if admission_reason is not None:
+                reason = admission_reason(request, priority, arrived, len(waiting))
+                if reason is not None:
+                    rejection = Rejection(request, arrived, arrived, reason, priority)
+                    # Brownout sheds a class on purpose; everything else
+                    # refused at the door is a drop.
+                    if reason == REASON_PRIORITY_SHED:
+                        result.shed.append(rejection)
+                        lost("shed", rejection)
+                    else:
+                        result.dropped.append(rejection)
+                        lost("drop", rejection)
+                    continue
             if len(waiting) >= self.queue_limit:
-                result.dropped.append(
-                    Rejection(request, arrived, arrived, "queue full")
+                rejection = Rejection(
+                    request, arrived, arrived, REASON_QUEUE_FULL, priority
                 )
-                if tracer is not None:
-                    tracer.instant(
-                        "drop", arrived, cat="runtime.server", tid="server"
-                    )
-                count("dropped")
+                result.dropped.append(rejection)
+                lost("drop", rejection)
                 continue
-            waiting.append((arrived, request))
+            waiting.append((arrived, request, priority))
             pump(arrived)
 
         while inflight or waiting:  # drain: no more arrivals

@@ -1,0 +1,138 @@
+"""``python -m repro.scale plan`` — capacity planning from the shell.
+
+Feed a traffic forecast (mix + mean inter-arrival gap) and an SLO;
+get back the cheapest fleet composition that provably meets it, plus
+the runner-up table.  With ``--cache`` the interface pricing rides a
+persistent EvalCache, so re-planning a tweaked SLO is free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.perf import EvalCache
+from repro.workloads import ALL_MIXES
+
+from .planner import CapacityPlanner
+from .slo import SLO
+from .templates import standard_templates
+
+MIXES = {mix.name: mix for mix in ALL_MIXES}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scale",
+        description="Interface-priced capacity planning.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    plan = sub.add_parser(
+        "plan", help="search fleet compositions for the cheapest SLO-meeting one"
+    )
+    plan.add_argument(
+        "--mix", choices=sorted(MIXES), default="enterprise", help="traffic forecast"
+    )
+    plan.add_argument(
+        "--gap", type=float, default=1_000.0, help="mean inter-arrival gap, cycles"
+    )
+    plan.add_argument(
+        "--budget", type=float, default=30_000.0, help="latency budget, cycles"
+    )
+    plan.add_argument(
+        "--quantile", type=float, default=0.95, help="latency quantile in (0, 1)"
+    )
+    plan.add_argument(
+        "--max-loss", type=float, default=0.01, help="loss-rate ceiling in [0, 1]"
+    )
+    plan.add_argument(
+        "--reps", type=int, default=64, help="representative sample size"
+    )
+    plan.add_argument("--seed", type=int, default=17, help="sample seed")
+    plan.add_argument(
+        "--max-per-kind", type=int, default=4, help="search ceiling per device kind"
+    )
+    plan.add_argument(
+        "--cache", metavar="PATH", default=None, help="persistent EvalCache JSONL"
+    )
+    plan.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    plan.add_argument(
+        "--top", type=int, default=5, help="how many alternatives to show"
+    )
+    return parser
+
+
+def _plan_dict(plan) -> dict:
+    return {
+        "composition": plan.composition,
+        "cost": plan.cost,
+        "utilization": plan.utilization,
+        "predicted_latency": plan.predicted_latency,
+        "bound_latency": plan.bound_latency,
+        "traffic": plan.traffic,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    slo = SLO(
+        latency_budget=args.budget,
+        latency_quantile=args.quantile,
+        max_loss_rate=args.max_loss,
+    )
+    cache = EvalCache(args.cache) if args.cache else EvalCache()
+    templates = standard_templates(seed=args.seed, cache=cache)
+    planner = CapacityPlanner(templates, reps=args.reps, seed=args.seed)
+    best, evaluated = planner.plan(
+        MIXES[args.mix], args.gap, slo, max_per_kind=args.max_per_kind
+    )
+    feasible = [p for p in evaluated if planner.meets(p, slo)]
+
+    if args.json:
+        payload = {
+            "mix": args.mix,
+            "mean_gap": args.gap,
+            "slo": slo.describe(),
+            "best": _plan_dict(best) if best is not None else None,
+            "feasible": len(feasible),
+            "evaluated": len(evaluated),
+            "alternatives": [_plan_dict(p) for p in feasible[: args.top]],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if best is not None else 1
+
+    print(f"forecast: {args.mix} mix, mean gap {args.gap:g} cycles")
+    print(f"slo:      {slo.describe()}")
+    print(f"searched: {len(evaluated)} compositions, {len(feasible)} feasible")
+    if best is None:
+        print("no searched fleet provably meets the SLO — buy different")
+        print("hardware, raise --max-per-kind, or relax the promise")
+        return 1
+    print()
+    print(f"cheapest: {best.describe()}  (cost {best.cost:g})")
+    print(
+        f"  p{slo.latency_quantile * 100:g} predicted "
+        f"{best.predicted_latency:,.0f} / bound {best.bound_latency:,.0f} "
+        f"/ budget {slo.latency_budget:,.0f} cycles"
+    )
+    print(f"  peak device utilization {best.utilization:.2f}")
+    for kind, frac in sorted(best.traffic.items(), key=lambda kv: -kv[1]):
+        if frac:
+            print(f"  traffic -> {kind}: {frac:.0%}")
+    others = [p for p in feasible if p is not best][: args.top - 1]
+    if others:
+        print()
+        print("alternatives (feasible, by cost):")
+        for p in others:
+            print(
+                f"  {p.describe():34}  cost {p.cost:5g}  "
+                f"bound p{slo.latency_quantile * 100:g} {p.bound_latency:,.0f}"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

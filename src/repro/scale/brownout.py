@@ -1,0 +1,203 @@
+"""Brownout: a degradation ladder climbed under sustained SLO pressure.
+
+When the fleet cannot meet its SLO, the worst response is to keep
+serving everyone badly.  Brownout trades *features* for *latency* in
+explicit, ordered, reversible rungs:
+
+====  ====================  ============================================
+rung  name                  what the fleet gives up
+====  ====================  ============================================
+0     ``normal``            nothing
+1     ``no_hedging``        mid-flight failures are no longer
+                            re-dispatched — a failed call fails instead
+                            of burning a second device
+2     ``shed_low``          the lowest-priority class is refused at
+                            admission (``priority_shed``)
+3     ``coarse_pricing``    routing prices from the per-size-class
+                            cache instead of per-request interface
+                            evaluation — zero engine cycles per decision
+4     ``reject_admission``  everything but the protected class is
+                            refused at the door (``admission_rejected``)
+====  ====================  ============================================
+
+Each rung *includes* the ones below it.  The ladder climbs one rung per
+``climb_after`` consecutive violating verdicts and descends one rung
+per ``descend_after`` consecutive healthy ones — asymmetric on purpose
+(fast to protect, slow to relax), so a flapping fault cannot make the
+server oscillate between full service and rejection.  Every transition
+is emitted as an ``obs`` instant + counter and is visible in
+``pool.snapshot()["brownout"]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.runtime.serving import (
+    REASON_ADMISSION_REJECTED,
+    REASON_PRIORITY_SHED,
+)
+
+from .slo import SloStatus
+
+
+class Rung(IntEnum):
+    """The ladder's rungs, in climbing order."""
+
+    NORMAL = 0
+    NO_HEDGING = 1
+    SHED_LOW = 2
+    COARSE_PRICING = 3
+    REJECT_ADMISSION = 4
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class BrownoutPolicy:
+    """When to climb and descend, and which classes the rungs touch."""
+
+    #: Consecutive violating verdicts before climbing one rung.
+    climb_after: int = 3
+    #: Consecutive healthy verdicts before descending one rung.  Kept
+    #: larger than ``climb_after``: recovery must be *sustained*.
+    descend_after: int = 6
+    #: Priority class refused from rung ``SHED_LOW`` up.
+    low_priority: str = "low"
+    #: The only class still admitted at ``REJECT_ADMISSION``.
+    protected_priority: str = "high"
+
+    def __post_init__(self) -> None:
+        if self.climb_after < 1 or self.descend_after < 1:
+            raise ValueError("climb_after and descend_after must be >= 1")
+
+
+@dataclass(frozen=True)
+class RungTransition:
+    """One recorded ladder move."""
+
+    at: float
+    direction: str  # "climb" or "descend"
+    from_rung: Rung
+    to_rung: Rung
+
+
+class DegradationLadder:
+    """The live brownout state machine for one pool.
+
+    ``update(status)`` moves the rung; the ladder immediately applies
+    the rung's side effects to the pool (hedging switch, coarse
+    pricing) and answers the server's admission questions for the
+    class-shedding rungs via :meth:`admission_reason`.
+    """
+
+    def __init__(self, pool, policy: BrownoutPolicy | None = None, *, obs=None):
+        self.pool = pool
+        self.policy = policy or BrownoutPolicy()
+        self.obs = obs if obs is not None else getattr(pool, "obs", None)
+        self._tracer = getattr(self.obs, "tracer", None)
+        self._metrics = getattr(self.obs, "metrics", None)
+        self.rung = Rung.NORMAL
+        self.transitions: list[RungTransition] = []
+        self._bad_streak = 0
+        self._good_streak = 0
+        pool.ladder = self
+        self._apply()
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def update(self, status: SloStatus) -> Rung:
+        """Feed one SLO verdict; returns the (possibly new) rung."""
+        if status.ok:
+            self._good_streak += 1
+            self._bad_streak = 0
+            if (
+                self._good_streak >= self.policy.descend_after
+                and self.rung > Rung.NORMAL
+            ):
+                self._move(Rung(self.rung - 1), "descend", status.at)
+                self._good_streak = 0
+        else:
+            self._bad_streak += 1
+            self._good_streak = 0
+            if (
+                self._bad_streak >= self.policy.climb_after
+                and self.rung < Rung.REJECT_ADMISSION
+            ):
+                self._move(Rung(self.rung + 1), "climb", status.at)
+                self._bad_streak = 0
+        return self.rung
+
+    def _move(self, to: Rung, direction: str, at: float) -> None:
+        transition = RungTransition(at, direction, self.rung, to)
+        self.transitions.append(transition)
+        self.rung = to
+        self._apply()
+        if self._tracer is not None:
+            self._tracer.instant(
+                f"brownout:{direction}",
+                at,
+                cat="runtime.scale",
+                tid="brownout",
+                args={
+                    "from": transition.from_rung.label,
+                    "to": to.label,
+                    "rung": int(to),
+                },
+            )
+        if self._metrics is not None:
+            self._metrics.counter(
+                "brownout_transitions_total", direction=direction, rung=to.label
+            ).inc()
+            self._metrics.gauge("brownout_rung").set(int(self.rung))
+
+    def _apply(self) -> None:
+        """Project the rung onto the pool's switches.  Idempotent."""
+        self.pool.hedging_enabled = self.rung < Rung.NO_HEDGING
+        self.pool.set_coarse_pricing(self.rung >= Rung.COARSE_PRICING)
+
+    # ------------------------------------------------------------------
+    # Admission (consumed by the server's controller hooks)
+    # ------------------------------------------------------------------
+    def admission_reason(self, priority: str) -> str | None:
+        """Why a request of ``priority`` is refused at the current rung
+        (``None`` = admitted)."""
+        if (
+            self.rung >= Rung.REJECT_ADMISSION
+            and priority != self.policy.protected_priority
+        ):
+            return REASON_ADMISSION_REJECTED
+        if self.rung >= Rung.SHED_LOW and priority == self.policy.low_priority:
+            return REASON_PRIORITY_SHED
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def climbed(self) -> int:
+        return sum(t.direction == "climb" for t in self.transitions)
+
+    def descended(self) -> int:
+        return sum(t.direction == "descend" for t in self.transitions)
+
+    def snapshot(self) -> dict:
+        return {
+            "rung": int(self.rung),
+            "rung_label": self.rung.label,
+            "hedging_enabled": self.pool.hedging_enabled,
+            "transitions": [
+                {
+                    "at": t.at,
+                    "direction": t.direction,
+                    "from": t.from_rung.label,
+                    "to": t.to_rung.label,
+                }
+                for t in self.transitions
+            ],
+            "climbs": self.climbed(),
+            "descents": self.descended(),
+        }

@@ -1,0 +1,138 @@
+"""The live control plane binding SLO monitor, ladder, and autoscaler
+to an :class:`~repro.runtime.serving.OpenLoopServer`.
+
+The server stays ignorant of scaling: it exposes duck-typed hooks
+(``attach`` / ``tick`` / ``admission_reason`` / ``observe`` /
+``observe_loss``) and this controller implements them, so the whole
+control plane can be attached or dropped without touching the serving
+loop.  One controller owns one pool's scaling story:
+
+* every served request feeds the :class:`~repro.scale.slo.SloMonitor`
+  (end-to-end latency) and the autoscaler's pricing sample;
+* every refusal feeds the monitor's loss window;
+* every ``decision_interval`` cycles the controller takes one SLO
+  verdict and hands it to the :class:`DegradationLadder` (rung moves)
+  and the :class:`Autoscaler` (membership moves);
+* brownout admission questions are answered from the current rung.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.runtime.serving import REASON_ADMISSION_REJECTED, REASON_PRIORITY_SHED
+
+from .autoscaler import Autoscaler, DeviceTemplate, ScalePolicy
+from .brownout import BrownoutPolicy, DegradationLadder
+from .slo import SLO, SloMonitor
+
+
+class ScaleController:
+    """Wire an SLO, a brownout ladder, and an autoscaler to a server.
+
+    Pass as ``OpenLoopServer(pool, controller=...)``.  Any of the three
+    legs can be disabled: ``templates=()`` runs brownout without
+    scaling, ``ladder=False`` runs scaling without brownout.
+    """
+
+    def __init__(
+        self,
+        pool,
+        slo: SLO,
+        *,
+        templates: Sequence[DeviceTemplate] = (),
+        monitor: SloMonitor | None = None,
+        scale_policy: ScalePolicy | None = None,
+        brownout_policy: BrownoutPolicy | None = None,
+        ladder: bool = True,
+        decision_interval: float = 2_000.0,
+        obs=None,
+    ):
+        if decision_interval <= 0:
+            raise ValueError("decision_interval must be positive cycles")
+        self.pool = pool
+        self.slo = slo
+        self.obs = obs if obs is not None else getattr(pool, "obs", None)
+        self.monitor = monitor or SloMonitor(slo)
+        self.ladder = (
+            DegradationLadder(pool, brownout_policy, obs=self.obs) if ladder else None
+        )
+        self.scaler = (
+            Autoscaler(pool, templates, scale_policy, obs=self.obs)
+            if templates
+            else None
+        )
+        self.decision_interval = decision_interval
+        self.server = None
+        self._queue_limit = 1
+        self._last_decision = -float("inf")
+        self.decisions = 0
+        self.intentional_losses = 0
+        self.statuses: list = []
+
+    # ------------------------------------------------------------------
+    # OpenLoopServer hooks (the duck-typed controller protocol)
+    # ------------------------------------------------------------------
+    def attach(self, server) -> None:
+        self.server = server
+        self._queue_limit = max(1, server.queue_limit)
+
+    def tick(self, now: float, queue_depth: int) -> None:
+        if now - self._last_decision < self.decision_interval:
+            return
+        self._last_decision = now
+        self.decisions += 1
+        status = self.monitor.status(now)
+        self.statuses.append(status)
+        if self.ladder is not None:
+            self.ladder.update(status)
+        if self.scaler is not None:
+            self.scaler.update(now, status, queue_depth / self._queue_limit)
+
+    def admission_reason(
+        self, request, priority: str, now: float, queue_depth: int
+    ) -> str | None:
+        if self.ladder is None:
+            return None
+        return self.ladder.admission_reason(priority)
+
+    def observe(self, result, breakdown) -> None:
+        self.monitor.record_served(breakdown.end_to_end, breakdown.completed)
+        if self.scaler is not None:
+            self.scaler.note_request(result.request, breakdown.completed)
+
+    def observe_loss(self, reason: str, now: float) -> None:
+        # Brownout's own sheds are intentional output, not a health
+        # signal: feeding them back into the loss window would make the
+        # high rungs self-sustaining (reject -> loss SLO violated ->
+        # stay up).  The offline verdict still counts them; the control
+        # loop listens only to losses it did not itself cause.
+        if reason in (REASON_ADMISSION_REJECTED, REASON_PRIORITY_SHED):
+            self.intentional_losses += 1
+            return
+        self.monitor.record_loss(now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        snap = {
+            "slo": self.slo.describe(),
+            "decisions": self.decisions,
+            "observed": self.monitor.observed,
+            "lost": self.monitor.lost,
+            "intentional_losses": self.intentional_losses,
+        }
+        if self.statuses:
+            last = self.statuses[-1]
+            snap["last_status"] = {
+                "at": last.at,
+                "latency": last.latency,
+                "loss_rate": last.loss_rate,
+                "ok": last.ok,
+            }
+        if self.ladder is not None:
+            snap["brownout"] = self.ladder.snapshot()
+        if self.scaler is not None:
+            snap["scaling"] = self.scaler.snapshot()
+        return snap

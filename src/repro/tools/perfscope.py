@@ -16,7 +16,11 @@ from it:
 * ``heal`` — run the self-healing scenario (a mid-serve DRAM regime
   shift on Protoacc, repaired in-band by :mod:`repro.heal`) and render
   the lifecycle report: error arc, refits, shadow verdicts, hot-swaps,
-  rollbacks.
+  rollbacks;
+* ``scale`` — run the autoscaling scenario (diurnal trace + rolling
+  fault storm, SLO-guarded controller from :mod:`repro.scale`) and
+  render the scaling story: SLO verdict, scale-out/in events with
+  their interface pricing, and the brownout rung transitions.
 
 The first three subcommands share the scenario flags, so the same run
 can be inspected from any angle::
@@ -25,6 +29,7 @@ can be inspected from any angle::
     python -m repro.tools.perfscope trace --out storm.trace.json
     python -m repro.tools.perfscope metrics --policy round_robin
     python -m repro.tools.perfscope heal --slowdown 5
+    python -m repro.tools.perfscope scale --requests 400
 """
 
 from __future__ import annotations
@@ -154,6 +159,55 @@ def _heal_report(result) -> str:
     return "\n".join(lines)
 
 
+def _scale_report(out: dict) -> str:
+    """Operator view of one completed autoscaling scenario."""
+    verdict = out["verdict"]
+    controller = out["controller"]
+    result = out["result"]
+    lines = [
+        "== perfscope scale ==",
+        "",
+        f"slo: {out['slo'].describe()}",
+        f"verdict: {'MET' if verdict.ok else 'VIOLATED'} "
+        f"(p{out['slo'].latency_quantile * 100:g}={verdict.latency:,.0f} cycles, "
+        f"loss {verdict.loss_rate:.1%})",
+        f"requests: {result.offered} offered, {len(result.served)} served, "
+        f"{result.losses} lost "
+        f"({controller.intentional_losses} intentional brownout sheds)",
+        f"fleet: {len(out['pool'].devices)} devices final, "
+        f"{out['avg_devices']:.2f} time-averaged",
+    ]
+    scaler = controller.scaler
+    if scaler is not None and scaler.events:
+        lines += ["", "-- scaling events (interface-priced) --"]
+        for e in scaler.events:
+            if e.action == "out":
+                lines.append(
+                    f"  t={e.at:>10.0f}  +{e.device:<16} "
+                    f"predicted service {e.predicted_service:,.0f} cyc  "
+                    f"({e.reason})"
+                )
+            else:
+                lines.append(f"  t={e.at:>10.0f}  -{e.device:<16} ({e.reason})")
+    ladder = controller.ladder
+    if ladder is not None:
+        lines += ["", "-- brownout ladder --"]
+        if ladder.transitions:
+            for t in ladder.transitions:
+                arrow = "^" if t.direction == "climb" else "v"
+                lines.append(
+                    f"  t={t.at:>10.0f}  {arrow} {t.from_rung.label} "
+                    f"-> {t.to_rung.label}"
+                )
+        else:
+            lines.append("  (no transitions — the SLO never came under pressure)")
+        lines.append(
+            f"  {ladder.climbed()} climbs / {ladder.descended()} descents, "
+            f"final rung {ladder.rung.label}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.perfscope",
@@ -209,7 +263,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         default="storage",
         help="RPC workload mix (default: storage — routes to protoacc)",
     )
+    scale = sub.add_parser(
+        "scale",
+        help="run the autoscaling scenario and render the scaling story",
+    )
+    scale.add_argument("--requests", type=int, default=400)
+    scale.add_argument("--seed", type=int, default=17)
+    scale.add_argument(
+        "--no-autoscale",
+        action="store_true",
+        help="fixed fleet: brownout ladder only, no membership changes",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "scale":
+        from repro.scale import run_scale_scenario
+
+        out = run_scale_scenario(
+            count=args.requests,
+            seed=args.seed,
+            autoscale=not args.no_autoscale,
+        )
+        print(_scale_report(out))
+        return 0 if out["verdict"].ok else 1
 
     if args.command == "heal":
         from repro.heal import run_heal_scenario

@@ -5,7 +5,12 @@ import math
 import pytest
 
 from repro.runtime.pool import rpc_pool
-from repro.runtime.serving import OpenLoopServer
+from repro.runtime.serving import (
+    DEFAULT_PRIORITY,
+    REJECTION_REASONS,
+    OpenLoopServer,
+    ServeResult,
+)
 from repro.workloads import ENTERPRISE_MIX
 
 
@@ -41,6 +46,47 @@ class TestAccounting:
             OpenLoopServer(pool, deadline=0.0)
         with pytest.raises(ValueError):
             OpenLoopServer(pool, max_inflight=0)
+
+
+class TestLossLedger:
+    def test_loss_rate_of_empty_result_is_zero(self):
+        # No offered traffic must read as 0% loss, not ZeroDivisionError.
+        res = ServeResult(offered=0)
+        assert res.loss_rate == 0.0
+        assert res.drop_rate == 0.0
+        assert res.losses == 0
+
+    def test_every_loss_counted_exactly_once(self):
+        # The three loss ledgers are disjoint: a rejected request never
+        # reaches the pool, a pool-level failure lives only in served.
+        _, res = run_at(150.0, faults="storm", queue_limit=8, deadline=25_000.0)
+        failed = sum(not r.ok for r in res.served)
+        assert res.losses == len(res.dropped) + len(res.shed) + failed
+        rejected_ids = {id(r.request) for r in res.dropped + res.shed}
+        failed_ids = {id(r.request) for r in res.served if not r.ok}
+        assert not rejected_ids & failed_ids
+        assert res.loss_rate == res.losses / res.offered
+
+    def test_every_rejection_carries_a_named_reason(self):
+        # A tight queue exercises the drop ledger; a roomy queue with a
+        # tight deadline exercises the shed ledger.
+        _, tight = run_at(150.0, faults="storm", queue_limit=8, deadline=25_000.0)
+        _, aged = run_at(100.0, faults="storm", queue_limit=512, deadline=15_000.0)
+        assert tight.dropped and aged.shed
+        for rejection in tight.dropped + tight.shed + aged.dropped + aged.shed:
+            assert rejection.reason in REJECTION_REASONS
+            assert rejection.priority == DEFAULT_PRIORITY
+
+    def test_priority_fn_stamps_rejections(self):
+        pool = rpc_pool("interface_predicted", faults="storm")
+        server = OpenLoopServer(
+            pool, queue_limit=8, deadline=25_000.0, priority_fn=lambda r: "batch"
+        )
+        msgs, arrivals = ENTERPRISE_MIX.sample_open(seed=13, count=300, mean_gap=150.0)
+        res = server.run(msgs, arrivals)
+        assert res.dropped or res.shed
+        for rejection in res.dropped + res.shed:
+            assert rejection.priority == "batch"
 
 
 class TestDropRateMonotonicity:

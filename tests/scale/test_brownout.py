@@ -1,0 +1,127 @@
+"""The brownout degradation ladder: rung mechanics and pool effects."""
+
+import pytest
+
+from repro.obs import Obs
+from repro.runtime.pool import DevicePool, rpc_device
+from repro.runtime.serving import REASON_ADMISSION_REJECTED, REASON_PRIORITY_SHED
+from repro.scale import BrownoutPolicy, DegradationLadder, Rung
+from repro.scale.slo import SloStatus
+
+
+def status(ok: bool, at: float = 0.0) -> SloStatus:
+    return SloStatus(
+        at=at,
+        latency=1.0,
+        loss_rate=0.0,
+        served=100,
+        losses=0,
+        latency_ok=ok,
+        loss_ok=True,
+    )
+
+
+@pytest.fixture
+def pool():
+    obs = Obs.enabled(drift=False)
+    return DevicePool(
+        [rpc_device("protoacc", obs=obs), rpc_device("cpu", obs=obs)],
+        policy="interface_predicted",
+        obs=obs,
+    )
+
+
+def climb_to(ladder, rung: Rung, at: float = 0.0) -> None:
+    while ladder.rung < rung:
+        for _ in range(ladder.policy.climb_after):
+            ladder.update(status(False, at))
+
+
+class TestRungMechanics:
+    def test_climbs_only_after_streak(self, pool):
+        ladder = DegradationLadder(pool, BrownoutPolicy(climb_after=3))
+        ladder.update(status(False))
+        ladder.update(status(False))
+        assert ladder.rung is Rung.NORMAL
+        ladder.update(status(False))
+        assert ladder.rung is Rung.NO_HEDGING
+
+    def test_one_good_verdict_resets_the_climb_streak(self, pool):
+        ladder = DegradationLadder(pool, BrownoutPolicy(climb_after=3))
+        ladder.update(status(False))
+        ladder.update(status(False))
+        ladder.update(status(True))
+        ladder.update(status(False))
+        ladder.update(status(False))
+        assert ladder.rung is Rung.NORMAL
+
+    def test_descends_after_sustained_health(self, pool):
+        policy = BrownoutPolicy(climb_after=1, descend_after=4)
+        ladder = DegradationLadder(pool, policy)
+        ladder.update(status(False))
+        assert ladder.rung is Rung.NO_HEDGING
+        for _ in range(3):
+            ladder.update(status(True))
+        assert ladder.rung is Rung.NO_HEDGING
+        ladder.update(status(True))
+        assert ladder.rung is Rung.NORMAL
+
+    def test_caps_at_top_rung_and_floor(self, pool):
+        ladder = DegradationLadder(pool, BrownoutPolicy(climb_after=1, descend_after=1))
+        for _ in range(10):
+            ladder.update(status(False))
+        assert ladder.rung is Rung.REJECT_ADMISSION
+        for _ in range(10):
+            ladder.update(status(True))
+        assert ladder.rung is Rung.NORMAL
+        assert ladder.climbed() == 4 and ladder.descended() == 4
+
+
+class TestPoolEffects:
+    def test_rung_one_disables_hedging(self, pool):
+        ladder = DegradationLadder(pool, BrownoutPolicy(climb_after=1))
+        assert pool.hedging_enabled
+        climb_to(ladder, Rung.NO_HEDGING)
+        assert not pool.hedging_enabled
+
+    def test_rung_three_coarsens_pricing(self, pool):
+        ladder = DegradationLadder(pool, BrownoutPolicy(climb_after=1))
+        assert not any(d.coarse_pricing for d in pool.devices)
+        climb_to(ladder, Rung.COARSE_PRICING)
+        assert all(d.coarse_pricing for d in pool.devices)
+        # Descending re-enables exact pricing and hedging.
+        for _ in range(100):
+            ladder.update(status(True))
+        assert not any(d.coarse_pricing for d in pool.devices)
+        assert pool.hedging_enabled
+
+    def test_transitions_visible_in_pool_snapshot_and_metrics(self, pool):
+        ladder = DegradationLadder(pool, BrownoutPolicy(climb_after=1))
+        climb_to(ladder, Rung.SHED_LOW, at=42.0)
+        snap = pool.snapshot()["brownout"]
+        assert snap["rung_label"] == "shed_low"
+        assert len(snap["transitions"]) == 2
+        metrics = pool.obs.metrics.render_text()
+        assert "brownout_transitions_total" in metrics
+        assert "brownout_rung" in metrics
+
+
+class TestAdmission:
+    def test_admits_everyone_at_normal(self, pool):
+        ladder = DegradationLadder(pool, BrownoutPolicy())
+        for priority in ("low", "normal", "high"):
+            assert ladder.admission_reason(priority) is None
+
+    def test_sheds_low_priority_from_rung_two(self, pool):
+        ladder = DegradationLadder(pool, BrownoutPolicy(climb_after=1))
+        climb_to(ladder, Rung.SHED_LOW)
+        assert ladder.admission_reason("low") == REASON_PRIORITY_SHED
+        assert ladder.admission_reason("normal") is None
+        assert ladder.admission_reason("high") is None
+
+    def test_rejects_all_but_protected_at_the_top(self, pool):
+        ladder = DegradationLadder(pool, BrownoutPolicy(climb_after=1))
+        climb_to(ladder, Rung.REJECT_ADMISSION)
+        assert ladder.admission_reason("low") == REASON_ADMISSION_REJECTED
+        assert ladder.admission_reason("normal") == REASON_ADMISSION_REJECTED
+        assert ladder.admission_reason("high") is None

@@ -1,0 +1,110 @@
+"""The controller end to end: hooks wired into a live serve, and the
+``python -m repro.scale plan`` CLI."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.serving import REASON_ADMISSION_REJECTED, REASON_PRIORITY_SHED
+from repro.scale import SLO, Rung, ScaleController, run_scale_scenario
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    # One scaled-down run of the shared E17 scenario, reused by every
+    # test in the module (the full-size arc is the benchmark's job).
+    return run_scale_scenario(count=400)
+
+
+class TestControllerIntegration:
+    def test_decisions_happen_on_the_interval(self, scenario):
+        controller = scenario["controller"]
+        assert controller.decisions > 10
+        assert len(controller.statuses) == controller.decisions
+
+    def test_storm_drives_scale_out_then_calm_scales_in(self, scenario):
+        scaler = scenario["controller"].scaler
+        actions = [e.action for e in scaler.events]
+        assert "out" in actions and "in" in actions
+        assert actions.index("out") < len(actions) - actions[::-1].index("in") - 1
+        # The hard floor held: never below the base fleet.
+        assert len(scenario["pool"].devices) >= scaler.floor
+
+    def test_ladder_climbed_and_fully_descended(self, scenario):
+        ladder = scenario["controller"].ladder
+        assert ladder.climbed() >= 1
+        assert ladder.rung is Rung.NORMAL
+
+    def test_intentional_losses_not_in_control_signal(self, scenario):
+        controller = scenario["controller"]
+        result = scenario["result"]
+        refusals = result.dropped + result.shed
+        intentional = [
+            r
+            for r in refusals
+            if r.reason in (REASON_ADMISSION_REJECTED, REASON_PRIORITY_SHED)
+        ]
+        assert intentional, "the scenario should exercise brownout shedding"
+        assert controller.intentional_losses == len(intentional)
+        # The monitor heard only the unintentional refusals.
+        assert controller.monitor.lost == len(refusals) - len(intentional)
+
+    def test_snapshot_tells_the_whole_story(self, scenario):
+        snap = scenario["controller"].snapshot()
+        assert snap["decisions"] > 0
+        assert snap["brownout"]["climbs"] >= 1
+        assert snap["scaling"]["scale_outs"] >= 1
+        pool_snap = scenario["snapshot"]
+        assert "brownout" in pool_snap and "scaling" in pool_snap
+
+    def test_scaling_emits_obs_signals(self, scenario):
+        metrics = scenario["pool"].obs.metrics.render_text()
+        assert "autoscaler_events_total" in metrics
+        assert "brownout_transitions_total" in metrics
+        assert "pool_devices" in metrics
+
+    def test_validation(self, scenario):
+        with pytest.raises(ValueError):
+            ScaleController(
+                scenario["pool"], SLO(latency_budget=1.0), decision_interval=0.0
+            )
+
+
+class TestPlanCli:
+    def run_cli(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.scale", *argv],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": SRC},
+        )
+
+    def test_json_plan_is_feasible_and_machine_readable(self):
+        proc = self.run_cli(
+            "plan", "--mix", "storage", "--gap", "3000", "--reps", "32", "--json"
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["best"] is not None
+        assert payload["best"]["composition"]["protoacc"] >= 1
+        assert payload["feasible"] >= 1
+        assert payload["best"]["bound_latency"] <= 30_000.0
+
+    def test_text_plan_names_the_cheapest_fleet(self):
+        proc = self.run_cli("plan", "--mix", "enterprise", "--reps", "32")
+        assert proc.returncode == 0, proc.stderr
+        assert "cheapest:" in proc.stdout
+        assert "1x cpu" in proc.stdout
+
+    def test_infeasible_slo_exits_nonzero(self):
+        proc = self.run_cli(
+            "plan", "--mix", "storage", "--budget", "10", "--reps", "16"
+        )
+        assert proc.returncode == 1
+        assert "no searched fleet" in proc.stdout

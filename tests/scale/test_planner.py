@@ -1,0 +1,108 @@
+"""Offline capacity planning: pricing, feasibility, the crossover."""
+
+import pytest
+
+from repro.perf import EvalCache
+from repro.scale import SLO, CapacityPlanner, standard_templates
+from repro.workloads import ENTERPRISE_MIX, STORAGE_MIX
+
+REPS = 32
+
+
+@pytest.fixture(scope="module")
+def planner():
+    templates = standard_templates(seed=117, cache=EvalCache())
+    return CapacityPlanner(templates, reps=REPS, seed=11)
+
+
+class TestProfiles:
+    def test_one_profile_per_kind_sized_to_reps(self, planner):
+        profiles = planner.profile_kinds(STORAGE_MIX)
+        assert set(profiles) == {"protoacc", "optimus-prime", "cpu"}
+        for profile in profiles.values():
+            assert len(profile.services) == REPS
+            assert profile.mean_service > 0
+
+    def test_contracted_kinds_carry_their_epsilon(self, planner):
+        profiles = planner.profile_kinds(STORAGE_MIX)
+        assert profiles["protoacc"].epsilon > 0
+        assert profiles["protoacc"].max_latency < float("inf")
+        # The software server is ground truth: no contract, no slack.
+        assert profiles["cpu"].epsilon == 0.0
+
+
+class TestEvaluate:
+    def test_bound_envelops_the_point_estimate(self, planner):
+        profiles = planner.profile_kinds(STORAGE_MIX)
+        plan = planner.evaluate(
+            {"protoacc": 2, "optimus-prime": 0, "cpu": 0},
+            profiles,
+            2_000.0,
+            SLO(latency_budget=30_000.0),
+        )
+        assert plan.bound_latency >= plan.predicted_latency
+        assert plan.traffic["protoacc"] == 1.0
+
+    def test_overloaded_composition_is_infeasible(self, planner):
+        profiles = planner.profile_kinds(STORAGE_MIX)
+        slo = SLO(latency_budget=30_000.0)
+        # One CPU server (~7.6k cycles/req) against a 1k-cycle gap.
+        plan = planner.evaluate(
+            {"protoacc": 0, "optimus-prime": 0, "cpu": 1}, profiles, 1_000.0, slo
+        )
+        assert not planner.meets(plan, slo)
+
+    def test_rho_ceiling_gates_feasibility(self, planner):
+        profiles = planner.profile_kinds(STORAGE_MIX)
+        slo = SLO(latency_budget=10_000_000.0)  # latency never binds
+        plan = planner.evaluate(
+            {"protoacc": 1, "optimus-prime": 0, "cpu": 0}, profiles, 1_700.0, slo
+        )
+        assert plan.utilization > planner.rho_max
+        assert not planner.meets(plan, slo)
+
+
+class TestSearch:
+    def test_cheapest_feasible_wins(self, planner):
+        slo = SLO(latency_budget=30_000.0)
+        best, evaluated = planner.plan(STORAGE_MIX, 3_000.0, slo, max_per_kind=2)
+        assert best is not None and planner.meets(best, slo)
+        cheaper = [
+            p for p in evaluated if p.cost < best.cost and planner.meets(p, slo)
+        ]
+        assert not cheaper
+
+    def test_paper_crossover_storage_vs_enterprise(self, planner):
+        # The paper's crossover, reproduced by planning alone: large
+        # storage messages want the accelerator, small enterprise
+        # messages are served cheapest by the plain CPU server.
+        slo = SLO(latency_budget=30_000.0)
+        storage, _ = planner.plan(STORAGE_MIX, 3_000.0, slo, max_per_kind=2)
+        enterprise, _ = planner.plan(ENTERPRISE_MIX, 1_000.0, slo, max_per_kind=2)
+        assert storage.composition["protoacc"] >= 1
+        assert storage.composition["cpu"] == 0
+        assert enterprise.composition == {"protoacc": 0, "optimus-prime": 0, "cpu": 1}
+
+    def test_impossible_slo_returns_none(self, planner):
+        best, evaluated = planner.plan(
+            STORAGE_MIX, 3_000.0, SLO(latency_budget=10.0), max_per_kind=2
+        )
+        assert best is None
+        assert evaluated  # the search itself still ran
+
+    def test_build_fleet_realizes_the_composition(self, planner):
+        slo = SLO(latency_budget=30_000.0)
+        best, _ = planner.plan(STORAGE_MIX, 1_000.0, slo, max_per_kind=3)
+        devices = planner.build_fleet(best)
+        assert len(devices) == best.devices
+        by_kind: dict[str, int] = {}
+        for d in devices:
+            kind = d.name.rsplit("-p", 1)[0]
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        assert by_kind == {k: n for k, n in best.composition.items() if n}
+
+    def test_validation(self, planner):
+        with pytest.raises(ValueError):
+            CapacityPlanner([])
+        with pytest.raises(ValueError):
+            planner.plan(STORAGE_MIX, 0.0, SLO(latency_budget=1.0))

@@ -50,6 +50,22 @@ class TestMetrics:
         assert "server_queue_wait_cycles_bucket" in out
 
 
+class TestScale:
+    def test_scale_report_tells_the_scaling_story(self, capsys):
+        assert main(["scale", "--requests", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: MET" in out
+        assert "scaling events" in out and "predicted service" in out
+        assert "brownout ladder" in out
+        assert "final rung normal" in out
+
+    def test_fixed_fleet_mode_skips_membership_changes(self, capsys):
+        main(["scale", "--requests", "200", "--no-autoscale"])
+        out = capsys.readouterr().out
+        assert "scaling events" not in out
+        assert "brownout ladder" in out
+
+
 class TestScenario:
     def test_run_scenario_is_deterministic(self):
         obs_a, _, res_a = run_scenario(requests=40, seed=3)
