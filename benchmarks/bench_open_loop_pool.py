@@ -35,7 +35,7 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.obs import Obs
+from repro.obs import Obs, attribute, score_mispredictions
 from repro.perf import EvalCache
 from repro.runtime import (
     BreakerState,
@@ -148,6 +148,17 @@ def test_open_loop_pool(benchmark, report, tmp_path):
     for b in obs_res.breakdowns:
         assert abs(b.total - b.end_to_end) < 1e-6
 
+    # Claim 6 (causal attribution): every served request of the storm
+    # run reconstructs into per-stage segments that fold left-to-right
+    # to *bit-exactly* its end-to-end cycles — the attribution
+    # invariant, float ==, no tolerance.
+    attrs = attribute(obs_res, obs.tracer, obs_pool)
+    assert len(attrs) == len(obs_res.served)
+    for a in attrs:
+        assert a.total == a.end_to_end, (a.seq, a.total, a.end_to_end)
+    comparisons = score_mispredictions(attrs, obs_pool, obs.observatory)
+    assert comparisons, "no accel-path request could be scored"
+
     lines = [
         "E15 — open-loop serving: heterogeneous pool under fault storms",
         f"requests/run: {N_REQUESTS}   queue limit: {QUEUE_LIMIT}   "
@@ -199,4 +210,41 @@ def test_open_loop_pool(benchmark, report, tmp_path):
         "(components sum exactly to end-to-end)"
     )
     lines += ["  " + line for line in obs.observatory.report().splitlines()]
+    n_attr = max(1, len(attrs))
+    stage_means = {
+        stage: sum(a.stages().get(stage, 0.0) for a in attrs) / n_attr
+        for stage in ("queue", "retry", "memory", "overhead", "compute")
+    }
+    lines += [
+        "",
+        f"  causal attribution: {len(attrs)} requests, segments sum "
+        "bit-exactly to end-to-end on every one",
+        "  stage means: "
+        + "  ".join(f"{k}={v:.0f}" for k, v in stage_means.items())
+        + " cycles"
+        + f" ({len(comparisons)} accel requests scored against "
+        "predict_decomposition)",
+    ]
     report("E15_open_loop_pool", "\n".join(lines))
+
+    # Machine-readable metrics for the regression sentinel
+    # (``benchtrack check``).  Virtual-cycle quantities only: they are
+    # bit-deterministic at a pinned REPRO_BENCH_SCALE, so a tolerance
+    # band around them is a sound CI gate (wall-clock never is).
+    light_ip = runs[(GAPS[0], "none", "interface_predicted")][1]
+    light_rr = runs[(GAPS[0], "none", "round_robin")][1]
+    heavy_ip = runs[(GAPS[-1], "storm", "interface_predicted")][1]
+    bench_json = {
+        "bench": "serving",
+        "metrics": {
+            "nofault_ip_p50_light": light_ip.latency_summary().p50,
+            "nofault_ip_p99_light": light_ip.latency_summary().p99,
+            "nofault_rr_p99_light": light_rr.latency_summary().p99,
+            "storm_ip_p99_heavy": heavy_ip.latency_summary().p99,
+            "storm_ip_drop_rate_heavy": heavy_ip.drop_rate,
+            "storm_attributed_requests": len(attrs),
+            "storm_attribution_memory_mean": stage_means["memory"],
+        },
+    }
+    out = Path(__file__).parent / "results" / "BENCH_serving.json"
+    out.write_text(json.dumps(bench_json, indent=2, sort_keys=True) + "\n")

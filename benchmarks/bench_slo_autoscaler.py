@@ -42,6 +42,9 @@ The claims under test:
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.obs import Obs
 from repro.perf import EvalCache
 from repro.runtime import OpenLoopServer
@@ -219,6 +222,25 @@ def test_slo_autoscaler(benchmark, report):
         f"hedging={'on' if auto['pool'].hedging_enabled else 'off'}",
     ]
     report("E17_slo_autoscaler", "\n".join(lines))
+
+    # Regression-sentinel metrics (``benchtrack check``): virtual-cycle
+    # and event-count quantities only — deterministic at a pinned
+    # REPRO_BENCH_SCALE, unlike anything wall-clock.
+    bench_json = {
+        "bench": "autoscaler",
+        "metrics": {
+            "auto_p95_cycles": verdict.latency,
+            "auto_loss_rate": verdict.loss_rate,
+            "avg_devices": auto["avg_devices"],
+            "scale_outs": float(len(outs)),
+            "scale_ins": float(len(ins)),
+            "brownout_climbs": float(ladder.climbed()),
+            "brownout_descents": float(ladder.descended()),
+            "planned_bound_latency": plan.bound_latency,
+        },
+    }
+    out_path = Path(__file__).parent / "results" / "BENCH_autoscaler.json"
+    out_path.write_text(json.dumps(bench_json, indent=2, sort_keys=True) + "\n")
 
 
 def _rung_spans(ladder, min_rung) -> list[tuple[float, float]]:

@@ -42,6 +42,65 @@ class Injection:
     at: float = 0.0
 
 
+#: Transition-name substrings that classify a transition into the
+#: ``memory`` stage under the default stage map (DRAM bursts, DMA
+#: descriptor fetches, loads).  Everything else is ``compute``.
+MEMORY_STAGE_HINTS = ("dram", "mem", "dma", "load", "fetch", "read")
+
+
+def default_stage_map(transition_name: str) -> str:
+    """Classify one transition into the attribution stage vocabulary
+    (see :data:`repro.obs.attribution.STAGES`)."""
+    lowered = transition_name.lower()
+    if any(hint in lowered for hint in MEMORY_STAGE_HINTS):
+        return "memory"
+    return "compute"
+
+
+@dataclass(frozen=True)
+class PredictedDecomposition:
+    """The interface's predicted per-stage latency split for one item.
+
+    ``stages`` folds per-transition busy cycles into the shared stage
+    vocabulary, plus the interface ``epilogue`` and an ``overlap``
+    residual (negative when transitions run concurrently — their busy
+    cycles then sum to *more* than the makespan; positive when tokens
+    sat in places with no transition busy).  Left-to-right summation of
+    ``stages`` values is **bit-identical** to :attr:`total`, which is
+    itself bit-identical to ``PetriNetInterface.latency(item)`` — the
+    same invariant :mod:`repro.obs.attribution` maintains on the
+    observed side, so the two decompositions can be compared stage by
+    stage with no float slop.
+    """
+
+    accelerator: str
+    total: float  # == interface.latency(item), bit-exact
+    stages: dict[str, float]  # insertion-ordered; "overlap" last
+    transitions: dict[str, float]  # per-transition busy cycles
+
+
+def _exact_residual(prefix: list[float], total: float) -> float:
+    """Residual ``r`` with ``fold(prefix + [r]) == total`` bit-exactly
+    (float addition is not associative, so the first guess can be an
+    ulp off; nudge until the left-to-right fold lands).  Kept local —
+    ``repro.core`` sits below ``repro.obs`` in the dependency order, so
+    it cannot import the attribution module's twin."""
+
+    def fold(values) -> float:
+        acc = 0.0
+        for v in values:
+            acc += v
+        return acc
+
+    residual = total - fold(prefix)
+    for _ in range(64):
+        current = fold(prefix) + residual
+        if current == total:
+            return residual
+        residual += total - current
+    return residual
+
+
 class PetriNetInterface(PerformanceInterface[ItemT], Generic[ItemT]):
     """Runs a performance-IR net over workload items.
 
@@ -135,6 +194,87 @@ class PetriNetInterface(PerformanceInterface[ItemT], Generic[ItemT]):
     def latency(self, item: ItemT) -> float:
         result = self.simulate(item)
         return result.makespan() + self.epilogue
+
+    def predict_decomposition(
+        self,
+        item: ItemT,
+        *,
+        stage_map: Callable[[str], str] | dict[str, str] | None = None,
+    ) -> PredictedDecomposition:
+        """Predict *where* the cycles of one item go, not just how many.
+
+        Runs the net once (per-item engine, no tracer — decomposition
+        must never perturb a live trace) and harvests each transition's
+        cumulative busy-time delta, then folds the deltas into the
+        attribution stage vocabulary via ``stage_map`` (a callable or
+        dict over transition names; defaults to
+        :func:`default_stage_map`).  The stage values fold left-to-right
+        to exactly :meth:`latency`'s scalar prediction — cached under a
+        dedicated ``("stages", ...)`` key (JSON-friendly, so it spills
+        to the persistent cache tier like makespans do).
+        """
+        injections = self.tokenize(item)
+        expected = (
+            self._expected(item) if self._expected is not None else len(injections)
+        )
+        features = (
+            "stages",
+            expected,
+            [(i.place, i.payload, i.at) for i in injections],
+        )
+        per_transition: dict[str, float] | None = None
+        makespan = 0.0
+        if self.cache is not None:
+            hit = self.cache.get(self.net, features)
+            if hit is not self.cache.MISS:
+                makespan, pairs = hit
+                per_transition = {str(n): float(c) for n, c in pairs}
+        if per_transition is None:
+            # The harvest needs its own simulation: latency() may be
+            # answered from the makespan cache without running the net,
+            # and a cache hit leaves busy_time stale.  run() resets the
+            # net first, so post-run busy_time IS this run's harvest.
+            sim = make_simulator(
+                self.net, sinks=(self.sink,), engine=self.engine, tracer=None
+            )
+            for inj in injections:
+                sim.inject(inj.place, inj.payload, at=inj.at)
+            result = sim.run()
+            done = len(result.completions[self.sink])
+            if done != expected:
+                raise RuntimeError(
+                    f"net {self.net.name!r} completed {done}/{expected} tokens; "
+                    f"stuck marking: { {p: n for p, n in self.net.marking().items() if n} }"
+                )
+            makespan = result.makespan()
+            per_transition = {
+                n: t.busy_time for n, t in self.net.transitions.items()
+            }
+            if self.cache is not None:
+                self.cache.put(
+                    self.net,
+                    features,
+                    [makespan, [[n, c] for n, c in per_transition.items()]],
+                )
+        total = makespan + self.epilogue
+        if stage_map is None:
+            classify: Callable[[str], str] = default_stage_map
+        elif isinstance(stage_map, dict):
+            classify = lambda name: stage_map.get(name, "compute")  # noqa: E731
+        else:
+            classify = stage_map
+        folded: dict[str, float] = {"memory": 0.0, "compute": 0.0}
+        for name, cycles in per_transition.items():
+            stage = classify(name)
+            folded[stage] = folded.get(stage, 0.0) + cycles
+        folded["epilogue"] = self.epilogue
+        folded["overlap"] = _exact_residual(list(folded.values()), total)
+        return PredictedDecomposition(
+            accelerator=self.accelerator,
+            total=total,
+            stages=folded,
+            transitions=per_transition,
+        )
 
     # ------------------------------------------------------------------
     # Batched evaluation

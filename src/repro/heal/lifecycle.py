@@ -154,6 +154,11 @@ class KeyState:
     #: Why the key last entered QUARANTINED (static rejection vs
     #: post-swap regression) — surfaced in ``pool.snapshot()``.
     quarantine_reason: str | None = None
+    #: The observatory's worst-mispredicted stage for this key at the
+    #: last refit attempt (``None`` before stage attribution has
+    #: samples) — tells the operator *which part* of the path the
+    #: replaced interface was wrong about.
+    stage_hint: str | None = None
     # Lifetime counters.
     refits: int = 0             # candidates that reached shadowing
     refits_rejected: int = 0    # fits the holdout gate refused

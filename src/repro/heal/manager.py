@@ -114,6 +114,7 @@ class HealingManager:
         self._observatory = None
         self._tracer = None
         self._metrics = None
+        self._tsdb = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -146,6 +147,7 @@ class HealingManager:
             tracer if tracer is not None and getattr(tracer, "enabled", True) else None
         )
         self._metrics = getattr(obs, "metrics", None)
+        self._tsdb = getattr(obs, "tsdb", None)
         for pooled in pool.devices:
             if (
                 self._device_filter is not None
@@ -226,6 +228,16 @@ class HealingManager:
         from repro.extract import fit_from_records
         from repro.lint import verify_candidate
 
+        # Stage-level refit hint: which part of the causal path the
+        # outgoing interface mispredicts worst, per the attribution
+        # pipeline (None until score_mispredictions has fed the
+        # observatory).  Carried on the key and into the refit instant.
+        top_stage = getattr(self._observatory, "top_mispredicted_stage", None)
+        if top_stage is not None:
+            hinted = top_stage(state.device, state.rpc_class)
+            if hinted is not None:
+                state.stage_hint = hinted[0]
+
         window = list(state.records)
         if len(window) < self.policy.min_records:
             state.cooldown = self.policy.refit_cooldown
@@ -290,12 +302,13 @@ class HealingManager:
         state.shadow_candidate = []
         state.shadow_since = at
         self._count("heal_refits_total", state, outcome="shadowing")
+        hint = f", hint: {state.stage_hint} stage" if state.stage_hint else ""
         self._transition(
             state,
             HealPhase.SHADOWING,
             at,
             f"refit from {len(window)} records, "
-            f"holdout error {fit.holdout_error:.1%}",
+            f"holdout error {fit.holdout_error:.1%}{hint}",
         )
 
     def _tick_shadowing(
@@ -448,6 +461,10 @@ class HealingManager:
                 tid=state.device,
                 args={"rpc_class": state.rpc_class, **args},
             )
+        if self._tsdb is not None:
+            self._tsdb.event(
+                name, at, device=state.device, rpc_class=state.rpc_class, **args
+            )
 
     def _count(self, name: str, state: KeyState, **labels) -> None:
         if self._metrics is not None:
@@ -500,6 +517,8 @@ class HealingManager:
             }
             if s.quarantine_reason is not None:
                 entry["quarantine_reason"] = s.quarantine_reason
+            if s.stage_hint is not None:
+                entry["stage_hint"] = s.stage_hint
             if s.shadow_candidate:
                 entry["shadow"] = {
                     "samples": len(s.shadow_candidate),

@@ -39,7 +39,15 @@ from .metrics import (
     MetricsRegistry,
     watch_fifo,
 )
+from .attribution import (
+    LatencyAttribution,
+    Segment,
+    attribute,
+    attribute_records,
+    score_mispredictions,
+)
 from .trace import Tracer, active
+from .tsdb import TimeSeriesStore
 
 __all__ = [
     "DEFAULT_CYCLE_BUCKETS",
@@ -48,12 +56,18 @@ __all__ = [
     "DriftObservatory",
     "Gauge",
     "Histogram",
+    "LatencyAttribution",
     "MetricsRegistry",
     "Obs",
+    "Segment",
     "SizeClasses",
+    "TimeSeriesStore",
     "Tracer",
     "active",
+    "attribute",
+    "attribute_records",
     "rpc_size_class",
+    "score_mispredictions",
     "watch_fifo",
 ]
 
@@ -70,6 +84,7 @@ class Obs:
     tracer: Tracer | None = None
     metrics: MetricsRegistry | None = None
     observatory: DriftObservatory | None = None
+    tsdb: TimeSeriesStore | None = None
 
     @classmethod
     def enabled(
@@ -78,10 +93,13 @@ class Obs:
         tracing: bool = True,
         metrics: bool = True,
         drift: bool = True,
+        tsdb: bool = False,
         max_events: int = 1_000_000,
     ) -> Obs:
         """Build a fully wired bundle (the common case for benchmarks
-        and the perfscope CLI)."""
+        and the perfscope CLI).  ``tsdb`` opts into the embedded
+        time-series store (off by default: the serving loop then pumps
+        periodic metrics snapshots into it)."""
         registry = MetricsRegistry() if metrics else None
         return cls(
             tracer=Tracer(max_events=max_events) if tracing else None,
@@ -89,6 +107,7 @@ class Obs:
             observatory=(
                 DriftObservatory(metrics=registry) if drift else None
             ),
+            tsdb=TimeSeriesStore() if tsdb else None,
         )
 
     def active_tracer(self) -> Tracer | None:

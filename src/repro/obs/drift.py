@@ -83,6 +83,33 @@ def rpc_size_class(request: Any) -> str:
     return DEFAULT_SIZE_CLASSES.classify(request)
 
 
+class _StageState:
+    """Per-(device, rpc-class, stage) predicted-vs-observed aggregate."""
+
+    __slots__ = ("samples", "err_sum", "pred_sum", "obs_sum", "last_at")
+
+    def __init__(self):
+        self.samples = 0
+        self.err_sum = 0.0
+        self.pred_sum = 0.0
+        self.obs_sum = 0.0
+        self.last_at = 0.0
+
+    @property
+    def err_mean(self) -> float:
+        return self.err_sum / self.samples if self.samples else 0.0
+
+
+def _symmetric_error(predicted: float, observed: float) -> float:
+    """|p - o| / max(|p|, |o|) — bounded to [0, 1], so a stage the
+    interface predicts as zero (e.g. no modeled memory stalls) scores
+    1.0 against any observed cycles instead of blowing up to inf."""
+    denom = max(abs(predicted), abs(observed))
+    if denom == 0.0:
+        return 0.0
+    return abs(predicted - observed) / denom
+
+
 class _KeyState:
     """Per-(device, rpc-class) rolling state."""
 
@@ -156,6 +183,7 @@ class DriftObservatory:
         self._detector_factory = detector_factory
         self.metrics = metrics
         self._keys: dict[tuple[str, str], _KeyState] = {}
+        self._stages: dict[tuple[str, str, str], _StageState] = {}
         self._subscribers: list[Callable[..., None]] = []
 
     # ------------------------------------------------------------------
@@ -236,6 +264,94 @@ class DriftObservatory:
                 at=at,
             )
         return state.drifting
+
+    # ------------------------------------------------------------------
+    # Stage-level misprediction tracking (fed by
+    # :func:`repro.obs.attribution.score_mispredictions`)
+    # ------------------------------------------------------------------
+    def observe_stage(
+        self,
+        device: str,
+        rpc_class: str,
+        stage: str,
+        predicted: float,
+        observed: float,
+        *,
+        at: float = 0.0,
+    ) -> None:
+        """Fold one per-stage (predicted, observed) pair — the causal
+        refinement of :meth:`observe`: not just *that* the interface
+        mispredicted, but *which stage* of the path it mispredicted."""
+        key = (device, rpc_class, stage)
+        state = self._stages.get(key)
+        if state is None:
+            state = self._stages[key] = _StageState()
+        state.samples += 1
+        state.err_sum += _symmetric_error(predicted, observed)
+        state.pred_sum += predicted
+        state.obs_sum += observed
+        state.last_at = at
+        if self.metrics is not None:
+            self.metrics.counter(
+                "obs_stage_samples_total",
+                device=device,
+                rpc_class=rpc_class,
+                stage=stage,
+            ).inc()
+            self.metrics.gauge(
+                "obs_stage_err",
+                device=device,
+                rpc_class=rpc_class,
+                stage=stage,
+            ).set(state.err_mean)
+
+    def top_mispredicted_stage(
+        self, device: str, rpc_class: str | None = None
+    ) -> tuple[str, float] | None:
+        """The stage with the worst mean symmetric error for one device
+        (optionally narrowed to one rpc-class): ``(stage, err_mean)``,
+        or ``None`` before any stage sample.  This is the refit hint
+        the healing loop attaches to its candidates and the headline of
+        ``DevicePool.snapshot()['attribution']``."""
+        best: tuple[str, float] | None = None
+        for (dev, cls, stage), state in self._stages.items():
+            if dev != device or state.samples == 0:
+                continue
+            if rpc_class is not None and cls != rpc_class:
+                continue
+            if best is None or state.err_mean > best[1]:
+                best = (stage, state.err_mean)
+        return best
+
+    def stage_snapshot(self) -> dict[str, Any]:
+        """Programmatic view, one entry per (device, rpc-class, stage)."""
+        out: dict[str, Any] = {}
+        for (device, rpc_class, stage), state in sorted(self._stages.items()):
+            out[f"{device}/{rpc_class}/{stage}"] = {
+                "samples": state.samples,
+                "err_mean": state.err_mean,
+                "predicted_mean": state.pred_sum / state.samples,
+                "observed_mean": state.obs_sum / state.samples,
+                "last_at": state.last_at,
+            }
+        return out
+
+    def stage_report(self) -> str:
+        """Operator-facing table: one row per (device, rpc-class, stage)."""
+        if not self._stages:
+            return "stage attribution: no samples"
+        lines = [
+            f"{'device':14}  {'class':8}  {'stage':8}  {'n':>6}  "
+            f"{'pred mean':>10}  {'obs mean':>10}  {'err':>7}"
+        ]
+        for (device, rpc_class, stage), state in sorted(self._stages.items()):
+            lines.append(
+                f"{device:14}  {rpc_class:8}  {stage:8}  {state.samples:6d}  "
+                f"{state.pred_sum / state.samples:10.0f}  "
+                f"{state.obs_sum / state.samples:10.0f}  "
+                f"{state.err_mean:7.1%}"
+            )
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # Introspection

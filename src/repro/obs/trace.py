@@ -176,6 +176,24 @@ class Tracer:
             out.append((name, ts, ts + dur, cat, tid))
         return out
 
+    def span_events(self, cat_prefix: str | None = None) -> list[tuple]:
+        """Like :meth:`spans` but args-including:
+        ``(name, start, end, cat, tid, args)`` in emission order.
+
+        The attribution layer (:mod:`repro.obs.attribution`) needs the
+        per-span payload (attempt outcome, observed latency, fault
+        kind) that :meth:`spans` — kept stable for the differential
+        harness — drops.
+        """
+        out = []
+        for ph, name, cat, ts, dur, tid, _wall, args in self._events:
+            if ph != _SPAN:
+                continue
+            if cat_prefix is not None and not cat.startswith(cat_prefix):
+                continue
+            out.append((name, ts, ts + dur, cat, tid, args))
+        return out
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------

@@ -76,6 +76,10 @@ class _Attempt:
     charge: float  # cycles this attempt cost
     observed: float | None  # device-side latency, when one was observed
     reason: str  # failure label for breaker/timeline bookkeeping
+    #: Fault-injected memory-stall cycles inside ``observed`` (refresh
+    #: storms, latency spikes): the slice of the observed window the
+    #: attribution layer charges to the memory stage.
+    stall: float = 0.0
 
 
 class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, ResponseT]):
@@ -215,8 +219,25 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
                             "ok": outcome.ok,
                             "reason": outcome.reason,
                             "fault": event.kind.value if event is not None else None,
+                            "observed": outcome.observed,
                         },
                     )
+                    if outcome.ok and outcome.stall > 0.0:
+                        # The fault-stretched tail of the observed
+                        # window; attribution charges it to memory.
+                        stall_end = self.clock - (outcome.charge - outcome.observed)
+                        tracer.add_span(
+                            "stall",
+                            stall_end - outcome.stall,
+                            stall_end,
+                            cat="runtime.stall",
+                            tid=self.name,
+                            args={
+                                "fault": (
+                                    event.kind.value if event is not None else None
+                                ),
+                            },
+                        )
                 if outcome.ok:
                     response = self.respond(request)
                     path = "accel"
@@ -329,6 +350,7 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
             # spans (DRAM bursts etc.) with this device's serving clock.
             self.model.trace_origin = self.clock
         observed = self.model.measure_latency(request)
+        base = observed  # fault-free device-side latency
         kind = event.kind if event is not None else None
         if kind is FaultKind.LATENCY_SPIKE:
             observed *= event.magnitude
@@ -355,7 +377,10 @@ class ResilientDevice(VirtualDevice[RequestT, ResponseT], Generic[RequestT, Resp
         if kind is FaultKind.CORRUPT:
             # Arrived on time, failed the integrity check on arrival.
             return _Attempt(False, observed + overhead, None, "response corrupted")
-        return _Attempt(True, observed + overhead, observed, "ok")
+        return _Attempt(
+            True, observed + overhead, observed, "ok",
+            stall=max(0.0, observed - base),
+        )
 
     def _record_success(self, request: RequestT, outcome: _Attempt) -> None:
         if self.breaker is not None:

@@ -490,7 +490,12 @@ class DevicePool(Generic[RequestT, ResponseT]):
                 t,
                 cat="runtime.pool",
                 tid="pool",
-                args={"device": final_device, "path": final_path, "hedges": hedges},
+                args={
+                    "device": final_device,
+                    "path": final_path,
+                    "hedges": hedges,
+                    "seq": len(self.results) - 1,
+                },
             )
         metrics = self._metrics
         if metrics is not None:
@@ -594,6 +599,18 @@ class DevicePool(Generic[RequestT, ResponseT]):
             snap["brownout"] = self.ladder.snapshot()
         if self.scaler is not None:
             snap["scaling"] = self.scaler.snapshot()
+        observatory = getattr(self.obs, "observatory", None)
+        if observatory is not None and hasattr(observatory, "top_mispredicted_stage"):
+            attribution = {}
+            for d in self.devices:
+                top = observatory.top_mispredicted_stage(d.name)
+                if top is not None:
+                    attribution[d.name] = {"stage": top[0], "err_mean": top[1]}
+            if attribution:
+                snap["attribution"] = attribution
+        tsdb = getattr(self.obs, "tsdb", None)
+        if tsdb is not None:
+            snap["tsdb"] = tsdb.snapshot()
         return snap
 
 
@@ -752,6 +769,13 @@ def rpc_pool(
     * ``"storm"`` — Protoacc takes a hang/drop/corrupt storm severe
       enough to trip its breaker; Optimus Prime sees background latency
       spikes; the CPU stays clean.  The pool must keep answering.
+    * ``"dram"`` — Protoacc suffers frequent DRAM refresh storms: the
+      device keeps *answering* (no hangs, no breaker trips — the storm
+      cycles stay under the watchdog budget) but its memory stage
+      silently inflates, which is exactly the misprediction shape the
+      attribution layer exists to localize (``perfscope explain``
+      names the memory stage; asserted in
+      ``tests/integration/test_attribution_bottleneck.py``).
 
     All accelerator devices are priced through their Petri-net
     interfaces on the compiled engine, sharing one
@@ -769,8 +793,10 @@ def rpc_pool(
 
     from .faults import FaultPlan, FaultSpec
 
-    if faults not in ("none", "storm"):
-        raise ValueError(f"faults must be 'none' or 'storm', got {faults!r}")
+    if faults not in ("none", "storm", "dram"):
+        raise ValueError(
+            f"faults must be 'none', 'storm', or 'dram', got {faults!r}"
+        )
     cache = cache if cache is not None else EvalCache()
     metrics = getattr(obs, "metrics", None)
     if metrics is not None:
@@ -778,20 +804,31 @@ def rpc_pool(
 
     storm_spec = FaultSpec(hang_rate=0.25, drop_rate=0.10, corrupt_rate=0.05)
     background_spec = FaultSpec(spike_rate=0.02, spike_scale=3.0)
+    # Storm cycles sit far under the 20k-cycle watchdog budget, so the
+    # device answers every call — slower, not broken.
+    dram_spec = FaultSpec(storm_rate=0.45, storm_cycles=6_000.0)
+
+    protoacc_plan = None
+    optimus_plan = None
+    if faults == "storm":
+        protoacc_plan = FaultPlan(seed, storm_spec)
+        optimus_plan = FaultPlan(seed + 1, background_spec)
+    elif faults == "dram":
+        protoacc_plan = FaultPlan(seed, dram_spec)
 
     protoacc = rpc_device(
         "protoacc",
         seed=seed,
         cache=cache,
         obs=obs,
-        fault_plan=FaultPlan(seed, storm_spec) if faults == "storm" else None,
+        fault_plan=protoacc_plan,
     )
     optimus = rpc_device(
         "optimus-prime",
         seed=seed + 1,
         cache=cache,
         obs=obs,
-        fault_plan=FaultPlan(seed + 1, background_spec) if faults == "storm" else None,
+        fault_plan=optimus_plan,
     )
     cpu = rpc_device("cpu", obs=obs)
     return DevicePool(

@@ -218,6 +218,7 @@ class OpenLoopServer(Generic[RequestT]):
             tracer if tracer is not None and getattr(tracer, "enabled", True) else None
         )
         self._metrics = getattr(self.obs, "metrics", None)
+        self._tsdb = getattr(self.obs, "tsdb", None)
         attach = getattr(controller, "attach", None)
         if attach is not None:
             attach(self)
@@ -314,8 +315,14 @@ class OpenLoopServer(Generic[RequestT]):
             while inflight and inflight[0] <= until:
                 pump(heappop(inflight))
 
+        tsdb = self._tsdb
         for request, arrived in zip(requests, arrivals, strict=True):
             retire(arrived)
+            if tsdb is not None:
+                # Throttled: one float comparison per arrival when it is
+                # too early to fold another metrics snapshot.
+                tsdb.maybe_pump(metrics, arrived)
+                tsdb.record("server_queue_depth", arrived, len(waiting))
             priority = (
                 self.priority_fn(request)
                 if self.priority_fn is not None
@@ -351,4 +358,8 @@ class OpenLoopServer(Generic[RequestT]):
                 pump(heappop(inflight))
             else:  # every slot free: the rest of the queue pumps out
                 pump(waiting[0][0])
+        if tsdb is not None:
+            # Final fold so the stored run ends at the run's end state.
+            last = max((r.completed for r in result.served), default=0.0)
+            tsdb.pump(metrics, last)
         return result

@@ -419,8 +419,51 @@ class _RecordedLatencyInterface(PerformanceInterface):
         return cycles
 
 
+def explain_tape(path: str | Path, *, top: int = 5) -> dict:
+    """Offline causal attribution of a saved tape.
+
+    Replays the records through
+    :func:`repro.obs.attribution.attribute_records` (fault-free class
+    medians as the compute baseline, DRAM-flavored fault excess charged
+    to the memory stage) and folds the result per size class.  Returns
+    a JSON-friendly report: per-class per-stage cycle totals, the
+    slowest ``top`` records with their decomposition, and the exact-sum
+    invariant verdict over every record.
+    """
+    from repro.obs.attribution import attribute_records
+    from repro.obs.drift import DEFAULT_SIZE_CLASSES
+
+    records = load_tape(path)
+    attrs = attribute_records(records)
+    exact = all(a.total == a.end_to_end for a in attrs)
+    per_class: dict[str, dict] = {}
+    for r, a in zip(records, attrs):
+        label = DEFAULT_SIZE_CLASSES.classify(r.request)
+        bucket = per_class.setdefault(
+            label, {"count": 0, "stages": dict.fromkeys(("queue", "retry", "memory", "overhead", "compute"), 0.0)}
+        )
+        bucket["count"] += 1
+        for stage, cycles in a.stages().items():
+            bucket["stages"][stage] = bucket["stages"].get(stage, 0.0) + cycles
+    slowest = sorted(attrs, key=lambda a: a.end_to_end, reverse=True)[:top]
+    return {
+        "records": len(records),
+        "exact_sum": exact,
+        "classes": per_class,
+        "slowest": [
+            {
+                "index": a.seq,
+                "path": a.path,
+                "end_to_end": a.end_to_end,
+                "stages": a.stages(),
+            }
+            for a in slowest
+        ],
+    }
+
+
 def _main(argv: Sequence[str] | None = None) -> int:
-    """``python -m repro.runtime.tape {replay,stats} <tape.jsonl.gz>``"""
+    """``python -m repro.runtime.tape {replay,stats,explain} <tape.jsonl.gz>``"""
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -441,10 +484,26 @@ def _main(argv: Sequence[str] | None = None) -> int:
         metavar="N",
         help="only the last N records (the healing loop's window view)",
     )
+    explain = sub.add_parser(
+        "explain",
+        help="offline causal attribution: where each record's cycles went",
+    )
+    explain.add_argument("tape", help="path to a .jsonl.gz tape from save_tape()")
+    explain.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="K",
+        help="slowest records to list with full decomposition (default: 5)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "replay":
         print(json.dumps(replay_saved_tape(args.tape), sort_keys=True))
+        return 0
+
+    if args.command == "explain":
+        print(json.dumps(explain_tape(args.tape, top=args.top), sort_keys=True))
         return 0
 
     header = tape_header(args.tape)

@@ -130,6 +130,7 @@ class Autoscaler:
         self.obs = obs if obs is not None else getattr(pool, "obs", None)
         self._tracer = getattr(self.obs, "tracer", None)
         self._metrics = getattr(self.obs, "metrics", None)
+        self._tsdb = getattr(self.obs, "tsdb", None)
         #: Names of devices this scaler added — the only ones it may
         #: remove.  The base fleet is the hard floor.
         self.added: list[str] = []
@@ -335,6 +336,17 @@ class Autoscaler:
                 "autoscaler_events_total", action=event.action, kind=event.kind
             ).inc()
             self._metrics.gauge("pool_devices").set(len(self.pool.devices))
+        if self._tsdb is not None:
+            self._tsdb.event(
+                f"scale:{event.action}",
+                event.at,
+                device=event.device,
+                kind=event.kind,
+                reason=event.reason,
+            )
+            self._tsdb.record(
+                "autoscaler_devices", event.at, len(self.pool.devices)
+            )
 
     # ------------------------------------------------------------------
     # Introspection

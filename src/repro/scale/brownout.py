@@ -100,6 +100,7 @@ class DegradationLadder:
         self.obs = obs if obs is not None else getattr(pool, "obs", None)
         self._tracer = getattr(self.obs, "tracer", None)
         self._metrics = getattr(self.obs, "metrics", None)
+        self._tsdb = getattr(self.obs, "tsdb", None)
         self.rung = Rung.NORMAL
         self.transitions: list[RungTransition] = []
         self._bad_streak = 0
@@ -154,6 +155,15 @@ class DegradationLadder:
                 "brownout_transitions_total", direction=direction, rung=to.label
             ).inc()
             self._metrics.gauge("brownout_rung").set(int(self.rung))
+        if self._tsdb is not None:
+            self._tsdb.event(
+                f"brownout:{direction}",
+                at,
+                from_rung=transition.from_rung.label,
+                to_rung=to.label,
+                rung=int(to),
+            )
+            self._tsdb.record("brownout_rung", at, int(to))
 
     def _apply(self) -> None:
         """Project the rung onto the pool's switches.  Idempotent."""

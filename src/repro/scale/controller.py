@@ -63,6 +63,7 @@ class ScaleController:
             else None
         )
         self.decision_interval = decision_interval
+        self._tsdb = getattr(self.obs, "tsdb", None)
         self.server = None
         self._queue_limit = 1
         self._last_decision = -float("inf")
@@ -84,6 +85,16 @@ class ScaleController:
         self.decisions += 1
         status = self.monitor.status(now)
         self.statuses.append(status)
+        if self._tsdb is not None:
+            # Every SLO verdict lands in the store, so a post-hoc
+            # timeline can show *when* the SLO broke, not just that it
+            # did (``perfscope timeline`` reads these back).  Latency
+            # is None until the monitor has a sample in its horizon.
+            if status.latency is not None:
+                self._tsdb.record("slo_latency", now, status.latency)
+            self._tsdb.record("slo_loss_rate", now, status.loss_rate)
+            self._tsdb.record("slo_ok", now, 1.0 if status.ok else 0.0)
+            self._tsdb.record("pool_device_count", now, len(self.pool.devices))
         if self.ladder is not None:
             self.ladder.update(status)
         if self.scaler is not None:

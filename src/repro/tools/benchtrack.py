@@ -1,0 +1,290 @@
+"""Benchtrack: the performance-regression sentinel for the benchmark suite.
+
+Benchmarks emit machine-readable ``BENCH_<name>.json`` files next to
+their human-readable reports (``benchmarks/results/``) containing only
+*deterministic* metrics — virtual-cycle latencies, counts, event
+tallies — that reproduce bit-for-bit at a pinned ``REPRO_BENCH_SCALE``.
+This module compares a fresh set of those files against committed
+baselines (``benchmarks/baselines/``) with per-metric tolerance bands,
+so CI can fail a pull request that silently regresses serving latency
+even while every correctness test still passes.
+
+Baseline format (one JSON file per benchmark)::
+
+    {
+      "bench": "serving",
+      "metrics": {
+        "served_p95_cycles": {"value": 41210.0, "tolerance": 0.05,
+                              "direction": "max"}
+      }
+    }
+
+``direction`` says which way is a regression: ``max`` (bigger is
+worse — latencies), ``min`` (smaller is worse — throughput, hit
+rates), ``both`` (any drift beyond the band — determinism canaries).
+Fresh results are plain ``{"bench": ..., "metrics": {name: value}}``.
+
+CLI::
+
+    python -m repro.tools.benchtrack check            # exit 1 + metric name on regression
+    python -m repro.tools.benchtrack check --results benchmarks/results
+    python -m repro.tools.benchtrack bless            # (re)write baselines from fresh results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Band applied by ``bless`` when the baseline does not pin one.
+DEFAULT_TOLERANCE = 0.05
+
+_DIRECTIONS = ("max", "min", "both")
+_RESULTS_DIR = Path("benchmarks/results")
+_BASELINES_DIR = Path("benchmarks/baselines")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One metric's verdict from a baseline comparison."""
+
+    bench: str
+    metric: str
+    status: str  # "ok" | "regressed" | "missing" | "new"
+    value: float | None
+    baseline: float | None
+    tolerance: float
+    direction: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "new")
+
+    def __str__(self) -> str:
+        if self.status == "regressed":
+            bound = self.baseline * (
+                1 + self.tolerance if self.direction != "min" else 1 - self.tolerance
+            )
+            return (
+                f"REGRESSED {self.bench}.{self.metric}: {self.value:g} vs "
+                f"baseline {self.baseline:g} "
+                f"(tolerance {self.tolerance:.0%} {self.direction}, "
+                f"bound {bound:g})"
+            )
+        if self.status == "missing":
+            return (
+                f"MISSING {self.bench}.{self.metric}: baseline expects it, "
+                "fresh results do not report it"
+            )
+        return f"{self.status} {self.bench}.{self.metric}"
+
+
+def compare(fresh: dict, baseline: dict) -> list[Finding]:
+    """Judge one benchmark's fresh metrics against its baseline.
+
+    Every baseline metric must be present and inside its band; fresh
+    metrics the baseline does not know are ``new`` (informational, not
+    failures — ``bless`` adopts them).
+    """
+    bench = str(baseline.get("bench", fresh.get("bench", "?")))
+    fresh_metrics = fresh.get("metrics", {})
+    findings = []
+    for name, spec in sorted(baseline.get("metrics", {}).items()):
+        expected = float(spec["value"])
+        tolerance = float(spec.get("tolerance", DEFAULT_TOLERANCE))
+        direction = str(spec.get("direction", "both"))
+        if direction not in _DIRECTIONS:
+            raise ValueError(
+                f"{bench}.{name}: direction must be one of {_DIRECTIONS}"
+            )
+        if tolerance < 0:
+            raise ValueError(f"{bench}.{name}: tolerance must be >= 0")
+        if name not in fresh_metrics:
+            findings.append(
+                Finding(bench, name, "missing", None, expected, tolerance, direction)
+            )
+            continue
+        value = float(fresh_metrics[name])
+        # The band is relative to the baseline magnitude; a zero
+        # baseline degenerates to an absolute band of `tolerance`.
+        band = tolerance * (abs(expected) if expected != 0 else 1.0)
+        high = value > expected + band
+        low = value < expected - band
+        regressed = (
+            (direction == "max" and high)
+            or (direction == "min" and low)
+            or (direction == "both" and (high or low))
+        )
+        findings.append(
+            Finding(
+                bench,
+                name,
+                "regressed" if regressed else "ok",
+                value,
+                expected,
+                tolerance,
+                direction,
+            )
+        )
+    for name in sorted(set(fresh_metrics) - set(baseline.get("metrics", {}))):
+        findings.append(
+            Finding(
+                bench,
+                name,
+                "new",
+                float(fresh_metrics[name]),
+                None,
+                DEFAULT_TOLERANCE,
+                "both",
+            )
+        )
+    return findings
+
+
+def _fresh_files(results: Path) -> list[Path]:
+    """Sentinel-conforming fresh results: ``BENCH_*.json`` files with a
+    top-level ``metrics`` dict.  Files without one (e.g. the mega-batch
+    sweep's wall-clock report) are not gateable and are skipped."""
+    out = []
+    for path in sorted(results.glob("BENCH_*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue
+        if isinstance(document, dict) and isinstance(document.get("metrics"), dict):
+            out.append(path)
+    return out
+
+
+def _baseline_for(fresh_path: Path, baselines: Path) -> Path:
+    return baselines / fresh_path.name
+
+
+def check(
+    *,
+    results: Path = _RESULTS_DIR,
+    baselines: Path = _BASELINES_DIR,
+    require_baselines: bool = True,
+) -> tuple[list[Finding], list[str]]:
+    """Compare every fresh ``BENCH_*.json`` under ``results`` against
+    its committed baseline.  Returns ``(findings, problems)`` where
+    ``problems`` are structural failures (no fresh results at all, a
+    baseline with no fresh counterpart)."""
+    problems: list[str] = []
+    findings: list[Finding] = []
+    fresh_paths = _fresh_files(results)
+    if not fresh_paths:
+        problems.append(f"no BENCH_*.json results under {results}")
+    seen = set()
+    for path in fresh_paths:
+        fresh = json.loads(path.read_text())
+        baseline_path = _baseline_for(path, baselines)
+        seen.add(baseline_path.name)
+        if not baseline_path.exists():
+            if require_baselines:
+                problems.append(f"no committed baseline for {path.name}")
+            continue
+        findings.extend(compare(fresh, json.loads(baseline_path.read_text())))
+    for stale in sorted(baselines.glob("BENCH_*.json")):
+        if stale.name not in seen:
+            problems.append(f"baseline {stale.name} has no fresh result")
+    return findings, problems
+
+
+def bless(
+    *,
+    results: Path = _RESULTS_DIR,
+    baselines: Path = _BASELINES_DIR,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[Path]:
+    """(Re)write baselines from the fresh results, keeping each
+    existing metric's tolerance/direction and adopting new metrics at
+    ``tolerance``/``both``."""
+    written = []
+    baselines.mkdir(parents=True, exist_ok=True)
+    for path in _fresh_files(results):
+        fresh = json.loads(path.read_text())
+        baseline_path = _baseline_for(path, baselines)
+        prior = (
+            json.loads(baseline_path.read_text()).get("metrics", {})
+            if baseline_path.exists()
+            else {}
+        )
+        metrics = {}
+        for name, value in sorted(fresh.get("metrics", {}).items()):
+            spec = dict(prior.get(name, {}))
+            spec["value"] = float(value)
+            spec.setdefault("tolerance", tolerance)
+            spec.setdefault("direction", "both")
+            metrics[name] = spec
+        baseline_path.write_text(
+            json.dumps(
+                {"bench": fresh.get("bench", path.stem), "metrics": metrics},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        written.append(baseline_path)
+    return written
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.benchtrack",
+        description="Gate benchmark metrics against committed baselines.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("check", "fail (exit 1) if any metric left its tolerance band"),
+        ("bless", "write baselines from the fresh BENCH_*.json results"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "--results",
+            type=Path,
+            default=_RESULTS_DIR,
+            help=f"directory of fresh BENCH_*.json files (default: {_RESULTS_DIR})",
+        )
+        p.add_argument(
+            "--baselines",
+            type=Path,
+            default=_BASELINES_DIR,
+            help=f"directory of committed baselines (default: {_BASELINES_DIR})",
+        )
+        if name == "bless":
+            p.add_argument(
+                "--tolerance",
+                type=float,
+                default=DEFAULT_TOLERANCE,
+                help="band for newly adopted metrics (default: 5%%)",
+            )
+    args = parser.parse_args(argv)
+
+    if args.command == "bless":
+        for path in bless(
+            results=args.results, baselines=args.baselines, tolerance=args.tolerance
+        ):
+            print(f"blessed {path}")
+        return 0
+
+    findings, problems = check(results=args.results, baselines=args.baselines)
+    bad = [f for f in findings if not f.ok]
+    for f in findings:
+        print(f)
+    for p in problems:
+        print(f"PROBLEM: {p}")
+    ok = not bad and not problems
+    total = len(findings)
+    print(
+        f"benchtrack: {total - len(bad)}/{total} metrics within tolerance"
+        + ("" if ok else " -- FAILED")
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

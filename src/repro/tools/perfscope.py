@@ -20,16 +20,26 @@ from it:
 * ``scale`` — run the autoscaling scenario (diurnal trace + rolling
   fault storm, SLO-guarded controller from :mod:`repro.scale`) and
   render the scaling story: SLO verdict, scale-out/in events with
-  their interface pricing, and the brownout rung transitions.
+  their interface pricing, and the brownout rung transitions;
+* ``explain`` — causal latency attribution: drill into the slowest-K
+  requests with their exact per-stage cycle decomposition (segments
+  sum bit-exactly to end-to-end), then line observed stages up against
+  the interface's :meth:`~repro.core.petrinet.PetriNetInterface.predict_decomposition`
+  and name the worst-mispredicted stage per device;
+* ``timeline`` — replay the autoscaling scenario's SLO verdicts from
+  the embedded time-series store, with brownout rung moves and
+  scale-out/in events annotated inline where they happened.
 
-The first three subcommands share the scenario flags, so the same run
-can be inspected from any angle::
+The scenario subcommands share flags, so the same run can be
+inspected from any angle::
 
     python -m repro.tools.perfscope report --faults storm
     python -m repro.tools.perfscope trace --out storm.trace.json
     python -m repro.tools.perfscope metrics --policy round_robin
+    python -m repro.tools.perfscope explain --faults dram --top 5
     python -m repro.tools.perfscope heal --slowdown 5
     python -m repro.tools.perfscope scale --requests 400
+    python -m repro.tools.perfscope timeline --requests 400
 """
 
 from __future__ import annotations
@@ -208,6 +218,135 @@ def _scale_report(out: dict) -> str:
     return "\n".join(lines)
 
 
+def _explain_report(obs: Obs, pool, result, *, top: int = 5) -> str:
+    """Causal attribution view: slowest-K drill-down plus the
+    predicted-vs-observed stage alignment."""
+    from repro.obs import attribute, score_mispredictions
+
+    attrs = attribute(result, obs.tracer, pool)
+    comparisons = (
+        score_mispredictions(attrs, pool, obs.observatory)
+        if obs.observatory is not None
+        else []
+    )
+    lines = [
+        "== perfscope explain ==",
+        "",
+        f"requests attributed: {len(attrs)} "
+        f"(exact-sum invariant: segments fold to end-to-end bit-exactly)",
+        "",
+        f"-- slowest {min(top, len(attrs))} requests, causal decomposition --",
+        f"  {'seq':>4} {'device':<14} {'path':<7} "
+        f"{'queue':>9} {'retry':>9} {'memory':>9} {'ovh':>8} "
+        f"{'compute':>9} {'e2e':>10}",
+    ]
+    for a in sorted(attrs, key=lambda a: a.end_to_end, reverse=True)[:top]:
+        stages = a.stages()
+        lines.append(
+            f"  {a.seq:>4} {a.device:<14} {a.path:<7} "
+            f"{stages.get('queue', 0.0):>9.0f} {stages.get('retry', 0.0):>9.0f} "
+            f"{stages.get('memory', 0.0):>9.0f} {stages.get('overhead', 0.0):>8.0f} "
+            f"{stages.get('compute', 0.0):>9.0f} {a.end_to_end:>10.0f}"
+        )
+    if comparisons:
+        by_device: dict[str, list[dict]] = {}
+        for c in comparisons:
+            by_device.setdefault(c["device"], []).append(c)
+        lines += [
+            "",
+            "-- predicted vs observed stages (mean cycles, accel path) --",
+            f"  {'device':<14} {'stage':<8} {'predicted':>11} {'observed':>11}",
+        ]
+        for device in sorted(by_device):
+            cs = by_device[device]
+            n = len(cs)
+            for stage in ("memory", "compute"):
+                pred = sum(c["predicted"][stage] for c in cs) / n
+                obsv = sum(c["observed"][stage] for c in cs) / n
+                lines.append(
+                    f"  {device:<14} {stage:<8} {pred:>11.0f} {obsv:>11.0f}"
+                )
+    if obs.observatory is not None:
+        lines += ["", "-- worst-mispredicted stage per device --"]
+        devices = sorted({a.device for a in attrs if a.path == "accel"})
+        named = False
+        for device in devices:
+            worst = obs.observatory.top_mispredicted_stage(device)
+            if worst is not None:
+                stage, err = worst
+                lines.append(
+                    f"  {device:<14} {stage:<8} mean symmetric error {err:.1%}"
+                )
+                named = True
+        if not named:
+            lines.append("  (no stage samples — attribution saw no accel traffic)")
+        lines += ["", "-- stage attribution detail --", obs.observatory.stage_report()]
+    return "\n".join(lines)
+
+
+def _timeline_report(obs: Obs, out: dict) -> str:
+    """SLO verdicts from the time-series store, with scale and brownout
+    instants annotated at the rows where they landed."""
+    tsdb = obs.tsdb
+    verdict = out["verdict"]
+    lines = [
+        "== perfscope timeline ==",
+        "",
+        f"slo: {out['slo'].describe()}",
+        f"verdict: {'MET' if verdict.ok else 'VIOLATED'} "
+        f"(p{out['slo'].latency_quantile * 100:g}={verdict.latency:,.0f} cycles, "
+        f"loss {verdict.loss_rate:.1%})",
+        "",
+    ]
+    points = tsdb.points("slo_latency")
+    if not points:
+        lines.append("(no SLO verdicts recorded — run too short for a decision)")
+        return "\n".join(lines)
+    budget = out["slo"].latency_budget
+    ok_points = dict(tsdb.points("slo_ok"))
+    fleet = dict(tsdb.points("pool_device_count"))
+    events = list(tsdb.events())
+    peak = max(v for _, v in points)
+    width = 32
+    lines += [
+        f"-- slo latency timeline ({len(points)} verdicts, "
+        f"budget {budget:,.0f} cycles) --"
+    ]
+    event_idx = 0
+    current_rung = 0
+    for at, latency in points:
+        bar = "#" * max(1, round(width * latency / peak)) if peak > 0 else ""
+        flag = "   " if ok_points.get(at, 1.0) >= 1.0 else "VIO"
+        annotations = []
+        # Events that happened since the previous verdict annotate this row.
+        while event_idx < len(events) and events[event_idx][0] <= at:
+            _, name, fields = events[event_idx]
+            if name.startswith("brownout:"):
+                current_rung = int(fields.get("rung", current_rung))
+                annotations.append(f"{name} -> {fields.get('to_rung')}")
+            elif name.startswith("scale:"):
+                annotations.append(f"{name} {fields.get('device')}")
+            event_idx += 1
+        suffix = f"   [{'; '.join(annotations)}]" if annotations else ""
+        lines.append(
+            f"  t={at:>10.0f} {flag} {latency:>9,.0f} "
+            f"n={fleet.get(at, 0):>2.0f} r={current_rung} "
+            f"|{bar:<{width}}|{suffix}"
+        )
+    remaining = events[event_idx:]
+    if remaining:
+        lines += ["", "-- instants after the last verdict --"]
+        lines += [f"  t={at:>10.0f} {name} {fields}" for at, name, fields in remaining]
+    violations = sum(1 for _, v in ok_points.items() if v < 1.0)
+    lines += [
+        "",
+        f"{violations}/{len(points)} verdicts violated; "
+        f"{tsdb.snapshot()['points']} points across "
+        f"{tsdb.snapshot()['series']} series in the store",
+    ]
+    return "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.perfscope",
@@ -218,6 +357,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": "drift/health/breakdown operator report",
         "trace": "export a Chrome/Perfetto trace of the run",
         "metrics": "Prometheus-style text exposition",
+        "explain": "causal latency attribution: slowest-K drill-down",
     }
     for name, help_text in commands.items():
         p = sub.add_parser(name, help=help_text)
@@ -229,7 +369,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         p.add_argument(
             "--faults",
             default="storm",
-            choices=("none", "storm"),
+            choices=("none", "storm", "dram"),
             help="fault environment (default: storm)",
         )
         p.add_argument("--requests", type=int, default=120)
@@ -242,6 +382,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "--out",
                 default="perfscope.trace.json",
                 help="output path for the trace_event JSON",
+            )
+        if name == "explain":
+            p.add_argument(
+                "--top",
+                type=int,
+                default=5,
+                help="how many slowest requests to drill into (default: 5)",
             )
     heal = sub.add_parser(
         "heal",
@@ -274,7 +421,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="fixed fleet: brownout ladder only, no membership changes",
     )
+    timeline = sub.add_parser(
+        "timeline",
+        help="SLO timeline from the time-series store, events annotated",
+    )
+    timeline.add_argument("--requests", type=int, default=400)
+    timeline.add_argument("--seed", type=int, default=17)
+    timeline.add_argument(
+        "--no-autoscale",
+        action="store_true",
+        help="fixed fleet: brownout ladder only, no membership changes",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "timeline":
+        from repro.scale import run_scale_scenario
+
+        obs = Obs.enabled(drift=False, tsdb=True)
+        out = run_scale_scenario(
+            count=args.requests,
+            seed=args.seed,
+            autoscale=not args.no_autoscale,
+            obs=obs,
+        )
+        print(_timeline_report(obs, out))
+        return 0 if out["verdict"].ok else 1
 
     if args.command == "scale":
         from repro.scale import run_scale_scenario
@@ -310,6 +481,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "report":
         print(_report(obs, pool, result))
+    elif args.command == "explain":
+        print(_explain_report(obs, pool, result, top=args.top))
     elif args.command == "trace":
         path = obs.tracer.export_chrome_trace(args.out)
         document = json.loads(path.read_text())

@@ -1,0 +1,155 @@
+"""Tests for PetriNetInterface.predict_decomposition.
+
+Acceptance property (per ISSUE): on every shipped bundle the predicted
+stage decomposition folds left-to-right to *bit-identically* the scalar
+``latency()`` prediction — float ``==``, no tolerance — and the result
+round-trips through the EvalCache unchanged.
+"""
+
+import pytest
+
+from repro.core.petrinet import (
+    PredictedDecomposition,
+    default_stage_map,
+)
+from repro.perf import EvalCache
+
+
+def _fold(values):
+    acc = 0.0
+    for v in values:
+        acc += v
+    return acc
+
+
+def _protoacc():
+    from repro.accel.protoacc import formats, interfaces
+
+    return interfaces.petri_interface(), list(formats.instances(seed=3).values())
+
+
+def _optimusprime():
+    from repro.accel.optimusprime import interfaces
+    from repro.accel.protoacc import formats
+
+    return interfaces.petri_interface(), list(formats.instances(seed=5).values())
+
+
+def _jpeg():
+    from repro.accel.jpeg import interfaces
+    from repro.accel.jpeg.workload import random_images
+
+    return interfaces.petri_interface(), random_images(seed=7, count=6, min_dim=16, max_dim=48)
+
+
+def _bitcoin():
+    from repro.accel.bitcoin import interfaces
+    from repro.accel.bitcoin.workload import random_jobs
+
+    return interfaces.petri_interface(64), random_jobs(seed=9, count=4)
+
+
+def _vta():
+    from repro.accel.vta import random_programs
+    from repro.accel.vta.interfaces import petri_interface
+
+    return petri_interface(), random_programs(seed=11, count=4)
+
+
+BUNDLES = {
+    "protoacc": _protoacc,
+    "optimusprime": _optimusprime,
+    "jpeg": _jpeg,
+    "bitcoin": _bitcoin,
+    "vta": _vta,
+}
+
+
+class TestBitExactFold:
+    @pytest.mark.parametrize("name", sorted(BUNDLES))
+    def test_stages_fold_to_latency_on_every_bundle(self, name):
+        iface, items = BUNDLES[name]()
+        assert items
+        for item in items:
+            decomp = iface.predict_decomposition(item)
+            assert decomp.total == iface.latency(item), name
+            assert _fold(decomp.stages.values()) == decomp.total, (
+                name,
+                decomp.stages,
+            )
+
+    @pytest.mark.parametrize("name", sorted(BUNDLES))
+    def test_transition_cycles_are_nonnegative(self, name):
+        iface, items = BUNDLES[name]()
+        decomp = iface.predict_decomposition(items[0])
+        for transition, cycles in decomp.transitions.items():
+            assert cycles >= 0.0, (name, transition, cycles)
+        for stage, cycles in decomp.stages.items():
+            if stage != "overlap":  # the residual absorbs float dust
+                assert cycles >= 0.0, (name, stage, cycles)
+
+
+class TestStageMapping:
+    def test_default_stage_map_hints(self):
+        assert default_stage_map("dram_read") == "memory"
+        assert default_stage_map("dma_in") == "memory"
+        assert default_stage_map("fetch_block") == "memory"
+        assert default_stage_map("huffman_decode") == "compute"
+        assert default_stage_map("serialize") == "compute"
+
+    def test_custom_stage_map_dict(self):
+        iface, items = _protoacc()
+        all_compute = iface.predict_decomposition(
+            items[0], stage_map={}
+        )  # empty dict: everything defaults to compute
+        assert all_compute.stages["memory"] == 0.0
+        assert _fold(all_compute.stages.values()) == all_compute.total
+
+    def test_protoacc_models_memory_cycles(self):
+        iface, items = _protoacc()
+        decomp = iface.predict_decomposition(items[0])
+        assert isinstance(decomp, PredictedDecomposition)
+        assert decomp.stages["memory"] > 0.0, decomp.transitions
+
+
+class TestCaching:
+    def test_cache_round_trip_is_identical(self):
+        from repro.accel.protoacc import formats, interfaces
+
+        cache = EvalCache()
+        iface = interfaces.petri_interface(cache=cache)
+        items = list(formats.instances(seed=3).values())
+        cold = [iface.predict_decomposition(i) for i in items]
+        warm = [iface.predict_decomposition(i) for i in items]
+        for a, b in zip(cold, warm):
+            assert a.total == b.total
+            assert a.stages == b.stages
+            assert a.transitions == b.transitions
+        # The warm pass answered from the cache, not the engine.
+        assert cache.stats.hits >= len(items)
+
+    def test_persistent_tier_round_trip(self, tmp_path):
+        from repro.accel.protoacc import formats, interfaces
+
+        spill = str(tmp_path / "evals.jsonl")
+        item = next(iter(formats.instances(seed=3).values()))
+        first = interfaces.petri_interface(cache=EvalCache(spill))
+        cold = first.predict_decomposition(item)
+        second = interfaces.petri_interface(cache=EvalCache(spill))
+        warm = second.predict_decomposition(item)
+        assert warm.total == cold.total
+        assert warm.stages == cold.stages
+        assert warm.transitions == cold.transitions
+        assert second.cache.stats.hits == 1
+
+    def test_decomposition_does_not_perturb_a_live_trace(self):
+        from repro.accel.protoacc import formats, interfaces
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        iface = interfaces.petri_interface(tracer=tracer)
+        item = next(iter(formats.instances(seed=3).values()))
+        iface.latency(item)
+        before = len(tracer)
+        iface.predict_decomposition(item)
+        assert len(tracer) == before

@@ -1,0 +1,156 @@
+"""Tests for causal latency attribution (repro.obs.attribution).
+
+The load-bearing property: for every served request of a traced run,
+the attribution's segments fold left-to-right to *bit-exactly* the
+observed end-to-end cycles — float ``==``, no tolerance.
+"""
+
+import pytest
+
+from repro.obs import Obs, attribute, attribute_records, score_mispredictions
+from repro.obs.attribution import STAGES, exact_residual
+from repro.runtime import OpenLoopServer
+from repro.runtime.pool import rpc_pool
+from repro.workloads import ENTERPRISE_MIX, STORAGE_MIX
+
+
+def serve(policy="round_robin", faults="storm", count=80, gap=500.0, seed=7, obs=None):
+    obs = obs if obs is not None else Obs.enabled()
+    pool = rpc_pool(policy, faults=faults, seed=seed, obs=obs)
+    server = OpenLoopServer(pool, queue_limit=48, deadline=60_000.0, obs=obs)
+    msgs, arrivals = ENTERPRISE_MIX.sample_open(seed=seed, count=count, mean_gap=gap)
+    return obs, pool, server.run(msgs, arrivals)
+
+
+class TestExactResidual:
+    def test_fold_hits_total_exactly(self):
+        prefix = [0.1, 0.2, 0.3]
+        total = 1.0
+        residual = exact_residual(prefix, total)
+        acc = 0.0
+        for v in [*prefix, residual]:
+            acc += v
+        assert acc == total
+
+    def test_empty_prefix(self):
+        assert exact_residual([], 42.5) == 42.5
+
+    def test_adversarial_magnitudes(self):
+        # Catastrophic-cancellation bait: huge and tiny terms mixed.
+        prefix = [1e16, 1.0, -1e16, 3.14159, 1e-9]
+        total = 7.25
+        residual = exact_residual(prefix, total)
+        acc = 0.0
+        for v in [*prefix, residual]:
+            acc += v
+        assert acc == total
+
+
+class TestExactSumInvariant:
+    """The tentpole property, on the real serving stack."""
+
+    @pytest.mark.parametrize("faults", ["none", "storm", "dram"])
+    @pytest.mark.parametrize("policy", ["round_robin", "interface_predicted"])
+    def test_every_request_sums_exactly(self, policy, faults):
+        obs, _, result = serve(policy=policy, faults=faults)
+        attrs = attribute(result, obs.tracer)
+        assert len(attrs) == len(result.served)
+        for a in attrs:
+            assert a.total == a.end_to_end, (a.seq, a.segments)
+
+    def test_segments_use_the_stage_vocabulary(self):
+        obs, _, result = serve()
+        for a in attribute(result, obs.tracer):
+            for seg in a.segments:
+                assert seg.stage in STAGES
+            stages = a.stages()
+            assert set(stages) <= set(STAGES)
+
+    def test_dram_faults_surface_as_memory_segments(self):
+        obs, _, result = serve(faults="dram", count=120, seed=11)
+        attrs = attribute(result, obs.tracer)
+        protoacc = [a for a in attrs if a.device == "protoacc" and a.path == "accel"]
+        assert protoacc, "no protoacc traffic — widen the workload"
+        assert any(a.segment("memory") > 0 for a in protoacc)
+
+    def test_attribution_without_tracer_degrades_to_breakdowns(self):
+        obs = Obs.enabled(tracing=False)
+        obs2, _, result = serve(obs=obs)
+        attrs = attribute(result, None)
+        assert len(attrs) == len(result.served)
+        for a in attrs:
+            assert a.total == a.end_to_end
+
+
+class TestMispredictionScoring:
+    def test_scores_feed_the_observatory(self):
+        obs, pool, result = serve(faults="dram", count=120, seed=11)
+        attrs = attribute(result, obs.tracer, pool)
+        comparisons = score_mispredictions(attrs, pool, obs.observatory)
+        assert comparisons
+        for c in comparisons:
+            assert c["predicted"]["total"] > 0
+            assert c["observed"]["total"] == c["end_to_end"]
+        top = obs.observatory.top_mispredicted_stage("protoacc")
+        assert top is not None
+        stage, err = top
+        assert stage == "memory" and err > 0
+
+    def test_stage_snapshot_has_per_key_entries(self):
+        obs, pool, result = serve(faults="dram", count=120, seed=11)
+        score_mispredictions(attribute(result, obs.tracer, pool), pool, obs.observatory)
+        snap = obs.observatory.stage_snapshot()
+        assert any(key.startswith("protoacc/") for key in snap)
+        for entry in snap.values():
+            assert entry["samples"] >= 1
+            assert 0.0 <= entry["err_mean"]
+
+
+class TestPoolSnapshotExcerpts:
+    """Satellite: pool.snapshot() carries the attribution excerpt and
+    tsdb freshness info."""
+
+    def test_snapshot_names_top_mispredicted_stage_per_device(self):
+        obs, pool, result = serve(faults="dram", count=120, seed=11)
+        score_mispredictions(attribute(result, obs.tracer, pool), pool, obs.observatory)
+        snap = pool.snapshot()
+        assert "attribution" in snap
+        assert snap["attribution"]["protoacc"]["stage"] == "memory"
+        assert snap["attribution"]["protoacc"]["err_mean"] > 0
+
+    def test_snapshot_carries_tsdb_freshness(self):
+        obs = Obs.enabled(tsdb=True)
+        _, pool, _ = serve(obs=obs)
+        snap = pool.snapshot()
+        assert snap["tsdb"]["points"] > 0
+        assert snap["tsdb"]["pumps"] >= 1
+        assert snap["tsdb"]["last_pump_at"] is not None
+
+    def test_snapshot_omits_excerpts_when_not_wired(self):
+        obs = Obs.enabled(drift=False)
+        _, pool, _ = serve(obs=obs)
+        snap = pool.snapshot()
+        assert "attribution" not in snap
+        assert "tsdb" not in snap
+
+
+class TestOfflineTapeAttribution:
+    def test_records_split_exactly_and_blame_dram(self):
+        from repro.runtime.pool import rpc_pool as build_pool
+
+        obs = Obs.enabled()
+        pool = build_pool("round_robin", faults="dram", seed=11, obs=obs)
+        server = OpenLoopServer(pool, queue_limit=48, deadline=60_000.0, obs=obs)
+        msgs, arrivals = STORAGE_MIX.sample_open(seed=11, count=120, mean_gap=600.0)
+        server.run(msgs, arrivals)
+        records = pool.device("protoacc").device.records
+        assert records
+        attrs = attribute_records(records)
+        assert len(attrs) == len(records)
+        for a in attrs:
+            assert a.total == a.end_to_end
+        faulted = [
+            a for r, a in zip(records, attrs) if r.faults and r.path == "accel"
+        ]
+        assert faulted, "dram regime produced no faulted accel records"
+        assert any(a.segment("memory") > 0 for a in faulted)
